@@ -1,0 +1,35 @@
+// Ablation: per-chunk storage format (DESIGN.md §4.3). The paper always uses
+// chunk-offset compression; we compare it against dense chunks and the
+// auto-selected format across the density range, reporting both the stored
+// bytes and the Query 1 scan time.
+#include "bench_util.h"
+#include "gen/datasets.h"
+
+using namespace paradise;        // NOLINT(build/namespaces)
+using namespace paradise::bench; // NOLINT(build/namespaces)
+
+int main() {
+  std::printf("# Ablation — chunk format vs density on 40x40x40x100\n");
+  std::printf(
+      "density_percent,format,array_bytes,q1_seconds,q1_disk_reads\n");
+  for (double pct : {0.5, 2.0, 10.0, 20.0, 50.0}) {
+    for (ChunkFormat format :
+         {ChunkFormat::kOffsetCompressed, ChunkFormat::kDense,
+          ChunkFormat::kAuto, ChunkFormat::kLzwDense}) {
+      DatabaseOptions options = PaperOptions();
+      options.array.chunk_format = format;
+      BenchFile file("abl_chunkfmt");
+      std::unique_ptr<Database> db =
+          MustBuild(file.path(), gen::DataSet2(pct / 100.0), options);
+      const Execution exec =
+          MustRun(db.get(), EngineKind::kArray, gen::Query1(4));
+      std::printf("%.1f,%s,%llu,%.4f,%llu\n", pct,
+                  std::string(ChunkFormatToString(format)).c_str(),
+                  static_cast<unsigned long long>(
+                      db->olap()->array().TotalDataBytes()),
+                  exec.stats.seconds,
+                  static_cast<unsigned long long>(exec.stats.io.disk_reads));
+    }
+  }
+  return 0;
+}

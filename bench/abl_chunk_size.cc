@@ -1,0 +1,38 @@
+// Ablation: chunk-size sweep (DESIGN.md §3). The paper keeps chunk
+// dimensions constant and observes that the 40x40x40x1000 array's 800 small
+// chunks scan slower than the x100 array's 80 larger chunks despite equal
+// compressed bytes (§5.5.1). Here we sweep the chunk extent of the fourth
+// dimension on a fixed array and measure Query 1 (sequential scan) and
+// Query 2 (selective probing): bigger chunks help scans, smaller chunks help
+// selective reads.
+#include "bench_util.h"
+#include "gen/datasets.h"
+
+using namespace paradise;        // NOLINT(build/namespaces)
+using namespace paradise::bench; // NOLINT(build/namespaces)
+
+int main() {
+  std::printf("# Ablation — chunk size on 40x40x40x100 (10%% dense)\n");
+  PrintHeader("chunk-size ablation",
+              "Query 1 and Query 2 vs chunk extents (array engine)",
+              "chunk_extents_query");
+  for (uint32_t extent : {5u, 10u, 20u, 40u}) {
+    gen::GenConfig config = gen::DataSet1(100);
+    config.chunk_extents = {extent, extent, extent, 10};
+    BenchFile file("abl_chunksize");
+    std::unique_ptr<Database> db =
+        MustBuild(file.path(), config, PaperOptions());
+    const std::string label = std::to_string(extent) + "^3x10";
+    {
+      const Execution exec =
+          MustRun(db.get(), EngineKind::kArray, gen::Query1(4));
+      PrintRow(label + "_Q1", EngineKind::kArray, exec);
+    }
+    {
+      const Execution exec =
+          MustRun(db.get(), EngineKind::kArray, gen::Query2(4));
+      PrintRow(label + "_Q2", EngineKind::kArray, exec);
+    }
+  }
+  return 0;
+}

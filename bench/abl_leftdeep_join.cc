@@ -1,0 +1,29 @@
+// Ablation: the left-deep pipelined hash-join strawman of paper §4.3 vs the
+// fused star-join consolidation operator. The paper argues the conventional
+// plan pays for materializing a growing intermediate at every stage; this
+// bench shows that cost directly (aux = total materialized rows).
+#include "bench_util.h"
+#include "gen/datasets.h"
+
+using namespace paradise;        // NOLINT(build/namespaces)
+using namespace paradise::bench; // NOLINT(build/namespaces)
+
+int main() {
+  PrintHeader("Ablation",
+              "star-join operator vs left-deep hash-join pipeline (Query 1)",
+              "density_percent");
+  const query::ConsolidationQuery q = gen::Query1(4);
+  for (double pct : {1.0, 5.0, 10.0, 20.0}) {
+    BenchFile file("abl_leftdeep");
+    std::unique_ptr<Database> db =
+        MustBuild(file.path(), gen::DataSet2(pct / 100.0), PaperOptions());
+    char label[32];
+    std::snprintf(label, sizeof(label), "%.1f", pct);
+    for (EngineKind kind : {EngineKind::kStarJoin, EngineKind::kLeftDeep,
+                            EngineKind::kArray}) {
+      const Execution exec = MustRun(db.get(), kind, q);
+      PrintRow(label, kind, exec);
+    }
+  }
+  return 0;
+}

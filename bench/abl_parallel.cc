@@ -1,0 +1,48 @@
+// Ablation: parallel array consolidation (the paper's §6 future work) —
+// Query 1 on Data Set 1's 40x40x40x1000 array across worker counts. Chunk
+// reads stay serial (one storage manager, as in the paper); decode +
+// position-based aggregation parallelize.
+#include <thread>
+
+#include "bench_util.h"
+#include "core/parallel.h"
+#include "gen/datasets.h"
+
+using namespace paradise;        // NOLINT(build/namespaces)
+using namespace paradise::bench; // NOLINT(build/namespaces)
+
+int main() {
+  std::printf("# Ablation — parallel consolidation (Query 1, 40x40x40x1000)\n");
+  std::printf("threads,seconds,speedup_vs_1\n");
+  BenchFile file("abl_parallel");
+  std::unique_ptr<Database> db =
+      MustBuild(file.path(), gen::DataSet1(1000), PaperOptions());
+  const query::ConsolidationQuery q = gen::Query1(4);
+
+  double baseline = 0.0;
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    if (threads > 2 * hw) break;
+    // Warm run then measured run, to time CPU scaling rather than cold I/O.
+    for (int warm = 0; warm < 2; ++warm) {
+      if (auto st = db->DropCaches(); !st.ok()) {
+        std::fprintf(stderr, "%s\n", st.ToString().c_str());
+        return 1;
+      }
+      Stopwatch watch;
+      Result<query::GroupedResult> result =
+          ParallelArrayConsolidate(*db->olap(), q, threads);
+      if (!result.ok()) {
+        std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+        return 1;
+      }
+      if (warm == 1) {
+        const double seconds = watch.ElapsedSeconds();
+        if (threads == 1) baseline = seconds;
+        std::printf("%zu,%.4f,%.2f\n", threads, seconds,
+                    baseline > 0 ? baseline / seconds : 1.0);
+      }
+    }
+  }
+  return 0;
+}

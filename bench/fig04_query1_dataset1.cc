@@ -1,0 +1,29 @@
+// Figure 4 (paper §5.5.1): Query 1 — full consolidation, group by hX1 on all
+// four dimensions — on Data Set 1: 40x40x40x{50,100,1000}, 640 000 valid
+// cells (densities 20 %, 10 %, 1 %). Array consolidation vs relational
+// star-join consolidation, cold buffers.
+//
+// Expected shape (paper): the array algorithm wins by a wide margin at every
+// size; its time grows mildly with the fourth dimension because the same
+// data spreads over more, smaller chunks (40 -> 80 -> 800 chunks).
+#include "bench_util.h"
+#include "gen/datasets.h"
+
+using namespace paradise;        // NOLINT(build/namespaces)
+using namespace paradise::bench; // NOLINT(build/namespaces)
+
+int main() {
+  PrintHeader("Figure 4", "Query 1 on Data Set 1 (array vs star-join)",
+              "last_dim_size");
+  const query::ConsolidationQuery q = gen::Query1(4);
+  for (uint32_t last : {50u, 100u, 1000u}) {
+    BenchFile file("fig04_" + std::to_string(last));
+    std::unique_ptr<Database> db =
+        MustBuild(file.path(), gen::DataSet1(last), PaperOptions());
+    for (EngineKind kind : {EngineKind::kArray, EngineKind::kStarJoin}) {
+      const Execution exec = MustRun(db.get(), kind, q);
+      PrintRow(std::to_string(last), kind, exec);
+    }
+  }
+  return 0;
+}

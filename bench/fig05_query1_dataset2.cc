@@ -1,0 +1,31 @@
+// Figure 5 (paper §5.5.1): Query 1 on Data Set 2 — 40x40x40x100 with the
+// valid-cell count swept so density covers 0.5 %..20 %. Array consolidation
+// vs relational star-join consolidation, cold buffers.
+//
+// Expected shape (paper): the array wins across the density range; the
+// relational time grows linearly with tuple count while the array's
+// compressed size (and so its scan time) grows with the same slope but a
+// smaller constant.
+#include "bench_util.h"
+#include "gen/datasets.h"
+
+using namespace paradise;        // NOLINT(build/namespaces)
+using namespace paradise::bench; // NOLINT(build/namespaces)
+
+int main() {
+  PrintHeader("Figure 5", "Query 1 on Data Set 2 (density sweep)",
+              "density_percent");
+  const query::ConsolidationQuery q = gen::Query1(4);
+  for (double pct : {0.5, 1.0, 2.0, 5.0, 10.0, 15.0, 20.0}) {
+    BenchFile file("fig05");
+    std::unique_ptr<Database> db =
+        MustBuild(file.path(), gen::DataSet2(pct / 100.0), PaperOptions());
+    for (EngineKind kind : {EngineKind::kArray, EngineKind::kStarJoin}) {
+      const Execution exec = MustRun(db.get(), kind, q);
+      char label[32];
+      std::snprintf(label, sizeof(label), "%.1f", pct);
+      PrintRow(label, kind, exec);
+    }
+  }
+  return 0;
+}

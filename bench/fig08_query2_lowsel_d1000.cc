@@ -1,0 +1,29 @@
+// Figure 8 (paper §5.6): the low-selectivity regime of Query 2 on the
+// 40x40x40x1000 array, where the paper observes the crossover — below star
+// selectivity S ~= 0.00024 (s = 1/8 on four dimensions) the bitmap plan
+// retrieves so few tuples that it beats the array algorithm, which still
+// must fetch roughly one chunk per qualifying cell. The sweep extends to
+// finer selectivities than Figure 6 to straddle the crossover.
+#include "bench_util.h"
+#include "gen/datasets.h"
+
+using namespace paradise;        // NOLINT(build/namespaces)
+using namespace paradise::bench; // NOLINT(build/namespaces)
+
+int main() {
+  PrintHeader("Figure 8",
+              "Query 2 low-selectivity regime on 40x40x40x1000 (crossover)",
+              "per_dim_selectivity");
+  const query::ConsolidationQuery q = gen::Query2(4);
+  for (uint32_t card : {5u, 8u, 10u, 13u, 16u, 20u}) {
+    BenchFile file("fig08");
+    std::unique_ptr<Database> db = MustBuild(
+        file.path(), gen::DataSet1(1000, /*select_cardinality=*/card),
+        PaperOptions());
+    for (EngineKind kind : {EngineKind::kArray, EngineKind::kBitmap}) {
+      const Execution exec = MustRun(db.get(), kind, q);
+      PrintRow("1/" + std::to_string(card), kind, exec);
+    }
+  }
+  return 0;
+}

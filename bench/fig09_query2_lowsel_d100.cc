@@ -1,0 +1,25 @@
+// Figure 9 (paper §5.6): the low-selectivity regime of Query 2 on the
+// 40x40x40x100 array, the companion of Figure 8.
+#include "bench_util.h"
+#include "gen/datasets.h"
+
+using namespace paradise;        // NOLINT(build/namespaces)
+using namespace paradise::bench; // NOLINT(build/namespaces)
+
+int main() {
+  PrintHeader("Figure 9",
+              "Query 2 low-selectivity regime on 40x40x40x100 (crossover)",
+              "per_dim_selectivity");
+  const query::ConsolidationQuery q = gen::Query2(4);
+  for (uint32_t card : {5u, 8u, 10u, 13u, 16u, 20u}) {
+    BenchFile file("fig09");
+    std::unique_ptr<Database> db = MustBuild(
+        file.path(), gen::DataSet1(100, /*select_cardinality=*/card),
+        PaperOptions());
+    for (EngineKind kind : {EngineKind::kArray, EngineKind::kBitmap}) {
+      const Execution exec = MustRun(db.get(), kind, q);
+      PrintRow("1/" + std::to_string(card), kind, exec);
+    }
+  }
+  return 0;
+}

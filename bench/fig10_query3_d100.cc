@@ -1,0 +1,28 @@
+// Figure 10 (paper §5.6): Query 3 — selection and group-by on three of the
+// four dimensions, the fourth collapsed — on the 40x40x40x100 array. The
+// paper's observation: dropping one dimension's selection barely changes the
+// relational algorithm's time (one less bitmap fetch/AND, but the dominant
+// cost — retrieving the selected tuples — stays), because 90 % of its time
+// is tuple retrieval.
+#include "bench_util.h"
+#include "gen/datasets.h"
+
+using namespace paradise;        // NOLINT(build/namespaces)
+using namespace paradise::bench; // NOLINT(build/namespaces)
+
+int main() {
+  PrintHeader("Figure 10", "Query 3 on 40x40x40x100 (3-dim selection sweep)",
+              "per_dim_selectivity");
+  const query::ConsolidationQuery q = gen::Query3(4, 3);
+  for (uint32_t card : {2u, 3u, 4u, 5u, 8u, 10u}) {
+    BenchFile file("fig10");
+    std::unique_ptr<Database> db = MustBuild(
+        file.path(), gen::DataSet1(100, /*select_cardinality=*/card),
+        PaperOptions());
+    for (EngineKind kind : {EngineKind::kArray, EngineKind::kBitmap}) {
+      const Execution exec = MustRun(db.get(), kind, q);
+      PrintRow("1/" + std::to_string(card), kind, exec);
+    }
+  }
+  return 0;
+}

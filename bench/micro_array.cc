@@ -1,0 +1,83 @@
+// Microbenchmarks for the chunk layer: serialization in both formats,
+// binary-search probing (the §4.2 inner loop), and layout arithmetic.
+#include <benchmark/benchmark.h>
+
+#include "array/chunk.h"
+#include "array/chunk_layout.h"
+#include "common/random.h"
+
+using namespace paradise;  // NOLINT(build/namespaces)
+
+namespace {
+
+Chunk MakeChunk(uint32_t capacity, double density, uint64_t seed) {
+  Chunk chunk(capacity);
+  Random rng(seed);
+  for (uint32_t off = 0; off < capacity; ++off) {
+    if (rng.Bernoulli(density)) {
+      (void)chunk.AppendSorted(off, rng.UniformRange(1, 100));
+    }
+  }
+  return chunk;
+}
+
+void BM_ChunkSerializeSparse(benchmark::State& state) {
+  const Chunk chunk = MakeChunk(80000, 0.01, 1);
+  for (auto _ : state) {
+    const std::string blob = chunk.Serialize(ChunkFormat::kOffsetCompressed);
+    benchmark::DoNotOptimize(blob.size());
+  }
+}
+BENCHMARK(BM_ChunkSerializeSparse);
+
+void BM_ChunkSerializeDense(benchmark::State& state) {
+  const Chunk chunk = MakeChunk(80000, 0.5, 2);
+  for (auto _ : state) {
+    const std::string blob = chunk.Serialize(ChunkFormat::kDense);
+    benchmark::DoNotOptimize(blob.size());
+  }
+}
+BENCHMARK(BM_ChunkSerializeDense);
+
+void BM_ChunkDeserialize(benchmark::State& state) {
+  const double density = static_cast<double>(state.range(0)) / 100.0;
+  const std::string blob =
+      MakeChunk(80000, density, 3).Serialize(ChunkFormat::kOffsetCompressed);
+  for (auto _ : state) {
+    Result<Chunk> chunk = Chunk::Deserialize(blob);
+    benchmark::DoNotOptimize(chunk->num_valid());
+  }
+}
+BENCHMARK(BM_ChunkDeserialize)->Arg(1)->Arg(10)->Arg(50);
+
+void BM_ChunkProbe(benchmark::State& state) {
+  const Chunk chunk = MakeChunk(80000, 0.01, 4);
+  Random rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        chunk.Get(static_cast<uint32_t>(rng.Uniform(80000))).has_value());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ChunkProbe);
+
+void BM_LayoutArithmetic(benchmark::State& state) {
+  Result<ChunkLayout> layout =
+      ChunkLayout::Make({40, 40, 40, 1000}, {20, 20, 20, 10});
+  Random rng(6);
+  CellCoords coords(4);
+  for (auto _ : state) {
+    coords[0] = static_cast<uint32_t>(rng.Uniform(40));
+    coords[1] = static_cast<uint32_t>(rng.Uniform(40));
+    coords[2] = static_cast<uint32_t>(rng.Uniform(40));
+    coords[3] = static_cast<uint32_t>(rng.Uniform(1000));
+    benchmark::DoNotOptimize(layout->CoordsToChunk(coords));
+    benchmark::DoNotOptimize(layout->CoordsToOffset(coords));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LayoutArithmetic);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+// Microbenchmarks for bitmaps: AND, population count, and set-bit iteration
+// at fact-table scale (the §4.5 plan ANDs several and iterates one).
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "index/bitmap.h"
+
+using namespace paradise;  // NOLINT(build/namespaces)
+
+namespace {
+
+Bitmap MakeBitmap(uint64_t bits, double density, uint64_t seed) {
+  Bitmap b(bits);
+  Random rng(seed);
+  const auto count = static_cast<uint64_t>(density * static_cast<double>(bits));
+  for (uint64_t i = 0; i < count; ++i) b.Set(rng.Uniform(bits));
+  return b;
+}
+
+void BM_BitmapAnd(benchmark::State& state) {
+  const uint64_t bits = static_cast<uint64_t>(state.range(0));
+  Bitmap a = MakeBitmap(bits, 0.1, 1);
+  const Bitmap b = MakeBitmap(bits, 0.1, 2);
+  for (auto _ : state) {
+    Bitmap tmp = a;
+    benchmark::DoNotOptimize(tmp.And(b).ok());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * bits / 8));
+}
+BENCHMARK(BM_BitmapAnd)->Arg(640000)->Arg(10000000);
+
+void BM_BitmapCount(benchmark::State& state) {
+  const Bitmap b =
+      MakeBitmap(static_cast<uint64_t>(state.range(0)), 0.1, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(b.CountOnes());
+  }
+}
+BENCHMARK(BM_BitmapCount)->Arg(640000)->Arg(10000000);
+
+void BM_BitmapIterate(benchmark::State& state) {
+  const uint64_t bits = 640000;
+  const double density = static_cast<double>(state.range(0)) / 10000.0;
+  const Bitmap b = MakeBitmap(bits, density, 4);
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    for (BitmapIterator it(&b); it.Valid(); it.Next()) sum += it.bit();
+    benchmark::DoNotOptimize(sum);
+  }
+}
+// densities 0.01 %, 1 %, 10 %
+BENCHMARK(BM_BitmapIterate)->Arg(1)->Arg(100)->Arg(1000);
+
+void BM_BitmapSerialize(benchmark::State& state) {
+  const Bitmap b = MakeBitmap(640000, 0.1, 5);
+  for (auto _ : state) {
+    const std::string blob = b.Serialize();
+    benchmark::DoNotOptimize(blob.size());
+  }
+}
+BENCHMARK(BM_BitmapSerialize);
+
+}  // namespace
+
+BENCHMARK_MAIN();

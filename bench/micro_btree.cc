@@ -1,0 +1,91 @@
+// Microbenchmarks for the B+tree: insert, point lookup, and range iteration
+// at several tree sizes.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "index/btree.h"
+#include "storage/storage_manager.h"
+
+using namespace paradise;        // NOLINT(build/namespaces)
+using namespace paradise::bench; // NOLINT(build/namespaces)
+
+namespace {
+
+struct TreeFixture {
+  TreeFixture() : file("micro_btree") {
+    StorageOptions options;
+    options.page_size = 8192;
+    options.buffer_pool_pages = 4096;
+    PARADISE_CHECK_OK(storage.Create(file.path(), options));
+  }
+  BenchFile file;
+  StorageManager storage;
+};
+
+void BM_BTreeInsertSequential(benchmark::State& state) {
+  TreeFixture f;
+  Result<BTree> tree = BTree::Create(f.storage.pool());
+  PARADISE_CHECK_OK(tree.status());
+  int64_t key = 0;
+  for (auto _ : state) {
+    PARADISE_CHECK_OK(tree->Insert(key, key));
+    ++key;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BTreeInsertSequential);
+
+void BM_BTreeInsertRandom(benchmark::State& state) {
+  TreeFixture f;
+  Result<BTree> tree = BTree::Create(f.storage.pool());
+  PARADISE_CHECK_OK(tree.status());
+  Random rng(1);
+  int64_t i = 0;
+  for (auto _ : state) {
+    PARADISE_CHECK_OK(
+        tree->Insert(static_cast<int64_t>(rng.Next() >> 1), i++));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BTreeInsertRandom);
+
+void BM_BTreeLookup(benchmark::State& state) {
+  TreeFixture f;
+  Result<BTree> tree = BTree::Create(f.storage.pool());
+  PARADISE_CHECK_OK(tree.status());
+  const int64_t n = state.range(0);
+  for (int64_t k = 0; k < n; ++k) PARADISE_CHECK_OK(tree->Insert(k, k));
+  Random rng(2);
+  for (auto _ : state) {
+    Result<std::optional<int64_t>> v =
+        tree->GetFirst(static_cast<int64_t>(rng.Uniform(n)));
+    benchmark::DoNotOptimize(v->has_value());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BTreeLookup)->Arg(1000)->Arg(100000)->Arg(1000000);
+
+void BM_BTreeFullScan(benchmark::State& state) {
+  TreeFixture f;
+  Result<BTree> tree = BTree::Create(f.storage.pool());
+  PARADISE_CHECK_OK(tree.status());
+  const int64_t n = state.range(0);
+  for (int64_t k = 0; k < n; ++k) PARADISE_CHECK_OK(tree->Insert(k, k));
+  for (auto _ : state) {
+    Result<BTreeIterator> it = tree->Begin();
+    PARADISE_CHECK_OK(it.status());
+    int64_t sum = 0;
+    while (it->Valid()) {
+      sum += it->value();
+      PARADISE_CHECK_OK(it->Next());
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BTreeFullScan)->Arg(1000)->Arg(100000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+// Microbenchmarks for the storage substrate: buffer-pool hit/miss paths and
+// large-object create/read.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "storage/storage_manager.h"
+
+using namespace paradise;        // NOLINT(build/namespaces)
+using namespace paradise::bench; // NOLINT(build/namespaces)
+
+namespace {
+
+struct StorageFixture {
+  StorageFixture() : file("micro_storage") {
+    StorageOptions options;
+    options.page_size = 8192;
+    options.buffer_pool_pages = 1024;
+    PARADISE_CHECK_OK(storage.Create(file.path(), options));
+  }
+  BenchFile file;
+  StorageManager storage;
+};
+
+void BM_BufferPoolHit(benchmark::State& state) {
+  StorageFixture f;
+  PageId id = kInvalidPageId;
+  {
+    Result<PageGuard> g = f.storage.pool()->NewPage();
+    PARADISE_CHECK_OK(g.status());
+    id = g->page_id();
+  }
+  for (auto _ : state) {
+    Result<PageGuard> g = f.storage.pool()->FetchPage(id);
+    benchmark::DoNotOptimize(g->data());
+  }
+}
+BENCHMARK(BM_BufferPoolHit);
+
+void BM_BufferPoolMissEvict(benchmark::State& state) {
+  StorageFixture f;
+  // Twice as many pages as frames: every fetch in the cycle misses.
+  const size_t n = 2048;
+  std::vector<PageId> ids;
+  for (size_t i = 0; i < n; ++i) {
+    Result<PageGuard> g = f.storage.pool()->NewPage();
+    PARADISE_CHECK_OK(g.status());
+    ids.push_back(g->page_id());
+  }
+  PARADISE_CHECK_OK(f.storage.pool()->FlushAndEvictAll());
+  size_t i = 0;
+  for (auto _ : state) {
+    Result<PageGuard> g = f.storage.pool()->FetchPage(ids[i]);
+    benchmark::DoNotOptimize(g->data());
+    i = (i + 997) % n;  // stride to defeat the pool
+  }
+}
+BENCHMARK(BM_BufferPoolMissEvict);
+
+void BM_LargeObjectCreate(benchmark::State& state) {
+  StorageFixture f;
+  const std::string blob(static_cast<size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    Result<ObjectId> oid = f.storage.objects()->Create(blob);
+    PARADISE_CHECK_OK(oid.status());
+    PARADISE_CHECK_OK(f.storage.objects()->Free(*oid));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_LargeObjectCreate)->Arg(1024)->Arg(64 * 1024)->Arg(1024 * 1024);
+
+void BM_LargeObjectRead(benchmark::State& state) {
+  StorageFixture f;
+  const std::string blob(static_cast<size_t>(state.range(0)), 'x');
+  Result<ObjectId> oid = f.storage.objects()->Create(blob);
+  PARADISE_CHECK_OK(oid.status());
+  for (auto _ : state) {
+    Result<std::string> data = f.storage.objects()->Read(*oid);
+    benchmark::DoNotOptimize(data->size());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_LargeObjectRead)->Arg(1024)->Arg(64 * 1024)->Arg(1024 * 1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+// Storage explorer: walks the §3.2/§3.3 storage story interactively — how
+// the fact file, the uncompressed array, and the chunk-offset-compressed
+// array trade space as density changes, and what each chunk looks like.
+#include <cstdio>
+#include <filesystem>
+
+#include "gen/datasets.h"
+#include "schema/loader.h"
+
+using namespace paradise;  // NOLINT(build/namespaces)
+
+namespace {
+
+void Explore(double density) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "paradise_explorer.db")
+          .string();
+  std::remove(path.c_str());
+  gen::GenConfig config = gen::DataSet2(density);
+  auto db = BuildDatabaseFromConfig(path, config, DatabaseOptions{});
+  PARADISE_CHECK_OK(db.status());
+
+  auto report = (*db)->ReportStorage();
+  PARADISE_CHECK_OK(report.status());
+  const uint64_t cells = (*db)->olap()->layout().total_cells();
+  const uint64_t tuples = (*db)->fact()->num_tuples();
+  const uint64_t dense_bytes = cells * 8;
+
+  std::printf("\n--- 40x40x40x100 cube at %.1f%% density (%llu tuples) ---\n",
+              density * 100, static_cast<unsigned long long>(tuples));
+  std::printf("fact file          : %8.2f MB (%u-byte records, no slotted "
+              "pages)\n",
+              static_cast<double>(report->fact_file_bytes) / 1e6,
+              (*db)->fact()->record_size());
+  std::printf("array, uncompressed: %8.2f MB (every cell materialized)\n",
+              static_cast<double>(dense_bytes) / 1e6);
+  std::printf("array, chunk-offset: %8.2f MB (valid cells only: "
+              "12 B/cell + per-chunk headers)\n",
+              static_cast<double>(report->array_data_bytes) / 1e6);
+  std::printf("bitmap join indexes: %8.2f MB\n",
+              static_cast<double>(report->bitmap_bytes) / 1e6);
+  std::printf("array/table ratio  : %8.2f\n",
+              static_cast<double>(report->array_data_bytes) /
+                  static_cast<double>(report->fact_file_bytes));
+
+  // Chunk-level view of the first few chunks.
+  const ChunkedArray& array = (*db)->olap()->array();
+  std::printf("chunks: %llu total, showing the first 5:\n",
+              static_cast<unsigned long long>(array.layout().num_chunks()));
+  for (uint64_t c = 0; c < 5 && c < array.layout().num_chunks(); ++c) {
+    auto blob = array.ReadChunkBlob(c);
+    PARADISE_CHECK_OK(blob.status());
+    std::printf("  chunk %llu: %5u/%u valid cells, %6zu bytes stored\n",
+                static_cast<unsigned long long>(c), array.ChunkValidCount(c),
+                array.layout().ChunkCellCount(c), blob->size());
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("The paper's §3.2 break-even: with n=4 dimensions and p=1 "
+              "measure,\nan UNCOMPRESSED array only beats the relational "
+              "table above\ndensity p/(n+p) = 20%% — but chunk-offset "
+              "compression (§3.3) stores\nonly valid cells, so the array "
+              "wins at every density below too.\n");
+  for (double density : {0.005, 0.01, 0.05, 0.10, 0.20}) {
+    Explore(density);
+  }
+  return 0;
+}

@@ -1,0 +1,236 @@
+#include "array/chunk.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/coding.h"
+#include "common/lzw.h"
+
+namespace paradise {
+
+namespace {
+// Serialized layouts. Both start with:
+//   [0]     format byte: 0 = dense, 1 = offset-compressed
+//   [1,5)   capacity (cell count of the chunk)
+// Offset-compressed (§3.3): fixed32 valid count, then per valid cell
+// fixed32 offset + fixed64 value, in increasing offset order.
+// Dense: validity bitmap of ceil(capacity/8) bytes, then capacity fixed64
+// values (invalid cells hold zero).
+// LZW-wrapped (kLzwDense): tag byte 2 followed by the LZW stream of the
+// dense serialization. Unwrapped by UnwrapChunkBlob before any view/parse.
+constexpr uint8_t kDenseTag = 0;
+constexpr uint8_t kSparseTag = 1;
+constexpr uint8_t kLzwTag = 2;
+}  // namespace
+
+Status Chunk::Put(uint32_t offset, int64_t value) {
+  if (offset >= capacity_) {
+    return Status::OutOfRange("offset " + std::to_string(offset) +
+                              " beyond chunk capacity " +
+                              std::to_string(capacity_));
+  }
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), offset,
+      [](const ChunkEntry& e, uint32_t o) { return e.offset < o; });
+  if (it != entries_.end() && it->offset == offset) {
+    it->value = value;
+  } else {
+    entries_.insert(it, ChunkEntry{offset, value});
+  }
+  return Status::OK();
+}
+
+Status Chunk::AppendSorted(uint32_t offset, int64_t value) {
+  if (offset >= capacity_) {
+    return Status::OutOfRange("offset " + std::to_string(offset) +
+                              " beyond chunk capacity " +
+                              std::to_string(capacity_));
+  }
+  if (!entries_.empty() && entries_.back().offset >= offset) {
+    return Status::InvalidArgument(
+        "AppendSorted offsets must be strictly increasing");
+  }
+  entries_.push_back(ChunkEntry{offset, value});
+  return Status::OK();
+}
+
+std::optional<int64_t> Chunk::Get(uint32_t offset) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), offset,
+      [](const ChunkEntry& e, uint32_t o) { return e.offset < o; });
+  if (it != entries_.end() && it->offset == offset) return it->value;
+  return std::nullopt;
+}
+
+void Chunk::Erase(uint32_t offset) {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), offset,
+      [](const ChunkEntry& e, uint32_t o) { return e.offset < o; });
+  if (it != entries_.end() && it->offset == offset) entries_.erase(it);
+}
+
+ChunkFormat Chunk::ResolveFormat(ChunkFormat format) const {
+  if (format != ChunkFormat::kAuto) return format;
+  return SparseBytes(num_valid()) <= DenseBytes(capacity_)
+             ? ChunkFormat::kOffsetCompressed
+             : ChunkFormat::kDense;
+}
+
+std::string Chunk::Serialize(ChunkFormat format) const {
+  if (format == ChunkFormat::kLzwDense) {
+    std::string out(1, static_cast<char>(kLzwTag));
+    out.append(LzwCompress(Serialize(ChunkFormat::kDense)));
+    return out;
+  }
+  const ChunkFormat resolved = ResolveFormat(format);
+  std::string out;
+  if (resolved == ChunkFormat::kOffsetCompressed) {
+    out.resize(9 + entries_.size() * 12);
+    out[0] = static_cast<char>(kSparseTag);
+    EncodeFixed32(out.data() + 1, capacity_);
+    EncodeFixed32(out.data() + 5, static_cast<uint32_t>(entries_.size()));
+    char* p = out.data() + 9;
+    for (const ChunkEntry& e : entries_) {
+      EncodeFixed32(p, e.offset);
+      EncodeFixed64(p + 4, static_cast<uint64_t>(e.value));
+      p += 12;
+    }
+    return out;
+  }
+  const size_t bitmap_bytes = (capacity_ + 7) / 8;
+  out.assign(5 + bitmap_bytes + static_cast<size_t>(capacity_) * 8, '\0');
+  out[0] = static_cast<char>(kDenseTag);
+  EncodeFixed32(out.data() + 1, capacity_);
+  char* bitmap = out.data() + 5;
+  char* values = out.data() + 5 + bitmap_bytes;
+  for (const ChunkEntry& e : entries_) {
+    bitmap[e.offset / 8] |= static_cast<char>(1u << (e.offset % 8));
+    EncodeFixed64(values + static_cast<size_t>(e.offset) * 8,
+                  static_cast<uint64_t>(e.value));
+  }
+  return out;
+}
+
+Result<std::string> UnwrapChunkBlob(std::string blob) {
+  if (!blob.empty() && static_cast<uint8_t>(blob[0]) == kLzwTag) {
+    return LzwDecompress({blob.data() + 1, blob.size() - 1});
+  }
+  return blob;
+}
+
+Result<Chunk> Chunk::Deserialize(std::string_view data) {
+  if (!data.empty() && static_cast<uint8_t>(data[0]) == kLzwTag) {
+    PARADISE_ASSIGN_OR_RETURN(std::string dense,
+                              UnwrapChunkBlob(std::string(data)));
+    return Deserialize(dense);
+  }
+  if (data.size() < 5) return Status::Corruption("chunk blob too small");
+  const uint8_t tag = static_cast<uint8_t>(data[0]);
+  const uint32_t capacity = DecodeFixed32(data.data() + 1);
+  Chunk chunk(capacity);
+  if (tag == kSparseTag) {
+    if (data.size() < 9) return Status::Corruption("sparse chunk truncated");
+    const uint32_t count = DecodeFixed32(data.data() + 5);
+    if (data.size() != 9 + static_cast<size_t>(count) * 12) {
+      return Status::Corruption("sparse chunk size mismatch");
+    }
+    chunk.entries_.reserve(count);
+    const char* p = data.data() + 9;
+    for (uint32_t i = 0; i < count; ++i) {
+      const uint32_t offset = DecodeFixed32(p);
+      const int64_t value = static_cast<int64_t>(DecodeFixed64(p + 4));
+      p += 12;
+      PARADISE_RETURN_IF_ERROR(chunk.AppendSorted(offset, value));
+    }
+    return chunk;
+  }
+  if (tag == kDenseTag) {
+    const size_t bitmap_bytes = (static_cast<size_t>(capacity) + 7) / 8;
+    if (data.size() != 5 + bitmap_bytes + static_cast<size_t>(capacity) * 8) {
+      return Status::Corruption("dense chunk size mismatch");
+    }
+    const char* bitmap = data.data() + 5;
+    const char* values = data.data() + 5 + bitmap_bytes;
+    for (uint32_t off = 0; off < capacity; ++off) {
+      if ((static_cast<uint8_t>(bitmap[off / 8]) >> (off % 8)) & 1) {
+        PARADISE_RETURN_IF_ERROR(chunk.AppendSorted(
+            off, static_cast<int64_t>(
+                     DecodeFixed64(values + static_cast<size_t>(off) * 8))));
+      }
+    }
+    return chunk;
+  }
+  return Status::Corruption("unknown chunk format tag " + std::to_string(tag));
+}
+
+Result<ChunkView> ChunkView::Make(std::string_view blob) {
+  if (blob.size() < 5) return Status::Corruption("chunk blob too small");
+  const uint8_t tag = static_cast<uint8_t>(blob[0]);
+  const uint32_t capacity = DecodeFixed32(blob.data() + 1);
+  if (tag == kSparseTag) {
+    if (blob.size() < 9) return Status::Corruption("sparse chunk truncated");
+    const uint32_t count = DecodeFixed32(blob.data() + 5);
+    if (blob.size() != 9 + static_cast<size_t>(count) * 12) {
+      return Status::Corruption("sparse chunk size mismatch");
+    }
+    return ChunkView(blob, /*sparse=*/true, capacity, count);
+  }
+  if (tag == kDenseTag) {
+    const size_t bitmap_bytes = (static_cast<size_t>(capacity) + 7) / 8;
+    if (blob.size() != 5 + bitmap_bytes + static_cast<size_t>(capacity) * 8) {
+      return Status::Corruption("dense chunk size mismatch");
+    }
+    // Valid count is not stored in the dense format; count the bitmap.
+    uint32_t valid = 0;
+    for (size_t i = 0; i < bitmap_bytes; ++i) {
+      valid += static_cast<uint32_t>(
+          std::popcount(static_cast<unsigned char>(blob[5 + i])));
+    }
+    return ChunkView(blob, /*sparse=*/false, capacity, valid);
+  }
+  return Status::Corruption("unknown chunk format tag " + std::to_string(tag));
+}
+
+ChunkEntry ChunkView::SparseEntry(uint32_t i) const {
+  const char* p = data_ + 9 + static_cast<size_t>(i) * 12;
+  return ChunkEntry{DecodeFixed32(p),
+                    static_cast<int64_t>(DecodeFixed64(p + 4))};
+}
+
+uint32_t ChunkView::SparseLowerBound(uint32_t offset, uint32_t from) const {
+  uint32_t lo = from, hi = num_valid_;
+  while (lo < hi) {
+    const uint32_t mid = lo + (hi - lo) / 2;
+    if (SparseEntry(mid).offset < offset) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+bool ChunkView::DenseValid(uint32_t offset) const {
+  return (static_cast<uint8_t>(data_[5 + offset / 8]) >> (offset % 8)) & 1;
+}
+
+int64_t ChunkView::DenseValue(uint32_t offset) const {
+  const size_t bitmap_bytes = (static_cast<size_t>(capacity_) + 7) / 8;
+  return static_cast<int64_t>(DecodeFixed64(
+      data_ + 5 + bitmap_bytes + static_cast<size_t>(offset) * 8));
+}
+
+std::optional<int64_t> ChunkView::Get(uint32_t offset) const {
+  if (offset >= capacity_) return std::nullopt;
+  if (sparse_) {
+    const uint32_t pos = SparseLowerBound(offset, 0);
+    if (pos < num_valid_ && SparseEntry(pos).offset == offset) {
+      return SparseEntry(pos).value;
+    }
+    return std::nullopt;
+  }
+  if (!DenseValid(offset)) return std::nullopt;
+  return DenseValue(offset);
+}
+
+}  // namespace paradise

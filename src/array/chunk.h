@@ -1,0 +1,144 @@
+// Chunk: the in-memory form of one array tile — the valid cells as
+// (offsetInChunk, value) pairs kept sorted by offset, exactly the order the
+// paper's chunk-offset compression stores and binary-searches (§3.3). A
+// chunk serializes to either the offset-compressed format or a dense format
+// (all cells materialized plus a validity bitmap); kAuto picks whichever is
+// smaller for the chunk's density.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/options.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace paradise {
+
+/// One valid cell within a chunk.
+struct ChunkEntry {
+  uint32_t offset;
+  int64_t value;
+
+  friend bool operator==(const ChunkEntry& a, const ChunkEntry& b) {
+    return a.offset == b.offset && a.value == b.value;
+  }
+};
+
+class Chunk {
+ public:
+  Chunk() = default;
+
+  /// An empty chunk able to hold offsets in [0, capacity).
+  explicit Chunk(uint32_t capacity) : capacity_(capacity) {}
+
+  uint32_t capacity() const { return capacity_; }
+  uint32_t num_valid() const { return static_cast<uint32_t>(entries_.size()); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Valid cells in increasing offset order.
+  const std::vector<ChunkEntry>& entries() const { return entries_; }
+
+  /// Inserts or overwrites the cell at `offset`.
+  Status Put(uint32_t offset, int64_t value);
+
+  /// Fast build path: offsets must arrive in strictly increasing order.
+  Status AppendSorted(uint32_t offset, int64_t value);
+
+  /// Value at `offset` if the cell is valid — the binary-search probe the
+  /// selection algorithm uses.
+  std::optional<int64_t> Get(uint32_t offset) const;
+
+  /// Marks the cell at `offset` invalid; no-op if it already is.
+  void Erase(uint32_t offset);
+
+  /// Serializes in `format` (kAuto picks the smaller encoding).
+  std::string Serialize(ChunkFormat format) const;
+
+  /// The concrete format Serialize would emit for `format`.
+  ChunkFormat ResolveFormat(ChunkFormat format) const;
+
+  static Result<Chunk> Deserialize(std::string_view data);
+
+  /// Serialized byte sizes of each encoding, for the storage benches.
+  static uint64_t SparseBytes(uint32_t num_valid) {
+    return 9 + static_cast<uint64_t>(num_valid) * 12;
+  }
+  static uint64_t DenseBytes(uint32_t capacity) {
+    return 5 + (static_cast<uint64_t>(capacity) + 7) / 8 +
+           static_cast<uint64_t>(capacity) * 8;
+  }
+
+  bool operator==(const Chunk& o) const {
+    return capacity_ == o.capacity_ && entries_ == o.entries_;
+  }
+
+ private:
+  uint32_t capacity_ = 0;
+  std::vector<ChunkEntry> entries_;  // sorted by offset
+};
+
+/// Decompresses an LZW-wrapped chunk blob to its dense form; passes every
+/// other format through unchanged. Apply before ChunkView::Make.
+Result<std::string> UnwrapChunkBlob(std::string blob);
+
+/// Zero-copy view over a serialized chunk: probing and iteration straight
+/// off the stored bytes, no materialization — the paper's selection
+/// algorithm binary-searches the sorted compressed chunk as stored (§3.3).
+/// The underlying buffer must outlive the view.
+class ChunkView {
+ public:
+  /// Wraps a serialized chunk. Fails on a malformed blob.
+  static Result<ChunkView> Make(std::string_view blob);
+
+  uint32_t capacity() const { return capacity_; }
+  uint32_t num_valid() const { return num_valid_; }
+  bool sparse() const { return sparse_; }
+
+  /// Value at `offset` if valid (binary search on sparse chunks, direct
+  /// index on dense ones).
+  std::optional<int64_t> Get(uint32_t offset) const;
+
+  /// Sparse chunks: the i-th valid entry (i < num_valid()).
+  ChunkEntry SparseEntry(uint32_t i) const;
+
+  /// Sparse chunks: index of the first entry with offset >= `offset`,
+  /// searching from entry `from` (monotone probes pass their last position).
+  uint32_t SparseLowerBound(uint32_t offset, uint32_t from) const;
+
+  /// Invokes `fn(offset, value)` for every valid cell in offset order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    if (sparse_) {
+      for (uint32_t i = 0; i < num_valid_; ++i) {
+        const ChunkEntry e = SparseEntry(i);
+        fn(e.offset, e.value);
+      }
+      return;
+    }
+    for (uint32_t off = 0; off < capacity_; ++off) {
+      if (DenseValid(off)) fn(off, DenseValue(off));
+    }
+  }
+
+ private:
+  ChunkView(std::string_view blob, bool sparse, uint32_t capacity,
+            uint32_t num_valid)
+      : data_(blob.data()),
+        sparse_(sparse),
+        capacity_(capacity),
+        num_valid_(num_valid) {}
+
+  bool DenseValid(uint32_t offset) const;
+  int64_t DenseValue(uint32_t offset) const;
+
+  const char* data_ = nullptr;
+  bool sparse_ = true;
+  uint32_t capacity_ = 0;
+  uint32_t num_valid_ = 0;
+};
+
+}  // namespace paradise

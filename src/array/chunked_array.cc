@@ -1,0 +1,220 @@
+#include "array/chunked_array.h"
+
+#include <cstring>
+
+#include "common/coding.h"
+
+namespace paradise {
+
+namespace {
+// Meta object layout:
+//   [0,4)   magic "CARR"
+//   [4]     chunk format byte (ChunkFormat)
+//   [5,9)   default chunk extent (ArrayOptions round-trip)
+//   [9,17)  data ObjectId
+//   then the serialized ChunkLayout
+//   then the directory: per chunk, fixed64 byte offset + fixed64 byte
+//   length + fixed32 valid count.
+constexpr char kMagic[4] = {'C', 'A', 'R', 'R'};
+constexpr size_t kDataOidOffset = 9;
+constexpr size_t kLayoutOffset = 17;
+constexpr size_t kDirEntryBytes = 20;
+}  // namespace
+
+Status ChunkedArray::Builder::Put(const CellCoords& coords, int64_t value) {
+  if (coords.size() != layout_.num_dims()) {
+    return Status::InvalidArgument("coordinate arity mismatch");
+  }
+  for (size_t i = 0; i < coords.size(); ++i) {
+    if (coords[i] >= layout_.dims()[i]) {
+      return Status::OutOfRange("coordinate " + std::to_string(coords[i]) +
+                                " beyond dimension " + std::to_string(i));
+    }
+  }
+  const uint64_t chunk_no = layout_.CoordsToChunk(coords);
+  auto [it, inserted] =
+      chunks_.try_emplace(chunk_no, layout_.ChunkCellCount(chunk_no));
+  return it->second.Put(layout_.CoordsToOffset(coords), value);
+}
+
+Status ChunkedArray::Builder::PutGlobal(uint64_t global_index, int64_t value) {
+  if (global_index >= layout_.total_cells()) {
+    return Status::OutOfRange("global index beyond array");
+  }
+  return Put(layout_.GlobalToCoords(global_index), value);
+}
+
+Result<ChunkedArray> ChunkedArray::Builder::Finish() {
+  PARADISE_RETURN_IF_ERROR(options_.Validate());
+  std::vector<ChunkInfo> directory(layout_.num_chunks());
+  // Pack chunks back-to-back in chunk-number order (std::map iterates keys
+  // in order) so byte order matches logical order.
+  std::string data;
+  for (const auto& [chunk_no, chunk] : chunks_) {
+    if (chunk.empty()) continue;
+    const std::string blob = chunk.Serialize(options_.chunk_format);
+    directory[chunk_no] =
+        ChunkInfo{data.size(), blob.size(), chunk.num_valid()};
+    data.append(blob);
+  }
+  PARADISE_ASSIGN_OR_RETURN(ObjectId data_oid,
+                            storage_->objects()->Create(data));
+  ChunkedArray array(storage_, kInvalidObjectId, data_oid, layout_, options_,
+                     std::move(directory));
+  PARADISE_ASSIGN_OR_RETURN(
+      ObjectId meta, storage_->objects()->Create(array.SerializeMeta()));
+  array.meta_oid_ = meta;
+  return array;
+}
+
+std::string ChunkedArray::SerializeMeta() const {
+  std::string out;
+  out.append(kMagic, sizeof(kMagic));
+  out.push_back(static_cast<char>(options_.chunk_format));
+  char scratch[8];
+  EncodeFixed32(scratch, options_.default_chunk_extent);
+  out.append(scratch, 4);
+  EncodeFixed64(scratch, data_oid_);
+  out.append(scratch, 8);
+  out.append(layout_.Serialize());
+  for (const ChunkInfo& info : directory_) {
+    EncodeFixed64(scratch, info.offset);
+    out.append(scratch, 8);
+    EncodeFixed64(scratch, info.bytes);
+    out.append(scratch, 8);
+    EncodeFixed32(scratch, info.num_valid);
+    out.append(scratch, 4);
+  }
+  return out;
+}
+
+Result<ChunkedArray> ChunkedArray::Open(StorageManager* storage,
+                                        ObjectId meta) {
+  PARADISE_ASSIGN_OR_RETURN(std::string blob, storage->objects()->Read(meta));
+  if (blob.size() < kLayoutOffset ||
+      std::memcmp(blob.data(), kMagic, 4) != 0) {
+    return Status::Corruption("object " + std::to_string(meta) +
+                              " is not a chunked array");
+  }
+  ArrayOptions options;
+  options.chunk_format = static_cast<ChunkFormat>(blob[4]);
+  options.default_chunk_extent = DecodeFixed32(blob.data() + 5);
+  const ObjectId data_oid = DecodeFixed64(blob.data() + kDataOidOffset);
+  size_t consumed = 0;
+  PARADISE_ASSIGN_OR_RETURN(
+      ChunkLayout layout,
+      ChunkLayout::Deserialize(
+          {blob.data() + kLayoutOffset, blob.size() - kLayoutOffset},
+          &consumed));
+  const size_t dir_start = kLayoutOffset + consumed;
+  const uint64_t num_chunks = layout.num_chunks();
+  if (blob.size() != dir_start + num_chunks * kDirEntryBytes) {
+    return Status::Corruption("chunked-array directory size mismatch");
+  }
+  std::vector<ChunkInfo> directory(num_chunks);
+  for (uint64_t c = 0; c < num_chunks; ++c) {
+    const char* p = blob.data() + dir_start + c * kDirEntryBytes;
+    directory[c].offset = DecodeFixed64(p);
+    directory[c].bytes = DecodeFixed64(p + 8);
+    directory[c].num_valid = DecodeFixed32(p + 16);
+  }
+  return ChunkedArray(storage, meta, data_oid, std::move(layout), options,
+                      std::move(directory));
+}
+
+Result<std::string> ChunkedArray::ReadChunkBlob(uint64_t chunk_no) const {
+  if (chunk_no >= layout_.num_chunks()) {
+    return Status::OutOfRange("chunk " + std::to_string(chunk_no) +
+                              " beyond " +
+                              std::to_string(layout_.num_chunks()));
+  }
+  const ChunkInfo& info = directory_[chunk_no];
+  if (info.num_valid == 0) return std::string();
+  PARADISE_ASSIGN_OR_RETURN(
+      std::string blob,
+      storage_->objects()->ReadRange(data_oid_, info.offset, info.bytes));
+  // LZW-wrapped chunks decompress here so every caller sees dense/sparse.
+  return UnwrapChunkBlob(std::move(blob));
+}
+
+Result<Chunk> ChunkedArray::ReadChunk(uint64_t chunk_no) const {
+  PARADISE_ASSIGN_OR_RETURN(std::string blob, ReadChunkBlob(chunk_no));
+  if (blob.empty()) return Chunk(layout_.ChunkCellCount(chunk_no));
+  return Chunk::Deserialize(blob);
+}
+
+Result<std::optional<int64_t>> ChunkedArray::GetCell(
+    const CellCoords& coords) const {
+  const uint64_t chunk_no = layout_.CoordsToChunk(coords);
+  if (ChunkIsEmpty(chunk_no)) return std::optional<int64_t>{};
+  PARADISE_ASSIGN_OR_RETURN(std::string blob, ReadChunkBlob(chunk_no));
+  PARADISE_ASSIGN_OR_RETURN(ChunkView view, ChunkView::Make(blob));
+  return view.Get(layout_.CoordsToOffset(coords));
+}
+
+Status ChunkedArray::RewriteChunk(uint64_t chunk_no, const std::string& blob,
+                                  uint32_t new_valid) {
+  PARADISE_ASSIGN_OR_RETURN(std::string old_data,
+                            storage_->objects()->Read(data_oid_));
+  std::string new_data;
+  new_data.reserve(old_data.size() + blob.size());
+  for (uint64_t c = 0; c < directory_.size(); ++c) {
+    ChunkInfo& info = directory_[c];
+    if (c == chunk_no) {
+      info = ChunkInfo{new_data.size(), blob.size(), new_valid};
+      new_data.append(blob);
+      continue;
+    }
+    if (info.num_valid == 0) continue;
+    const uint64_t offset = new_data.size();
+    new_data.append(old_data, info.offset, info.bytes);
+    info.offset = offset;
+  }
+  return storage_->objects()->Overwrite(data_oid_, new_data);
+}
+
+Status ChunkedArray::PutCell(const CellCoords& coords, int64_t value) {
+  const uint64_t chunk_no = layout_.CoordsToChunk(coords);
+  PARADISE_ASSIGN_OR_RETURN(Chunk chunk, ReadChunk(chunk_no));
+  PARADISE_RETURN_IF_ERROR(chunk.Put(layout_.CoordsToOffset(coords), value));
+  return RewriteChunk(chunk_no, chunk.Serialize(options_.chunk_format),
+                      chunk.num_valid());
+}
+
+Status ChunkedArray::EraseCell(const CellCoords& coords) {
+  const uint64_t chunk_no = layout_.CoordsToChunk(coords);
+  if (ChunkIsEmpty(chunk_no)) return Status::OK();
+  PARADISE_ASSIGN_OR_RETURN(Chunk chunk, ReadChunk(chunk_no));
+  chunk.Erase(layout_.CoordsToOffset(coords));
+  if (chunk.empty()) return RewriteChunk(chunk_no, std::string(), 0);
+  return RewriteChunk(chunk_no, chunk.Serialize(options_.chunk_format),
+                      chunk.num_valid());
+}
+
+uint64_t ChunkedArray::num_valid_cells() const {
+  uint64_t n = 0;
+  for (const ChunkInfo& info : directory_) n += info.num_valid;
+  return n;
+}
+
+uint64_t ChunkedArray::TotalDataBytes() const {
+  uint64_t n = 0;
+  for (const ChunkInfo& info : directory_) {
+    if (info.num_valid > 0) n += info.bytes;
+  }
+  return n;
+}
+
+Result<uint64_t> ChunkedArray::TotalPages() const {
+  PARADISE_ASSIGN_OR_RETURN(uint64_t meta_pages,
+                            storage_->objects()->PageFootprint(meta_oid_));
+  PARADISE_ASSIGN_OR_RETURN(uint64_t data_pages,
+                            storage_->objects()->PageFootprint(data_oid_));
+  return meta_pages + data_pages;
+}
+
+Status ChunkedArray::Sync() {
+  return storage_->objects()->Overwrite(meta_oid_, SerializeMeta());
+}
+
+}  // namespace paradise

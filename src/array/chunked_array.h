@@ -1,0 +1,166 @@
+// ChunkedArray: a persistent tiled n-dimensional array of int64 cells.
+// All chunk blobs are packed back-to-back, in chunk-number order, inside ONE
+// large object (the "data file"); a directory of per-chunk byte offsets and
+// lengths lives in the array's meta object — exactly the paper's layout:
+// "we use some meta data to hold the OID and the length of each chunk and
+// store the meta data at the beginning of the data file" (§3.3). Packing
+// means a full-array scan reads only ceil(data/page_size) pages, which is
+// what makes the compressed array's scan cheaper than the fact file's.
+//
+// The array is optimized for bulk load + read (the paper's workload); point
+// updates (PutCell/EraseCell) rewrite the packed data object and are O(array
+// size).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "array/chunk.h"
+#include "array/chunk_layout.h"
+#include "common/options.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/storage_manager.h"
+
+namespace paradise {
+
+class ChunkedArray {
+ public:
+  /// Accumulates cells in memory grouped by chunk, then packs every
+  /// non-empty chunk in chunk-number order into the data object (so chunk
+  /// order matches byte/physical order, as §4.2's optimizations assume) and
+  /// writes the meta object.
+  class Builder {
+   public:
+    Builder(StorageManager* storage, ChunkLayout layout, ArrayOptions options)
+        : storage_(storage),
+          layout_(std::move(layout)),
+          options_(options) {}
+
+    /// Sets the cell at `coords` (last write wins).
+    Status Put(const CellCoords& coords, int64_t value);
+
+    /// Sets the cell at a row-major global index.
+    Status PutGlobal(uint64_t global_index, int64_t value);
+
+    /// Writes data + meta and opens the resulting array.
+    Result<ChunkedArray> Finish();
+
+   private:
+    StorageManager* storage_;
+    ChunkLayout layout_;
+    ArrayOptions options_;
+    std::map<uint64_t, Chunk> chunks_;
+  };
+
+  ChunkedArray() = default;
+
+  /// Opens an array from its meta object id.
+  static Result<ChunkedArray> Open(StorageManager* storage, ObjectId meta);
+
+  const ChunkLayout& layout() const { return layout_; }
+  const ArrayOptions& options() const { return options_; }
+  ObjectId meta_oid() const { return meta_oid_; }
+
+  /// Value of one cell, or nullopt if invalid. Reads only the pages of the
+  /// containing chunk.
+  Result<std::optional<int64_t>> GetCell(const CellCoords& coords) const;
+
+  /// Writes one cell. Rewrites the packed data object; call Sync() after a
+  /// batch of updates to persist the directory.
+  Status PutCell(const CellCoords& coords, int64_t value);
+
+  /// Marks one cell invalid.
+  Status EraseCell(const CellCoords& coords);
+
+  /// Reads one chunk's raw serialized bytes (empty string for an empty
+  /// chunk). Pair with ChunkView for zero-copy probing.
+  Result<std::string> ReadChunkBlob(uint64_t chunk_no) const;
+
+  /// Reads and materializes one chunk.
+  Result<Chunk> ReadChunk(uint64_t chunk_no) const;
+
+  /// True if the chunk has no valid cells (directory lookup only).
+  bool ChunkIsEmpty(uint64_t chunk_no) const {
+    return directory_[chunk_no].num_valid == 0;
+  }
+
+  /// Valid-cell count of a chunk without reading it.
+  uint32_t ChunkValidCount(uint64_t chunk_no) const {
+    return directory_[chunk_no].num_valid;
+  }
+
+  /// Invokes `fn(chunk_no, const Chunk&)` for every non-empty chunk in
+  /// chunk-number order.
+  template <typename Fn>
+  Status ScanChunks(Fn&& fn) const {
+    for (uint64_t c = 0; c < layout_.num_chunks(); ++c) {
+      if (ChunkIsEmpty(c)) continue;
+      PARADISE_ASSIGN_OR_RETURN(Chunk chunk, ReadChunk(c));
+      PARADISE_RETURN_IF_ERROR(fn(c, chunk));
+    }
+    return Status::OK();
+  }
+
+  /// Invokes `fn(chunk_no, const ChunkView&)` for every non-empty chunk in
+  /// chunk-number order — the scan path the consolidation algorithm uses
+  /// (no per-chunk materialization).
+  template <typename Fn>
+  Status ScanChunkViews(Fn&& fn) const {
+    for (uint64_t c = 0; c < layout_.num_chunks(); ++c) {
+      if (ChunkIsEmpty(c)) continue;
+      PARADISE_ASSIGN_OR_RETURN(std::string blob, ReadChunkBlob(c));
+      PARADISE_ASSIGN_OR_RETURN(ChunkView view, ChunkView::Make(blob));
+      PARADISE_RETURN_IF_ERROR(fn(c, view));
+    }
+    return Status::OK();
+  }
+
+  /// Total valid cells across all chunks.
+  uint64_t num_valid_cells() const;
+
+  /// Sum of serialized chunk byte lengths — the compressed array size the
+  /// paper compares against the fact-file size (§5.5.1).
+  uint64_t TotalDataBytes() const;
+
+  /// Pages occupied by the data object and the meta object.
+  Result<uint64_t> TotalPages() const;
+
+  /// Persists the chunk directory to the meta object.
+  Status Sync();
+
+ private:
+  struct ChunkInfo {
+    uint64_t offset = 0;  // byte offset within the data object
+    uint64_t bytes = 0;
+    uint32_t num_valid = 0;
+  };
+
+  ChunkedArray(StorageManager* storage, ObjectId meta, ObjectId data,
+               ChunkLayout layout, ArrayOptions options,
+               std::vector<ChunkInfo> directory)
+      : storage_(storage),
+        meta_oid_(meta),
+        data_oid_(data),
+        layout_(std::move(layout)),
+        options_(options),
+        directory_(std::move(directory)) {}
+
+  std::string SerializeMeta() const;
+
+  /// Replaces chunk `chunk_no` with `blob` (possibly empty), rewriting the
+  /// packed data object and re-basing directory offsets.
+  Status RewriteChunk(uint64_t chunk_no, const std::string& blob,
+                      uint32_t new_valid);
+
+  StorageManager* storage_ = nullptr;
+  ObjectId meta_oid_ = kInvalidObjectId;
+  ObjectId data_oid_ = kInvalidObjectId;
+  ChunkLayout layout_;
+  ArrayOptions options_;
+  std::vector<ChunkInfo> directory_;
+};
+
+}  // namespace paradise

@@ -1,0 +1,41 @@
+// Little-endian fixed-width encode/decode helpers for on-disk structures
+// (page headers, chunk directories, B-tree nodes). memcpy-based so they are
+// alignment-safe and well-defined.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+namespace paradise {
+
+inline void EncodeFixed32(char* dst, uint32_t value) {
+  std::memcpy(dst, &value, sizeof(value));
+}
+
+inline void EncodeFixed64(char* dst, uint64_t value) {
+  std::memcpy(dst, &value, sizeof(value));
+}
+
+inline uint32_t DecodeFixed32(const char* src) {
+  uint32_t value;
+  std::memcpy(&value, src, sizeof(value));
+  return value;
+}
+
+inline uint64_t DecodeFixed64(const char* src) {
+  uint64_t value;
+  std::memcpy(&value, src, sizeof(value));
+  return value;
+}
+
+inline void EncodeFixed16(char* dst, uint16_t value) {
+  std::memcpy(dst, &value, sizeof(value));
+}
+
+inline uint16_t DecodeFixed16(const char* src) {
+  uint16_t value;
+  std::memcpy(&value, src, sizeof(value));
+  return value;
+}
+
+}  // namespace paradise

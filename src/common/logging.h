@@ -1,0 +1,31 @@
+// Minimal leveled logging to stderr. Quiet by default so tests and benches
+// stay clean; benches raise the level when diagnosing.
+#pragma once
+
+#include <string>
+
+namespace paradise {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Sets the global minimum level that is emitted. Default: kWarn.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Emits `message` at `level` if it passes the global threshold.
+void Log(LogLevel level, const std::string& message);
+
+}  // namespace paradise
+
+#define PARADISE_LOG_DEBUG(msg) \
+  ::paradise::Log(::paradise::LogLevel::kDebug, (msg))
+#define PARADISE_LOG_INFO(msg) ::paradise::Log(::paradise::LogLevel::kInfo, (msg))
+#define PARADISE_LOG_WARN(msg) ::paradise::Log(::paradise::LogLevel::kWarn, (msg))
+#define PARADISE_LOG_ERROR(msg) \
+  ::paradise::Log(::paradise::LogLevel::kError, (msg))

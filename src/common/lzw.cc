@@ -1,0 +1,146 @@
+#include "common/lzw.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/coding.h"
+
+namespace paradise {
+
+namespace {
+// Code space: [0,256) literal bytes, 256 = dictionary reset, [257, 65536)
+// learned sequences.
+constexpr uint32_t kResetCode = 256;
+constexpr uint32_t kFirstCode = 257;
+constexpr uint32_t kMaxCodes = 65536;
+
+void EmitCode(std::string* out, uint32_t code) {
+  char buf[2];
+  EncodeFixed16(buf, static_cast<uint16_t>(code));
+  out->append(buf, 2);
+}
+}  // namespace
+
+std::string LzwCompress(std::string_view input) {
+  std::string out;
+  out.resize(4);
+  EncodeFixed32(out.data(), static_cast<uint32_t>(input.size()));
+  if (input.empty()) return out;
+
+  // Dictionary: (prefix code << 8 | next byte) -> code.
+  std::unordered_map<uint64_t, uint32_t> dict;
+  dict.reserve(kMaxCodes);
+  uint32_t next_code = kFirstCode;
+
+  uint32_t current = static_cast<uint8_t>(input[0]);
+  for (size_t i = 1; i < input.size(); ++i) {
+    const uint8_t byte = static_cast<uint8_t>(input[i]);
+    const uint64_t key = (static_cast<uint64_t>(current) << 8) | byte;
+    auto it = dict.find(key);
+    if (it != dict.end()) {
+      current = it->second;
+      continue;
+    }
+    EmitCode(&out, current);
+    if (next_code < kMaxCodes) {
+      dict.emplace(key, next_code++);
+    } else {
+      EmitCode(&out, kResetCode);
+      dict.clear();
+      next_code = kFirstCode;
+    }
+    current = byte;
+  }
+  EmitCode(&out, current);
+  return out;
+}
+
+Result<std::string> LzwDecompress(std::string_view compressed) {
+  if (compressed.size() < 4 || (compressed.size() - 4) % 2 != 0) {
+    return Status::Corruption("malformed LZW stream");
+  }
+  const uint32_t expected = DecodeFixed32(compressed.data());
+  std::string out;
+  // Don't trust the header for the reservation: a corrupt length must not
+  // drive a huge allocation. The final size check still enforces it.
+  out.reserve(std::min<size_t>(expected, compressed.size() * 16));
+  if (expected == 0) {
+    if (compressed.size() != 4) {
+      return Status::Corruption("trailing bytes in empty LZW stream");
+    }
+    return out;
+  }
+
+  // Dictionary: code -> (prefix code, first byte, last byte); literals are
+  // implicit. Strings are reconstructed by walking prefixes.
+  struct Entry {
+    uint32_t prefix;
+    uint8_t last;
+  };
+  std::vector<Entry> dict;
+  dict.reserve(kMaxCodes - kFirstCode);
+  uint32_t next_code = kFirstCode;
+
+  auto append_string = [&](uint32_t code, std::string* dst) -> Status {
+    // Walk the prefix chain, then reverse the emitted run.
+    const size_t start = dst->size();
+    while (code >= kFirstCode) {
+      const Entry& e = dict[code - kFirstCode];
+      dst->push_back(static_cast<char>(e.last));
+      code = e.prefix;
+    }
+    if (code >= 256) return Status::Corruption("bad LZW code chain");
+    dst->push_back(static_cast<char>(code));
+    std::reverse(dst->begin() + static_cast<ptrdiff_t>(start), dst->end());
+    return Status::OK();
+  };
+  auto first_byte = [&](uint32_t code) -> uint8_t {
+    while (code >= kFirstCode) code = dict[code - kFirstCode].prefix;
+    return static_cast<uint8_t>(code);
+  };
+
+  const size_t num_codes = (compressed.size() - 4) / 2;
+  uint32_t prev = UINT32_MAX;
+  for (size_t i = 0; i < num_codes; ++i) {
+    const uint32_t code = DecodeFixed16(compressed.data() + 4 + i * 2);
+    if (code == kResetCode) {
+      dict.clear();
+      next_code = kFirstCode;
+      prev = UINT32_MAX;
+      continue;
+    }
+    if (prev == UINT32_MAX) {
+      if (code >= 256) return Status::Corruption("LZW stream starts mid-run");
+      out.push_back(static_cast<char>(code));
+      prev = code;
+      continue;
+    }
+    if (code < kFirstCode + dict.size()) {
+      // Known code: emit it, learn prev + first(code).
+      PARADISE_RETURN_IF_ERROR(append_string(code, &out));
+      if (next_code < kMaxCodes) {
+        dict.push_back(Entry{prev, first_byte(code)});
+        ++next_code;
+      }
+    } else if (code == kFirstCode + dict.size() && next_code < kMaxCodes) {
+      // KwKwK: the code being defined right now.
+      const uint8_t fb = first_byte(prev);
+      dict.push_back(Entry{prev, fb});
+      ++next_code;
+      PARADISE_RETURN_IF_ERROR(append_string(code, &out));
+    } else {
+      return Status::Corruption("LZW code beyond dictionary");
+    }
+    prev = code;
+  }
+  if (out.size() != expected) {
+    return Status::Corruption("LZW length mismatch: got " +
+                              std::to_string(out.size()) + ", expected " +
+                              std::to_string(expected));
+  }
+  return out;
+}
+
+}  // namespace paradise

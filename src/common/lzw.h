@@ -1,0 +1,26 @@
+// LZW codec [Wel84] — the generic tile compression the Paradise array type
+// used before the OLAP Array ADT replaced it with chunk-offset compression
+// (paper §3.1: "The OLAP Array ADT does not use LZW compression, and uses
+// instead a compression method that is specific to arrays"). Implemented
+// here so the ablation benches can quantify that design choice.
+//
+// Encoding: fixed 16-bit codes, dictionary seeded with all 256 single
+// bytes, grown to 65 536 entries and then reset (emitting a reserved reset
+// code), classic KwKwK handling on decode.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace paradise {
+
+/// Compresses `input`. Output begins with a fixed32 of the input length.
+std::string LzwCompress(std::string_view input);
+
+/// Inverse of LzwCompress. Fails with Corruption on malformed input.
+Result<std::string> LzwDecompress(std::string_view compressed);
+
+}  // namespace paradise

@@ -1,0 +1,56 @@
+#include "common/options.h"
+
+namespace paradise {
+
+namespace {
+bool IsPowerOfTwo(size_t v) { return v != 0 && (v & (v - 1)) == 0; }
+}  // namespace
+
+Status StorageOptions::Validate() const {
+  if (page_size < 512 || !IsPowerOfTwo(page_size)) {
+    return Status::InvalidArgument(
+        "page_size must be a power of two >= 512, got " +
+        std::to_string(page_size));
+  }
+  if (buffer_pool_pages < 8) {
+    return Status::InvalidArgument("buffer_pool_pages must be >= 8, got " +
+                                   std::to_string(buffer_pool_pages));
+  }
+  if (pages_per_extent == 0) {
+    return Status::InvalidArgument("pages_per_extent must be > 0");
+  }
+  return Status::OK();
+}
+
+std::string_view EvictionPolicyToString(EvictionPolicy policy) {
+  switch (policy) {
+    case EvictionPolicy::kClock:
+      return "clock";
+    case EvictionPolicy::kLru:
+      return "lru";
+  }
+  return "unknown";
+}
+
+std::string_view ChunkFormatToString(ChunkFormat format) {
+  switch (format) {
+    case ChunkFormat::kDense:
+      return "dense";
+    case ChunkFormat::kOffsetCompressed:
+      return "offset-compressed";
+    case ChunkFormat::kAuto:
+      return "auto";
+    case ChunkFormat::kLzwDense:
+      return "lzw-dense";
+  }
+  return "unknown";
+}
+
+Status ArrayOptions::Validate() const {
+  if (default_chunk_extent == 0) {
+    return Status::InvalidArgument("default_chunk_extent must be > 0");
+  }
+  return Status::OK();
+}
+
+}  // namespace paradise

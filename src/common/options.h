@@ -1,0 +1,75 @@
+// Tunable knobs for the storage manager and the OLAP array, gathered in
+// options structs (RocksDB idiom) so tests and benches can sweep them.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace paradise {
+
+/// Buffer-pool victim selection policy.
+enum class EvictionPolicy : uint8_t {
+  /// Second-chance clock (default; what most systems of the paper's era ran).
+  kClock = 0,
+  /// Exact least-recently-used (O(frames) victim scan; ablation).
+  kLru = 1,
+};
+
+std::string_view EvictionPolicyToString(EvictionPolicy policy);
+
+/// Storage-manager configuration.
+struct StorageOptions {
+  /// Size of one disk page in bytes. Must be a power of two >= 512.
+  size_t page_size = 8192;
+
+  /// Buffer-pool replacement policy.
+  EvictionPolicy eviction = EvictionPolicy::kClock;
+
+  /// Buffer-pool capacity in pages. The paper's Paradise runs used a 16 MB
+  /// pool; 2048 8 KiB pages matches that default.
+  size_t buffer_pool_pages = 2048;
+
+  /// Pages per extent for extent-based files (the fact file).
+  size_t pages_per_extent = 32;
+
+  /// If true, CreateDatabase() truncates an existing file.
+  bool allow_overwrite = false;
+
+  /// Validates the option values.
+  Status Validate() const;
+};
+
+/// Per-chunk physical format of the OLAP array.
+enum class ChunkFormat : uint8_t {
+  /// All cells materialized; invalid cells hold the sentinel.
+  kDense = 0,
+  /// Chunk-offset compression (paper §3.3): sorted (offset, value) pairs for
+  /// valid cells only.
+  kOffsetCompressed = 1,
+  /// Pick per chunk whichever of the above serializes smaller.
+  kAuto = 2,
+  /// LZW-compressed dense chunk — the generic Paradise tile compression the
+  /// OLAP ADT replaced (paper §3.1); kept as an ablation.
+  kLzwDense = 3,
+};
+
+std::string_view ChunkFormatToString(ChunkFormat format);
+
+/// OLAP-array configuration.
+struct ArrayOptions {
+  /// Storage format for chunks. The paper always uses offset compression;
+  /// kAuto is our ablation (DESIGN.md §4.3).
+  ChunkFormat chunk_format = ChunkFormat::kOffsetCompressed;
+
+  /// Chunk side length used for every dimension when the caller does not
+  /// give explicit per-dimension chunk extents. The paper keeps chunk
+  /// dimensions constant across array sizes (§5.5.1).
+  uint32_t default_chunk_extent = 10;
+
+  Status Validate() const;
+};
+
+}  // namespace paradise

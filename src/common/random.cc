@@ -1,0 +1,82 @@
+#include "common/random.h"
+
+#include <cassert>
+
+namespace paradise {
+
+namespace {
+// SplitMix64, used to expand the seed into the xoshiro state.
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Random::Random(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+}
+
+uint64_t Random::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Random::Uniform(uint64_t n) {
+  assert(n > 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = -n % n;
+  for (;;) {
+    const uint64_t r = Next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+int64_t Random::UniformRange(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  const uint64_t span = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo);
+  if (span == UINT64_MAX) return static_cast<int64_t>(Next());
+  return lo + static_cast<int64_t>(Uniform(span + 1));
+}
+
+double Random::NextDouble() {
+  // 53 top bits -> [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Random::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+std::vector<uint64_t> SampleSortedDistinct(uint64_t population, uint64_t count,
+                                           Random* rng) {
+  assert(count <= population);
+  std::vector<uint64_t> out;
+  out.reserve(count);
+  uint64_t remaining_needed = count;
+  for (uint64_t i = 0; i < population && remaining_needed > 0; ++i) {
+    const uint64_t remaining_population = population - i;
+    // P(select i) = needed / remaining — yields exactly `count` picks,
+    // uniformly over all subsets, emitted in increasing order.
+    if (rng->Uniform(remaining_population) < remaining_needed) {
+      out.push_back(i);
+      --remaining_needed;
+    }
+  }
+  return out;
+}
+
+}  // namespace paradise

@@ -1,0 +1,44 @@
+// Deterministic pseudo-random utilities used by the data generator and the
+// property tests. A small xoshiro256** core keeps generation reproducible
+// across standard libraries (std::mt19937 streams are portable, but the
+// distributions are not).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace paradise {
+
+/// Reproducible 64-bit PRNG (xoshiro256**).
+class Random {
+ public:
+  /// Seeds the generator; the same seed always yields the same stream.
+  explicit Random(uint64_t seed);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform in [0, n). Requires n > 0.
+  uint64_t Uniform(uint64_t n);
+
+  /// Uniform in [lo, hi]. Requires lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Draws exactly `count` distinct values from [0, population), returned in
+/// increasing order, via sequential selection sampling (Vitter's Method S).
+/// Runs in O(population) time and O(count) space; used to pick the valid
+/// cells of a synthetic array at an exact density.
+std::vector<uint64_t> SampleSortedDistinct(uint64_t population, uint64_t count,
+                                           Random* rng);
+
+}  // namespace paradise

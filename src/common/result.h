@@ -1,0 +1,73 @@
+// Result<T>: value-or-Status, the library's return type for fallible
+// functions that produce a value (Arrow's arrow::Result idiom).
+#pragma once
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace paradise {
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /// Constructs from a value (implicit so `return value;` works).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from a non-OK status (implicit so
+  /// `return Status::NotFound(...)` works).
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(repr_).ok() &&
+           "Result must not be constructed from an OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The status: OK() if a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// Access the held value. Requires ok().
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this holds an error.
+  T value_or(T fallback) const& { return ok() ? value() : fallback; }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace paradise
+
+// Assigns the value of a Result expression to `lhs`, or propagates its error.
+// Usage: PARADISE_ASSIGN_OR_RETURN(auto page, pool.Fetch(id));
+#define PARADISE_ASSIGN_OR_RETURN(lhs, rexpr)                         \
+  PARADISE_ASSIGN_OR_RETURN_IMPL(                                     \
+      PARADISE_RESULT_CONCAT(_result_tmp_, __LINE__), lhs, rexpr)
+
+#define PARADISE_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                   \
+  if (!tmp.ok()) return tmp.status();                   \
+  lhs = std::move(tmp).value()
+
+#define PARADISE_RESULT_CONCAT_INNER(a, b) a##b
+#define PARADISE_RESULT_CONCAT(a, b) PARADISE_RESULT_CONCAT_INNER(a, b)

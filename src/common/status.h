@@ -1,0 +1,127 @@
+// Status: error-code-plus-message return type used by every fallible API in
+// the library. Modeled on the RocksDB/Arrow idiom: no exceptions cross a
+// public boundary; callers either propagate (PARADISE_RETURN_IF_ERROR) or
+// assert success (PARADISE_CHECK_OK).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace paradise {
+
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kIOError,
+  kCorruption,
+  kNotSupported,
+  kOutOfRange,
+  kResourceExhausted,
+  kInternal,
+};
+
+/// Returns a human-readable name for a status code ("OK", "IOError", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+class [[nodiscard]] Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  /// Prepends context to the message of a non-OK status; no-op on OK.
+  Status WithContext(std::string_view context) const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+}  // namespace paradise
+
+// Propagates a non-OK Status out of the current function.
+#define PARADISE_RETURN_IF_ERROR(expr)                  \
+  do {                                                  \
+    ::paradise::Status _st = (expr);                    \
+    if (!_st.ok()) return _st;                          \
+  } while (0)
+
+// Aborts the process if the expression is not OK. For callers (tests,
+// benches, examples) where an error is a programming bug, never for the
+// library's own data-dependent failures.
+#define PARADISE_CHECK_OK(expr)                                        \
+  do {                                                                 \
+    ::paradise::Status _st = (expr);                                   \
+    if (!_st.ok()) {                                                   \
+      ::paradise::internal::CheckOkFailed(__FILE__, __LINE__, _st);    \
+    }                                                                  \
+  } while (0)
+
+namespace paradise::internal {
+[[noreturn]] void CheckOkFailed(const char* file, int line, const Status& s);
+}  // namespace paradise::internal

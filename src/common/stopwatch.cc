@@ -1,0 +1,4 @@
+#include "common/stopwatch.h"
+
+// Header-only in practice; this TU anchors the component in the build so a
+// future out-of-line addition does not touch the build files.

@@ -1,0 +1,80 @@
+// Wall-clock timing helpers for the benchmark harness and the per-phase
+// breakdowns the paper reports (§5.5.1 separates scan and aggregation cost).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace paradise {
+
+/// Simple monotonic stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts timing from now.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or last Reset, in microseconds.
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedMicros()) * 1e-6;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates named phase timings (e.g. "scan", "aggregate") so an
+/// algorithm can report where its time went.
+class PhaseTimer {
+ public:
+  /// Adds `micros` to the named phase.
+  void Add(const std::string& phase, int64_t micros) {
+    phases_[phase] += micros;
+  }
+
+  /// Total microseconds recorded for `phase` (0 if never recorded).
+  int64_t Micros(const std::string& phase) const {
+    auto it = phases_.find(phase);
+    return it == phases_.end() ? 0 : it->second;
+  }
+
+  double Seconds(const std::string& phase) const {
+    return static_cast<double>(Micros(phase)) * 1e-6;
+  }
+
+  const std::map<std::string, int64_t>& phases() const { return phases_; }
+
+  void Clear() { phases_.clear(); }
+
+ private:
+  std::map<std::string, int64_t> phases_;
+};
+
+/// RAII guard adding the scope's duration to a PhaseTimer on destruction.
+class ScopedPhase {
+ public:
+  ScopedPhase(PhaseTimer* timer, std::string phase)
+      : timer_(timer), phase_(std::move(phase)) {}
+  ~ScopedPhase() {
+    if (timer_ != nullptr) timer_->Add(phase_, watch_.ElapsedMicros());
+  }
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  PhaseTimer* timer_;
+  std::string phase_;
+  Stopwatch watch_;
+};
+
+}  // namespace paradise

@@ -1,0 +1,44 @@
+// GroupSpec: the shape of a consolidation's result array — which dimensions
+// are grouped, at which hierarchy level, the level cardinalities, and the
+// row-major strides of the flat result array the array engine aggregates
+// into position-based (paper §4.1: "each element of the result array is a
+// 'group'").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/olap_array.h"
+#include "query/query.h"
+#include "query/result.h"
+
+namespace paradise {
+
+struct GroupSpec {
+  std::vector<size_t> grouped_dims;   // dimensions with a group-by, in order
+  std::vector<size_t> group_cols;     // grouped attribute column per entry
+  std::vector<int32_t> cardinalities; // level cardinality per entry
+  std::vector<uint64_t> strides;      // row-major strides into the flat array
+  uint64_t num_groups = 1;            // product of cardinalities
+
+  /// Derives the spec from a validated query against `array`.
+  static Result<GroupSpec> Make(const OlapArray& array,
+                                const query::ConsolidationQuery& q);
+
+  /// "<dim>.<attr>" labels for the result columns.
+  std::vector<std::string> GroupColumnNames(const OlapArray& array) const;
+
+  /// Decodes a flat result index back into group codes.
+  std::vector<int32_t> Decode(uint64_t flat) const;
+};
+
+/// Turns the flat result array into a canonical GroupedResult, dropping
+/// empty groups (cells no input mapped to).
+query::GroupedResult FlatToGroupedResult(const GroupSpec& spec,
+                                         const std::vector<query::AggState>& flat,
+                                         std::vector<std::string> columns);
+
+}  // namespace paradise

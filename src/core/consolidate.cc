@@ -1,0 +1,241 @@
+#include "core/consolidate.h"
+
+#include "core/aggregate.h"
+#include "core/aggregate_registry.h"
+
+namespace paradise {
+
+namespace {
+
+/// Per-chunk lookup tables: for each grouped dimension, the flat-index
+/// contribution of every local coordinate — the "series of array lookups
+/// (one for each dimension) and a sum" of §5.5.1.
+struct ChunkGroupTables {
+  // contribution[g][local] = i2i(level code at base+local) * result stride
+  std::vector<std::vector<uint64_t>> contribution;
+  // chunk_stride[g] / chunk_dim[g]: decode a chunk offset into the local
+  // coordinate of grouped dimension g.
+  std::vector<uint32_t> chunk_stride;
+  std::vector<uint32_t> chunk_dim;
+};
+
+ChunkGroupTables BuildChunkTables(const OlapArray& array,
+                                  const GroupSpec& spec, uint64_t chunk_no) {
+  const ChunkLayout& layout = array.layout();
+  const CellCoords base = layout.ChunkBase(chunk_no);
+  const CellCoords cdims = layout.ChunkDims(chunk_no);
+  const size_t n = layout.num_dims();
+
+  // Row-major strides of the chunk's local coordinate space.
+  std::vector<uint32_t> strides(n);
+  uint32_t s = 1;
+  for (size_t i = n; i > 0; --i) {
+    strides[i - 1] = s;
+    s *= cdims[i - 1];
+  }
+
+  ChunkGroupTables tables;
+  tables.contribution.resize(spec.grouped_dims.size());
+  tables.chunk_stride.resize(spec.grouped_dims.size());
+  tables.chunk_dim.resize(spec.grouped_dims.size());
+  for (size_t g = 0; g < spec.grouped_dims.size(); ++g) {
+    const size_t d = spec.grouped_dims[g];
+    const IndexToIndexArray& i2i = array.i2i(d);
+    tables.chunk_stride[g] = strides[d];
+    tables.chunk_dim[g] = cdims[d];
+    std::vector<uint64_t>& contrib = tables.contribution[g];
+    contrib.resize(cdims[d]);
+    for (uint32_t local = 0; local < cdims[d]; ++local) {
+      contrib[local] =
+          static_cast<uint64_t>(
+              i2i.Map(spec.group_cols[g], base[d] + local)) *
+          spec.strides[g];
+    }
+  }
+  return tables;
+}
+
+}  // namespace
+
+Result<query::GroupedResult> ArrayConsolidate(const OlapArray& array,
+                                              const query::ConsolidationQuery& q,
+                                              PhaseTimer* timer,
+                                              ArrayConsolidateStats* stats) {
+  if (q.HasSelection()) {
+    return Status::InvalidArgument(
+        "ArrayConsolidate handles no-selection queries; use "
+        "ArrayConsolidateWithSelection");
+  }
+  GroupSpec spec;
+  {
+    ScopedPhase phase(timer, "prepare");
+    PARADISE_ASSIGN_OR_RETURN(spec, GroupSpec::Make(array, q));
+  }
+
+  std::vector<query::AggState> flat(spec.num_groups);
+  {
+    ScopedPhase phase(timer, "scan+aggregate");
+    PARADISE_RETURN_IF_ERROR(array.array(q.measure).ScanChunkViews(
+        [&](uint64_t chunk_no, const ChunkView& view) -> Status {
+          const ChunkGroupTables tables =
+              BuildChunkTables(array, spec, chunk_no);
+          const size_t groups = tables.contribution.size();
+          view.ForEach([&](uint32_t offset, int64_t value) {
+            uint64_t flat_idx = 0;
+            for (size_t g = 0; g < groups; ++g) {
+              const uint32_t local =
+                  (offset / tables.chunk_stride[g]) % tables.chunk_dim[g];
+              flat_idx += tables.contribution[g][local];
+            }
+            flat[flat_idx].Add(value);
+          });
+          if (stats != nullptr) {
+            ++stats->chunks_read;
+            stats->cells_scanned += view.num_valid();
+          }
+          return Status::OK();
+        }));
+  }
+
+  {
+    ScopedPhase phase(timer, "emit");
+    return FlatToGroupedResult(spec, flat, spec.GroupColumnNames(array));
+  }
+}
+
+Result<ChunkedArray> MaterializeConsolidation(
+    StorageManager* storage, const OlapArray& array,
+    const query::ConsolidationQuery& q, const ArrayOptions& options) {
+  PARADISE_ASSIGN_OR_RETURN(query::GroupedResult result,
+                            ArrayConsolidate(array, q));
+  PARADISE_ASSIGN_OR_RETURN(GroupSpec spec, GroupSpec::Make(array, q));
+  if (spec.grouped_dims.empty()) {
+    return Status::InvalidArgument(
+        "cannot materialize a fully-collapsed consolidation as an array");
+  }
+  std::vector<uint32_t> dims;
+  std::vector<uint32_t> extents;
+  for (int32_t c : spec.cardinalities) {
+    dims.push_back(static_cast<uint32_t>(c));
+    extents.push_back(std::max<uint32_t>(
+        1, std::min<uint32_t>(static_cast<uint32_t>(c),
+                              options.default_chunk_extent)));
+  }
+  PARADISE_ASSIGN_OR_RETURN(ChunkLayout layout,
+                            ChunkLayout::Make(dims, extents));
+  ChunkedArray::Builder builder(storage, layout, options);
+  for (const query::ResultRow& row : result.rows()) {
+    CellCoords coords(row.group.size());
+    for (size_t i = 0; i < row.group.size(); ++i) {
+      coords[i] = static_cast<uint32_t>(row.group[i]);
+    }
+    PARADISE_RETURN_IF_ERROR(builder.Put(coords, row.agg.sum));
+  }
+  return builder.Finish();
+}
+
+Result<OlapArray> ConsolidateToOlapArray(
+    StorageManager* storage, const OlapArray& array,
+    const std::vector<const DimensionTable*>& dims,
+    const query::ConsolidationQuery& q, const std::string& name,
+    const ArrayOptions& options) {
+  if (dims.size() != array.num_dims()) {
+    return Status::InvalidArgument("dimension table count mismatch");
+  }
+  PARADISE_ASSIGN_OR_RETURN(GroupSpec spec, GroupSpec::Make(array, q));
+  if (spec.grouped_dims.empty()) {
+    return Status::InvalidArgument(
+        "cannot materialize a fully-collapsed consolidation as an ADT");
+  }
+  PARADISE_ASSIGN_OR_RETURN(query::GroupedResult result,
+                            ArrayConsolidate(array, q));
+
+  // Phase 1 of §4.1: build the result dimension tables (and with them, via
+  // OlapArray::Builder, the result B-trees). Result dimension g's member c
+  // is the grouped level's value c; its attributes are the grouped level and
+  // every coarser one, valued from the first base member mapping to c.
+  std::vector<DimensionTable> result_dims;
+  result_dims.reserve(spec.grouped_dims.size());
+  for (size_t g = 0; g < spec.grouped_dims.size(); ++g) {
+    const size_t d = spec.grouped_dims[g];
+    const size_t level = spec.group_cols[g];
+    const DimensionTable& source = *dims[d];
+    const IndexToIndexArray& i2i = array.i2i(d);
+    const size_t num_levels = i2i.num_levels();
+
+    std::vector<Column> columns;
+    columns.push_back(Column{source.schema().column(0).name,
+                             ColumnType::kInt32});
+    for (size_t l = level; l < num_levels; ++l) {
+      columns.push_back(source.schema().column(l));
+    }
+    PARADISE_ASSIGN_OR_RETURN(
+        DimensionTable table,
+        DimensionTable::Create(storage->pool(),
+                               source.name() + "@" +
+                                   source.schema().column(level).name,
+                               Schema(columns)));
+
+    // First base member per grouped-level code.
+    std::vector<int32_t> representative(
+        static_cast<size_t>(spec.cardinalities[g]), -1);
+    for (uint32_t base = 0; base < i2i.num_members(); ++base) {
+      const int32_t code = i2i.Map(level, base);
+      if (representative[code] < 0) {
+        representative[code] = static_cast<int32_t>(base);
+      }
+    }
+    const Schema table_schema = table.schema();
+    for (int32_t code = 0; code < spec.cardinalities[g]; ++code) {
+      if (representative[code] < 0) {
+        return Status::Internal("level code with no base member");
+      }
+      const auto base = static_cast<uint32_t>(representative[code]);
+      Tuple row(&table_schema);
+      row.SetInt32(0, code);
+      for (size_t l = level; l < num_levels; ++l) {
+        const int32_t lcode = i2i.Map(l, base);
+        PARADISE_ASSIGN_OR_RETURN(const AttributeDictionary* dict,
+                                  source.Dictionary(l));
+        PARADISE_RETURN_IF_ERROR(row.SetString(
+            1 + (l - level), dict->code_to_display[lcode]));
+      }
+      PARADISE_RETURN_IF_ERROR(table.Append(row));
+    }
+    PARADISE_RETURN_IF_ERROR(storage->SetRoot(
+        "dim." + name + "." + source.name(), table.first_page()));
+    result_dims.push_back(std::move(table));
+  }
+
+  // Phase 2: load the aggregated cells into the result ADT.
+  std::vector<const DimensionTable*> dim_ptrs;
+  dim_ptrs.reserve(result_dims.size());
+  for (const DimensionTable& t : result_dims) dim_ptrs.push_back(&t);
+  std::vector<uint32_t> extents;
+  for (int32_t c : spec.cardinalities) {
+    extents.push_back(std::max<uint32_t>(
+        1, std::min<uint32_t>(static_cast<uint32_t>(c),
+                              options.default_chunk_extent)));
+  }
+  OlapArray::Builder builder(storage, name, dim_ptrs, extents, options);
+  PARADISE_RETURN_IF_ERROR(builder.Init());
+  for (const query::ResultRow& row : result.rows()) {
+    PARADISE_RETURN_IF_ERROR(builder.PutByKeys(row.group, row.agg.sum));
+  }
+  PARADISE_ASSIGN_OR_RETURN(OlapArray out, builder.Finish());
+
+  // Record provenance so the aggregate can transparently answer later
+  // derivable queries (core/aggregate_registry.h).
+  AggregateProvenance provenance;
+  provenance.name = name;
+  provenance.base_cube = array.name();
+  provenance.measure = q.measure;
+  for (size_t g = 0; g < spec.grouped_dims.size(); ++g) {
+    provenance.grouped.push_back(
+        AggregateProvenance::Entry{spec.grouped_dims[g], spec.group_cols[g]});
+  }
+  PARADISE_RETURN_IF_ERROR(RegisterAggregate(storage, provenance));
+  return out;
+}
+
+}  // namespace paradise

@@ -1,0 +1,57 @@
+// The OLAP Array consolidation algorithm (paper §4.1): one scan of the
+// compressed array; each valid cell's indices are mapped through the
+// IndexToIndex arrays to locate its result cell, and the measure is
+// aggregated position-based into a flat in-memory result array (the fused
+// star-join + group-by + aggregate).
+#pragma once
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "core/olap_array.h"
+#include "query/query.h"
+#include "query/result.h"
+
+namespace paradise {
+
+struct ArrayConsolidateStats {
+  uint64_t chunks_read = 0;
+  uint64_t cells_scanned = 0;
+};
+
+/// Runs a no-selection consolidation. The result array (of AggStates) must
+/// fit in memory — the paper makes the same assumption and notes the
+/// chunk-by-chunk extension is straightforward (§4.1).
+Result<query::GroupedResult> ArrayConsolidate(
+    const OlapArray& array, const query::ConsolidationQuery& q,
+    PhaseTimer* timer = nullptr, ArrayConsolidateStats* stats = nullptr);
+
+/// Materializes a consolidation's output as a new persistent OlapArray-style
+/// chunked array. Grouped dimensions become the result dimensions at their
+/// level cardinalities; the cell value is the SUM of the group.
+Result<ChunkedArray> MaterializeConsolidation(
+    StorageManager* storage, const OlapArray& array,
+    const query::ConsolidationQuery& q, const ArrayOptions& options);
+
+/// The paper's full contract (§4.1): "the result of a consolidation
+/// operation on an instance of the OLAP Array ADT is another instance of the
+/// OLAP Array ADT", complete with its own dimension tables, B-trees and
+/// IndexToIndex arrays — so the result cube can be sliced, selected and
+/// rolled up further. Each grouped dimension becomes a result dimension
+/// whose members are the grouped level's values and whose attributes are the
+/// levels at and above the grouped level (assuming the usual functional
+/// dependency finer level → coarser level; with non-hierarchical data the
+/// coarser attribute of a member is taken from that member's first base
+/// element). `dims` are the source cube's dimension tables (they carry the
+/// display strings the new dimension tables need); the result is registered
+/// in the catalog under `name` and its dimension tables under
+/// "dim.<name>.<dim>".
+Result<OlapArray> ConsolidateToOlapArray(
+    StorageManager* storage, const OlapArray& array,
+    const std::vector<const DimensionTable*>& dims,
+    const query::ConsolidationQuery& q, const std::string& name,
+    const ArrayOptions& options);
+
+}  // namespace paradise

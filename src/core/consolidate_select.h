@@ -1,0 +1,38 @@
+// The OLAP Array consolidation-with-selection algorithm (paper §4.2): probe
+// the per-attribute B-trees for the selected values to get per-dimension
+// index lists, merge them, then enumerate the cross-product lazily in chunk
+// order — skipping chunks that cannot contain a selected cell — and probe
+// each candidate by binary search over the chunk's sorted offsets.
+#pragma once
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "core/olap_array.h"
+#include "query/query.h"
+#include "query/result.h"
+
+namespace paradise {
+
+struct ArraySelectStats {
+  uint64_t chunks_read = 0;
+  uint64_t chunks_skipped = 0;   // skipped without I/O (no overlap)
+  uint64_t candidates = 0;       // cross-product elements generated
+  uint64_t hits = 0;             // candidates that were valid cells
+};
+
+struct ArraySelectOptions {
+  /// §4.2 optimization 1: do not read chunks that overlap no cross-product
+  /// element. Off = read every non-empty chunk (ablation).
+  bool skip_non_overlapping_chunks = true;
+};
+
+/// Runs a consolidation with at least one selection.
+Result<query::GroupedResult> ArrayConsolidateWithSelection(
+    const OlapArray& array, const query::ConsolidationQuery& q,
+    PhaseTimer* timer = nullptr, ArraySelectStats* stats = nullptr,
+    const ArraySelectOptions& options = {});
+
+}  // namespace paradise

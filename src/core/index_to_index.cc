@@ -1,0 +1,77 @@
+#include "core/index_to_index.h"
+
+#include "common/coding.h"
+#include "relational/dimension_table.h"
+
+namespace paradise {
+
+Result<IndexToIndexArray> IndexToIndexArray::FromDimension(
+    const DimensionTable& dim) {
+  IndexToIndexArray out;
+  out.num_members_ = dim.num_rows();
+  const size_t levels = dim.schema().num_columns();
+  out.cardinalities_.resize(levels);
+  out.maps_.resize(levels);
+  out.cardinalities_[0] = static_cast<int32_t>(dim.num_rows());
+  for (size_t level = 1; level < levels; ++level) {
+    PARADISE_ASSIGN_OR_RETURN(out.maps_[level], dim.LevelMap(level));
+    PARADISE_ASSIGN_OR_RETURN(const AttributeDictionary* dict,
+                              dim.Dictionary(level));
+    out.cardinalities_[level] = dict->cardinality();
+  }
+  return out;
+}
+
+std::string IndexToIndexArray::Serialize() const {
+  std::string out;
+  char scratch[4];
+  EncodeFixed32(scratch, num_members_);
+  out.append(scratch, 4);
+  EncodeFixed32(scratch, static_cast<uint32_t>(cardinalities_.size()));
+  out.append(scratch, 4);
+  for (int32_t c : cardinalities_) {
+    EncodeFixed32(scratch, static_cast<uint32_t>(c));
+    out.append(scratch, 4);
+  }
+  for (size_t level = 1; level < maps_.size(); ++level) {
+    for (int32_t v : maps_[level]) {
+      EncodeFixed32(scratch, static_cast<uint32_t>(v));
+      out.append(scratch, 4);
+    }
+  }
+  return out;
+}
+
+Result<IndexToIndexArray> IndexToIndexArray::Deserialize(std::string_view data,
+                                                         size_t* consumed) {
+  if (data.size() < 8) return Status::Corruption("i2i blob too small");
+  IndexToIndexArray out;
+  out.num_members_ = DecodeFixed32(data.data());
+  const uint32_t levels = DecodeFixed32(data.data() + 4);
+  if (levels == 0) return Status::Corruption("i2i must have >= 1 level");
+  // Cheap plausibility bounds before the (overflow-prone) size product.
+  if (levels > data.size() || out.num_members_ > data.size()) {
+    return Status::Corruption("i2i header implausible for blob size");
+  }
+  const size_t need = 8 + static_cast<size_t>(levels) * 4 +
+                      static_cast<size_t>(levels - 1) * out.num_members_ * 4;
+  if (data.size() < need) return Status::Corruption("i2i blob truncated");
+  out.cardinalities_.resize(levels);
+  out.maps_.resize(levels);
+  const char* p = data.data() + 8;
+  for (uint32_t l = 0; l < levels; ++l) {
+    out.cardinalities_[l] = static_cast<int32_t>(DecodeFixed32(p));
+    p += 4;
+  }
+  for (uint32_t l = 1; l < levels; ++l) {
+    out.maps_[l].resize(out.num_members_);
+    for (uint32_t m = 0; m < out.num_members_; ++m) {
+      out.maps_[l][m] = static_cast<int32_t>(DecodeFixed32(p));
+      p += 4;
+    }
+  }
+  if (consumed != nullptr) *consumed = need;
+  return out;
+}
+
+}  // namespace paradise

@@ -1,0 +1,62 @@
+// IndexToIndexArray (paper §3.4): for one dimension, the map from the base
+// array index (row position of the member in its dimension table) to the
+// dense index of that member's ancestor at each hierarchy level — "the array
+// equivalent of the hierarchy information in the dimension table". Level l
+// corresponds to attribute column l of the dimension schema (column 0, the
+// key, is the identity level).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace paradise {
+
+class DimensionTable;
+
+class IndexToIndexArray {
+ public:
+  IndexToIndexArray() = default;
+
+  /// Builds the map for every attribute column of `dim`.
+  static Result<IndexToIndexArray> FromDimension(const DimensionTable& dim);
+
+  /// Number of base members (dimension size).
+  uint32_t num_members() const { return num_members_; }
+
+  /// Number of levels (= dimension columns; level 0 is the key/identity).
+  size_t num_levels() const { return cardinalities_.size(); }
+
+  /// Distinct values at `level`.
+  int32_t Cardinality(size_t level) const { return cardinalities_[level]; }
+
+  /// Level index of base member `base` at `level`. Level 0 returns `base`.
+  int32_t Map(size_t level, uint32_t base) const {
+    return level == 0 ? static_cast<int32_t>(base) : maps_[level][base];
+  }
+
+  /// The whole map column for `level` (level >= 1), for tight loops.
+  const std::vector<int32_t>& MapColumn(size_t level) const {
+    return maps_[level];
+  }
+
+  std::string Serialize() const;
+  static Result<IndexToIndexArray> Deserialize(std::string_view data,
+                                               size_t* consumed);
+
+  bool operator==(const IndexToIndexArray& o) const {
+    return num_members_ == o.num_members_ &&
+           cardinalities_ == o.cardinalities_ && maps_ == o.maps_;
+  }
+
+ private:
+  uint32_t num_members_ = 0;
+  std::vector<int32_t> cardinalities_;          // per level
+  std::vector<std::vector<int32_t>> maps_;      // per level (level 0 unused)
+};
+
+}  // namespace paradise

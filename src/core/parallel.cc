@@ -1,0 +1,166 @@
+#include "core/parallel.h"
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "core/aggregate.h"
+
+namespace paradise {
+
+namespace {
+
+/// Bounded single-producer multi-consumer queue of chunk work items.
+class WorkQueue {
+ public:
+  explicit WorkQueue(size_t capacity) : capacity_(capacity) {}
+
+  void Push(uint64_t chunk_no, std::string blob) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [&] { return items_.size() < capacity_; });
+    items_.emplace_back(chunk_no, std::move(blob));
+    not_empty_.notify_one();
+  }
+
+  void Close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    not_empty_.notify_all();
+  }
+
+  bool Pop(uint64_t* chunk_no, std::string* blob) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return false;
+    *chunk_no = items_.front().first;
+    *blob = std::move(items_.front().second);
+    items_.pop_front();
+    not_full_.notify_one();
+    return true;
+  }
+
+ private:
+  const size_t capacity_;
+  std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<std::pair<uint64_t, std::string>> items_;
+  bool closed_ = false;
+};
+
+/// Aggregates one chunk blob into `flat` (the per-worker result array).
+Status AggregateChunk(const OlapArray& array, const GroupSpec& spec,
+                      uint64_t chunk_no, const std::string& blob,
+                      std::vector<query::AggState>* flat) {
+  PARADISE_ASSIGN_OR_RETURN(ChunkView view, ChunkView::Make(blob));
+  const ChunkLayout& layout = array.layout();
+  const CellCoords base = layout.ChunkBase(chunk_no);
+  const CellCoords cdims = layout.ChunkDims(chunk_no);
+  const size_t n = layout.num_dims();
+
+  std::vector<uint32_t> strides(n);
+  uint32_t s = 1;
+  for (size_t i = n; i > 0; --i) {
+    strides[i - 1] = s;
+    s *= cdims[i - 1];
+  }
+  const size_t groups = spec.grouped_dims.size();
+  // Per-dimension flat-index contribution tables (see consolidate.cc).
+  std::vector<std::vector<uint64_t>> contribution(groups);
+  std::vector<uint32_t> chunk_stride(groups), chunk_dim(groups);
+  for (size_t g = 0; g < groups; ++g) {
+    const size_t d = spec.grouped_dims[g];
+    const IndexToIndexArray& i2i = array.i2i(d);
+    chunk_stride[g] = strides[d];
+    chunk_dim[g] = cdims[d];
+    contribution[g].resize(cdims[d]);
+    for (uint32_t local = 0; local < cdims[d]; ++local) {
+      contribution[g][local] =
+          static_cast<uint64_t>(i2i.Map(spec.group_cols[g], base[d] + local)) *
+          spec.strides[g];
+    }
+  }
+  view.ForEach([&](uint32_t offset, int64_t value) {
+    uint64_t flat_idx = 0;
+    for (size_t g = 0; g < groups; ++g) {
+      flat_idx += contribution[g][(offset / chunk_stride[g]) % chunk_dim[g]];
+    }
+    (*flat)[flat_idx].Add(value);
+  });
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<query::GroupedResult> ParallelArrayConsolidate(
+    const OlapArray& array, const query::ConsolidationQuery& q,
+    size_t num_threads, PhaseTimer* timer, ParallelConsolidateStats* stats) {
+  if (q.HasSelection()) {
+    return Status::InvalidArgument(
+        "ParallelArrayConsolidate handles no-selection queries");
+  }
+  if (num_threads == 0) {
+    return Status::InvalidArgument("num_threads must be >= 1");
+  }
+  PARADISE_ASSIGN_OR_RETURN(GroupSpec spec, GroupSpec::Make(array, q));
+
+  WorkQueue queue(/*capacity=*/2 * num_threads);
+  std::vector<std::vector<query::AggState>> partials(
+      num_threads, std::vector<query::AggState>(spec.num_groups));
+  std::vector<Status> worker_status(num_threads);
+  std::vector<std::thread> workers;
+  workers.reserve(num_threads);
+  for (size_t w = 0; w < num_threads; ++w) {
+    workers.emplace_back([&, w] {
+      uint64_t chunk_no = 0;
+      std::string blob;
+      while (queue.Pop(&chunk_no, &blob)) {
+        Status st = AggregateChunk(array, spec, chunk_no, blob, &partials[w]);
+        if (!st.ok()) {
+          worker_status[w] = std::move(st);
+          return;  // drain stops; coordinator sees the error after join
+        }
+      }
+    });
+  }
+
+  Status scan_status;
+  uint64_t chunks_read = 0;
+  {
+    ScopedPhase phase(timer, "scan+aggregate");
+    const uint64_t num_chunks = array.layout().num_chunks();
+    for (uint64_t c = 0; c < num_chunks; ++c) {
+      if (array.array(q.measure).ChunkIsEmpty(c)) continue;
+      Result<std::string> blob = array.array(q.measure).ReadChunkBlob(c);
+      if (!blob.ok()) {
+        scan_status = blob.status();
+        break;
+      }
+      queue.Push(c, std::move(blob).value());
+      ++chunks_read;
+    }
+    queue.Close();
+    for (std::thread& t : workers) t.join();
+  }
+  PARADISE_RETURN_IF_ERROR(scan_status);
+  for (const Status& st : worker_status) PARADISE_RETURN_IF_ERROR(st);
+
+  std::vector<query::AggState> flat(spec.num_groups);
+  {
+    ScopedPhase phase(timer, "merge");
+    for (const auto& partial : partials) {
+      for (uint64_t i = 0; i < spec.num_groups; ++i) {
+        if (partial[i].count > 0) flat[i].Merge(partial[i]);
+      }
+    }
+  }
+  if (stats != nullptr) {
+    stats->chunks_read = chunks_read;
+    stats->threads_used = num_threads;
+  }
+  ScopedPhase phase(timer, "emit");
+  return FlatToGroupedResult(spec, flat, spec.GroupColumnNames(array));
+}
+
+}  // namespace paradise

@@ -1,0 +1,35 @@
+// Parallel array consolidation — the intra-operator parallelism the paper
+// names as future work (§6: "we would like to investigate parallelization
+// of OLAP data structures and key OLAP operations"). One coordinator thread
+// reads chunk blobs through the (single-threaded) buffer pool in chunk
+// order; worker threads decode and aggregate position-based into private
+// flat result arrays, merged at the end. This parallelizes the CPU side of
+// §4.1 — decode + IndexToIndex lookups + aggregation — while keeping the
+// storage manager single-threaded, as in the paper.
+#pragma once
+
+#include <cstddef>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "core/olap_array.h"
+#include "query/query.h"
+#include "query/result.h"
+
+namespace paradise {
+
+struct ParallelConsolidateStats {
+  uint64_t chunks_read = 0;
+  size_t threads_used = 0;
+};
+
+/// Runs a no-selection consolidation with `num_threads` worker threads
+/// (>= 1; 1 degenerates to the serial algorithm's behaviour). Produces
+/// exactly the same GroupedResult as ArrayConsolidate.
+Result<query::GroupedResult> ParallelArrayConsolidate(
+    const OlapArray& array, const query::ConsolidationQuery& q,
+    size_t num_threads, PhaseTimer* timer = nullptr,
+    ParallelConsolidateStats* stats = nullptr);
+
+}  // namespace paradise

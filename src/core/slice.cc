@@ -1,0 +1,104 @@
+#include "core/slice.h"
+
+#include <algorithm>
+
+namespace paradise {
+
+namespace {
+
+Status ValidateBox(const ChunkLayout& layout, const IndexBox& box) {
+  if (box.size() != layout.num_dims()) {
+    return Status::InvalidArgument("box arity mismatch");
+  }
+  for (size_t d = 0; d < box.size(); ++d) {
+    if (box[d].first > box[d].second || box[d].second > layout.dims()[d]) {
+      return Status::InvalidArgument("bad range on dimension " +
+                                     std::to_string(d));
+    }
+  }
+  return Status::OK();
+}
+
+/// Visits every valid cell inside `box`, skipping chunks outside it.
+/// `fn(const CellCoords&, int64_t)` returns Status.
+template <typename Fn>
+Status VisitBox(const OlapArray& array, const IndexBox& box, Fn&& fn) {
+  const ChunkLayout& layout = array.layout();
+  PARADISE_RETURN_IF_ERROR(ValidateBox(layout, box));
+  const size_t n = layout.num_dims();
+  for (uint64_t chunk_no = 0; chunk_no < layout.num_chunks(); ++chunk_no) {
+    if (array.array().ChunkIsEmpty(chunk_no)) continue;
+    const CellCoords base = layout.ChunkBase(chunk_no);
+    const CellCoords cdims = layout.ChunkDims(chunk_no);
+    bool overlaps = true;
+    for (size_t d = 0; d < n; ++d) {
+      if (base[d] >= box[d].second || base[d] + cdims[d] <= box[d].first) {
+        overlaps = false;
+        break;
+      }
+    }
+    if (!overlaps) continue;
+    PARADISE_ASSIGN_OR_RETURN(Chunk chunk, array.array().ReadChunk(chunk_no));
+    CellCoords coords(n);
+    for (const ChunkEntry& e : chunk.entries()) {
+      // Decode the offset into coordinates and test the box.
+      uint32_t offset = e.offset;
+      bool inside = true;
+      for (size_t i = n; i > 0; --i) {
+        const size_t d = i - 1;
+        coords[d] = base[d] + offset % cdims[d];
+        offset /= cdims[d];
+        if (coords[d] < box[d].first || coords[d] >= box[d].second) {
+          inside = false;
+        }
+      }
+      if (!inside) continue;
+      PARADISE_RETURN_IF_ERROR(fn(coords, e.value));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<SliceCell>> ArraySlice(const OlapArray& array, size_t dim,
+                                          int32_t key) {
+  if (dim >= array.num_dims()) {
+    return Status::InvalidArgument("bad dimension " + std::to_string(dim));
+  }
+  PARADISE_ASSIGN_OR_RETURN(std::optional<uint32_t> idx,
+                            array.KeyToIndex(dim, key));
+  if (!idx.has_value()) {
+    return Status::NotFound("key " + std::to_string(key) +
+                            " not in dimension " + array.dim_name(dim));
+  }
+  IndexBox box;
+  const ChunkLayout& layout = array.layout();
+  for (size_t d = 0; d < layout.num_dims(); ++d) {
+    if (d == dim) {
+      box.emplace_back(*idx, *idx + 1);
+    } else {
+      box.emplace_back(0, layout.dims()[d]);
+    }
+  }
+  std::vector<SliceCell> out;
+  PARADISE_RETURN_IF_ERROR(
+      VisitBox(array, box, [&](const CellCoords& coords, int64_t value) {
+        out.push_back(SliceCell{coords, value});
+        return Status::OK();
+      }));
+  return out;
+}
+
+Result<query::AggState> ArraySumSubset(const OlapArray& array,
+                                       const IndexBox& box) {
+  query::AggState agg;
+  PARADISE_RETURN_IF_ERROR(
+      VisitBox(array, box, [&](const CellCoords&, int64_t value) {
+        agg.Add(value);
+        return Status::OK();
+      }));
+  return agg;
+}
+
+}  // namespace paradise

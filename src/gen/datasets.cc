@@ -1,0 +1,68 @@
+#include "gen/datasets.h"
+
+namespace paradise::gen {
+
+namespace {
+GenConfig FourDimConfig(uint32_t last_dim_size, uint64_t valid_cells,
+                        uint32_t select_cardinality, uint64_t seed) {
+  GenConfig config;
+  config.dims.resize(4);
+  const uint32_t sizes[4] = {40, 40, 40, last_dim_size};
+  for (size_t d = 0; d < 4; ++d) {
+    config.dims[d].name = "dim" + std::to_string(d);
+    config.dims[d].size = sizes[d];
+    config.dims[d].level_cardinalities = {kGroupByCardinality,
+                                          select_cardinality};
+  }
+  config.num_valid_cells = valid_cells;
+  config.seed = seed;
+  // 20x20x20x10 tiles: constant chunk dimensions across array sizes, as in
+  // the paper (§5.5.1).
+  config.chunk_extents = {20, 20, 20, 10};
+  return config;
+}
+}  // namespace
+
+GenConfig DataSet1(uint32_t last_dim_size, uint32_t select_cardinality,
+                   uint64_t seed) {
+  return FourDimConfig(last_dim_size, kDataSet1ValidCells, select_cardinality,
+                       seed);
+}
+
+GenConfig DataSet2(double density, uint32_t select_cardinality,
+                   uint64_t seed) {
+  const uint64_t total = 40ULL * 40 * 40 * 100;
+  const auto valid = static_cast<uint64_t>(density * static_cast<double>(total));
+  return FourDimConfig(100, valid, select_cardinality, seed);
+}
+
+query::ConsolidationQuery Query1(size_t num_dims) {
+  // Column 1 of each dimension schema is hX1.
+  return query::ConsolidationQuery::GroupByAll(num_dims, 1);
+}
+
+query::ConsolidationQuery Query2(size_t num_dims) {
+  query::ConsolidationQuery q = Query1(num_dims);
+  for (size_t d = 0; d < num_dims; ++d) {
+    // Column 2 is hX2; select its first member (code 0).
+    q.dims[d].selections.push_back(
+        query::Selection{2, {query::Literal{AttrValue(d, 2, 0)}}});
+  }
+  return q;
+}
+
+query::ConsolidationQuery Query3(size_t num_dims, size_t selected_dims) {
+  query::ConsolidationQuery q;
+  q.dims.resize(num_dims);
+  for (size_t d = 0; d < num_dims; ++d) {
+    if (d < selected_dims) {
+      q.dims[d].group_by_col = 1;
+      q.dims[d].selections.push_back(
+          query::Selection{2, {query::Literal{AttrValue(d, 2, 0)}}});
+    }
+    // Dimensions >= selected_dims are collapsed: no group-by, no selection.
+  }
+  return q;
+}
+
+}  // namespace paradise::gen

@@ -1,0 +1,48 @@
+// The paper's two experiment data-set families (§5.4) and the standard
+// query templates of §5.2, ready for the benches and integration tests.
+//
+// Data Set 1: three 4-d arrays, 40x40x40x{50,100,1000}, each with exactly
+//             640 000 valid cells (densities 20 %, 10 %, 1 %).
+// Data Set 2: 40x40x40x100, valid-cell count swept so density covers
+//             0.5 %..20 %.
+// Chunk extents are 20x20x20x10 throughout, matching the paper's chunk
+// counts (40x40x40x50 -> 40 chunks, x100 -> 80, x1000 -> 800; §5.5.1).
+//
+// Every dimension has two string attributes: hX1 (the Query 1/2/3 group-by
+// attribute, 10 distinct values) and hX2 (the Query 2/3 selection
+// attribute, whose cardinality the Query 2 sweep varies over
+// {2,3,4,5,8,10} to set per-dimension selectivity 1/2..1/10).
+#pragma once
+
+#include <cstdint>
+
+#include "gen/generator.h"
+#include "query/query.h"
+
+namespace paradise::gen {
+
+inline constexpr uint32_t kGroupByCardinality = 10;  // hX1
+inline constexpr uint64_t kDataSet1ValidCells = 640000;
+
+/// Data Set 1. `last_dim_size` must be 50, 100 or 1000 to match the paper;
+/// other values are allowed for extensions. `select_cardinality` sets the
+/// hX2 cardinality (use one of the Query 2 sweep values).
+GenConfig DataSet1(uint32_t last_dim_size, uint32_t select_cardinality = 10,
+                   uint64_t seed = 42);
+
+/// Data Set 2: density in (0, 1].
+GenConfig DataSet2(double density, uint32_t select_cardinality = 10,
+                   uint64_t seed = 42);
+
+/// Query 1 (§5.2): full consolidation, group by hX1 on every dimension.
+query::ConsolidationQuery Query1(size_t num_dims);
+
+/// Query 2: Query 1 plus an equality selection on hX2 of every dimension
+/// (value = the first hX2 member of each dimension, i.e. code 0).
+query::ConsolidationQuery Query2(size_t num_dims);
+
+/// Query 3: selection + group-by on the first `selected_dims` dimensions,
+/// the remaining dimensions collapsed.
+query::ConsolidationQuery Query3(size_t num_dims, size_t selected_dims);
+
+}  // namespace paradise::gen

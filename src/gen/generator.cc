@@ -1,0 +1,107 @@
+#include "gen/generator.h"
+
+#include <cstdio>
+#include <utility>
+
+namespace paradise::gen {
+
+std::string AttrValue(size_t dim, size_t level, uint32_t code) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%cH%zuC%03u",
+                static_cast<char>('A' + dim % 26), level, code);
+  return buf;
+}
+
+Status GenConfig::Validate() const {
+  if (dims.empty()) {
+    return Status::InvalidArgument("generator needs at least one dimension");
+  }
+  for (size_t d = 0; d < dims.size(); ++d) {
+    const GenDimension& dim = dims[d];
+    if (dim.size == 0) {
+      return Status::InvalidArgument("dimension size must be positive");
+    }
+    for (uint32_t card : dim.level_cardinalities) {
+      if (card == 0 || card > dim.size) {
+        return Status::InvalidArgument(
+            "level cardinality must be in [1, size] on dimension " +
+            std::to_string(d));
+      }
+      if (card > 999) {
+        return Status::InvalidArgument(
+            "level cardinality above 999 does not fit the attribute value "
+            "format");
+      }
+    }
+  }
+  if (num_valid_cells > TotalCells()) {
+    return Status::InvalidArgument("more valid cells than cube cells");
+  }
+  if (measure_min > measure_max) {
+    return Status::InvalidArgument("measure_min > measure_max");
+  }
+  return Status::OK();
+}
+
+uint64_t GenConfig::TotalCells() const {
+  uint64_t total = 1;
+  for (const GenDimension& d : dims) total *= d.size;
+  return total;
+}
+
+StarSchema SyntheticDataset::ToStarSchema(const std::string& cube_name) const {
+  StarSchema schema;
+  schema.cube_name = cube_name;
+  schema.measures = {"volume"};
+  for (size_t d = 0; d < config.dims.size(); ++d) {
+    const GenDimension& gd = config.dims[d];
+    DimensionSpec spec;
+    spec.name = gd.name.empty() ? "dim" + std::to_string(d) : gd.name;
+    spec.attrs.push_back(
+        Column{"d" + std::to_string(d), ColumnType::kInt32});
+    for (size_t l = 1; l <= gd.level_cardinalities.size(); ++l) {
+      spec.attrs.push_back(Column{
+          "h" + std::to_string(d) + std::to_string(l), ColumnType::kString16});
+    }
+    schema.dims.push_back(std::move(spec));
+  }
+  return schema;
+}
+
+std::vector<int32_t> SyntheticDataset::CellKeys(uint64_t global_index) const {
+  std::vector<int32_t> keys(config.dims.size());
+  for (size_t i = config.dims.size(); i > 0; --i) {
+    keys[i - 1] = static_cast<int32_t>(global_index % config.dims[i - 1].size);
+    global_index /= config.dims[i - 1].size;
+  }
+  return keys;
+}
+
+Result<SyntheticDataset> Generate(const GenConfig& config) {
+  PARADISE_RETURN_IF_ERROR(config.Validate());
+  SyntheticDataset out;
+  out.config = config;
+  Random rng(config.seed);
+  if (config.shuffle_hierarchy) {
+    for (gen::GenDimension& dim : out.config.dims) {
+      if (!dim.perm.empty()) continue;  // caller-provided scrambling wins
+      dim.perm.resize(dim.size);
+      for (uint32_t i = 0; i < dim.size; ++i) dim.perm[i] = i;
+      // Fisher-Yates with the data-set seed: deterministic per config.
+      for (uint32_t i = dim.size - 1; i > 0; --i) {
+        const uint32_t j = static_cast<uint32_t>(rng.Uniform(i + 1));
+        std::swap(dim.perm[i], dim.perm[j]);
+      }
+    }
+  }
+  out.cell_global_indices =
+      SampleSortedDistinct(config.TotalCells(), config.num_valid_cells, &rng);
+  out.measures.reserve(config.num_valid_cells);
+  for (uint64_t i = 0; i < config.num_valid_cells; ++i) {
+    out.measures.push_back(
+        rng.UniformRange(config.measure_min, config.measure_max));
+  }
+  return out;
+}
+
+}  // namespace paradise::gen

@@ -1,0 +1,89 @@
+// Synthetic star-schema generator (paper §5.1, §5.4): n dimensions, each
+// with two hierarchically structured, uniformly distributed string
+// attributes (hX1, hX2), and a fact population drawn uniformly without
+// replacement over the cube's cells at an exact target count. The table
+// representation is derived from the array representation — one tuple per
+// valid cell — exactly as the paper generates it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "schema/star_schema.h"
+
+namespace paradise::gen {
+
+/// One generated dimension: keys are 0..size-1; attribute level l (1-based)
+/// has `level_cardinalities[l-1]` distinct values. Codes are assigned in
+/// contiguous blocks of a (seeded) random permutation of the keys, so the
+/// attributes are uniformly distributed over the keys (paper §5.1) while
+/// coarser levels still roll finer ones up.
+struct GenDimension {
+  std::string name;
+  uint32_t size = 0;
+  std::vector<uint32_t> level_cardinalities;  // finest first
+
+  /// Key scrambling filled in by Generate(); identity if empty.
+  std::vector<uint32_t> perm;
+
+  /// Dense code of key `key` at 1-based level `level`.
+  uint32_t LevelCode(size_t level, uint32_t key) const {
+    const uint32_t k = perm.empty() ? key : perm[key];
+    const uint64_t card = level_cardinalities[level - 1];
+    return static_cast<uint32_t>(static_cast<uint64_t>(k) * card / size);
+  }
+};
+
+/// Attribute value string for (dimension index, 1-based level, code):
+/// e.g. "AH1C003". Fits the 8-byte order-preserving string-key prefix.
+std::string AttrValue(size_t dim, size_t level, uint32_t code);
+
+struct GenConfig {
+  std::vector<GenDimension> dims;
+  uint64_t num_valid_cells = 0;
+  uint64_t seed = 42;
+  int64_t measure_min = 1;
+  int64_t measure_max = 100;
+  /// Chunk extents for the array build; empty = library default.
+  std::vector<uint32_t> chunk_extents;
+
+  /// If true (default, matching the paper's uniform attributes), Generate()
+  /// fills each dimension's key permutation so attribute values are
+  /// scattered over the key space instead of forming contiguous key ranges.
+  bool shuffle_hierarchy = true;
+
+  Status Validate() const;
+
+  /// Total cells of the cube.
+  uint64_t TotalCells() const;
+
+  double Density() const {
+    return static_cast<double>(num_valid_cells) /
+           static_cast<double>(TotalCells());
+  }
+};
+
+/// Fully generated data set: the valid cells (as sorted row-major global
+/// indices) and their measures.
+struct SyntheticDataset {
+  GenConfig config;
+  std::vector<uint64_t> cell_global_indices;  // sorted, distinct
+  std::vector<int64_t> measures;              // parallel to the above
+
+  /// The logical star schema this data populates (dim key + one string16
+  /// column per hierarchy level).
+  StarSchema ToStarSchema(const std::string& cube_name = "cube") const;
+
+  /// Decodes global index i into per-dimension keys (= coordinates, since
+  /// key k is row k of its dimension table).
+  std::vector<int32_t> CellKeys(uint64_t global_index) const;
+};
+
+/// Generates the data set deterministically from config.seed.
+Result<SyntheticDataset> Generate(const GenConfig& config);
+
+}  // namespace paradise::gen

@@ -1,0 +1,119 @@
+#include "index/bitmap.h"
+
+#include <bit>
+#include <cstring>
+
+#include "common/coding.h"
+
+namespace paradise {
+
+namespace {
+constexpr uint64_t kWordBits = 64;
+uint64_t WordsFor(uint64_t bits) { return (bits + kWordBits - 1) / kWordBits; }
+}  // namespace
+
+Bitmap::Bitmap(uint64_t num_bits)
+    : num_bits_(num_bits), words_(WordsFor(num_bits), 0) {}
+
+Bitmap Bitmap::AllOnes(uint64_t num_bits) {
+  Bitmap b(num_bits);
+  for (uint64_t& w : b.words_) w = ~0ULL;
+  b.ClearTrailingBits();
+  return b;
+}
+
+void Bitmap::ClearTrailingBits() {
+  const uint64_t rem = num_bits_ % kWordBits;
+  if (rem != 0 && !words_.empty()) {
+    words_.back() &= (1ULL << rem) - 1;
+  }
+}
+
+void Bitmap::Set(uint64_t bit) {
+  words_[bit / kWordBits] |= 1ULL << (bit % kWordBits);
+}
+
+void Bitmap::Clear(uint64_t bit) {
+  words_[bit / kWordBits] &= ~(1ULL << (bit % kWordBits));
+}
+
+bool Bitmap::Test(uint64_t bit) const {
+  return (words_[bit / kWordBits] >> (bit % kWordBits)) & 1;
+}
+
+uint64_t Bitmap::CountOnes() const {
+  uint64_t n = 0;
+  for (uint64_t w : words_) n += static_cast<uint64_t>(std::popcount(w));
+  return n;
+}
+
+Status Bitmap::And(const Bitmap& other) {
+  if (other.num_bits_ != num_bits_) {
+    return Status::InvalidArgument(
+        "bitmap size mismatch: " + std::to_string(num_bits_) + " vs " +
+        std::to_string(other.num_bits_));
+  }
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return Status::OK();
+}
+
+Status Bitmap::Or(const Bitmap& other) {
+  if (other.num_bits_ != num_bits_) {
+    return Status::InvalidArgument(
+        "bitmap size mismatch: " + std::to_string(num_bits_) + " vs " +
+        std::to_string(other.num_bits_));
+  }
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return Status::OK();
+}
+
+void Bitmap::Not() {
+  for (uint64_t& w : words_) w = ~w;
+  ClearTrailingBits();
+}
+
+uint64_t Bitmap::FindNextSet(uint64_t from) const {
+  if (from >= num_bits_) return num_bits_;
+  uint64_t word_idx = from / kWordBits;
+  uint64_t w = words_[word_idx] & (~0ULL << (from % kWordBits));
+  for (;;) {
+    if (w != 0) {
+      const uint64_t bit =
+          word_idx * kWordBits + static_cast<uint64_t>(std::countr_zero(w));
+      return bit < num_bits_ ? bit : num_bits_;
+    }
+    if (++word_idx >= words_.size()) return num_bits_;
+    w = words_[word_idx];
+  }
+}
+
+std::string Bitmap::Serialize() const {
+  std::string out;
+  out.resize(8 + words_.size() * 8);
+  EncodeFixed64(out.data(), num_bits_);
+  std::memcpy(out.data() + 8, words_.data(), words_.size() * 8);
+  return out;
+}
+
+Result<Bitmap> Bitmap::Deserialize(std::string_view data) {
+  if (data.size() < 8) return Status::Corruption("bitmap blob too small");
+  const uint64_t num_bits = DecodeFixed64(data.data());
+  // Validate against the blob size BEFORE allocating: a corrupt header must
+  // not drive a huge allocation.
+  if (num_bits / 8 > data.size()) {
+    return Status::Corruption("bitmap header claims " +
+                              std::to_string(num_bits) + " bits in a " +
+                              std::to_string(data.size()) + "-byte blob");
+  }
+  const uint64_t words = WordsFor(num_bits);
+  if (data.size() != 8 + words * 8) {
+    return Status::Corruption("bitmap blob size mismatch: " +
+                              std::to_string(data.size()) + " bytes for " +
+                              std::to_string(num_bits) + " bits");
+  }
+  Bitmap b(num_bits);
+  std::memcpy(b.words_.data(), data.data() + 8, words * 8);
+  return b;
+}
+
+}  // namespace paradise

@@ -1,0 +1,80 @@
+// Bitmap: a word-aligned bit vector over fact-tuple numbers, plus the
+// boolean algebra (AND/OR/NOT) the relational selection plan needs
+// (paper §4.5: fetch per-value bitmaps, AND them, scan the result).
+// Bitmaps are built in memory and persisted as large objects.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace paradise {
+
+class Bitmap {
+ public:
+  Bitmap() = default;
+
+  /// Creates a bitmap of `num_bits` bits, all zero.
+  explicit Bitmap(uint64_t num_bits);
+
+  /// Creates a bitmap of `num_bits` bits, all one.
+  static Bitmap AllOnes(uint64_t num_bits);
+
+  uint64_t num_bits() const { return num_bits_; }
+
+  void Set(uint64_t bit);
+  void Clear(uint64_t bit);
+  bool Test(uint64_t bit) const;
+
+  /// Number of set bits.
+  uint64_t CountOnes() const;
+
+  /// In-place boolean ops. The operand must have the same size.
+  Status And(const Bitmap& other);
+  Status Or(const Bitmap& other);
+  void Not();
+
+  /// Index of the first set bit at or after `from`, or num_bits() if none.
+  /// Drives the fact-file fetch loop.
+  uint64_t FindNextSet(uint64_t from) const;
+
+  /// Serialized form: fixed64 num_bits followed by the raw words.
+  std::string Serialize() const;
+  static Result<Bitmap> Deserialize(std::string_view data);
+
+  /// Serialized size in bytes, for storage accounting.
+  uint64_t SerializedBytes() const { return 8 + words_.size() * 8; }
+
+  bool operator==(const Bitmap& other) const {
+    return num_bits_ == other.num_bits_ && words_ == other.words_;
+  }
+
+ private:
+  /// Zeroes any bits in the last word beyond num_bits_ (keeps Not/CountOnes
+  /// correct).
+  void ClearTrailingBits();
+
+  uint64_t num_bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+/// Iterates the set bits of a bitmap in increasing order.
+class BitmapIterator {
+ public:
+  explicit BitmapIterator(const Bitmap* bitmap)
+      : bitmap_(bitmap), pos_(bitmap->FindNextSet(0)) {}
+
+  bool Valid() const { return pos_ < bitmap_->num_bits(); }
+  uint64_t bit() const { return pos_; }
+  void Next() { pos_ = bitmap_->FindNextSet(pos_ + 1); }
+
+ private:
+  const Bitmap* bitmap_;
+  uint64_t pos_;
+};
+
+}  // namespace paradise

@@ -1,0 +1,96 @@
+#include "index/bitmap_index.h"
+
+#include "common/coding.h"
+
+namespace paradise {
+
+namespace {
+// Directory blob: fixed64 num_tuples, fixed32 entry count, then per entry
+// fixed64 value + fixed64 bitmap ObjectId.
+std::string SerializeDirectory(uint64_t num_tuples,
+                               const std::map<int64_t, ObjectId>& dir) {
+  std::string out;
+  out.resize(12 + dir.size() * 16);
+  char* p = out.data();
+  EncodeFixed64(p, num_tuples);
+  EncodeFixed32(p + 8, static_cast<uint32_t>(dir.size()));
+  size_t i = 0;
+  for (const auto& [value, oid] : dir) {
+    EncodeFixed64(p + 12 + i * 16, static_cast<uint64_t>(value));
+    EncodeFixed64(p + 12 + i * 16 + 8, oid);
+    ++i;
+  }
+  return out;
+}
+}  // namespace
+
+void BitmapJoinIndex::Builder::Add(int64_t value, uint64_t tuple_number) {
+  auto [it, inserted] = bitmaps_.try_emplace(value, num_tuples_);
+  it->second.Set(tuple_number);
+}
+
+Result<ObjectId> BitmapJoinIndex::Builder::Finish(LargeObjectStore* objects) {
+  std::map<int64_t, ObjectId> directory;
+  for (const auto& [value, bitmap] : bitmaps_) {
+    PARADISE_ASSIGN_OR_RETURN(ObjectId oid,
+                              objects->Create(bitmap.Serialize()));
+    directory[value] = oid;
+  }
+  return objects->Create(SerializeDirectory(num_tuples_, directory));
+}
+
+Result<BitmapJoinIndex> BitmapJoinIndex::Open(LargeObjectStore* objects,
+                                              ObjectId directory_oid) {
+  PARADISE_ASSIGN_OR_RETURN(std::string blob, objects->Read(directory_oid));
+  if (blob.size() < 12) {
+    return Status::Corruption("bitmap index directory too small");
+  }
+  const uint64_t num_tuples = DecodeFixed64(blob.data());
+  const uint32_t count = DecodeFixed32(blob.data() + 8);
+  if (blob.size() != 12 + static_cast<size_t>(count) * 16) {
+    return Status::Corruption("bitmap index directory size mismatch");
+  }
+  std::map<int64_t, ObjectId> directory;
+  for (uint32_t i = 0; i < count; ++i) {
+    const int64_t value =
+        static_cast<int64_t>(DecodeFixed64(blob.data() + 12 + i * 16));
+    const ObjectId oid = DecodeFixed64(blob.data() + 12 + i * 16 + 8);
+    directory[value] = oid;
+  }
+  return BitmapJoinIndex(objects, num_tuples, std::move(directory));
+}
+
+Result<Bitmap> BitmapJoinIndex::Lookup(int64_t value) const {
+  auto it = directory_.find(value);
+  if (it == directory_.end()) return Bitmap(num_tuples_);
+  PARADISE_ASSIGN_OR_RETURN(std::string blob, objects_->Read(it->second));
+  return Bitmap::Deserialize(blob);
+}
+
+Result<Bitmap> BitmapJoinIndex::LookupAny(
+    const std::vector<int64_t>& values) const {
+  Bitmap acc(num_tuples_);
+  for (int64_t v : values) {
+    PARADISE_ASSIGN_OR_RETURN(Bitmap b, Lookup(v));
+    PARADISE_RETURN_IF_ERROR(acc.Or(b));
+  }
+  return acc;
+}
+
+std::vector<int64_t> BitmapJoinIndex::Values() const {
+  std::vector<int64_t> out;
+  out.reserve(directory_.size());
+  for (const auto& [value, oid] : directory_) out.push_back(value);
+  return out;
+}
+
+Result<uint64_t> BitmapJoinIndex::TotalBitmapBytes() const {
+  uint64_t total = 0;
+  for (const auto& [value, oid] : directory_) {
+    PARADISE_ASSIGN_OR_RETURN(uint64_t sz, objects_->Size(oid));
+    total += sz;
+  }
+  return total;
+}
+
+}  // namespace paradise

@@ -1,0 +1,74 @@
+// BitmapJoinIndex: per distinct value of a dimension attribute, a bitmap
+// over fact-tuple numbers marking the tuples that join to a dimension row
+// with that value — the "join bitmap index" of paper §4.5, created ahead of
+// query time. Bitmaps persist as large objects; the value → ObjectId
+// directory persists as one more large object whose id the caller records
+// in the database catalog.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "index/bitmap.h"
+#include "storage/large_object.h"
+#include "storage/page.h"
+
+namespace paradise {
+
+class BitmapJoinIndex {
+ public:
+  /// In-memory builder: mark tuple `tuple_number` as joining to attribute
+  /// value `value` (an int64 key; strings go through StringPrefixKey).
+  class Builder {
+   public:
+    explicit Builder(uint64_t num_tuples) : num_tuples_(num_tuples) {}
+
+    void Add(int64_t value, uint64_t tuple_number);
+
+    /// Persists every bitmap plus the directory; returns the directory's
+    /// ObjectId.
+    Result<ObjectId> Finish(LargeObjectStore* objects);
+
+   private:
+    uint64_t num_tuples_;
+    std::map<int64_t, Bitmap> bitmaps_;
+  };
+
+  /// Opens an index from its directory object.
+  static Result<BitmapJoinIndex> Open(LargeObjectStore* objects,
+                                      ObjectId directory);
+
+  /// Loads the bitmap for one attribute value. A value absent from the
+  /// directory yields an all-zero bitmap (no fact tuple joins to it).
+  Result<Bitmap> Lookup(int64_t value) const;
+
+  /// Loads and ORs the bitmaps of several values — the paper's per-dimension
+  /// merge of selected-value bitmaps.
+  Result<Bitmap> LookupAny(const std::vector<int64_t>& values) const;
+
+  uint64_t num_tuples() const { return num_tuples_; }
+  size_t num_values() const { return directory_.size(); }
+
+  /// Distinct attribute values present, in increasing order.
+  std::vector<int64_t> Values() const;
+
+  /// Total serialized bytes of all bitmaps (storage accounting).
+  Result<uint64_t> TotalBitmapBytes() const;
+
+ private:
+  BitmapJoinIndex(LargeObjectStore* objects, uint64_t num_tuples,
+                  std::map<int64_t, ObjectId> directory)
+      : objects_(objects),
+        num_tuples_(num_tuples),
+        directory_(std::move(directory)) {}
+
+  LargeObjectStore* objects_;
+  uint64_t num_tuples_;
+  std::map<int64_t, ObjectId> directory_;
+};
+
+}  // namespace paradise

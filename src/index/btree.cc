@@ -1,0 +1,461 @@
+#include "index/btree.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/coding.h"
+
+namespace paradise {
+
+int64_t StringPrefixKey(std::string_view s) {
+  unsigned char buf[8] = {0};
+  std::memcpy(buf, s.data(), std::min<size_t>(8, s.size()));
+  uint64_t v = 0;
+  for (unsigned char c : buf) v = (v << 8) | c;
+  // Map unsigned order onto signed order.
+  return static_cast<int64_t>(v ^ 0x8000000000000000ULL);
+}
+
+namespace {
+
+// Node page layout (shared prefix):
+//   [0]     node type: 0 = leaf, 1 = internal
+//   [1]     magic 0xB7
+//   [2,4)   entry count
+// Leaf:
+//   [4,12)  next-leaf PageId (kInvalidPageId at the end of the chain)
+//   [12,..) entries: key(8) value(8)
+// Internal (count separators, count+1 children):
+//   [4,12)  leftmost child PageId
+//   [12,..) entries: key(8) value(8) child(8)
+constexpr size_t kTypeOffset = 0;
+constexpr size_t kMagicOffset = 1;
+constexpr size_t kCountOffset = 2;
+constexpr size_t kLinkOffset = 4;  // next-leaf or leftmost child
+constexpr size_t kPayloadOffset = 12;
+constexpr uint8_t kMagic = 0xB7;
+constexpr uint8_t kLeafType = 0;
+constexpr uint8_t kInternalType = 1;
+constexpr size_t kLeafEntryBytes = 16;
+constexpr size_t kInternalEntryBytes = 24;
+
+size_t LeafCapacity(size_t page_size) {
+  return (page_size - kPayloadOffset) / kLeafEntryBytes;
+}
+size_t InternalCapacity(size_t page_size) {
+  return (page_size - kPayloadOffset) / kInternalEntryBytes;
+}
+
+bool IsLeaf(const char* page) {
+  return static_cast<uint8_t>(page[kTypeOffset]) == kLeafType;
+}
+uint16_t Count(const char* page) { return DecodeFixed16(page + kCountOffset); }
+void SetCount(char* page, uint16_t n) { EncodeFixed16(page + kCountOffset, n); }
+PageId Link(const char* page) { return DecodeFixed64(page + kLinkOffset); }
+void SetLink(char* page, PageId id) { EncodeFixed64(page + kLinkOffset, id); }
+
+Status ValidateNode(const char* page, PageId id) {
+  if (static_cast<uint8_t>(page[kMagicOffset]) != kMagic) {
+    return Status::Corruption("page " + std::to_string(id) +
+                              " is not a B-tree node");
+  }
+  return Status::OK();
+}
+
+BTree::Entry LeafEntry(const char* page, size_t i) {
+  const char* p = page + kPayloadOffset + i * kLeafEntryBytes;
+  return {static_cast<int64_t>(DecodeFixed64(p)),
+          static_cast<int64_t>(DecodeFixed64(p + 8))};
+}
+void SetLeafEntry(char* page, size_t i, const BTree::Entry& e) {
+  char* p = page + kPayloadOffset + i * kLeafEntryBytes;
+  EncodeFixed64(p, static_cast<uint64_t>(e.key));
+  EncodeFixed64(p + 8, static_cast<uint64_t>(e.value));
+}
+
+BTree::Entry InternalEntry(const char* page, size_t i) {
+  const char* p = page + kPayloadOffset + i * kInternalEntryBytes;
+  return {static_cast<int64_t>(DecodeFixed64(p)),
+          static_cast<int64_t>(DecodeFixed64(p + 8))};
+}
+PageId InternalChild(const char* page, size_t i) {
+  const char* p = page + kPayloadOffset + i * kInternalEntryBytes;
+  return DecodeFixed64(p + 16);
+}
+void SetInternalEntry(char* page, size_t i, const BTree::Entry& e,
+                      PageId child) {
+  char* p = page + kPayloadOffset + i * kInternalEntryBytes;
+  EncodeFixed64(p, static_cast<uint64_t>(e.key));
+  EncodeFixed64(p + 8, static_cast<uint64_t>(e.value));
+  EncodeFixed64(p + 16, child);
+}
+
+void InitNode(char* page, size_t page_size, uint8_t type) {
+  std::memset(page, 0, page_size);
+  page[kTypeOffset] = static_cast<char>(type);
+  page[kMagicOffset] = static_cast<char>(kMagic);
+  SetCount(page, 0);
+  SetLink(page, kInvalidPageId);
+}
+
+// Index of the first leaf entry >= e, by binary search.
+size_t LeafLowerBound(const char* page, const BTree::Entry& e) {
+  size_t lo = 0, hi = Count(page);
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (LeafEntry(page, mid) < e) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+// Child slot to descend into for bound `e`: the largest i such that
+// separator[i-1] <= e, with slot 0 meaning the leftmost child.
+size_t InternalChildSlot(const char* page, const BTree::Entry& e) {
+  size_t lo = 0, hi = Count(page);
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    const BTree::Entry sep = InternalEntry(page, mid);
+    if (sep < e || sep == e) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;  // 0 = leftmost child, i>0 = child of separator i-1
+}
+
+PageId ChildAtSlot(const char* page, size_t slot) {
+  return slot == 0 ? Link(page) : InternalChild(page, slot - 1);
+}
+
+constexpr int64_t kMinValue = INT64_MIN;
+
+}  // namespace
+
+Result<BTree> BTree::Create(BufferPool* pool) {
+  PARADISE_ASSIGN_OR_RETURN(PageGuard g, pool->NewPage());
+  InitNode(g.mutable_data(), pool->page_size(), kLeafType);
+  return BTree(pool, g.page_id());
+}
+
+Result<BTree> BTree::Open(BufferPool* pool, PageId root) {
+  PARADISE_ASSIGN_OR_RETURN(PageGuard g, pool->FetchPage(root));
+  PARADISE_RETURN_IF_ERROR(ValidateNode(g.data(), root));
+  return BTree(pool, root);
+}
+
+Status BTree::Insert(int64_t key, int64_t value) {
+  PARADISE_ASSIGN_OR_RETURN(std::optional<Split> split,
+                            InsertRecursive(root_, Entry{key, value}));
+  if (!split.has_value()) return Status::OK();
+  // Root split: allocate a new internal root.
+  PARADISE_ASSIGN_OR_RETURN(PageGuard g, pool_->NewPage());
+  char* p = g.mutable_data();
+  InitNode(p, pool_->page_size(), kInternalType);
+  SetLink(p, root_);
+  SetInternalEntry(p, 0, split->separator, split->right);
+  SetCount(p, 1);
+  root_ = g.page_id();
+  return Status::OK();
+}
+
+Result<std::optional<BTree::Split>> BTree::InsertRecursive(PageId node,
+                                                           const Entry& e) {
+  const size_t page_size = pool_->page_size();
+  PARADISE_ASSIGN_OR_RETURN(PageGuard g, pool_->FetchPage(node));
+  PARADISE_RETURN_IF_ERROR(ValidateNode(g.data(), node));
+
+  if (IsLeaf(g.data())) {
+    const size_t cap = LeafCapacity(page_size);
+    const char* rp = g.data();
+    const size_t n = Count(rp);
+    const size_t pos = LeafLowerBound(rp, e);
+    if (pos < n && LeafEntry(rp, pos) == e) {
+      return Status::AlreadyExists("duplicate B-tree entry (" +
+                                   std::to_string(e.key) + ", " +
+                                   std::to_string(e.value) + ")");
+    }
+    if (n < cap) {
+      char* p = g.mutable_data();
+      for (size_t i = n; i > pos; --i) SetLeafEntry(p, i, LeafEntry(p, i - 1));
+      SetLeafEntry(p, pos, e);
+      SetCount(p, static_cast<uint16_t>(n + 1));
+      return std::optional<Split>{};
+    }
+    // Split the full leaf: gather n+1 entries, give the right sibling the
+    // upper half, and chain it after this leaf.
+    std::vector<Entry> entries;
+    entries.reserve(n + 1);
+    for (size_t i = 0; i < n; ++i) entries.push_back(LeafEntry(rp, i));
+    entries.insert(entries.begin() + static_cast<ptrdiff_t>(pos), e);
+    const size_t left_n = entries.size() / 2;
+
+    PARADISE_ASSIGN_OR_RETURN(PageGuard rg, pool_->NewPage());
+    char* right = rg.mutable_data();
+    InitNode(right, page_size, kLeafType);
+    for (size_t i = left_n; i < entries.size(); ++i) {
+      SetLeafEntry(right, i - left_n, entries[i]);
+    }
+    SetCount(right, static_cast<uint16_t>(entries.size() - left_n));
+
+    char* left = g.mutable_data();
+    SetLink(right, Link(left));
+    SetLink(left, rg.page_id());
+    for (size_t i = 0; i < left_n; ++i) SetLeafEntry(left, i, entries[i]);
+    SetCount(left, static_cast<uint16_t>(left_n));
+    return std::optional<Split>{Split{entries[left_n], rg.page_id()}};
+  }
+
+  // Internal node.
+  const size_t slot = InternalChildSlot(g.data(), e);
+  const PageId child = ChildAtSlot(g.data(), slot);
+  g.Release();  // avoid holding a pin across the whole recursion depth
+  PARADISE_ASSIGN_OR_RETURN(std::optional<Split> child_split,
+                            InsertRecursive(child, e));
+  if (!child_split.has_value()) return std::optional<Split>{};
+
+  PARADISE_ASSIGN_OR_RETURN(g, pool_->FetchPage(node));
+  const size_t cap = InternalCapacity(page_size);
+  const char* rp = g.data();
+  const size_t n = Count(rp);
+  // The new separator goes at `slot` (all separators after it shift right).
+  if (n < cap) {
+    char* p = g.mutable_data();
+    for (size_t i = n; i > slot; --i) {
+      SetInternalEntry(p, i, InternalEntry(p, i - 1), InternalChild(p, i - 1));
+    }
+    SetInternalEntry(p, slot, child_split->separator, child_split->right);
+    SetCount(p, static_cast<uint16_t>(n + 1));
+    return std::optional<Split>{};
+  }
+  // Split the full internal node. Gather separators and children.
+  std::vector<Entry> seps;
+  std::vector<PageId> children;
+  seps.reserve(n + 1);
+  children.reserve(n + 2);
+  children.push_back(Link(rp));
+  for (size_t i = 0; i < n; ++i) {
+    seps.push_back(InternalEntry(rp, i));
+    children.push_back(InternalChild(rp, i));
+  }
+  seps.insert(seps.begin() + static_cast<ptrdiff_t>(slot),
+              child_split->separator);
+  children.insert(children.begin() + static_cast<ptrdiff_t>(slot) + 1,
+                  child_split->right);
+  // Middle separator moves up; left keeps [0, mid), right keeps (mid, ...).
+  const size_t mid = seps.size() / 2;
+  const Entry up = seps[mid];
+
+  PARADISE_ASSIGN_OR_RETURN(PageGuard rg, pool_->NewPage());
+  char* right = rg.mutable_data();
+  InitNode(right, page_size, kInternalType);
+  SetLink(right, children[mid + 1]);
+  for (size_t i = mid + 1; i < seps.size(); ++i) {
+    SetInternalEntry(right, i - (mid + 1), seps[i], children[i + 1]);
+  }
+  SetCount(right, static_cast<uint16_t>(seps.size() - (mid + 1)));
+
+  char* left = g.mutable_data();
+  SetLink(left, children[0]);
+  for (size_t i = 0; i < mid; ++i) {
+    SetInternalEntry(left, i, seps[i], children[i + 1]);
+  }
+  SetCount(left, static_cast<uint16_t>(mid));
+  return std::optional<Split>{Split{up, rg.page_id()}};
+}
+
+Result<PageId> BTree::FindLeaf(const Entry& bound) const {
+  PageId node = root_;
+  for (;;) {
+    PARADISE_ASSIGN_OR_RETURN(PageGuard g, pool_->FetchPage(node));
+    PARADISE_RETURN_IF_ERROR(ValidateNode(g.data(), node));
+    if (IsLeaf(g.data())) return node;
+    node = ChildAtSlot(g.data(), InternalChildSlot(g.data(), bound));
+  }
+}
+
+Status BTree::Delete(int64_t key, int64_t value, bool* erased) {
+  *erased = false;
+  const Entry e{key, value};
+  PARADISE_ASSIGN_OR_RETURN(PageId leaf, FindLeaf(e));
+  PARADISE_ASSIGN_OR_RETURN(PageGuard g, pool_->FetchPage(leaf));
+  const char* rp = g.data();
+  const size_t n = Count(rp);
+  const size_t pos = LeafLowerBound(rp, e);
+  if (pos >= n || !(LeafEntry(rp, pos) == e)) return Status::OK();
+  char* p = g.mutable_data();
+  for (size_t i = pos; i + 1 < n; ++i) SetLeafEntry(p, i, LeafEntry(p, i + 1));
+  SetCount(p, static_cast<uint16_t>(n - 1));
+  *erased = true;
+  return Status::OK();
+}
+
+Status BTree::GetValues(int64_t key, std::vector<int64_t>* out) const {
+  PARADISE_ASSIGN_OR_RETURN(BTreeIterator it, Seek(key));
+  while (it.Valid() && it.key() == key) {
+    out->push_back(it.value());
+    PARADISE_RETURN_IF_ERROR(it.Next());
+  }
+  return Status::OK();
+}
+
+Result<std::optional<int64_t>> BTree::GetFirst(int64_t key) const {
+  PARADISE_ASSIGN_OR_RETURN(BTreeIterator it, Seek(key));
+  if (it.Valid() && it.key() == key) return std::optional<int64_t>(it.value());
+  return std::optional<int64_t>{};
+}
+
+Result<bool> BTree::Contains(int64_t key) const {
+  PARADISE_ASSIGN_OR_RETURN(std::optional<int64_t> v, GetFirst(key));
+  return v.has_value();
+}
+
+Result<BTreeIterator> BTree::Seek(int64_t seek_key) const {
+  const Entry bound{seek_key, kMinValue};
+  PARADISE_ASSIGN_OR_RETURN(PageId leaf, FindLeaf(bound));
+  PARADISE_ASSIGN_OR_RETURN(PageGuard g, pool_->FetchPage(leaf));
+  const size_t pos = LeafLowerBound(g.data(), bound);
+  g.Release();
+  BTreeIterator it(pool_, leaf, static_cast<uint16_t>(pos));
+  PARADISE_RETURN_IF_ERROR(it.LoadCurrent());
+  return it;
+}
+
+Result<BTreeIterator> BTree::Begin() const {
+  return Seek(INT64_MIN);
+}
+
+Result<uint64_t> BTree::CountEntries() const {
+  PARADISE_ASSIGN_OR_RETURN(BTreeIterator it, Begin());
+  uint64_t n = 0;
+  while (it.Valid()) {
+    ++n;
+    PARADISE_RETURN_IF_ERROR(it.Next());
+  }
+  return n;
+}
+
+Result<uint32_t> BTree::Height() const {
+  uint32_t h = 1;
+  PageId node = root_;
+  for (;;) {
+    PARADISE_ASSIGN_OR_RETURN(PageGuard g, pool_->FetchPage(node));
+    if (IsLeaf(g.data())) return h;
+    node = Link(g.data());
+    ++h;
+  }
+}
+
+Status BTree::CheckNode(PageId node, uint32_t depth, uint32_t* leaf_depth,
+                        const Entry* lower, const Entry* upper) const {
+  PARADISE_ASSIGN_OR_RETURN(PageGuard g, pool_->FetchPage(node));
+  PARADISE_RETURN_IF_ERROR(ValidateNode(g.data(), node));
+  const char* p = g.data();
+  const size_t n = Count(p);
+
+  auto in_bounds = [&](const Entry& e) {
+    if (lower != nullptr && e < *lower) return false;
+    if (upper != nullptr && !(e < *upper)) return false;
+    return true;
+  };
+
+  if (IsLeaf(p)) {
+    if (*leaf_depth == 0) {
+      *leaf_depth = depth;
+    } else if (*leaf_depth != depth) {
+      return Status::Corruption("leaf depth mismatch at page " +
+                                std::to_string(node));
+    }
+    for (size_t i = 0; i < n; ++i) {
+      const Entry e = LeafEntry(p, i);
+      if (i > 0 && !(LeafEntry(p, i - 1) < e)) {
+        return Status::Corruption("unsorted leaf " + std::to_string(node));
+      }
+      if (!in_bounds(e)) {
+        return Status::Corruption("leaf entry outside separator bounds in " +
+                                  std::to_string(node));
+      }
+    }
+    return Status::OK();
+  }
+
+  if (n == 0) {
+    return Status::Corruption("internal node with no separators: " +
+                              std::to_string(node));
+  }
+  std::vector<Entry> seps(n);
+  std::vector<PageId> children(n + 1);
+  children[0] = Link(p);
+  for (size_t i = 0; i < n; ++i) {
+    seps[i] = InternalEntry(p, i);
+    children[i + 1] = InternalChild(p, i);
+    if (i > 0 && !(seps[i - 1] < seps[i])) {
+      return Status::Corruption("unsorted internal node " +
+                                std::to_string(node));
+    }
+    if (!in_bounds(seps[i])) {
+      return Status::Corruption("separator outside bounds in " +
+                                std::to_string(node));
+    }
+  }
+  g.Release();
+  for (size_t i = 0; i <= n; ++i) {
+    const Entry* lo = i == 0 ? lower : &seps[i - 1];
+    const Entry* hi = i == n ? upper : &seps[i];
+    PARADISE_RETURN_IF_ERROR(CheckNode(children[i], depth + 1, leaf_depth,
+                                       lo, hi));
+  }
+  return Status::OK();
+}
+
+Status BTree::CheckInvariants() const {
+  uint32_t leaf_depth = 0;
+  PARADISE_RETURN_IF_ERROR(
+      CheckNode(root_, 1, &leaf_depth, nullptr, nullptr));
+  // Leaf chain must be globally sorted.
+  PARADISE_ASSIGN_OR_RETURN(BTreeIterator it, Begin());
+  bool have_prev = false;
+  Entry prev{0, 0};
+  while (it.Valid()) {
+    const Entry cur{it.key(), it.value()};
+    if (have_prev && !(prev < cur)) {
+      return Status::Corruption("leaf chain out of order");
+    }
+    prev = cur;
+    have_prev = true;
+    PARADISE_RETURN_IF_ERROR(it.Next());
+  }
+  return Status::OK();
+}
+
+Status BTreeIterator::LoadCurrent() {
+  for (;;) {
+    if (leaf_ == kInvalidPageId) {
+      valid_ = false;
+      return Status::OK();
+    }
+    PARADISE_ASSIGN_OR_RETURN(PageGuard g, pool_->FetchPage(leaf_));
+    const char* p = g.data();
+    if (index_ < Count(p)) {
+      const BTree::Entry e = LeafEntry(p, index_);
+      key_ = e.key;
+      value_ = e.value;
+      valid_ = true;
+      return Status::OK();
+    }
+    leaf_ = Link(p);
+    index_ = 0;
+  }
+}
+
+Status BTreeIterator::Next() {
+  if (!valid_) return Status::InvalidArgument("Next() on invalid iterator");
+  ++index_;
+  return LoadCurrent();
+}
+
+}  // namespace paradise

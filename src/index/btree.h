@@ -1,0 +1,145 @@
+// Disk-resident B+tree over the buffer pool with fixed-size
+// (int64 key, int64 value) entries and duplicate keys. The OLAP Array ADT
+// keeps one of these per dimension to map dimension keys to array indices
+// (paper §3.1), and one per selectable dimension attribute to map attribute
+// values to lists of array indices (paper §4.2's "join index" lists).
+//
+// Ordering is the strict total order on the (key, value) pair, and internal
+// separators carry both components, so duplicate keys that straddle a node
+// split are still found by Seek(key) = lower_bound((key, INT64_MIN)). The
+// (key, value) pair itself must be unique — Insert rejects exact duplicates
+// — which keeps the order strict and separators unambiguous.
+//
+// Deletion removes entries without rebalancing (nodes may underflow); the
+// workloads here are build-once/read-many, matching the paper's.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+
+namespace paradise {
+
+/// Packs the first 8 bytes of a string into an order-preserving int64 key
+/// (big-endian, zero-padded, offset so the unsigned order maps onto the
+/// signed int64 order). Dimension attribute values in the test schemas are
+/// short strings ("AA3"), unique within 8 characters.
+int64_t StringPrefixKey(std::string_view s);
+
+class BTreeIterator;
+
+class BTree {
+ public:
+  /// One (key, value) pair stored in a leaf.
+  struct Entry {
+    int64_t key;
+    int64_t value;
+    friend bool operator<(const Entry& a, const Entry& b) {
+      return a.key != b.key ? a.key < b.key : a.value < b.value;
+    }
+    friend bool operator==(const Entry& a, const Entry& b) {
+      return a.key == b.key && a.value == b.value;
+    }
+  };
+
+  BTree() = default;
+
+  /// Creates an empty tree (a single leaf root).
+  static Result<BTree> Create(BufferPool* pool);
+
+  /// Opens a tree rooted at `root`.
+  static Result<BTree> Open(BufferPool* pool, PageId root);
+
+  /// Inserts one entry. Duplicate keys are allowed; an exact duplicate
+  /// (key, value) pair returns AlreadyExists.
+  Status Insert(int64_t key, int64_t value);
+
+  /// Removes one exact (key, value) entry. Sets *erased to whether it
+  /// existed. No rebalancing.
+  Status Delete(int64_t key, int64_t value, bool* erased);
+
+  /// Appends all values stored under `key` to `out`, in value order.
+  Status GetValues(int64_t key, std::vector<int64_t>* out) const;
+
+  /// First (smallest) value under `key`, or nullopt. Convenience for
+  /// unique-key maps such as dimension-key → array-index.
+  Result<std::optional<int64_t>> GetFirst(int64_t key) const;
+
+  /// Whether any entry with `key` exists.
+  Result<bool> Contains(int64_t key) const;
+
+  /// Iterator positioned at the first entry with (key, value) >=
+  /// (seek_key, INT64_MIN).
+  Result<BTreeIterator> Seek(int64_t seek_key) const;
+
+  /// Iterator positioned at the smallest entry.
+  Result<BTreeIterator> Begin() const;
+
+  /// Total number of entries (leaf-chain scan).
+  Result<uint64_t> CountEntries() const;
+
+  /// Height of the tree (1 = root is a leaf).
+  Result<uint32_t> Height() const;
+
+  /// Verifies structural invariants: uniform leaf depth, sorted nodes,
+  /// separator consistency, and a sorted leaf chain. Used by the property
+  /// tests; returns Corruption on violation.
+  Status CheckInvariants() const;
+
+  PageId root() const { return root_; }
+  BufferPool* pool() const { return pool_; }
+
+ private:
+  BTree(BufferPool* pool, PageId root) : pool_(pool), root_(root) {}
+
+  struct Split {
+    Entry separator;  // first entry of the right sibling
+    PageId right;
+  };
+
+  Result<std::optional<Split>> InsertRecursive(PageId node, const Entry& e);
+  Result<PageId> FindLeaf(const Entry& bound) const;
+  Status CheckNode(PageId node, uint32_t depth, uint32_t* leaf_depth,
+                   const Entry* lower, const Entry* upper) const;
+
+  BufferPool* pool_ = nullptr;
+  PageId root_ = kInvalidPageId;
+};
+
+/// Forward iterator over leaf entries in (key, value) order. Pins one leaf
+/// page at a time.
+class BTreeIterator {
+ public:
+  BTreeIterator() = default;
+
+  bool Valid() const { return valid_; }
+  int64_t key() const { return key_; }
+  int64_t value() const { return value_; }
+
+  /// Advances to the next entry; invalidates at the end of the leaf chain.
+  Status Next();
+
+ private:
+  friend class BTree;
+  BTreeIterator(BufferPool* pool, PageId leaf, uint16_t index)
+      : pool_(pool), leaf_(leaf), index_(index) {}
+
+  /// Loads key_/value_ from the current position, following the leaf chain
+  /// past empty leaves; clears valid_ at the end.
+  Status LoadCurrent();
+
+  BufferPool* pool_ = nullptr;
+  PageId leaf_ = kInvalidPageId;
+  uint16_t index_ = 0;
+  bool valid_ = false;
+  int64_t key_ = 0;
+  int64_t value_ = 0;
+};
+
+}  // namespace paradise

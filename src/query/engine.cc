@@ -1,0 +1,111 @@
+#include "query/engine.h"
+
+#include "core/consolidate.h"
+#include "core/consolidate_select.h"
+#include "relational/bitmap_select.h"
+#include "relational/btree_select.h"
+#include "relational/hash_join.h"
+#include "relational/star_join.h"
+
+namespace paradise {
+
+std::string_view EngineKindToString(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kArray:
+      return "array";
+    case EngineKind::kStarJoin:
+      return "starjoin";
+    case EngineKind::kBitmap:
+      return "bitmap";
+    case EngineKind::kLeftDeep:
+      return "leftdeep";
+    case EngineKind::kBTreeSelect:
+      return "btreeselect";
+  }
+  return "unknown";
+}
+
+Result<Execution> RunQuery(Database* db, EngineKind kind,
+                           const query::ConsolidationQuery& q,
+                           bool cold) {
+  if (cold) {
+    PARADISE_RETURN_IF_ERROR(db->DropCaches());
+  }
+  const BufferPoolStats before = db->storage()->pool()->stats();
+  Execution exec;
+  Stopwatch watch;
+
+  switch (kind) {
+    case EngineKind::kArray: {
+      if (!db->has_olap()) {
+        return Status::InvalidArgument("database has no OLAP array");
+      }
+      if (q.HasSelection()) {
+        ArraySelectStats stats;
+        PARADISE_ASSIGN_OR_RETURN(
+            exec.result, ArrayConsolidateWithSelection(
+                             *db->olap(), q, &exec.stats.phases, &stats));
+        exec.stats.aux = stats.chunks_read;
+      } else {
+        ArrayConsolidateStats stats;
+        PARADISE_ASSIGN_OR_RETURN(
+            exec.result,
+            ArrayConsolidate(*db->olap(), q, &exec.stats.phases, &stats));
+        exec.stats.aux = stats.chunks_read;
+      }
+      break;
+    }
+    case EngineKind::kStarJoin: {
+      StarJoinParams params;
+      params.fact = db->fact();
+      params.fact_schema = &db->fact_schema();
+      params.dims = db->DimPointers();
+      params.query = &q;
+      params.timer = &exec.stats.phases;
+      PARADISE_ASSIGN_OR_RETURN(exec.result, StarJoinConsolidate(params));
+      break;
+    }
+    case EngineKind::kBitmap: {
+      BitmapSelectParams params;
+      params.fact = db->fact();
+      params.fact_schema = &db->fact_schema();
+      params.dims = db->DimPointers();
+      params.bitmap_indexes = &db->bitmap_indexes();
+      params.query = &q;
+      params.timer = &exec.stats.phases;
+      params.result_bits = &exec.stats.aux;
+      PARADISE_ASSIGN_OR_RETURN(exec.result, BitmapSelectConsolidate(params));
+      break;
+    }
+    case EngineKind::kLeftDeep: {
+      LeftDeepJoinParams params;
+      params.fact = db->fact();
+      params.fact_schema = &db->fact_schema();
+      params.dims = db->DimPointers();
+      params.query = &q;
+      params.timer = &exec.stats.phases;
+      params.intermediate_rows = &exec.stats.aux;
+      PARADISE_ASSIGN_OR_RETURN(exec.result, LeftDeepJoinConsolidate(params));
+      break;
+    }
+    case EngineKind::kBTreeSelect: {
+      BTreeSelectParams params;
+      params.fact = db->fact();
+      params.fact_schema = &db->fact_schema();
+      params.dims = db->DimPointers();
+      params.join_index_roots = &db->btree_join_roots();
+      params.pool = db->storage()->pool();
+      params.query = &q;
+      params.timer = &exec.stats.phases;
+      params.result_tuples = &exec.stats.aux;
+      PARADISE_ASSIGN_OR_RETURN(exec.result, BTreeSelectConsolidate(params));
+      break;
+    }
+  }
+
+  exec.stats.seconds = watch.ElapsedSeconds();
+  exec.stats.io = db->storage()->pool()->stats().Delta(before);
+  return exec;
+}
+
+}  // namespace paradise

@@ -1,0 +1,75 @@
+// RunQuery: one entry point executing a ConsolidationQuery with any of the
+// four implemented algorithms over the same database, with uniform timing,
+// buffer-pool I/O accounting, and the paper's cold-buffer protocol.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/stopwatch.h"
+#include "query/query.h"
+#include "query/result.h"
+#include "schema/database.h"
+#include "storage/buffer_pool.h"
+
+namespace paradise {
+
+enum class EngineKind : uint8_t {
+  /// OLAP Array ADT algorithms (§4.1 / §4.2, chosen by HasSelection()).
+  kArray = 0,
+  /// Star-join consolidation over the fact file (§4.3).
+  kStarJoin,
+  /// Bitmap join indexes + fact file (§4.5); requires a selection.
+  kBitmap,
+  /// Left-deep pipelined hash join (the §4.3 strawman).
+  kLeftDeep,
+  /// B-tree join indexes + fact file (the §4.4 baseline bitmap dominated);
+  /// requires a selection and build_btree_join_indexes at load time.
+  kBTreeSelect,
+};
+
+std::string_view EngineKindToString(EngineKind kind);
+
+/// Cost model of the paper's 1997 I/O hardware (200 MHz Pentium Pro with a
+/// 2 GB Quantum Fireball, §5.3). Our database file sits in the OS page
+/// cache, so wall time reflects CPU only; this model translates the
+/// buffer-pool miss counts back into disk-bound time: a sequential page read
+/// moves 8 KiB at ~4 MB/s, a random one adds seek + rotation. DESIGN.md
+/// lists this as an explicit substitution.
+struct IoModel1997 {
+  double seq_read_seconds = 0.002;
+  double rand_read_seconds = 0.012;
+};
+
+/// I/O-bound elapsed-time estimate for a query's miss counts.
+inline double ModeledIoSeconds(const BufferPoolStats& io,
+                               const IoModel1997& model = IoModel1997{}) {
+  return static_cast<double>(io.seq_disk_reads) * model.seq_read_seconds +
+         static_cast<double>(io.rand_disk_reads) * model.rand_read_seconds;
+}
+
+struct ExecutionStats {
+  double seconds = 0.0;
+  BufferPoolStats io;   // delta over the query
+  PhaseTimer phases;
+  /// Algorithm-specific: array+selection = chunks read; bitmap = set bits in
+  /// the final bitmap; left-deep = materialized intermediate rows.
+  uint64_t aux = 0;
+
+  /// Disk-bound time estimate under the paper's hardware (see IoModel1997).
+  double ModeledSeconds() const { return ModeledIoSeconds(io); }
+};
+
+struct Execution {
+  query::GroupedResult result;
+  ExecutionStats stats;
+};
+
+/// Runs `q` with engine `kind`. With `cold` (the default, matching the
+/// paper's protocol) all buffered pages are flushed and dropped first.
+Result<Execution> RunQuery(Database* db, EngineKind kind,
+                           const query::ConsolidationQuery& q,
+                           bool cold = true);
+
+}  // namespace paradise

@@ -1,0 +1,127 @@
+#include "query/planner.h"
+
+#include "core/aggregate_registry.h"
+#include "query/sql.h"
+
+namespace paradise {
+
+namespace {
+
+/// Fraction of one dimension's members a selection keeps: matched distinct
+/// values / attribute cardinality (uniform-members assumption, the same one
+/// the paper's S = s^r analysis makes).
+Result<double> SelectionFraction(const DimensionTable& dim,
+                                 const query::Selection& s) {
+  PARADISE_ASSIGN_OR_RETURN(const AttributeDictionary* dict,
+                            dim.Dictionary(s.attr_col));
+  if (dict->cardinality() == 0) return 1.0;
+  size_t matched = 0;
+  for (const query::Literal& lit : s.values) {
+    if (dict->value_to_code.contains(query::NormalizeLiteral(lit))) {
+      ++matched;
+    }
+  }
+  return static_cast<double>(matched) /
+         static_cast<double>(dict->cardinality());
+}
+
+}  // namespace
+
+Result<PlanChoice> ChoosePlan(const Database& db,
+                              const query::ConsolidationQuery& q,
+                              const PlannerOptions& options) {
+  std::vector<size_t> dim_cols;
+  for (const DimensionSpec& d : db.schema().dims) {
+    dim_cols.push_back(d.attrs.size());
+  }
+  PARADISE_RETURN_IF_ERROR(q.Validate(dim_cols));
+
+  PlanChoice choice;
+  if (!q.HasSelection()) {
+    if (db.has_olap()) {
+      choice.engine = EngineKind::kArray;
+      choice.reason = "no selection: array consolidation always wins (Fig 4/5)";
+    } else {
+      choice.engine = EngineKind::kStarJoin;
+      choice.reason = "no selection and no OLAP array: star join";
+    }
+    return choice;
+  }
+
+  double selectivity = 1.0;
+  for (size_t d = 0; d < q.dims.size(); ++d) {
+    for (const query::Selection& s : q.dims[d].selections) {
+      PARADISE_ASSIGN_OR_RETURN(double f, SelectionFraction(db.dim(d), s));
+      selectivity *= f;
+    }
+  }
+  choice.estimated_selectivity = selectivity;
+
+  const bool bitmap_available = [&] {
+    for (size_t d = 0; d < q.dims.size(); ++d) {
+      for (const query::Selection& s : q.dims[d].selections) {
+        const auto& per_dim = db.bitmap_indexes()[d];
+        if (s.attr_col >= per_dim.size() || per_dim[s.attr_col] == nullptr) {
+          return false;
+        }
+      }
+    }
+    return true;
+  }();
+
+  if (selectivity < options.bitmap_crossover && bitmap_available) {
+    choice.engine = EngineKind::kBitmap;
+    choice.reason = "S=" + std::to_string(selectivity) +
+                    " below the crossover: bitmap + fact file (Fig 8/9)";
+  } else if (db.has_olap()) {
+    choice.engine = EngineKind::kArray;
+    choice.reason = "S=" + std::to_string(selectivity) +
+                    " above the crossover: array selection (Fig 6/7)";
+  } else if (bitmap_available) {
+    choice.engine = EngineKind::kBitmap;
+    choice.reason = "no OLAP array: bitmap + fact file";
+  } else {
+    choice.engine = EngineKind::kStarJoin;
+    choice.reason = "no OLAP array or bitmap indexes: filtered star join";
+  }
+  return choice;
+}
+
+Result<SqlExecution> RunSql(Database* db, std::string_view sql, bool cold,
+                            const PlannerOptions& options) {
+  PARADISE_ASSIGN_OR_RETURN(query::ConsolidationQuery q,
+                            query::CompileSql(sql, db->schema()));
+  SqlExecution out;
+
+  // Transparent acceleration (§1's open problem): a derivable SUM query is
+  // answered from a registered materialized aggregate.
+  if (options.use_materialized_aggregates) {
+    if (cold) {
+      PARADISE_RETURN_IF_ERROR(db->DropCaches());
+    }
+    const BufferPoolStats before = db->storage()->pool()->stats();
+    Stopwatch watch;
+    std::string used;
+    PARADISE_ASSIGN_OR_RETURN(
+        std::optional<query::GroupedResult> result,
+        AnswerFromAggregates(db->storage(), db->schema().cube_name, q,
+                             &used));
+    if (result.has_value()) {
+      out.plan.engine = EngineKind::kArray;
+      out.plan.aggregate = used;
+      out.plan.reason =
+          "rewritten onto materialized aggregate '" + used + "'";
+      out.execution.result = std::move(*result);
+      out.execution.stats.seconds = watch.ElapsedSeconds();
+      out.execution.stats.io = db->storage()->pool()->stats().Delta(before);
+      return out;
+    }
+  }
+
+  PARADISE_ASSIGN_OR_RETURN(out.plan, ChoosePlan(*db, q, options));
+  PARADISE_ASSIGN_OR_RETURN(out.execution,
+                            RunQuery(db, out.plan.engine, q, cold));
+  return out;
+}
+
+}  // namespace paradise

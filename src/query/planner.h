@@ -1,0 +1,58 @@
+// A rule-based planner choosing the physical algorithm for a consolidation
+// query — the role the paper assigns to the query optimizer once arrays are
+// integrated with SQL processing (§1). Rules distilled from the paper's own
+// findings:
+//   * no selection          -> array consolidation (Fig. 4/5: always wins),
+//                              or the star join if no array was built;
+//   * selection             -> estimate the star selectivity S as the
+//                              product of per-selection selected fractions;
+//                              below the crossover (the paper's S ~= 2.4e-4)
+//                              use the bitmap plan, above it the array.
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "query/engine.h"
+#include "query/query.h"
+#include "schema/database.h"
+
+namespace paradise {
+
+struct PlanChoice {
+  EngineKind engine = EngineKind::kArray;
+  /// Estimated star selectivity (1.0 when there is no selection).
+  double estimated_selectivity = 1.0;
+  /// Human-readable rule trace for EXPLAIN-style output.
+  std::string reason;
+  /// Set when the query was rewritten onto a materialized aggregate.
+  std::string aggregate;
+};
+
+struct PlannerOptions {
+  /// Crossover selectivity below which the bitmap plan is chosen; default
+  /// is the paper's measured crossover (§5.6).
+  double bitmap_crossover = 2.4e-4;
+
+  /// Try to answer SUM queries from registered materialized aggregates
+  /// (core/aggregate_registry.h) before touching the base cube.
+  bool use_materialized_aggregates = true;
+};
+
+/// Picks an engine for `q` over `db`. Fails if the query is invalid for the
+/// database's schema.
+Result<PlanChoice> ChoosePlan(const Database& db,
+                              const query::ConsolidationQuery& q,
+                              const PlannerOptions& options = {});
+
+/// Compiles a SQL string against the database's schema, plans it, and runs
+/// it. The returned Execution carries the chosen plan's stats.
+struct SqlExecution {
+  PlanChoice plan;
+  Execution execution;
+};
+Result<SqlExecution> RunSql(Database* db, std::string_view sql,
+                            bool cold = true,
+                            const PlannerOptions& options = {});
+
+}  // namespace paradise

@@ -1,0 +1,79 @@
+#include "query/query.h"
+
+#include "index/btree.h"
+
+namespace paradise::query {
+
+int64_t NormalizeLiteral(const Literal& lit) {
+  if (const auto* i = std::get_if<int64_t>(&lit)) return *i;
+  return StringPrefixKey(std::get<std::string>(lit));
+}
+
+std::string LiteralToString(const Literal& lit) {
+  if (const auto* i = std::get_if<int64_t>(&lit)) return std::to_string(*i);
+  return std::get<std::string>(lit);
+}
+
+std::string_view AggFuncToString(AggFunc f) {
+  switch (f) {
+    case AggFunc::kSum:
+      return "sum";
+    case AggFunc::kCount:
+      return "count";
+    case AggFunc::kMin:
+      return "min";
+    case AggFunc::kMax:
+      return "max";
+    case AggFunc::kAvg:
+      return "avg";
+  }
+  return "unknown";
+}
+
+bool ConsolidationQuery::HasSelection() const {
+  for (const DimensionQuery& d : dims) {
+    if (!d.selections.empty()) return true;
+  }
+  return false;
+}
+
+Status ConsolidationQuery::Validate(
+    const std::vector<size_t>& dim_num_columns) const {
+  if (dims.size() != dim_num_columns.size()) {
+    return Status::InvalidArgument(
+        "query has " + std::to_string(dims.size()) + " dimensions, cube has " +
+        std::to_string(dim_num_columns.size()));
+  }
+  for (size_t i = 0; i < dims.size(); ++i) {
+    const DimensionQuery& d = dims[i];
+    if (d.group_by_col.has_value() &&
+        (*d.group_by_col == 0 || *d.group_by_col >= dim_num_columns[i])) {
+      return Status::InvalidArgument("bad group-by column " +
+                                     std::to_string(*d.group_by_col) +
+                                     " on dimension " + std::to_string(i));
+    }
+    for (const Selection& s : d.selections) {
+      if (s.attr_col == 0 || s.attr_col >= dim_num_columns[i]) {
+        return Status::InvalidArgument("bad selection column " +
+                                       std::to_string(s.attr_col) +
+                                       " on dimension " + std::to_string(i));
+      }
+      if (s.values.empty()) {
+        return Status::InvalidArgument(
+            "empty selection value list on dimension " + std::to_string(i));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+ConsolidationQuery ConsolidationQuery::GroupByAll(size_t n, size_t col,
+                                                  AggFunc agg) {
+  ConsolidationQuery q;
+  q.dims.resize(n);
+  for (DimensionQuery& d : q.dims) d.group_by_col = col;
+  q.agg = agg;
+  return q;
+}
+
+}  // namespace paradise::query

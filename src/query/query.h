@@ -1,0 +1,73 @@
+// ConsolidationQuery: the typed description of the paper's query template
+// (§2.1) — a star join of the fact data with every dimension, per-dimension
+// equality selections, a GROUP BY on one hierarchy attribute per dimension,
+// and an aggregate over the measure. Both query engines execute this same
+// description, which is how the paper's experiments are specified without a
+// SQL front end (the paper's own ADT functions are invoked directly too).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace paradise::query {
+
+/// A constant in a selection predicate: an integer or a string (strings are
+/// normalized with StringPrefixKey when matched against dictionaries).
+using Literal = std::variant<int64_t, std::string>;
+
+/// Normalizes a literal to the int64 dictionary key form.
+int64_t NormalizeLiteral(const Literal& lit);
+
+std::string LiteralToString(const Literal& lit);
+
+/// Equality selection on one dimension attribute: attribute = v1 OR ... OR
+/// attribute = vk. Multiple Selections on the same dimension are ANDed.
+struct Selection {
+  size_t attr_col = 0;  // column index in the dimension schema (>= 1)
+  std::vector<Literal> values;
+};
+
+/// Per-dimension part of a consolidation query.
+struct DimensionQuery {
+  /// Attribute column to group by. nullopt collapses (fully aggregates) the
+  /// dimension, as Query 3 does with its fourth dimension.
+  std::optional<size_t> group_by_col;
+
+  /// Conjunction of equality selections on this dimension's attributes.
+  std::vector<Selection> selections;
+};
+
+enum class AggFunc : uint8_t { kSum = 0, kCount, kMin, kMax, kAvg };
+
+std::string_view AggFuncToString(AggFunc f);
+
+struct ConsolidationQuery {
+  /// One entry per dimension of the cube, in dimension order.
+  std::vector<DimensionQuery> dims;
+
+  AggFunc agg = AggFunc::kSum;
+
+  /// Which of the cube's p measures (§2's m_1..m_p) to aggregate.
+  size_t measure = 0;
+
+  /// True if any dimension carries a selection (chooses between the plain
+  /// consolidation algorithms and the selection algorithms).
+  bool HasSelection() const;
+
+  /// Checks dimension count and column indices against per-dimension column
+  /// counts.
+  Status Validate(const std::vector<size_t>& dim_num_columns) const;
+
+  /// Convenience: group by attribute `col` on every one of `n` dimensions,
+  /// no selections (the paper's Query 1).
+  static ConsolidationQuery GroupByAll(size_t n, size_t col,
+                                       AggFunc agg = AggFunc::kSum);
+};
+
+}  // namespace paradise::query

@@ -1,0 +1,65 @@
+#include "query/result.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace paradise::query {
+
+double AggState::Finalize(AggFunc f) const {
+  switch (f) {
+    case AggFunc::kSum:
+      return static_cast<double>(sum);
+    case AggFunc::kCount:
+      return static_cast<double>(count);
+    case AggFunc::kMin:
+      return count == 0 ? 0.0 : static_cast<double>(min);
+    case AggFunc::kMax:
+      return count == 0 ? 0.0 : static_cast<double>(max);
+    case AggFunc::kAvg:
+      return count == 0 ? 0.0
+                        : static_cast<double>(sum) / static_cast<double>(count);
+  }
+  return 0.0;
+}
+
+void GroupedResult::SortCanonical() {
+  std::sort(rows_.begin(), rows_.end(),
+            [](const ResultRow& a, const ResultRow& b) {
+              return a.group < b.group;
+            });
+}
+
+bool GroupedResult::SameAs(const GroupedResult& other) const {
+  if (rows_.size() != other.rows_.size()) return false;
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (rows_[i].group != other.rows_[i].group ||
+        !(rows_[i].agg == other.rows_[i].agg)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string GroupedResult::ToString(AggFunc f, size_t max_rows) const {
+  std::ostringstream os;
+  for (const std::string& c : group_columns_) os << c << '\t';
+  os << AggFuncToString(f) << '\n';
+  size_t shown = 0;
+  for (const ResultRow& r : rows_) {
+    if (shown++ >= max_rows) {
+      os << "... (" << rows_.size() - max_rows << " more rows)\n";
+      break;
+    }
+    for (int32_t g : r.group) os << g << '\t';
+    os << r.agg.Finalize(f) << '\n';
+  }
+  return os.str();
+}
+
+int64_t GroupedResult::TotalSum() const {
+  int64_t total = 0;
+  for (const ResultRow& r : rows_) total += r.agg.sum;
+  return total;
+}
+
+}  // namespace paradise::query

@@ -1,0 +1,540 @@
+#include "query/sql.h"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace paradise::query {
+
+namespace {
+
+// ---------------------------------------------------------------- lexer ---
+
+enum class TokenKind {
+  kIdent,
+  kString,
+  kInteger,
+  kComma,
+  kDot,
+  kLParen,
+  kRParen,
+  kEquals,
+  kSemicolon,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;   // identifier (original case) or string contents
+  int64_t integer = 0;
+  size_t position = 0;  // byte offset, for error messages
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input) : input_(input) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> tokens;
+    for (;;) {
+      SkipWhitespace();
+      const size_t at = pos_;
+      if (pos_ >= input_.size()) {
+        tokens.push_back(Token{TokenKind::kEnd, "", 0, at});
+        return tokens;
+      }
+      const char c = input_[pos_];
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        tokens.push_back(LexIdentifier());
+      } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+                 (c == '-' &&
+                  pos_ + 1 < input_.size() &&
+                  std::isdigit(static_cast<unsigned char>(input_[pos_ + 1])))) {
+        PARADISE_ASSIGN_OR_RETURN(Token t, LexInteger());
+        tokens.push_back(t);
+      } else if (c == '\'' || c == '"') {
+        PARADISE_ASSIGN_OR_RETURN(Token t, LexString());
+        tokens.push_back(t);
+      } else {
+        TokenKind kind;
+        switch (c) {
+          case ',':
+            kind = TokenKind::kComma;
+            break;
+          case '.':
+            kind = TokenKind::kDot;
+            break;
+          case '(':
+            kind = TokenKind::kLParen;
+            break;
+          case ')':
+            kind = TokenKind::kRParen;
+            break;
+          case '=':
+            kind = TokenKind::kEquals;
+            break;
+          case ';':
+            kind = TokenKind::kSemicolon;
+            break;
+          default:
+            return Status::InvalidArgument(
+                "unexpected character '" + std::string(1, c) +
+                "' at position " + std::to_string(at));
+        }
+        ++pos_;
+        tokens.push_back(Token{kind, std::string(1, c), 0, at});
+      }
+    }
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  Token LexIdentifier() {
+    const size_t start = pos_;
+    while (pos_ < input_.size() &&
+           (std::isalnum(static_cast<unsigned char>(input_[pos_])) ||
+            input_[pos_] == '_')) {
+      ++pos_;
+    }
+    return Token{TokenKind::kIdent,
+                 std::string(input_.substr(start, pos_ - start)), 0, start};
+  }
+
+  Result<Token> LexInteger() {
+    const size_t start = pos_;
+    if (input_[pos_] == '-') ++pos_;
+    while (pos_ < input_.size() &&
+           std::isdigit(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+    Token t{TokenKind::kInteger,
+            std::string(input_.substr(start, pos_ - start)), 0, start};
+    try {
+      t.integer = std::stoll(t.text);
+    } catch (...) {
+      return Status::InvalidArgument("integer literal out of range at " +
+                                     std::to_string(start));
+    }
+    return t;
+  }
+
+  Result<Token> LexString() {
+    const char quote = input_[pos_];
+    const size_t start = pos_++;
+    std::string contents;
+    while (pos_ < input_.size() && input_[pos_] != quote) {
+      contents.push_back(input_[pos_++]);
+    }
+    if (pos_ >= input_.size()) {
+      return Status::InvalidArgument("unterminated string literal at " +
+                                     std::to_string(start));
+    }
+    ++pos_;  // closing quote
+    return Token{TokenKind::kString, std::move(contents), 0, start};
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+std::string Lowered(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+// --------------------------------------------------------------- parser ---
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<SqlQuery> Parse() {
+    SqlQuery q;
+    PARADISE_RETURN_IF_ERROR(ExpectKeyword("select"));
+    PARADISE_RETURN_IF_ERROR(ParseSelectList(&q));
+    PARADISE_RETURN_IF_ERROR(ExpectKeyword("from"));
+    PARADISE_RETURN_IF_ERROR(ParseTableList(&q));
+    if (AcceptKeyword("where")) {
+      PARADISE_RETURN_IF_ERROR(ParseWhere(&q));
+    }
+    if (AcceptKeyword("group")) {
+      PARADISE_RETURN_IF_ERROR(ExpectKeyword("by"));
+      PARADISE_RETURN_IF_ERROR(ParseGroupBy(&q));
+    }
+    (void)Accept(TokenKind::kSemicolon);
+    if (Peek().kind != TokenKind::kEnd) {
+      return Unexpected("end of statement");
+    }
+    return q;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+
+  bool Accept(TokenKind kind) {
+    if (Peek().kind == kind) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool AcceptKeyword(std::string_view word) {
+    if (Peek().kind == TokenKind::kIdent && Lowered(Peek().text) == word) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectKeyword(std::string_view word) {
+    if (!AcceptKeyword(word)) {
+      return Unexpected("'" + std::string(word) + "'");
+    }
+    return Status::OK();
+  }
+
+  Status Expect(TokenKind kind, const char* what) {
+    if (!Accept(kind)) return Unexpected(what);
+    return Status::OK();
+  }
+
+  Status Unexpected(const std::string& expected) const {
+    return Status::InvalidArgument(
+        "expected " + expected + " at position " +
+        std::to_string(Peek().position) + ", found '" + Peek().text + "'");
+  }
+
+  Result<SqlColumn> ParseColumn() {
+    if (Peek().kind != TokenKind::kIdent) {
+      return Unexpected("a column name");
+    }
+    SqlColumn col;
+    col.column = Peek().text;
+    ++pos_;
+    if (Accept(TokenKind::kDot)) {
+      if (Peek().kind != TokenKind::kIdent) {
+        return Unexpected("a column name after '.'");
+      }
+      col.table = col.column;
+      col.column = Peek().text;
+      ++pos_;
+    }
+    return col;
+  }
+
+  static std::optional<AggFunc> AggFromName(std::string_view name) {
+    const std::string lower = Lowered(name);
+    if (lower == "sum") return AggFunc::kSum;
+    if (lower == "count") return AggFunc::kCount;
+    if (lower == "min") return AggFunc::kMin;
+    if (lower == "max") return AggFunc::kMax;
+    if (lower == "avg") return AggFunc::kAvg;
+    return std::nullopt;
+  }
+
+  Status ParseSelectList(SqlQuery* q) {
+    bool saw_agg = false;
+    do {
+      if (Peek().kind == TokenKind::kIdent &&
+          pos_ + 1 < tokens_.size() &&
+          tokens_[pos_ + 1].kind == TokenKind::kLParen &&
+          AggFromName(Peek().text).has_value()) {
+        if (saw_agg) {
+          return Status::InvalidArgument(
+              "only one aggregate is supported in the select list");
+        }
+        saw_agg = true;
+        q->agg = *AggFromName(Peek().text);
+        ++pos_;  // agg name
+        ++pos_;  // '('
+        if (Peek().kind != TokenKind::kIdent) {
+          return Unexpected("the measure column inside the aggregate");
+        }
+        q->agg_argument = Peek().text;
+        ++pos_;
+        PARADISE_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+      } else {
+        PARADISE_ASSIGN_OR_RETURN(SqlColumn col, ParseColumn());
+        q->select_columns.push_back(std::move(col));
+      }
+    } while (Accept(TokenKind::kComma));
+    if (!saw_agg) {
+      return Status::InvalidArgument(
+          "select list must contain one aggregate, e.g. sum(volume)");
+    }
+    return Status::OK();
+  }
+
+  Status ParseTableList(SqlQuery* q) {
+    do {
+      if (Peek().kind != TokenKind::kIdent) return Unexpected("a table name");
+      q->tables.push_back(Peek().text);
+      ++pos_;
+    } while (Accept(TokenKind::kComma));
+    return Status::OK();
+  }
+
+  Result<Literal> ParseLiteral() {
+    if (Peek().kind == TokenKind::kString) {
+      Literal lit{tokens_[pos_].text};
+      ++pos_;
+      return lit;
+    }
+    if (Peek().kind == TokenKind::kInteger) {
+      Literal lit{tokens_[pos_].integer};
+      ++pos_;
+      return lit;
+    }
+    return Unexpected("a literal");
+  }
+
+  Status ParseWhere(SqlQuery* q) {
+    do {
+      SqlPredicate pred;
+      PARADISE_ASSIGN_OR_RETURN(pred.lhs, ParseColumn());
+      if (AcceptKeyword("in")) {
+        PARADISE_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'('"));
+        do {
+          PARADISE_ASSIGN_OR_RETURN(Literal lit, ParseLiteral());
+          pred.values.push_back(std::move(lit));
+        } while (Accept(TokenKind::kComma));
+        PARADISE_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+      } else {
+        PARADISE_RETURN_IF_ERROR(Expect(TokenKind::kEquals, "'=' or IN"));
+        if (Peek().kind == TokenKind::kIdent) {
+          PARADISE_ASSIGN_OR_RETURN(SqlColumn rhs, ParseColumn());
+          pred.rhs_column = std::move(rhs);
+        } else {
+          PARADISE_ASSIGN_OR_RETURN(Literal lit, ParseLiteral());
+          pred.values.push_back(std::move(lit));
+        }
+      }
+      q->predicates.push_back(std::move(pred));
+    } while (AcceptKeyword("and"));
+    return Status::OK();
+  }
+
+  Status ParseGroupBy(SqlQuery* q) {
+    do {
+      PARADISE_ASSIGN_OR_RETURN(SqlColumn col, ParseColumn());
+      q->group_by.push_back(std::move(col));
+    } while (Accept(TokenKind::kComma));
+    return Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+// --------------------------------------------------------------- binder ---
+
+/// Resolved location of a column: dimension index + column index, or the
+/// measure, or a fact foreign-key column.
+struct ResolvedColumn {
+  enum class Kind { kDimensionAttr, kDimensionKey, kMeasure, kFactKey };
+  Kind kind;
+  size_t dim = 0;  // for kDimensionAttr / kDimensionKey / kFactKey
+  size_t col = 0;  // for kDimensionAttr (column within the dimension schema)
+};
+
+class Binder {
+ public:
+  explicit Binder(const StarSchema& schema) : schema_(schema) {
+    for (size_t d = 0; d < schema.dims.size(); ++d) {
+      dim_by_name_[Lowered(schema.dims[d].name)] = d;
+    }
+  }
+
+  Result<ConsolidationQuery> Bind(const SqlQuery& parsed) {
+    PARADISE_RETURN_IF_ERROR(CheckTables(parsed));
+    ConsolidationQuery q;
+    q.dims.resize(schema_.dims.size());
+    q.agg = parsed.agg;
+
+    bool measure_found = false;
+    for (size_t m = 0; m < schema_.measures.size(); ++m) {
+      if (Lowered(parsed.agg_argument) == Lowered(schema_.measures[m])) {
+        q.measure = m;
+        measure_found = true;
+        break;
+      }
+    }
+    if (!measure_found) {
+      return Status::InvalidArgument("aggregate argument '" +
+                                     parsed.agg_argument +
+                                     "' is not a measure of the cube");
+    }
+
+    for (const SqlColumn& col : parsed.group_by) {
+      PARADISE_ASSIGN_OR_RETURN(ResolvedColumn r, Resolve(col));
+      if (r.kind != ResolvedColumn::Kind::kDimensionAttr) {
+        return Status::InvalidArgument("GROUP BY column " + col.ToString() +
+                                       " is not a dimension attribute");
+      }
+      if (q.dims[r.dim].group_by_col.has_value() &&
+          *q.dims[r.dim].group_by_col != r.col) {
+        return Status::NotSupported(
+            "grouping one dimension at two levels is not supported");
+      }
+      q.dims[r.dim].group_by_col = r.col;
+    }
+
+    for (const SqlPredicate& pred : parsed.predicates) {
+      PARADISE_ASSIGN_OR_RETURN(ResolvedColumn lhs, Resolve(pred.lhs));
+      if (pred.rhs_column.has_value()) {
+        PARADISE_RETURN_IF_ERROR(CheckJoin(pred, lhs));
+        continue;  // the star join is implicit
+      }
+      if (lhs.kind != ResolvedColumn::Kind::kDimensionAttr) {
+        return Status::InvalidArgument(
+            "selection on " + pred.lhs.ToString() +
+            ", which is not a dimension attribute");
+      }
+      q.dims[lhs.dim].selections.push_back(
+          Selection{lhs.col, pred.values});
+    }
+
+    // Every plain select column must be grouped (SQL's usual rule).
+    for (const SqlColumn& col : parsed.select_columns) {
+      PARADISE_ASSIGN_OR_RETURN(ResolvedColumn r, Resolve(col));
+      if (r.kind != ResolvedColumn::Kind::kDimensionAttr ||
+          q.dims[r.dim].group_by_col != r.col) {
+        return Status::InvalidArgument("select column " + col.ToString() +
+                                       " does not appear in GROUP BY");
+      }
+    }
+
+    std::vector<size_t> dim_cols;
+    for (const DimensionSpec& d : schema_.dims) {
+      dim_cols.push_back(d.attrs.size());
+    }
+    PARADISE_RETURN_IF_ERROR(q.Validate(dim_cols));
+    return q;
+  }
+
+ private:
+  Status CheckTables(const SqlQuery& parsed) const {
+    for (const std::string& table : parsed.tables) {
+      const std::string lower = Lowered(table);
+      if (lower == Lowered(schema_.cube_name) || lower == "fact" ||
+          dim_by_name_.contains(lower)) {
+        continue;
+      }
+      return Status::NotFound("unknown table '" + table + "'");
+    }
+    return Status::OK();
+  }
+
+  Result<ResolvedColumn> Resolve(const SqlColumn& col) const {
+    const std::string name = Lowered(col.column);
+    if (col.table.has_value()) {
+      const std::string table = Lowered(*col.table);
+      if (table == Lowered(schema_.cube_name) || table == "fact") {
+        return ResolveFactColumn(name, col);
+      }
+      auto it = dim_by_name_.find(table);
+      if (it == dim_by_name_.end()) {
+        return Status::NotFound("unknown table '" + *col.table + "'");
+      }
+      return ResolveInDimension(it->second, name, col);
+    }
+    // Unqualified: measure, else search all dimensions; must be unique.
+    for (size_t m = 0; m < schema_.measures.size(); ++m) {
+      if (name == Lowered(schema_.measures[m])) {
+        return ResolvedColumn{ResolvedColumn::Kind::kMeasure, 0, m};
+      }
+    }
+    std::optional<ResolvedColumn> found;
+    for (size_t d = 0; d < schema_.dims.size(); ++d) {
+      Result<ResolvedColumn> r = ResolveInDimension(d, name, col);
+      if (!r.ok()) continue;
+      if (found.has_value()) {
+        return Status::InvalidArgument("ambiguous column '" + col.column +
+                                       "'; qualify it with a table name");
+      }
+      found = *r;
+    }
+    if (!found.has_value()) {
+      return Status::NotFound("unknown column '" + col.column + "'");
+    }
+    return *found;
+  }
+
+  Result<ResolvedColumn> ResolveFactColumn(const std::string& name,
+                                           const SqlColumn& col) const {
+    for (size_t m = 0; m < schema_.measures.size(); ++m) {
+      if (name == Lowered(schema_.measures[m])) {
+        return ResolvedColumn{ResolvedColumn::Kind::kMeasure, 0, m};
+      }
+    }
+    for (size_t d = 0; d < schema_.dims.size(); ++d) {
+      if (Lowered(schema_.dims[d].attrs[0].name) == name) {
+        return ResolvedColumn{ResolvedColumn::Kind::kFactKey, d, 0};
+      }
+    }
+    return Status::NotFound("unknown fact column '" + col.column + "'");
+  }
+
+  Result<ResolvedColumn> ResolveInDimension(size_t d, const std::string& name,
+                                            const SqlColumn& col) const {
+    const DimensionSpec& spec = schema_.dims[d];
+    for (size_t c = 0; c < spec.attrs.size(); ++c) {
+      if (Lowered(spec.attrs[c].name) == name) {
+        return ResolvedColumn{c == 0 ? ResolvedColumn::Kind::kDimensionKey
+                                     : ResolvedColumn::Kind::kDimensionAttr,
+                              d, c};
+      }
+    }
+    return Status::NotFound("no column '" + col.column + "' in dimension '" +
+                            spec.name + "'");
+  }
+
+  Status CheckJoin(const SqlPredicate& pred, const ResolvedColumn& lhs) const {
+    PARADISE_ASSIGN_OR_RETURN(ResolvedColumn rhs, Resolve(*pred.rhs_column));
+    auto is_key = [](const ResolvedColumn& r) {
+      return r.kind == ResolvedColumn::Kind::kFactKey ||
+             r.kind == ResolvedColumn::Kind::kDimensionKey;
+    };
+    if (!is_key(lhs) || !is_key(rhs) || lhs.dim != rhs.dim ||
+        lhs.kind == rhs.kind) {
+      return Status::NotSupported(
+          "only star-join predicates (fact key = dimension key) are "
+          "supported: " + pred.lhs.ToString() + " = " +
+          pred.rhs_column->ToString());
+    }
+    return Status::OK();
+  }
+
+  const StarSchema& schema_;
+  std::unordered_map<std::string, size_t> dim_by_name_;
+};
+
+}  // namespace
+
+Result<SqlQuery> ParseSql(std::string_view sql) {
+  Lexer lexer(sql);
+  PARADISE_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+Result<ConsolidationQuery> BindSql(const SqlQuery& parsed,
+                                   const StarSchema& schema) {
+  Binder binder(schema);
+  return binder.Bind(parsed);
+}
+
+Result<ConsolidationQuery> CompileSql(std::string_view sql,
+                                      const StarSchema& schema) {
+  PARADISE_ASSIGN_OR_RETURN(SqlQuery parsed, ParseSql(sql));
+  return BindSql(parsed, schema);
+}
+
+}  // namespace paradise::query

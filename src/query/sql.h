@@ -1,0 +1,77 @@
+// A SQL front end for the paper's consolidation query class (§2.1):
+//
+//   SELECT sum(volume), dim0.h01, dim1.h11
+//   FROM   fact, dim0, dim1
+//   WHERE  fact.d0 = dim0.d0 AND fact.d1 = dim1.d1
+//     AND  dim0.h02 = 'AH2C000' AND dim1.h12 IN ('BH2C000', 'BH2C001')
+//   GROUP BY dim0.h01, dim1.h11
+//
+// The paper leaves SQL integration as its main open problem ("queries can
+// be run by invoking appropriate methods on the ADT ... but this is not
+// transparent", §1); this front end closes that gap for the query class the
+// paper evaluates: parse → bind against the StarSchema → a
+// query::ConsolidationQuery any engine can run. Star-join predicates
+// (fact.fk = dim.key) are recognized and checked, then dropped — the cube
+// join is implicit in both physical designs.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "query/query.h"
+#include "schema/star_schema.h"
+
+namespace paradise::query {
+
+/// `dim.col` or bare `col` as written in the statement.
+struct SqlColumn {
+  std::optional<std::string> table;
+  std::string column;
+
+  std::string ToString() const {
+    return table.has_value() ? *table + "." + column : column;
+  }
+};
+
+/// One WHERE conjunct.
+struct SqlPredicate {
+  SqlColumn lhs;
+  /// Equality to constant(s): one literal for '=', several for IN.
+  std::vector<Literal> values;
+  /// Column-to-column equality (a join predicate) when set.
+  std::optional<SqlColumn> rhs_column;
+};
+
+/// The parsed (unbound) statement.
+struct SqlQuery {
+  AggFunc agg = AggFunc::kSum;
+  std::string agg_argument;          // measure column name
+  std::vector<SqlColumn> select_columns;  // non-aggregate select items
+  std::vector<std::string> tables;
+  std::vector<SqlPredicate> predicates;
+  std::vector<SqlColumn> group_by;
+};
+
+/// Parses one SELECT statement. Grammar (case-insensitive keywords):
+///   SELECT (agg '(' ident ')' | column) (',' ...)*
+///   FROM ident (',' ident)*
+///   [WHERE pred (AND pred)*]     pred := col '=' (literal | col)
+///                                      | col IN '(' literal (',' lit)* ')'
+///   [GROUP BY col (',' col)*] [';']
+Result<SqlQuery> ParseSql(std::string_view sql);
+
+/// Binds a parsed statement against a star schema, producing an executable
+/// ConsolidationQuery. Validates table names, resolves columns (bare names
+/// must be unambiguous), checks the aggregate argument is the measure, and
+/// verifies join predicates connect fact foreign keys to dimension keys.
+Result<ConsolidationQuery> BindSql(const SqlQuery& parsed,
+                                   const StarSchema& schema);
+
+/// ParseSql + BindSql.
+Result<ConsolidationQuery> CompileSql(std::string_view sql,
+                                      const StarSchema& schema);
+
+}  // namespace paradise::query

@@ -1,0 +1,45 @@
+// B-tree join-index selection — the "standard B-tree indexing" baseline of
+// paper §4.4, which their tests found dominated by bitmap indexing across
+// the board. One B-tree per selectable dimension attribute maps attribute
+// values to fact tuple numbers; selection retrieves the tuple-id lists for
+// the selected values, intersects them across attributes and dimensions,
+// and fetches the survivors through the fact file.
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "index/btree.h"
+#include "query/query.h"
+#include "query/result.h"
+#include "relational/dimension_table.h"
+#include "relational/fact_file.h"
+#include "relational/schema.h"
+#include "storage/buffer_pool.h"
+
+namespace paradise {
+
+struct BTreeSelectParams {
+  const FactFile* fact = nullptr;
+  const Schema* fact_schema = nullptr;
+  std::vector<const DimensionTable*> dims;
+  /// join_index_roots[dim][col]: root page of the value → tuple-number
+  /// B-tree, or kInvalidPageId where none was built. Every selected
+  /// attribute must have one.
+  const std::vector<std::vector<PageId>>* join_index_roots = nullptr;
+  BufferPool* pool = nullptr;
+  const query::ConsolidationQuery* query = nullptr;
+  PhaseTimer* timer = nullptr;
+
+  /// Output: qualifying tuples after all intersections.
+  uint64_t* result_tuples = nullptr;
+};
+
+/// Runs the B-tree join-index plan. Requires at least one selection;
+/// semantics match the other consolidation operators.
+Result<query::GroupedResult> BTreeSelectConsolidate(
+    const BTreeSelectParams& params);
+
+}  // namespace paradise

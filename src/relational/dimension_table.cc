@@ -1,0 +1,160 @@
+#include "relational/dimension_table.h"
+
+#include "index/btree.h"
+
+namespace paradise {
+
+namespace {
+Status ValidateDimensionSchema(const Schema& schema) {
+  if (schema.num_columns() == 0 ||
+      schema.column(0).type != ColumnType::kInt32) {
+    return Status::InvalidArgument(
+        "dimension schema must start with an int32 key column");
+  }
+  return Status::OK();
+}
+}  // namespace
+
+Result<DimensionTable> DimensionTable::Create(BufferPool* pool,
+                                              std::string name,
+                                              Schema schema) {
+  PARADISE_RETURN_IF_ERROR(ValidateDimensionSchema(schema));
+  PARADISE_ASSIGN_OR_RETURN(HeapFile storage, HeapFile::Create(pool));
+  return DimensionTable(pool, std::move(name), std::move(schema),
+                        std::move(storage));
+}
+
+Result<DimensionTable> DimensionTable::Open(BufferPool* pool,
+                                            std::string name, Schema schema,
+                                            PageId first_page) {
+  PARADISE_RETURN_IF_ERROR(ValidateDimensionSchema(schema));
+  PARADISE_ASSIGN_OR_RETURN(HeapFile storage,
+                            HeapFile::Open(pool, first_page));
+  DimensionTable table(pool, std::move(name), std::move(schema),
+                       std::move(storage));
+  PARADISE_ASSIGN_OR_RETURN(HeapFileIterator it, table.storage_.Scan());
+  while (it.Valid()) {
+    if (it.record().size() != table.schema_->record_size()) {
+      return Status::Corruption("dimension row size mismatch in table '" +
+                                table.name_ + "'");
+    }
+    Tuple row(table.schema_.get(), it.record());
+    PARADISE_RETURN_IF_ERROR(table.IndexRow(row));
+    table.rows_.push_back(std::move(row));
+    PARADISE_RETURN_IF_ERROR(it.Next());
+  }
+  return table;
+}
+
+Status DimensionTable::Append(const Tuple& row) {
+  if (row.bytes().size() != schema_->record_size()) {
+    return Status::InvalidArgument("row size mismatch for table '" + name_ +
+                                   "'");
+  }
+  const int32_t key = row.GetInt32(0);
+  if (key_to_row_.contains(key)) {
+    return Status::AlreadyExists("duplicate dimension key " +
+                                 std::to_string(key) + " in table '" + name_ +
+                                 "'");
+  }
+  PARADISE_RETURN_IF_ERROR(storage_.Append(row.bytes()).status());
+  PARADISE_RETURN_IF_ERROR(IndexRow(row));
+  // Re-bind the cached copy to this table's stable schema: the caller's
+  // Tuple may reference a schema that does not outlive the table.
+  rows_.push_back(Tuple(schema_.get(), row.bytes()));
+  return Status::OK();
+}
+
+Status DimensionTable::IndexRow(const Tuple& row) {
+  const uint32_t row_idx = static_cast<uint32_t>(rows_.size());
+  key_to_row_[row.GetInt32(0)] = row_idx;
+  for (size_t col = 1; col < schema_->num_columns(); ++col) {
+    PARADISE_ASSIGN_OR_RETURN(int64_t norm, NormalizedValue(row.ref(), col));
+    AttributeDictionary& dict = dictionaries_[col];
+    auto [it, inserted] =
+        dict.value_to_code.try_emplace(norm, dict.cardinality());
+    if (inserted) {
+      dict.code_to_value.push_back(norm);
+      std::string display;
+      switch (schema_->column(col).type) {
+        case ColumnType::kInt32:
+          display = std::to_string(row.GetInt32(col));
+          break;
+        case ColumnType::kInt64:
+          display = std::to_string(row.GetInt64(col));
+          break;
+        case ColumnType::kString16:
+          display = std::string(row.GetString(col));
+          break;
+      }
+      dict.code_to_display.push_back(std::move(display));
+    }
+    attr_codes_[col].push_back(it->second);
+  }
+  return Status::OK();
+}
+
+Result<uint32_t> DimensionTable::RowOfKey(int32_t key) const {
+  auto it = key_to_row_.find(key);
+  if (it == key_to_row_.end()) {
+    return Status::NotFound("key " + std::to_string(key) +
+                            " not in dimension '" + name_ + "'");
+  }
+  return it->second;
+}
+
+Result<const AttributeDictionary*> DimensionTable::Dictionary(
+    size_t col) const {
+  if (col == 0 || col >= schema_->num_columns()) {
+    return Status::InvalidArgument("column " + std::to_string(col) +
+                                   " has no dictionary in '" + name_ + "'");
+  }
+  return &dictionaries_[col];
+}
+
+Result<int32_t> DimensionTable::RowAttrCode(uint32_t row, size_t col) const {
+  if (col == 0 || col >= schema_->num_columns()) {
+    return Status::InvalidArgument("bad attribute column " +
+                                   std::to_string(col));
+  }
+  if (row >= rows_.size()) {
+    return Status::OutOfRange("row " + std::to_string(row) + " beyond " +
+                              std::to_string(rows_.size()));
+  }
+  return attr_codes_[col][row];
+}
+
+Result<int32_t> DimensionTable::ValueCode(size_t col,
+                                          int64_t normalized_value) const {
+  PARADISE_ASSIGN_OR_RETURN(const AttributeDictionary* dict, Dictionary(col));
+  auto it = dict->value_to_code.find(normalized_value);
+  if (it == dict->value_to_code.end()) {
+    return Status::NotFound("value not present in attribute '" +
+                            schema_->column(col).name + "' of '" + name_ +
+                            "'");
+  }
+  return it->second;
+}
+
+Result<int64_t> DimensionTable::NormalizedValue(const TupleRef& row,
+                                                size_t col) const {
+  switch (schema_->column(col).type) {
+    case ColumnType::kInt32:
+      return static_cast<int64_t>(row.GetInt32(col));
+    case ColumnType::kInt64:
+      return row.GetInt64(col);
+    case ColumnType::kString16:
+      return StringPrefixKey(row.GetString(col));
+  }
+  return Status::Internal("unreachable column type");
+}
+
+Result<std::vector<int32_t>> DimensionTable::LevelMap(size_t col) const {
+  if (col == 0 || col >= schema_->num_columns()) {
+    return Status::InvalidArgument("bad attribute column " +
+                                   std::to_string(col));
+  }
+  return attr_codes_[col];
+}
+
+}  // namespace paradise

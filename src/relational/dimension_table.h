@@ -1,0 +1,113 @@
+// DimensionTable: a star-schema dimension stored in a heap file, plus the
+// in-memory caches every algorithm in the paper leans on (dimension tables
+// "fit in memory", §4.3): the rows, a key → row-position map, and one
+// dictionary per non-key attribute assigning dense codes to distinct values
+// in first-appearance order — the paper's "m-th distinct element of
+// attribute A" enumeration (§3.4), shared by both query engines so their
+// group-by outputs are directly comparable.
+//
+// Column 0 is always the int32 dimension key. The row position of a key in
+// table order doubles as the dimension's base array index in the OLAP
+// Array ADT.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "relational/heap_file.h"
+#include "relational/schema.h"
+#include "relational/tuple.h"
+
+namespace paradise {
+
+/// Dense-code dictionary for one attribute. Values are normalized to int64
+/// (ints as-is, strings via StringPrefixKey).
+struct AttributeDictionary {
+  std::unordered_map<int64_t, int32_t> value_to_code;
+  std::vector<int64_t> code_to_value;
+  std::vector<std::string> code_to_display;  // original text form
+
+  int32_t cardinality() const {
+    return static_cast<int32_t>(code_to_value.size());
+  }
+};
+
+class DimensionTable {
+ public:
+  DimensionTable() = default;
+
+  /// Creates an empty dimension table. The schema's column 0 must be an
+  /// int32 key.
+  static Result<DimensionTable> Create(BufferPool* pool, std::string name,
+                                       Schema schema);
+
+  /// Opens an existing table and rebuilds the in-memory caches by scanning.
+  static Result<DimensionTable> Open(BufferPool* pool, std::string name,
+                                     Schema schema, PageId first_page);
+
+  /// Appends a row and updates the caches. Duplicate keys are rejected.
+  Status Append(const Tuple& row);
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return *schema_; }
+  PageId first_page() const { return storage_.first_page(); }
+  uint32_t num_rows() const { return static_cast<uint32_t>(rows_.size()); }
+
+  /// All rows in table order (the cache; cheap to call).
+  const std::vector<Tuple>& rows() const { return rows_; }
+
+  /// Row position of a dimension key, or NotFound.
+  Result<uint32_t> RowOfKey(int32_t key) const;
+
+  /// Dictionary for attribute column `col` (1-based data columns; col 0 is
+  /// the key and has no dictionary).
+  Result<const AttributeDictionary*> Dictionary(size_t col) const;
+
+  /// Dense code of row `row`'s value in attribute column `col`.
+  Result<int32_t> RowAttrCode(uint32_t row, size_t col) const;
+
+  /// Dense code of a normalized attribute value, or NotFound if the value
+  /// never occurs.
+  Result<int32_t> ValueCode(size_t col, int64_t normalized_value) const;
+
+  /// Normalizes a row's attribute value to the dictionary's int64 key form.
+  Result<int64_t> NormalizedValue(const TupleRef& row, size_t col) const;
+
+  /// The level map for attribute `col`: base index (row position) → dense
+  /// attribute code. This is exactly one column of the paper's IndexToIndex
+  /// array (§3.4).
+  Result<std::vector<int32_t>> LevelMap(size_t col) const;
+
+ private:
+  DimensionTable(BufferPool* pool, std::string name, Schema schema,
+                 HeapFile storage)
+      : pool_(pool),
+        name_(std::move(name)),
+        // Heap-allocated so cached Tuples can point at it across moves of
+        // the DimensionTable itself.
+        schema_(std::make_shared<const Schema>(std::move(schema))),
+        storage_(std::move(storage)) {
+    dictionaries_.resize(schema_->num_columns());
+    attr_codes_.resize(schema_->num_columns());
+  }
+
+  /// Adds one row's worth of cache state (key map, dictionaries, codes).
+  Status IndexRow(const Tuple& row);
+
+  BufferPool* pool_ = nullptr;
+  std::string name_;
+  std::shared_ptr<const Schema> schema_;
+  HeapFile storage_;
+  std::vector<Tuple> rows_;
+  std::unordered_map<int32_t, uint32_t> key_to_row_;
+  // Per column: dictionary (cols >= 1 only) and per-row codes.
+  std::vector<AttributeDictionary> dictionaries_;
+  std::vector<std::vector<int32_t>> attr_codes_;
+};
+
+}  // namespace paradise

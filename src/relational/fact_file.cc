@@ -1,0 +1,114 @@
+#include "relational/fact_file.h"
+
+#include <cstring>
+
+#include "common/coding.h"
+
+namespace paradise {
+
+namespace {
+// Meta page layout:
+//   [0,4)   magic "FACT"
+//   [4,8)   record size
+//   [8,16)  tuple count
+//   [16,24) extent-directory root PageId
+constexpr char kMagic[4] = {'F', 'A', 'C', 'T'};
+constexpr size_t kMagicOffset = 0;
+constexpr size_t kRecordSizeOffset = 4;
+constexpr size_t kNumTuplesOffset = 8;
+constexpr size_t kExtentRootOffset = 16;
+}  // namespace
+
+Result<FactFile> FactFile::Create(BufferPool* pool, DiskManager* disk,
+                                  uint32_t record_size,
+                                  uint32_t pages_per_extent) {
+  if (record_size == 0 || record_size > pool->page_size()) {
+    return Status::InvalidArgument("record size " +
+                                   std::to_string(record_size) +
+                                   " must be in (0, page_size]");
+  }
+  ExtentAllocator extents(pool, disk);
+  PARADISE_ASSIGN_OR_RETURN(PageId extent_root,
+                            extents.Create(pages_per_extent));
+  PARADISE_ASSIGN_OR_RETURN(PageGuard g, pool->NewPage());
+  char* p = g.mutable_data();
+  std::memcpy(p + kMagicOffset, kMagic, sizeof(kMagic));
+  EncodeFixed32(p + kRecordSizeOffset, record_size);
+  EncodeFixed64(p + kNumTuplesOffset, 0);
+  EncodeFixed64(p + kExtentRootOffset, extent_root);
+  return FactFile(pool, g.page_id(), record_size, 0, std::move(extents));
+}
+
+Result<FactFile> FactFile::Open(BufferPool* pool, DiskManager* disk,
+                                PageId meta_page) {
+  uint32_t record_size = 0;
+  uint64_t num_tuples = 0;
+  PageId extent_root = kInvalidPageId;
+  {
+    PARADISE_ASSIGN_OR_RETURN(PageGuard g, pool->FetchPage(meta_page));
+    const char* p = g.data();
+    if (std::memcmp(p + kMagicOffset, kMagic, sizeof(kMagic)) != 0) {
+      return Status::Corruption("page " + std::to_string(meta_page) +
+                                " is not a fact-file meta page");
+    }
+    record_size = DecodeFixed32(p + kRecordSizeOffset);
+    num_tuples = DecodeFixed64(p + kNumTuplesOffset);
+    extent_root = DecodeFixed64(p + kExtentRootOffset);
+  }
+  if (record_size == 0 || record_size > pool->page_size()) {
+    return Status::Corruption("fact file has invalid record size " +
+                              std::to_string(record_size));
+  }
+  ExtentAllocator extents(pool, disk);
+  PARADISE_RETURN_IF_ERROR(extents.Open(extent_root));
+  return FactFile(pool, meta_page, record_size, num_tuples,
+                  std::move(extents));
+}
+
+Status FactFile::Append(std::string_view record) {
+  if (record.size() != record_size_) {
+    return Status::InvalidArgument(
+        "record of " + std::to_string(record.size()) + " bytes, expected " +
+        std::to_string(record_size_));
+  }
+  const uint64_t tuple = num_tuples_;
+  const uint64_t logical_page = tuple / tuples_per_page_;
+  PARADISE_RETURN_IF_ERROR(extents_.EnsureCapacity(logical_page + 1));
+  PARADISE_ASSIGN_OR_RETURN(PageId pid,
+                            extents_.LogicalToPhysical(logical_page));
+  PARADISE_ASSIGN_OR_RETURN(PageGuard g, pool_->FetchPage(pid));
+  const uint64_t slot = tuple % tuples_per_page_;
+  std::memcpy(g.mutable_data() + slot * record_size_, record.data(),
+              record.size());
+  ++num_tuples_;
+  return Status::OK();
+}
+
+Status FactFile::Get(uint64_t tuple_number, char* out) const {
+  if (tuple_number >= num_tuples_) {
+    return Status::OutOfRange("tuple " + std::to_string(tuple_number) +
+                              " beyond " + std::to_string(num_tuples_));
+  }
+  const uint64_t logical_page = tuple_number / tuples_per_page_;
+  PARADISE_ASSIGN_OR_RETURN(PageId pid,
+                            extents_.LogicalToPhysical(logical_page));
+  PARADISE_ASSIGN_OR_RETURN(PageGuard g, pool_->FetchPage(pid));
+  const uint64_t slot = tuple_number % tuples_per_page_;
+  std::memcpy(out, g.data() + slot * record_size_, record_size_);
+  return Status::OK();
+}
+
+Status FactFile::Sync() {
+  PARADISE_ASSIGN_OR_RETURN(PageGuard g, pool_->FetchPage(meta_page_));
+  EncodeFixed64(g.mutable_data() + kNumTuplesOffset, num_tuples_);
+  return Status::OK();
+}
+
+uint64_t FactFile::total_pages() const {
+  // Meta page + directory pages (>= 1) + all extent pages. The extent
+  // directory chain length is proportional to extent count; approximate it
+  // as 1 since directories hold ~1000 extents per page.
+  return 1 + 1 + extents_.num_extents() * extents_.pages_per_extent();
+}
+
+}  // namespace paradise

@@ -1,0 +1,39 @@
+// Left-deep pipelined hash-join baseline — the conventional plan the paper's
+// §4.3 argues is a poor fit for star joins (each stage materializes the
+// growing join result before the next dimension joins and the final
+// aggregation runs). Kept as an ablation so the benches can show the gap the
+// fused StarJoinConsolidation closes.
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "query/query.h"
+#include "query/result.h"
+#include "relational/dimension_table.h"
+#include "relational/fact_file.h"
+#include "relational/schema.h"
+
+namespace paradise {
+
+struct LeftDeepJoinParams {
+  const FactFile* fact = nullptr;
+  const Schema* fact_schema = nullptr;
+  std::vector<const DimensionTable*> dims;
+  const query::ConsolidationQuery* query = nullptr;
+  PhaseTimer* timer = nullptr;
+
+  /// Output: total intermediate rows materialized across all join stages
+  /// (the cost driver this baseline demonstrates).
+  uint64_t* intermediate_rows = nullptr;
+};
+
+/// Joins the fact table with each joined dimension one stage at a time,
+/// materializing the intermediate result between stages, then hash-
+/// aggregates. Semantics match StarJoinConsolidate.
+Result<query::GroupedResult> LeftDeepJoinConsolidate(
+    const LeftDeepJoinParams& params);
+
+}  // namespace paradise

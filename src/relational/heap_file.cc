@@ -1,0 +1,182 @@
+#include "relational/heap_file.h"
+
+#include <cstring>
+
+#include "common/coding.h"
+
+namespace paradise {
+
+namespace {
+// Slotted page layout:
+//   [0,4)   magic "HEAP"
+//   [4,12)  next page id
+//   [12,14) slot count
+//   [14,16) free-space start offset (grows up from the header)
+//   slots grow down from the end of the page: per slot
+//   (fixed16 record offset, fixed16 record length)
+constexpr char kMagic[4] = {'H', 'E', 'A', 'P'};
+constexpr size_t kMagicOffset = 0;
+constexpr size_t kNextOffset = 4;
+constexpr size_t kSlotCountOffset = 12;
+constexpr size_t kFreeStartOffset = 14;
+constexpr size_t kHeaderBytes = 16;
+constexpr size_t kSlotBytes = 4;
+
+uint16_t SlotCount(const char* p) { return DecodeFixed16(p + kSlotCountOffset); }
+uint16_t FreeStart(const char* p) { return DecodeFixed16(p + kFreeStartOffset); }
+PageId NextPage(const char* p) { return DecodeFixed64(p + kNextOffset); }
+
+void SlotAt(const char* p, size_t page_size, uint16_t slot, uint16_t* offset,
+            uint16_t* length) {
+  const char* s = p + page_size - (slot + 1) * kSlotBytes;
+  *offset = DecodeFixed16(s);
+  *length = DecodeFixed16(s + 2);
+}
+
+void SetSlotAt(char* p, size_t page_size, uint16_t slot, uint16_t offset,
+               uint16_t length) {
+  char* s = p + page_size - (slot + 1) * kSlotBytes;
+  EncodeFixed16(s, offset);
+  EncodeFixed16(s + 2, length);
+}
+
+void InitPage(char* p, size_t page_size) {
+  std::memset(p, 0, page_size);
+  std::memcpy(p + kMagicOffset, kMagic, sizeof(kMagic));
+  EncodeFixed64(p + kNextOffset, kInvalidPageId);
+  EncodeFixed16(p + kSlotCountOffset, 0);
+  EncodeFixed16(p + kFreeStartOffset, kHeaderBytes);
+}
+
+Status ValidatePage(const char* p, PageId id) {
+  if (std::memcmp(p + kMagicOffset, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("page " + std::to_string(id) +
+                              " is not a heap page");
+  }
+  return Status::OK();
+}
+
+size_t FreeBytes(const char* p, size_t page_size) {
+  const size_t slots_end = page_size - SlotCount(p) * kSlotBytes;
+  return slots_end - FreeStart(p);
+}
+}  // namespace
+
+Result<HeapFile> HeapFile::Create(BufferPool* pool) {
+  PARADISE_ASSIGN_OR_RETURN(PageGuard g, pool->NewPage());
+  InitPage(g.mutable_data(), pool->page_size());
+  return HeapFile(pool, g.page_id(), g.page_id());
+}
+
+Result<HeapFile> HeapFile::Open(BufferPool* pool, PageId first_page) {
+  // Find the last page of the chain so appends can resume.
+  PageId page = first_page;
+  PageId last = first_page;
+  while (page != kInvalidPageId) {
+    PARADISE_ASSIGN_OR_RETURN(PageGuard g, pool->FetchPage(page));
+    PARADISE_RETURN_IF_ERROR(ValidatePage(g.data(), page));
+    last = page;
+    page = NextPage(g.data());
+  }
+  return HeapFile(pool, first_page, last);
+}
+
+Result<RecordId> HeapFile::Append(std::string_view record) {
+  const size_t page_size = pool_->page_size();
+  if (record.size() + kSlotBytes > page_size - kHeaderBytes) {
+    return Status::InvalidArgument("record of " +
+                                   std::to_string(record.size()) +
+                                   " bytes does not fit in one page");
+  }
+  PARADISE_ASSIGN_OR_RETURN(PageGuard g, pool_->FetchPage(last_page_));
+  if (FreeBytes(g.data(), page_size) < record.size() + kSlotBytes) {
+    // Chain a fresh page.
+    PARADISE_ASSIGN_OR_RETURN(PageGuard fresh, pool_->NewPage());
+    InitPage(fresh.mutable_data(), page_size);
+    EncodeFixed64(g.mutable_data() + kNextOffset, fresh.page_id());
+    last_page_ = fresh.page_id();
+    g = std::move(fresh);
+  }
+  char* p = g.mutable_data();
+  const uint16_t slot = SlotCount(p);
+  const uint16_t offset = FreeStart(p);
+  std::memcpy(p + offset, record.data(), record.size());
+  SetSlotAt(p, page_size, slot, offset,
+            static_cast<uint16_t>(record.size()));
+  EncodeFixed16(p + kSlotCountOffset, static_cast<uint16_t>(slot + 1));
+  EncodeFixed16(p + kFreeStartOffset,
+                static_cast<uint16_t>(offset + record.size()));
+  return RecordId{g.page_id(), slot};
+}
+
+Status HeapFile::Get(RecordId rid, std::string* out) const {
+  PARADISE_ASSIGN_OR_RETURN(PageGuard g, pool_->FetchPage(rid.page));
+  PARADISE_RETURN_IF_ERROR(ValidatePage(g.data(), rid.page));
+  const char* p = g.data();
+  if (rid.slot >= SlotCount(p)) {
+    return Status::NotFound("slot " + std::to_string(rid.slot) +
+                            " out of range on page " +
+                            std::to_string(rid.page));
+  }
+  uint16_t offset = 0, length = 0;
+  SlotAt(p, pool_->page_size(), rid.slot, &offset, &length);
+  out->assign(p + offset, length);
+  return Status::OK();
+}
+
+Result<HeapFileIterator> HeapFile::Scan() const {
+  HeapFileIterator it(pool_, first_page_);
+  PARADISE_RETURN_IF_ERROR(it.LoadCurrent());
+  return it;
+}
+
+Result<uint64_t> HeapFile::CountRecords() const {
+  uint64_t n = 0;
+  PageId page = first_page_;
+  while (page != kInvalidPageId) {
+    PARADISE_ASSIGN_OR_RETURN(PageGuard g, pool_->FetchPage(page));
+    n += SlotCount(g.data());
+    page = NextPage(g.data());
+  }
+  return n;
+}
+
+Result<uint64_t> HeapFile::CountPages() const {
+  uint64_t n = 0;
+  PageId page = first_page_;
+  while (page != kInvalidPageId) {
+    PARADISE_ASSIGN_OR_RETURN(PageGuard g, pool_->FetchPage(page));
+    ++n;
+    page = NextPage(g.data());
+  }
+  return n;
+}
+
+Status HeapFileIterator::LoadCurrent() {
+  for (;;) {
+    if (page_ == kInvalidPageId) {
+      valid_ = false;
+      return Status::OK();
+    }
+    PARADISE_ASSIGN_OR_RETURN(PageGuard g, pool_->FetchPage(page_));
+    PARADISE_RETURN_IF_ERROR(ValidatePage(g.data(), page_));
+    const char* p = g.data();
+    if (slot_ < SlotCount(p)) {
+      uint16_t offset = 0, length = 0;
+      SlotAt(p, pool_->page_size(), slot_, &offset, &length);
+      record_.assign(p + offset, length);
+      valid_ = true;
+      return Status::OK();
+    }
+    page_ = NextPage(p);
+    slot_ = 0;
+  }
+}
+
+Status HeapFileIterator::Next() {
+  if (!valid_) return Status::InvalidArgument("Next() on invalid iterator");
+  ++slot_;
+  return LoadCurrent();
+}
+
+}  // namespace paradise

@@ -1,0 +1,105 @@
+#include "relational/schema.h"
+
+#include "common/coding.h"
+
+namespace paradise {
+
+size_t ColumnTypeSize(ColumnType type) {
+  switch (type) {
+    case ColumnType::kInt32:
+      return 4;
+    case ColumnType::kInt64:
+      return 8;
+    case ColumnType::kString16:
+      return 16;
+  }
+  return 0;
+}
+
+std::string_view ColumnTypeToString(ColumnType type) {
+  switch (type) {
+    case ColumnType::kInt32:
+      return "int32";
+    case ColumnType::kInt64:
+      return "int64";
+    case ColumnType::kString16:
+      return "string16";
+  }
+  return "unknown";
+}
+
+Schema::Schema(std::vector<Column> columns) : columns_(std::move(columns)) {
+  offsets_.reserve(columns_.size());
+  size_t off = 0;
+  for (const Column& c : columns_) {
+    offsets_.push_back(off);
+    off += ColumnTypeSize(c.type);
+  }
+  record_size_ = off;
+}
+
+Result<size_t> Schema::ColumnIndex(std::string_view name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return Status::NotFound("no column named '" + std::string(name) + "'");
+}
+
+std::string Schema::Serialize() const {
+  std::string out;
+  char scratch[4];
+  EncodeFixed32(scratch, static_cast<uint32_t>(columns_.size()));
+  out.append(scratch, 4);
+  for (const Column& c : columns_) {
+    EncodeFixed32(scratch, static_cast<uint32_t>(c.name.size()));
+    out.append(scratch, 4);
+    out.append(c.name);
+    out.push_back(static_cast<char>(c.type));
+  }
+  return out;
+}
+
+Result<Schema> Schema::Deserialize(std::string_view data) {
+  if (data.size() < 4) return Status::Corruption("schema blob too small");
+  const char* p = data.data();
+  const char* end = data.data() + data.size();
+  const uint32_t count = DecodeFixed32(p);
+  p += 4;
+  // Each column needs at least 5 bytes; a count beyond that is corrupt, and
+  // must not drive a huge reservation.
+  if (count > data.size()) {
+    return Status::Corruption("schema column count implausible");
+  }
+  std::vector<Column> columns;
+  columns.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    if (p + 4 > end) return Status::Corruption("truncated schema column");
+    const uint32_t name_len = DecodeFixed32(p);
+    p += 4;
+    if (p + name_len + 1 > end) {
+      return Status::Corruption("truncated schema column");
+    }
+    std::string name(p, name_len);
+    p += name_len;
+    const auto type = static_cast<ColumnType>(*p++);
+    if (type != ColumnType::kInt32 && type != ColumnType::kInt64 &&
+        type != ColumnType::kString16) {
+      return Status::Corruption("unknown column type in schema blob");
+    }
+    columns.push_back(Column{std::move(name), type});
+  }
+  return Schema(std::move(columns));
+}
+
+bool Schema::operator==(const Schema& other) const {
+  if (columns_.size() != other.columns_.size()) return false;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name != other.columns_[i].name ||
+        columns_[i].type != other.columns_[i].type) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace paradise

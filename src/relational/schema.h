@@ -1,0 +1,59 @@
+// Fixed-length record schemas for the relational substrate. OLAP fact and
+// dimension tuples are fixed length (paper §4.4 relies on this to build the
+// fact file), so columns are int32, int64, or 16-byte padded strings.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace paradise {
+
+enum class ColumnType : uint8_t {
+  kInt32 = 0,
+  kInt64 = 1,
+  kString16 = 2,  // zero-padded, at most 16 bytes
+};
+
+size_t ColumnTypeSize(ColumnType type);
+std::string_view ColumnTypeToString(ColumnType type);
+
+struct Column {
+  std::string name;
+  ColumnType type;
+};
+
+/// An ordered list of columns with precomputed byte offsets into the
+/// fixed-length record.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns);
+
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  size_t offset(size_t i) const { return offsets_[i]; }
+
+  /// Total record size in bytes.
+  size_t record_size() const { return record_size_; }
+
+  /// Index of the column named `name`, or NotFound.
+  Result<size_t> ColumnIndex(std::string_view name) const;
+
+  /// Serialized form for persistence in table metadata.
+  std::string Serialize() const;
+  static Result<Schema> Deserialize(std::string_view data);
+
+  bool operator==(const Schema& other) const;
+
+ private:
+  std::vector<Column> columns_;
+  std::vector<size_t> offsets_;
+  size_t record_size_ = 0;
+};
+
+}  // namespace paradise

@@ -1,0 +1,52 @@
+#include "relational/tuple.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "common/coding.h"
+
+namespace paradise {
+
+int32_t TupleRef::GetInt32(size_t col) const {
+  assert(schema_->column(col).type == ColumnType::kInt32);
+  return static_cast<int32_t>(DecodeFixed32(data_ + schema_->offset(col)));
+}
+
+int64_t TupleRef::GetInt64(size_t col) const {
+  assert(schema_->column(col).type == ColumnType::kInt64);
+  return static_cast<int64_t>(DecodeFixed64(data_ + schema_->offset(col)));
+}
+
+std::string_view TupleRef::GetString(size_t col) const {
+  assert(schema_->column(col).type == ColumnType::kString16);
+  const char* p = data_ + schema_->offset(col);
+  size_t len = 16;
+  while (len > 0 && p[len - 1] == '\0') --len;
+  return {p, len};
+}
+
+void Tuple::SetInt32(size_t col, int32_t value) {
+  assert(schema_->column(col).type == ColumnType::kInt32);
+  EncodeFixed32(bytes_.data() + schema_->offset(col),
+                static_cast<uint32_t>(value));
+}
+
+void Tuple::SetInt64(size_t col, int64_t value) {
+  assert(schema_->column(col).type == ColumnType::kInt64);
+  EncodeFixed64(bytes_.data() + schema_->offset(col),
+                static_cast<uint64_t>(value));
+}
+
+Status Tuple::SetString(size_t col, std::string_view value) {
+  assert(schema_->column(col).type == ColumnType::kString16);
+  if (value.size() > 16) {
+    return Status::InvalidArgument("string too long for string16 column: '" +
+                                   std::string(value) + "'");
+  }
+  char* p = bytes_.data() + schema_->offset(col);
+  std::memset(p, 0, 16);
+  std::memcpy(p, value.data(), value.size());
+  return Status::OK();
+}
+
+}  // namespace paradise

@@ -1,0 +1,66 @@
+// Tuple: one fixed-length record under a Schema, plus non-owning accessors
+// for reading fields straight out of a page during scans (TupleRef).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "relational/schema.h"
+
+namespace paradise {
+
+/// Read-only view over a record laid out per `schema`. The underlying bytes
+/// must outlive the ref (typically a pinned page or a Tuple).
+class TupleRef {
+ public:
+  TupleRef(const Schema* schema, const char* data)
+      : schema_(schema), data_(data) {}
+
+  int32_t GetInt32(size_t col) const;
+  int64_t GetInt64(size_t col) const;
+
+  /// String value with trailing NULs stripped.
+  std::string_view GetString(size_t col) const;
+
+  const Schema& schema() const { return *schema_; }
+  const char* raw() const { return data_; }
+
+ private:
+  const Schema* schema_;
+  const char* data_;
+};
+
+/// Owning record. Fields default to zero.
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(const Schema* schema)
+      : schema_(schema), bytes_(schema->record_size(), '\0') {}
+
+  /// Adopts raw record bytes (must be schema->record_size() long).
+  Tuple(const Schema* schema, std::string bytes)
+      : schema_(schema), bytes_(std::move(bytes)) {}
+
+  void SetInt32(size_t col, int32_t value);
+  void SetInt64(size_t col, int64_t value);
+
+  /// Stores up to 16 bytes; longer strings are rejected.
+  Status SetString(size_t col, std::string_view value);
+
+  int32_t GetInt32(size_t col) const { return ref().GetInt32(col); }
+  int64_t GetInt64(size_t col) const { return ref().GetInt64(col); }
+  std::string_view GetString(size_t col) const { return ref().GetString(col); }
+
+  TupleRef ref() const { return TupleRef(schema_, bytes_.data()); }
+  const std::string& bytes() const { return bytes_; }
+  const Schema& schema() const { return *schema_; }
+
+ private:
+  const Schema* schema_ = nullptr;
+  std::string bytes_;
+};
+
+}  // namespace paradise

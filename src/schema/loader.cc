@@ -1,0 +1,49 @@
+#include "schema/loader.h"
+
+namespace paradise {
+
+Result<std::unique_ptr<Database>> BuildDatabaseFromDataset(
+    const std::string& path, const gen::SyntheticDataset& data,
+    DatabaseOptions options) {
+  if (options.chunk_extents.empty()) {
+    options.chunk_extents = data.config.chunk_extents;
+  }
+  StarSchema schema = data.ToStarSchema();
+  PARADISE_ASSIGN_OR_RETURN(std::unique_ptr<Database> db,
+                            Database::Create(path, schema, options));
+
+  // Dimension rows: key k is row k; attribute values follow the generated
+  // hierarchy codes.
+  for (size_t d = 0; d < data.config.dims.size(); ++d) {
+    const gen::GenDimension& gd = data.config.dims[d];
+    const Schema dim_schema = schema.dims[d].ToSchema();
+    for (uint32_t key = 0; key < gd.size; ++key) {
+      Tuple row(&dim_schema);
+      row.SetInt32(0, static_cast<int32_t>(key));
+      for (size_t level = 1; level <= gd.level_cardinalities.size();
+           ++level) {
+        PARADISE_RETURN_IF_ERROR(row.SetString(
+            level, gen::AttrValue(d, level, gd.LevelCode(level, key))));
+      }
+      PARADISE_RETURN_IF_ERROR(db->AppendDimensionRow(d, row));
+    }
+  }
+
+  PARADISE_RETURN_IF_ERROR(db->BeginFacts());
+  for (size_t i = 0; i < data.cell_global_indices.size(); ++i) {
+    PARADISE_RETURN_IF_ERROR(db->AppendFact(
+        data.CellKeys(data.cell_global_indices[i]), data.measures[i]));
+  }
+  PARADISE_RETURN_IF_ERROR(db->FinishLoad());
+  return db;
+}
+
+Result<std::unique_ptr<Database>> BuildDatabaseFromConfig(
+    const std::string& path, const gen::GenConfig& config,
+    DatabaseOptions options) {
+  PARADISE_ASSIGN_OR_RETURN(gen::SyntheticDataset data,
+                            gen::Generate(config));
+  return BuildDatabaseFromDataset(path, data, std::move(options));
+}
+
+}  // namespace paradise

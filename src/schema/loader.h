@@ -1,0 +1,27 @@
+// Loader: materializes a generated synthetic data set as a complete
+// database — dimension tables, fact file, OLAP Array ADT, bitmap indexes —
+// the way the paper derives the table representation from the array
+// representation (§5.4: one tuple per valid cell).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "gen/generator.h"
+#include "schema/database.h"
+
+namespace paradise {
+
+/// Builds a database at `path` from `data`. If options.chunk_extents is
+/// empty, the data set's chunk extents are used.
+Result<std::unique_ptr<Database>> BuildDatabaseFromDataset(
+    const std::string& path, const gen::SyntheticDataset& data,
+    DatabaseOptions options);
+
+/// Convenience: generate + build in one step.
+Result<std::unique_ptr<Database>> BuildDatabaseFromConfig(
+    const std::string& path, const gen::GenConfig& config,
+    DatabaseOptions options);
+
+}  // namespace paradise

@@ -1,0 +1,89 @@
+// Snowflake schema support (§2.2: the star schema "or its slightly more
+// complex variant, the snowflake schema"). In a snowflake, each hierarchy
+// level of a dimension is normalized into its own table:
+//
+//   product(pid, type_id)          -- base table, FK into the finest level
+//   type(type_id, name, cat_id)    -- level 1, FK into level 2
+//   category(cat_id, name)         -- level 2 (top)
+//
+// The query engines always run against the denormalized (star) form — as
+// the paper's do — so this module provides the two mappings:
+//   * Normalize: a flat DimensionTable -> level tables, validating the
+//     functional dependencies (finer level determines coarser level) a
+//     snowflake requires;
+//   * Denormalize: level tables -> the flat per-member attribute values,
+//     from which a star DimensionTable is rebuilt.
+// Level tables persist as heap files under catalog keys
+// "snow.<dimension>.<level>" (base table under "snow.<dimension>.base").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "relational/dimension_table.h"
+#include "storage/storage_manager.h"
+
+namespace paradise {
+
+/// One row of a normalized level table.
+struct SnowflakeLevelRow {
+  int32_t id = 0;           // dense level code
+  std::string value;        // attribute display value
+  int32_t parent_id = -1;   // id in the next-coarser level; -1 at the top
+};
+
+/// One dimension in snowflake form.
+class SnowflakeDimension {
+ public:
+  SnowflakeDimension() = default;
+
+  /// Derives the level tables from a flat dimension table. Fails with
+  /// FailedPrecondition-style InvalidArgument if the data violates the
+  /// snowflake's functional dependencies (two members with the same value
+  /// at level l but different values at level l+1).
+  static Result<SnowflakeDimension> Normalize(const DimensionTable& flat);
+
+  /// Persists the base table and every level table as heap files; catalog
+  /// entries go under "snow.<name>.*".
+  Status Persist(StorageManager* storage) const;
+
+  /// Loads a persisted snowflake dimension.
+  static Result<SnowflakeDimension> Load(StorageManager* storage,
+                                         const std::string& name,
+                                         const std::vector<std::string>&
+                                             level_names);
+
+  const std::string& name() const { return name_; }
+  size_t num_levels() const { return level_names_.size(); }
+  const std::vector<std::string>& level_names() const { return level_names_; }
+
+  /// Base table: member key -> finest-level id, in member order.
+  const std::vector<std::pair<int32_t, int32_t>>& base() const {
+    return base_;
+  }
+
+  /// Rows of level `l` (0 = finest), in id order.
+  const std::vector<SnowflakeLevelRow>& level(size_t l) const {
+    return levels_[l];
+  }
+
+  /// Rebuilds the flat per-member attribute values: for each base member,
+  /// one display value per level, by walking the FK chain.
+  Result<std::vector<std::vector<std::string>>> Denormalize() const;
+
+  /// Rebuilds a star DimensionTable (keyed and attributed like the
+  /// original) from the snowflake form.
+  Result<DimensionTable> ToDimensionTable(BufferPool* pool,
+                                          const Schema& schema) const;
+
+ private:
+  std::string name_;
+  std::vector<std::string> level_names_;                 // finest first
+  std::vector<std::pair<int32_t, int32_t>> base_;        // (key, level0 id)
+  std::vector<std::vector<SnowflakeLevelRow>> levels_;   // per level
+};
+
+}  // namespace paradise

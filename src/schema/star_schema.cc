@@ -1,0 +1,107 @@
+#include "schema/star_schema.h"
+
+#include "common/coding.h"
+
+namespace paradise {
+
+Schema StarSchema::FactSchema() const {
+  std::vector<Column> cols;
+  cols.reserve(dims.size() + measures.size());
+  for (const DimensionSpec& d : dims) {
+    cols.push_back(Column{d.attrs[0].name, ColumnType::kInt32});
+  }
+  for (const std::string& m : measures) {
+    cols.push_back(Column{m, ColumnType::kInt64});
+  }
+  return Schema(std::move(cols));
+}
+
+Result<size_t> StarSchema::MeasureIndex(std::string_view name) const {
+  for (size_t i = 0; i < measures.size(); ++i) {
+    if (measures[i] == name) return i;
+  }
+  return Status::NotFound("no measure named '" + std::string(name) + "'");
+}
+
+Status StarSchema::Validate() const {
+  if (dims.empty()) {
+    return Status::InvalidArgument("star schema needs at least one dimension");
+  }
+  if (measures.empty()) {
+    return Status::InvalidArgument("star schema needs at least one measure");
+  }
+  for (const DimensionSpec& d : dims) {
+    if (d.name.empty()) {
+      return Status::InvalidArgument("dimension with empty name");
+    }
+    if (d.attrs.empty() || d.attrs[0].type != ColumnType::kInt32) {
+      return Status::InvalidArgument("dimension '" + d.name +
+                                     "' must start with an int32 key");
+    }
+  }
+  return Status::OK();
+}
+
+std::string StarSchema::Serialize() const {
+  std::string out;
+  char scratch[4];
+  auto append_string = [&](const std::string& s) {
+    EncodeFixed32(scratch, static_cast<uint32_t>(s.size()));
+    out.append(scratch, 4);
+    out.append(s);
+  };
+  append_string(cube_name);
+  EncodeFixed32(scratch, static_cast<uint32_t>(measures.size()));
+  out.append(scratch, 4);
+  for (const std::string& m : measures) append_string(m);
+  EncodeFixed32(scratch, static_cast<uint32_t>(dims.size()));
+  out.append(scratch, 4);
+  for (const DimensionSpec& d : dims) {
+    append_string(d.name);
+    append_string(d.ToSchema().Serialize());
+  }
+  return out;
+}
+
+Result<StarSchema> StarSchema::Deserialize(std::string_view data) {
+  const char* p = data.data();
+  const char* end = data.data() + data.size();
+  auto read_string = [&](std::string* out) -> Status {
+    if (p + 4 > end) return Status::Corruption("star schema blob truncated");
+    const uint32_t len = DecodeFixed32(p);
+    p += 4;
+    if (p + len > end) return Status::Corruption("star schema blob truncated");
+    out->assign(p, len);
+    p += len;
+    return Status::OK();
+  };
+  StarSchema schema;
+  PARADISE_RETURN_IF_ERROR(read_string(&schema.cube_name));
+  if (p + 4 > end) return Status::Corruption("star schema blob truncated");
+  const uint32_t num_measures = DecodeFixed32(p);
+  p += 4;
+  schema.measures.clear();
+  for (uint32_t i = 0; i < num_measures; ++i) {
+    std::string m;
+    PARADISE_RETURN_IF_ERROR(read_string(&m));
+    schema.measures.push_back(std::move(m));
+  }
+  if (p + 4 > end) return Status::Corruption("star schema blob truncated");
+  const uint32_t num_dims = DecodeFixed32(p);
+  p += 4;
+  for (uint32_t i = 0; i < num_dims; ++i) {
+    DimensionSpec spec;
+    PARADISE_RETURN_IF_ERROR(read_string(&spec.name));
+    std::string schema_blob;
+    PARADISE_RETURN_IF_ERROR(read_string(&schema_blob));
+    PARADISE_ASSIGN_OR_RETURN(Schema s, Schema::Deserialize(schema_blob));
+    for (size_t c = 0; c < s.num_columns(); ++c) {
+      spec.attrs.push_back(s.column(c));
+    }
+    schema.dims.push_back(std::move(spec));
+  }
+  PARADISE_RETURN_IF_ERROR(schema.Validate());
+  return schema;
+}
+
+}  // namespace paradise

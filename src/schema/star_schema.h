@@ -1,0 +1,53 @@
+// StarSchema: the logical description of one OLAP cube (paper §2) — n
+// dimensions, each with a key and hierarchy attributes, plus one measure.
+// The same description drives both physical designs: the relational star
+// schema (fact file + dimension tables, §2.2) and the OLAP Array ADT
+// (§2.3).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "relational/schema.h"
+
+namespace paradise {
+
+struct DimensionSpec {
+  std::string name;
+  /// attrs[0] must be the int32 key; the rest are hierarchy attributes,
+  /// finest first.
+  std::vector<Column> attrs;
+
+  Schema ToSchema() const { return Schema(attrs); }
+};
+
+struct StarSchema {
+  std::string cube_name = "cube";
+  /// The p measures of the cube (§2's M = {m_1..m_p}), int64 each.
+  std::vector<std::string> measures = {"volume"};
+  std::vector<DimensionSpec> dims;
+
+  size_t num_dims() const { return dims.size(); }
+  size_t num_measures() const { return measures.size(); }
+
+  /// Convenience for the common single-measure case.
+  const std::string& measure_name() const { return measures[0]; }
+
+  /// Index of a measure by (case-sensitive) name.
+  Result<size_t> MeasureIndex(std::string_view name) const;
+
+  /// The relational fact schema: one int32 foreign key per dimension (named
+  /// by the dimension's key attribute) plus one int64 column per measure.
+  Schema FactSchema() const;
+
+  Status Validate() const;
+
+  /// Persistence in the database catalog.
+  std::string Serialize() const;
+  static Result<StarSchema> Deserialize(std::string_view data);
+};
+
+}  // namespace paradise

@@ -1,0 +1,223 @@
+#include "storage/buffer_pool.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace paradise {
+
+PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    frame_index_ = other.frame_index_;
+    page_id_ = other.page_id_;
+    other.pool_ = nullptr;
+    other.page_id_ = kInvalidPageId;
+  }
+  return *this;
+}
+
+const char* PageGuard::data() const {
+  assert(valid());
+  return pool_->FrameData(frame_index_);
+}
+
+char* PageGuard::mutable_data() {
+  assert(valid());
+  return pool_->MutableFrameData(frame_index_);
+}
+
+void PageGuard::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(frame_index_);
+    pool_ = nullptr;
+    page_id_ = kInvalidPageId;
+  }
+}
+
+BufferPool::BufferPool(DiskManager* disk, const StorageOptions& options)
+    : disk_(disk),
+      page_size_(options.page_size),
+      eviction_(options.eviction) {
+  frames_.resize(options.buffer_pool_pages);
+  free_frames_.reserve(frames_.size());
+  for (size_t i = frames_.size(); i > 0; --i) {
+    free_frames_.push_back(i - 1);
+  }
+}
+
+Result<size_t> BufferPool::PickClockVictim() {
+  // Clock sweep: clear reference bits until an unpinned, unreferenced frame
+  // is found. Two full sweeps with no victim means every frame is pinned.
+  const size_t n = frames_.size();
+  for (size_t step = 0; step < 2 * n; ++step) {
+    Frame& f = frames_[clock_hand_];
+    const size_t idx = clock_hand_;
+    clock_hand_ = (clock_hand_ + 1) % n;
+    if (f.pin_count > 0) continue;
+    if (f.referenced) {
+      f.referenced = false;
+      continue;
+    }
+    return idx;
+  }
+  return Status::ResourceExhausted(
+      "buffer pool exhausted: all " + std::to_string(n) + " frames pinned");
+}
+
+Result<size_t> BufferPool::PickLruVictim() {
+  size_t victim = frames_.size();
+  uint64_t oldest = UINT64_MAX;
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    const Frame& f = frames_[i];
+    if (f.pin_count > 0) continue;
+    if (f.last_used < oldest) {
+      oldest = f.last_used;
+      victim = i;
+    }
+  }
+  if (victim == frames_.size()) {
+    return Status::ResourceExhausted("buffer pool exhausted: all " +
+                                     std::to_string(frames_.size()) +
+                                     " frames pinned");
+  }
+  return victim;
+}
+
+Result<size_t> BufferPool::AcquireFrame() {
+  if (!free_frames_.empty()) {
+    const size_t idx = free_frames_.back();
+    free_frames_.pop_back();
+    if (frames_[idx].data.empty()) frames_[idx].data.resize(page_size_);
+    return idx;
+  }
+  PARADISE_ASSIGN_OR_RETURN(size_t idx, eviction_ == EvictionPolicy::kLru
+                                            ? PickLruVictim()
+                                            : PickClockVictim());
+  Frame& f = frames_[idx];
+  if (f.dirty) {
+    PARADISE_RETURN_IF_ERROR(disk_->WritePage(f.page_id, f.data.data()));
+    ++stats_.disk_writes;
+    f.dirty = false;
+  }
+  page_table_.erase(f.page_id);
+  f.page_id = kInvalidPageId;
+  ++stats_.evictions;
+  return idx;
+}
+
+Result<PageGuard> BufferPool::FetchPage(PageId id) {
+  ++stats_.logical_reads;
+  auto it = page_table_.find(id);
+  if (it != page_table_.end()) {
+    ++stats_.hits;
+    Frame& f = frames_[it->second];
+    ++f.pin_count;
+    f.referenced = true;
+    f.last_used = ++tick_;
+    return PageGuard(this, it->second, id);
+  }
+  PARADISE_ASSIGN_OR_RETURN(size_t idx, AcquireFrame());
+  Frame& f = frames_[idx];
+  Status st = disk_->ReadPage(id, f.data.data());
+  if (!st.ok()) {
+    free_frames_.push_back(idx);
+    return st;
+  }
+  ++stats_.disk_reads;
+  if (last_disk_read_ != kInvalidPageId && id == last_disk_read_ + 1) {
+    ++stats_.seq_disk_reads;
+  } else {
+    ++stats_.rand_disk_reads;
+  }
+  last_disk_read_ = id;
+  f.page_id = id;
+  f.pin_count = 1;
+  f.dirty = false;
+  f.referenced = true;
+  f.last_used = ++tick_;
+  page_table_[id] = idx;
+  return PageGuard(this, idx, id);
+}
+
+Result<PageGuard> BufferPool::NewPage() {
+  PARADISE_ASSIGN_OR_RETURN(PageId id, disk_->AllocatePage());
+  PARADISE_ASSIGN_OR_RETURN(size_t idx, AcquireFrame());
+  Frame& f = frames_[idx];
+  std::memset(f.data.data(), 0, page_size_);
+  f.page_id = id;
+  f.pin_count = 1;
+  f.dirty = true;
+  f.referenced = true;
+  f.last_used = ++tick_;
+  page_table_[id] = idx;
+  return PageGuard(this, idx, id);
+}
+
+Status BufferPool::DeletePage(PageId id) {
+  auto it = page_table_.find(id);
+  if (it != page_table_.end()) {
+    Frame& f = frames_[it->second];
+    if (f.pin_count > 0) {
+      return Status::InvalidArgument("cannot delete pinned page " +
+                                     std::to_string(id));
+    }
+    f.page_id = kInvalidPageId;
+    f.dirty = false;
+    free_frames_.push_back(it->second);
+    page_table_.erase(it);
+  }
+  return disk_->FreePage(id);
+}
+
+Status BufferPool::FlushPage(PageId id) {
+  auto it = page_table_.find(id);
+  if (it == page_table_.end()) return Status::OK();
+  Frame& f = frames_[it->second];
+  if (f.dirty) {
+    PARADISE_RETURN_IF_ERROR(disk_->WritePage(f.page_id, f.data.data()));
+    ++stats_.disk_writes;
+    f.dirty = false;
+  }
+  return Status::OK();
+}
+
+Status BufferPool::FlushAll() {
+  for (Frame& f : frames_) {
+    if (f.page_id != kInvalidPageId && f.dirty) {
+      PARADISE_RETURN_IF_ERROR(disk_->WritePage(f.page_id, f.data.data()));
+      ++stats_.disk_writes;
+      f.dirty = false;
+    }
+  }
+  return Status::OK();
+}
+
+Status BufferPool::FlushAndEvictAll() {
+  PARADISE_RETURN_IF_ERROR(FlushAll());
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    Frame& f = frames_[i];
+    if (f.page_id == kInvalidPageId || f.pin_count > 0) continue;
+    page_table_.erase(f.page_id);
+    f.page_id = kInvalidPageId;
+    f.referenced = false;
+    free_frames_.push_back(i);
+  }
+  return Status::OK();
+}
+
+size_t BufferPool::pinned_frames() const {
+  size_t n = 0;
+  for (const Frame& f : frames_) {
+    if (f.page_id != kInvalidPageId && f.pin_count > 0) ++n;
+  }
+  return n;
+}
+
+void BufferPool::Unpin(size_t frame_index) {
+  Frame& f = frames_[frame_index];
+  assert(f.pin_count > 0);
+  --f.pin_count;
+}
+
+}  // namespace paradise

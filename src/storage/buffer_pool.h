@@ -1,0 +1,160 @@
+// BufferPool: fixed-capacity page cache over the DiskManager with clock
+// eviction, pin counting, dirty tracking, and hit/miss statistics. Every
+// higher-level structure (fact file, B-trees, bitmaps, array chunks) does
+// its page I/O through this class, so both query engines compete under the
+// same I/O accounting — mirroring the paper, where both run inside Paradise
+// on one SHORE buffer pool.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/options.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+
+namespace paradise {
+
+class BufferPool;
+
+/// Counters exposed for benchmarking. `logical_reads` counts FetchPage
+/// calls; `disk_reads` counts the subset that missed the pool. Disk reads
+/// are further classified: a read of the page physically following the
+/// previous disk read is `seq_disk_reads`, anything else `rand_disk_reads` —
+/// the split the 1997 I/O cost model in query/engine.h uses.
+struct BufferPoolStats {
+  uint64_t logical_reads = 0;
+  uint64_t hits = 0;
+  uint64_t disk_reads = 0;
+  uint64_t seq_disk_reads = 0;
+  uint64_t rand_disk_reads = 0;
+  uint64_t disk_writes = 0;
+  uint64_t evictions = 0;
+
+  BufferPoolStats Delta(const BufferPoolStats& earlier) const {
+    BufferPoolStats d;
+    d.logical_reads = logical_reads - earlier.logical_reads;
+    d.hits = hits - earlier.hits;
+    d.disk_reads = disk_reads - earlier.disk_reads;
+    d.seq_disk_reads = seq_disk_reads - earlier.seq_disk_reads;
+    d.rand_disk_reads = rand_disk_reads - earlier.rand_disk_reads;
+    d.disk_writes = disk_writes - earlier.disk_writes;
+    d.evictions = evictions - earlier.evictions;
+    return d;
+  }
+};
+
+/// RAII pin on a buffered page. While alive, the frame cannot be evicted.
+/// `mutable_data()` marks the page dirty. Movable, not copyable.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(BufferPool* pool, size_t frame_index, PageId page_id)
+      : pool_(pool), frame_index_(frame_index), page_id_(page_id) {}
+  ~PageGuard() { Release(); }
+
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+  PageGuard(PageGuard&& other) noexcept { *this = std::move(other); }
+  PageGuard& operator=(PageGuard&& other) noexcept;
+
+  bool valid() const { return pool_ != nullptr; }
+  PageId page_id() const { return page_id_; }
+
+  /// Read-only view of the page bytes.
+  const char* data() const;
+
+  /// Writable view; marks the page dirty.
+  char* mutable_data();
+
+  /// Drops the pin early.
+  void Release();
+
+ private:
+  BufferPool* pool_ = nullptr;
+  size_t frame_index_ = 0;
+  PageId page_id_ = kInvalidPageId;
+};
+
+class BufferPool {
+ public:
+  BufferPool(DiskManager* disk, const StorageOptions& options);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Returns a pinned guard on page `id`, reading it from disk on a miss.
+  Result<PageGuard> FetchPage(PageId id);
+
+  /// Allocates a fresh zeroed page and returns it pinned (and dirty).
+  Result<PageGuard> NewPage();
+
+  /// Frees page `id` on disk. The page must not be pinned; any cached copy
+  /// is dropped without write-back.
+  Status DeletePage(PageId id);
+
+  /// Writes back one dirty page, keeping it cached.
+  Status FlushPage(PageId id);
+
+  /// Writes back all dirty pages, keeping them cached.
+  Status FlushAll();
+
+  /// Writes back all dirty pages and drops every unpinned frame. With no
+  /// outstanding pins this empties the pool — the library's equivalent of
+  /// the paper's cold-buffer protocol.
+  Status FlushAndEvictAll();
+
+  size_t capacity() const { return frames_.size(); }
+  size_t page_size() const { return page_size_; }
+  const BufferPoolStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = BufferPoolStats{}; }
+
+  /// Number of currently pinned frames (for tests / leak detection).
+  size_t pinned_frames() const;
+
+ private:
+  friend class PageGuard;
+
+  struct Frame {
+    PageId page_id = kInvalidPageId;
+    uint32_t pin_count = 0;
+    bool dirty = false;
+    bool referenced = false;
+    uint64_t last_used = 0;  // LRU timestamp
+    std::vector<char> data;
+  };
+
+  /// Finds a frame to (re)use, evicting an unpinned page if needed.
+  Result<size_t> AcquireFrame();
+
+  /// Victim selection under each policy; returns the frame index or an
+  /// error when every frame is pinned.
+  Result<size_t> PickClockVictim();
+  Result<size_t> PickLruVictim();
+
+  void Unpin(size_t frame_index);
+  void MarkDirty(size_t frame_index) { frames_[frame_index].dirty = true; }
+  const char* FrameData(size_t frame_index) const {
+    return frames_[frame_index].data.data();
+  }
+  char* MutableFrameData(size_t frame_index) {
+    frames_[frame_index].dirty = true;
+    return frames_[frame_index].data.data();
+  }
+
+  DiskManager* disk_;
+  size_t page_size_;
+  std::vector<Frame> frames_;
+  std::vector<size_t> free_frames_;
+  std::unordered_map<PageId, size_t> page_table_;
+  size_t clock_hand_ = 0;
+  EvictionPolicy eviction_;
+  uint64_t tick_ = 0;
+  BufferPoolStats stats_;
+  PageId last_disk_read_ = kInvalidPageId;
+};
+
+}  // namespace paradise

@@ -1,0 +1,216 @@
+#include "storage/disk_manager.h"
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#include "common/coding.h"
+
+namespace paradise {
+
+namespace {
+std::string ErrnoMessage(const std::string& what, const std::string& path) {
+  return what + " '" + path + "': " + std::strerror(errno);
+}
+}  // namespace
+
+DiskManager::~DiskManager() {
+  // Best-effort close; errors are already reported via the Status API when
+  // callers Close() explicitly.
+  if (file_ != nullptr) (void)Close();
+}
+
+Status DiskManager::Create(const std::string& path,
+                           const StorageOptions& options) {
+  PARADISE_RETURN_IF_ERROR(options.Validate());
+  if (file_ != nullptr) {
+    return Status::InvalidArgument("DiskManager already open");
+  }
+  if (!options.allow_overwrite) {
+    if (std::FILE* probe = std::fopen(path.c_str(), "rb")) {
+      std::fclose(probe);
+      return Status::AlreadyExists("database file exists: " + path);
+    }
+  }
+  file_ = std::fopen(path.c_str(), "wb+");
+  if (file_ == nullptr) {
+    return Status::IOError(ErrnoMessage("cannot create", path));
+  }
+  path_ = path;
+  page_size_ = options.page_size;
+  page_count_ = 1;  // header page
+  free_list_head_ = kInvalidPageId;
+  catalog_oid_ = kInvalidObjectId;
+  return WriteHeader();
+}
+
+Status DiskManager::Open(const std::string& path,
+                         const StorageOptions& options) {
+  PARADISE_RETURN_IF_ERROR(options.Validate());
+  if (file_ != nullptr) {
+    return Status::InvalidArgument("DiskManager already open");
+  }
+  file_ = std::fopen(path.c_str(), "rb+");
+  if (file_ == nullptr) {
+    return Status::IOError(ErrnoMessage("cannot open", path));
+  }
+  path_ = path;
+  page_size_ = options.page_size;
+  Status st = ReadHeader();
+  if (!st.ok()) {
+    std::fclose(file_);
+    file_ = nullptr;
+    return st;
+  }
+  return Status::OK();
+}
+
+Status DiskManager::Close() {
+  if (file_ == nullptr) return Status::OK();
+  Status st = WriteHeader();
+  if (std::fclose(file_) != 0 && st.ok()) {
+    st = Status::IOError(ErrnoMessage("close failed", path_));
+  }
+  file_ = nullptr;
+  return st;
+}
+
+Status DiskManager::CheckPageId(PageId id) const {
+  if (id == kInvalidPageId || id >= page_count_) {
+    return Status::OutOfRange("page id " + std::to_string(id) +
+                              " outside file of " +
+                              std::to_string(page_count_) + " pages");
+  }
+  return Status::OK();
+}
+
+Status DiskManager::ReadPage(PageId id, char* buf) {
+  if (file_ == nullptr) return Status::InvalidArgument("DiskManager not open");
+  PARADISE_RETURN_IF_ERROR(CheckPageId(id));
+  const uint64_t offset = id * page_size_;
+  if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
+    return Status::IOError(ErrnoMessage("seek failed", path_));
+  }
+  if (std::fread(buf, 1, page_size_, file_) != page_size_) {
+    return Status::IOError("short read of page " + std::to_string(id) +
+                           " in " + path_);
+  }
+  ++reads_;
+  return Status::OK();
+}
+
+Status DiskManager::WritePage(PageId id, const char* buf) {
+  if (file_ == nullptr) return Status::InvalidArgument("DiskManager not open");
+  PARADISE_RETURN_IF_ERROR(CheckPageId(id));
+  const uint64_t offset = id * page_size_;
+  if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
+    return Status::IOError(ErrnoMessage("seek failed", path_));
+  }
+  if (std::fwrite(buf, 1, page_size_, file_) != page_size_) {
+    return Status::IOError("short write of page " + std::to_string(id) +
+                           " in " + path_);
+  }
+  ++writes_;
+  return Status::OK();
+}
+
+Result<PageId> DiskManager::AllocatePage() {
+  if (file_ == nullptr) return Status::InvalidArgument("DiskManager not open");
+  if (free_list_head_ != kInvalidPageId) {
+    const PageId id = free_list_head_;
+    // The first 8 bytes of a free page hold the next free PageId.
+    std::vector<char> buf(page_size_);
+    PARADISE_RETURN_IF_ERROR(ReadPage(id, buf.data()));
+    free_list_head_ = DecodeFixed64(buf.data());
+    return id;
+  }
+  return AllocateContiguous(1);
+}
+
+Result<PageId> DiskManager::AllocateContiguous(uint64_t n) {
+  if (file_ == nullptr) return Status::InvalidArgument("DiskManager not open");
+  if (n == 0) return Status::InvalidArgument("cannot allocate 0 pages");
+  const PageId first = page_count_;
+  // Extend the file by writing the last new page; intermediate pages are
+  // materialized lazily by the filesystem.
+  std::vector<char> zeros(page_size_, 0);
+  const uint64_t last = first + n - 1;
+  const uint64_t offset = last * page_size_;
+  if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
+    return Status::IOError(ErrnoMessage("seek failed", path_));
+  }
+  if (std::fwrite(zeros.data(), 1, page_size_, file_) != page_size_) {
+    return Status::IOError("failed to extend file " + path_);
+  }
+  ++writes_;
+  page_count_ = last + 1;
+  return first;
+}
+
+Status DiskManager::FreePage(PageId id) {
+  if (file_ == nullptr) return Status::InvalidArgument("DiskManager not open");
+  PARADISE_RETURN_IF_ERROR(CheckPageId(id));
+  if (id == 0) return Status::InvalidArgument("cannot free the header page");
+  std::vector<char> buf(page_size_, 0);
+  EncodeFixed64(buf.data(), free_list_head_);
+  PARADISE_RETURN_IF_ERROR(WritePage(id, buf.data()));
+  free_list_head_ = id;
+  return Status::OK();
+}
+
+Status DiskManager::WriteHeader() {
+  std::vector<char> buf(page_size_, 0);
+  std::memcpy(buf.data() + page_header::kMagicOffset, page_header::kMagic,
+              sizeof(page_header::kMagic));
+  EncodeFixed32(buf.data() + page_header::kPageSizeOffset,
+                static_cast<uint32_t>(page_size_));
+  EncodeFixed64(buf.data() + page_header::kPageCountOffset, page_count_);
+  EncodeFixed64(buf.data() + page_header::kFreeListOffset, free_list_head_);
+  EncodeFixed64(buf.data() + page_header::kCatalogOffset, catalog_oid_);
+  if (std::fseek(file_, 0, SEEK_SET) != 0) {
+    return Status::IOError(ErrnoMessage("seek failed", path_));
+  }
+  if (std::fwrite(buf.data(), 1, page_size_, file_) != page_size_) {
+    return Status::IOError("failed to write header of " + path_);
+  }
+  ++writes_;
+  if (std::fflush(file_) != 0) {
+    return Status::IOError(ErrnoMessage("flush failed", path_));
+  }
+  return Status::OK();
+}
+
+Status DiskManager::ReadHeader() {
+  // Read only the fixed-size header prefix so a page-size mismatch is
+  // reported as InvalidArgument rather than a short read.
+  std::vector<char> buf(page_header::kHeaderBytes);
+  if (std::fseek(file_, 0, SEEK_SET) != 0) {
+    return Status::IOError(ErrnoMessage("seek failed", path_));
+  }
+  if (std::fread(buf.data(), 1, buf.size(), file_) != buf.size()) {
+    return Status::Corruption("database file too small: " + path_);
+  }
+  ++reads_;
+  if (std::memcmp(buf.data() + page_header::kMagicOffset, page_header::kMagic,
+                  sizeof(page_header::kMagic)) != 0) {
+    return Status::Corruption("bad magic in " + path_);
+  }
+  const uint32_t stored_page_size =
+      DecodeFixed32(buf.data() + page_header::kPageSizeOffset);
+  if (stored_page_size != page_size_) {
+    return Status::InvalidArgument(
+        "page size mismatch: file has " + std::to_string(stored_page_size) +
+        ", options specify " + std::to_string(page_size_));
+  }
+  page_count_ = DecodeFixed64(buf.data() + page_header::kPageCountOffset);
+  free_list_head_ = DecodeFixed64(buf.data() + page_header::kFreeListOffset);
+  catalog_oid_ = DecodeFixed64(buf.data() + page_header::kCatalogOffset);
+  return Status::OK();
+}
+
+Status DiskManager::Sync() {
+  if (file_ == nullptr) return Status::InvalidArgument("DiskManager not open");
+  return WriteHeader();
+}
+
+}  // namespace paradise

@@ -1,0 +1,84 @@
+// DiskManager: the lowest storage layer. Owns the database file, allocates
+// and frees pages (free pages form an on-disk linked list threaded through
+// their first 8 bytes), and performs raw page I/O. All higher layers access
+// pages through the BufferPool, never through this class directly.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "common/options.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace paradise {
+
+class DiskManager {
+ public:
+  DiskManager() = default;
+  ~DiskManager();
+
+  DiskManager(const DiskManager&) = delete;
+  DiskManager& operator=(const DiskManager&) = delete;
+
+  /// Creates a new database file (fails if it exists unless
+  /// options.allow_overwrite) and writes a fresh header.
+  Status Create(const std::string& path, const StorageOptions& options);
+
+  /// Opens an existing database file and validates its header.
+  Status Open(const std::string& path, const StorageOptions& options);
+
+  /// Flushes the header and closes the file. Idempotent.
+  Status Close();
+
+  bool is_open() const { return file_ != nullptr; }
+  size_t page_size() const { return page_size_; }
+  uint64_t page_count() const { return page_count_; }
+  const std::string& path() const { return path_; }
+
+  /// Reads page `id` into `buf` (page_size() bytes).
+  Status ReadPage(PageId id, char* buf);
+
+  /// Writes page `id` from `buf` (page_size() bytes).
+  Status WritePage(PageId id, const char* buf);
+
+  /// Allocates one page, reusing the free list when possible. The page's
+  /// contents are unspecified; callers must initialize it.
+  Result<PageId> AllocatePage();
+
+  /// Allocates `n` physically contiguous pages at the end of the file and
+  /// returns the first PageId. Used for fact-file extents.
+  Result<PageId> AllocateContiguous(uint64_t n);
+
+  /// Returns page `id` to the free list.
+  Status FreePage(PageId id);
+
+  /// Reads/writes the root-catalog ObjectId slot in the header.
+  ObjectId catalog_oid() const { return catalog_oid_; }
+  void set_catalog_oid(ObjectId oid) { catalog_oid_ = oid; }
+
+  /// Persists the header page and fsyncs the file.
+  Status Sync();
+
+  /// Number of physical page reads/writes performed (for I/O accounting).
+  uint64_t reads_performed() const { return reads_; }
+  uint64_t writes_performed() const { return writes_; }
+
+ private:
+  Status WriteHeader();
+  Status ReadHeader();
+  Status CheckPageId(PageId id) const;
+
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  size_t page_size_ = 0;
+  uint64_t page_count_ = 0;
+  PageId free_list_head_ = kInvalidPageId;
+  ObjectId catalog_oid_ = kInvalidObjectId;
+  uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
+};
+
+}  // namespace paradise

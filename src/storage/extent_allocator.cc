@@ -1,0 +1,129 @@
+#include "storage/extent_allocator.h"
+
+#include <cstring>
+
+#include "common/coding.h"
+
+namespace paradise {
+
+namespace {
+// Directory page layout (root and overflow pages share it):
+//   [0,4)   magic "EXTD"
+//   [4,8)   pages per extent (root only; 0 on overflow pages)
+//   [8,16)  next directory PageId
+//   [16,20) number of extent ids in this page
+//   [20,..) extent first-page ids, 8 bytes each
+constexpr char kMagic[4] = {'E', 'X', 'T', 'D'};
+constexpr size_t kMagicOffset = 0;
+constexpr size_t kPagesPerExtentOffset = 4;
+constexpr size_t kNextOffset = 8;
+constexpr size_t kCountOffset = 16;
+constexpr size_t kIdsOffset = 20;
+
+size_t IdCapacity(size_t page_size) { return (page_size - kIdsOffset) / 8; }
+}  // namespace
+
+Result<PageId> ExtentAllocator::Create(uint32_t pages_per_extent) {
+  if (pages_per_extent == 0) {
+    return Status::InvalidArgument("pages_per_extent must be > 0");
+  }
+  PARADISE_ASSIGN_OR_RETURN(PageGuard g, pool_->NewPage());
+  char* p = g.mutable_data();
+  std::memcpy(p + kMagicOffset, kMagic, sizeof(kMagic));
+  EncodeFixed32(p + kPagesPerExtentOffset, pages_per_extent);
+  EncodeFixed64(p + kNextOffset, kInvalidPageId);
+  EncodeFixed32(p + kCountOffset, 0);
+  root_ = g.page_id();
+  pages_per_extent_ = pages_per_extent;
+  extent_firsts_.clear();
+  directory_pages_ = {root_};
+  return root_;
+}
+
+Status ExtentAllocator::Open(PageId root) {
+  extent_firsts_.clear();
+  directory_pages_.clear();
+  PageId next = root;
+  bool first = true;
+  while (next != kInvalidPageId) {
+    directory_pages_.push_back(next);
+    PARADISE_ASSIGN_OR_RETURN(PageGuard g, pool_->FetchPage(next));
+    const char* p = g.data();
+    if (std::memcmp(p + kMagicOffset, kMagic, sizeof(kMagic)) != 0) {
+      return Status::Corruption("not an extent directory: page " +
+                                std::to_string(next));
+    }
+    if (first) {
+      pages_per_extent_ = DecodeFixed32(p + kPagesPerExtentOffset);
+      if (pages_per_extent_ == 0) {
+        return Status::Corruption("extent directory has zero extent size");
+      }
+      first = false;
+    }
+    const uint32_t count = DecodeFixed32(p + kCountOffset);
+    for (uint32_t i = 0; i < count; ++i) {
+      extent_firsts_.push_back(DecodeFixed64(p + kIdsOffset + i * 8));
+    }
+    next = DecodeFixed64(p + kNextOffset);
+  }
+  root_ = root;
+  return Status::OK();
+}
+
+Status ExtentAllocator::EnsureCapacity(uint64_t logical_pages) {
+  bool grew = false;
+  while (logical_page_capacity() < logical_pages) {
+    PARADISE_ASSIGN_OR_RETURN(PageId first,
+                              disk_->AllocateContiguous(pages_per_extent_));
+    extent_firsts_.push_back(first);
+    grew = true;
+  }
+  if (grew) return PersistDirectory();
+  return Status::OK();
+}
+
+Result<PageId> ExtentAllocator::LogicalToPhysical(
+    uint64_t logical_index) const {
+  const uint64_t extent = logical_index / pages_per_extent_;
+  if (extent >= extent_firsts_.size()) {
+    return Status::OutOfRange("logical page " + std::to_string(logical_index) +
+                              " beyond capacity " +
+                              std::to_string(logical_page_capacity()));
+  }
+  return extent_firsts_[extent] + logical_index % pages_per_extent_;
+}
+
+Status ExtentAllocator::PersistDirectory() {
+  const size_t page_size = pool_->page_size();
+  const size_t cap = IdCapacity(page_size);
+  const size_t pages_needed =
+      extent_firsts_.empty()
+          ? 1
+          : (extent_firsts_.size() + cap - 1) / cap;
+  while (directory_pages_.size() < pages_needed) {
+    PARADISE_ASSIGN_OR_RETURN(PageGuard g, pool_->NewPage());
+    directory_pages_.push_back(g.page_id());
+  }
+  size_t written = 0;
+  for (size_t d = 0; d < directory_pages_.size(); ++d) {
+    PARADISE_ASSIGN_OR_RETURN(PageGuard g,
+                              pool_->FetchPage(directory_pages_[d]));
+    char* p = g.mutable_data();
+    std::memset(p, 0, page_size);
+    std::memcpy(p + kMagicOffset, kMagic, sizeof(kMagic));
+    EncodeFixed32(p + kPagesPerExtentOffset, d == 0 ? pages_per_extent_ : 0);
+    EncodeFixed64(p + kNextOffset,
+                  d + 1 < directory_pages_.size() ? directory_pages_[d + 1]
+                                                  : kInvalidPageId);
+    const size_t in_page =
+        std::min(cap, extent_firsts_.size() - written);
+    EncodeFixed32(p + kCountOffset, static_cast<uint32_t>(in_page));
+    for (size_t i = 0; i < in_page; ++i) {
+      EncodeFixed64(p + kIdsOffset + i * 8, extent_firsts_[written + i]);
+    }
+    written += in_page;
+  }
+  return Status::OK();
+}
+
+}  // namespace paradise

@@ -1,0 +1,251 @@
+#include "storage/large_object.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/coding.h"
+
+namespace paradise {
+
+namespace {
+
+// Header page layout:
+//   [0,4)   magic "LOBH"
+//   [4,12)  object length in bytes
+//   [12,16) total data-page count
+//   [16,24) next directory PageId (kInvalidPageId if none)
+//   [24,28) number of data-page ids stored in this page
+//   [28,..) data-page ids, 8 bytes each
+// Overflow directory page layout:
+//   [0,8)   next directory PageId
+//   [8,12)  number of ids in this page
+//   [12,..) data-page ids
+constexpr char kLobMagic[4] = {'L', 'O', 'B', 'H'};
+constexpr size_t kHeaderMagic = 0;
+constexpr size_t kHeaderLength = 4;
+constexpr size_t kHeaderPageCount = 12;
+constexpr size_t kHeaderNextDir = 16;
+constexpr size_t kHeaderIdCount = 24;
+constexpr size_t kHeaderIdsStart = 28;
+constexpr size_t kDirNext = 0;
+constexpr size_t kDirIdCount = 8;
+constexpr size_t kDirIdsStart = 12;
+
+size_t HeaderIdCapacity(size_t page_size) {
+  return (page_size - kHeaderIdsStart) / 8;
+}
+size_t DirIdCapacity(size_t page_size) {
+  return (page_size - kDirIdsStart) / 8;
+}
+
+}  // namespace
+
+Result<ObjectId> LargeObjectStore::Create(std::string_view data) {
+  const size_t page_size = pool_->page_size();
+  const uint64_t num_data_pages = (data.size() + page_size - 1) / page_size;
+
+  // Write the data pages.
+  std::vector<PageId> data_pages;
+  data_pages.reserve(num_data_pages);
+  for (uint64_t i = 0; i < num_data_pages; ++i) {
+    PARADISE_ASSIGN_OR_RETURN(PageGuard guard, pool_->NewPage());
+    const uint64_t begin = i * page_size;
+    const uint64_t n = std::min<uint64_t>(page_size, data.size() - begin);
+    std::memcpy(guard.mutable_data(), data.data() + begin, n);
+    data_pages.push_back(guard.page_id());
+  }
+
+  // Allocate and fill the header (plus overflow directory chain).
+  PARADISE_ASSIGN_OR_RETURN(PageGuard header, pool_->NewPage());
+  const ObjectId oid = header.page_id();
+  header.Release();
+  PARADISE_RETURN_IF_ERROR(WriteDirectory(oid, data.size(), data_pages));
+  return oid;
+}
+
+Status LargeObjectStore::WriteDirectory(ObjectId oid, uint64_t length,
+                                        const std::vector<PageId>& data_pages) {
+  const size_t page_size = pool_->page_size();
+  const size_t header_cap = HeaderIdCapacity(page_size);
+  const size_t dir_cap = DirIdCapacity(page_size);
+
+  // Allocate overflow pages first so the header can point at the chain head.
+  size_t remaining =
+      data_pages.size() > header_cap ? data_pages.size() - header_cap : 0;
+  const size_t num_dir_pages = (remaining + dir_cap - 1) / dir_cap;
+  std::vector<PageId> dir_pages(num_dir_pages);
+  for (size_t i = 0; i < num_dir_pages; ++i) {
+    PARADISE_ASSIGN_OR_RETURN(PageGuard g, pool_->NewPage());
+    dir_pages[i] = g.page_id();
+  }
+
+  {
+    PARADISE_ASSIGN_OR_RETURN(PageGuard header, pool_->FetchPage(oid));
+    char* h = header.mutable_data();
+    std::memset(h, 0, page_size);
+    std::memcpy(h + kHeaderMagic, kLobMagic, sizeof(kLobMagic));
+    EncodeFixed64(h + kHeaderLength, length);
+    EncodeFixed32(h + kHeaderPageCount,
+                  static_cast<uint32_t>(data_pages.size()));
+    EncodeFixed64(h + kHeaderNextDir,
+                  dir_pages.empty() ? kInvalidPageId : dir_pages[0]);
+    const size_t in_header = std::min(header_cap, data_pages.size());
+    EncodeFixed32(h + kHeaderIdCount, static_cast<uint32_t>(in_header));
+    for (size_t i = 0; i < in_header; ++i) {
+      EncodeFixed64(h + kHeaderIdsStart + i * 8, data_pages[i]);
+    }
+  }
+
+  size_t next_id = header_cap;
+  for (size_t d = 0; d < num_dir_pages; ++d) {
+    PARADISE_ASSIGN_OR_RETURN(PageGuard g, pool_->FetchPage(dir_pages[d]));
+    char* p = g.mutable_data();
+    std::memset(p, 0, page_size);
+    EncodeFixed64(p + kDirNext,
+                  d + 1 < num_dir_pages ? dir_pages[d + 1] : kInvalidPageId);
+    const size_t in_page = std::min(dir_cap, data_pages.size() - next_id);
+    EncodeFixed32(p + kDirIdCount, static_cast<uint32_t>(in_page));
+    for (size_t i = 0; i < in_page; ++i) {
+      EncodeFixed64(p + kDirIdsStart + i * 8, data_pages[next_id + i]);
+    }
+    next_id += in_page;
+  }
+  return Status::OK();
+}
+
+Status LargeObjectStore::CollectPages(
+    ObjectId oid, uint64_t* length, std::vector<PageId>* data_pages,
+    std::vector<PageId>* directory_pages) const {
+  data_pages->clear();
+  if (directory_pages != nullptr) directory_pages->clear();
+  uint32_t total_pages = 0;
+  PageId next_dir = kInvalidPageId;
+  {
+    PARADISE_ASSIGN_OR_RETURN(PageGuard header, pool_->FetchPage(oid));
+    const char* h = header.data();
+    if (std::memcmp(h + kHeaderMagic, kLobMagic, sizeof(kLobMagic)) != 0) {
+      return Status::Corruption("not a large object: page " +
+                                std::to_string(oid));
+    }
+    *length = DecodeFixed64(h + kHeaderLength);
+    total_pages = DecodeFixed32(h + kHeaderPageCount);
+    next_dir = DecodeFixed64(h + kHeaderNextDir);
+    const uint32_t in_header = DecodeFixed32(h + kHeaderIdCount);
+    data_pages->reserve(total_pages);
+    for (uint32_t i = 0; i < in_header; ++i) {
+      data_pages->push_back(DecodeFixed64(h + kHeaderIdsStart + i * 8));
+    }
+  }
+  while (next_dir != kInvalidPageId) {
+    if (directory_pages != nullptr) directory_pages->push_back(next_dir);
+    PARADISE_ASSIGN_OR_RETURN(PageGuard g, pool_->FetchPage(next_dir));
+    const char* p = g.data();
+    const uint32_t in_page = DecodeFixed32(p + kDirIdCount);
+    for (uint32_t i = 0; i < in_page; ++i) {
+      data_pages->push_back(DecodeFixed64(p + kDirIdsStart + i * 8));
+    }
+    next_dir = DecodeFixed64(p + kDirNext);
+  }
+  if (data_pages->size() != total_pages) {
+    return Status::Corruption("large object " + std::to_string(oid) +
+                              " directory lists " +
+                              std::to_string(data_pages->size()) +
+                              " pages, header says " +
+                              std::to_string(total_pages));
+  }
+  return Status::OK();
+}
+
+Result<std::string> LargeObjectStore::Read(ObjectId oid) const {
+  uint64_t length = 0;
+  std::vector<PageId> data_pages;
+  PARADISE_RETURN_IF_ERROR(CollectPages(oid, &length, &data_pages, nullptr));
+  const size_t page_size = pool_->page_size();
+  std::string out;
+  out.resize(length);
+  for (size_t i = 0; i < data_pages.size(); ++i) {
+    PARADISE_ASSIGN_OR_RETURN(PageGuard g, pool_->FetchPage(data_pages[i]));
+    const uint64_t begin = i * page_size;
+    const uint64_t n = std::min<uint64_t>(page_size, length - begin);
+    std::memcpy(out.data() + begin, g.data(), n);
+  }
+  return out;
+}
+
+Result<std::string> LargeObjectStore::ReadRange(ObjectId oid, uint64_t offset,
+                                                uint64_t read_len) const {
+  uint64_t length = 0;
+  std::vector<PageId> data_pages;
+  PARADISE_RETURN_IF_ERROR(CollectPages(oid, &length, &data_pages, nullptr));
+  if (offset + read_len > length) {
+    return Status::OutOfRange("read [" + std::to_string(offset) + ", " +
+                              std::to_string(offset + read_len) +
+                              ") beyond object of " + std::to_string(length) +
+                              " bytes");
+  }
+  const size_t page_size = pool_->page_size();
+  std::string out;
+  out.resize(read_len);
+  uint64_t written = 0;
+  while (written < read_len) {
+    const uint64_t pos = offset + written;
+    const uint64_t page_idx = pos / page_size;
+    const uint64_t in_page = pos % page_size;
+    const uint64_t n = std::min<uint64_t>(page_size - in_page,
+                                          read_len - written);
+    PARADISE_ASSIGN_OR_RETURN(PageGuard g,
+                              pool_->FetchPage(data_pages[page_idx]));
+    std::memcpy(out.data() + written, g.data() + in_page, n);
+    written += n;
+  }
+  return out;
+}
+
+Result<uint64_t> LargeObjectStore::Size(ObjectId oid) const {
+  PARADISE_ASSIGN_OR_RETURN(PageGuard header, pool_->FetchPage(oid));
+  const char* h = header.data();
+  if (std::memcmp(h + kHeaderMagic, kLobMagic, sizeof(kLobMagic)) != 0) {
+    return Status::Corruption("not a large object: page " +
+                              std::to_string(oid));
+  }
+  return DecodeFixed64(h + kHeaderLength);
+}
+
+Status LargeObjectStore::Overwrite(ObjectId oid, std::string_view data) {
+  uint64_t length = 0;
+  std::vector<PageId> old_data, old_dirs;
+  PARADISE_RETURN_IF_ERROR(CollectPages(oid, &length, &old_data, &old_dirs));
+  for (PageId p : old_data) PARADISE_RETURN_IF_ERROR(pool_->DeletePage(p));
+  for (PageId p : old_dirs) PARADISE_RETURN_IF_ERROR(pool_->DeletePage(p));
+
+  const size_t page_size = pool_->page_size();
+  const uint64_t num_data_pages = (data.size() + page_size - 1) / page_size;
+  std::vector<PageId> data_pages;
+  data_pages.reserve(num_data_pages);
+  for (uint64_t i = 0; i < num_data_pages; ++i) {
+    PARADISE_ASSIGN_OR_RETURN(PageGuard guard, pool_->NewPage());
+    const uint64_t begin = i * page_size;
+    const uint64_t n = std::min<uint64_t>(page_size, data.size() - begin);
+    std::memcpy(guard.mutable_data(), data.data() + begin, n);
+    data_pages.push_back(guard.page_id());
+  }
+  return WriteDirectory(oid, data.size(), data_pages);
+}
+
+Status LargeObjectStore::Free(ObjectId oid) {
+  uint64_t length = 0;
+  std::vector<PageId> data_pages, dir_pages;
+  PARADISE_RETURN_IF_ERROR(CollectPages(oid, &length, &data_pages, &dir_pages));
+  for (PageId p : data_pages) PARADISE_RETURN_IF_ERROR(pool_->DeletePage(p));
+  for (PageId p : dir_pages) PARADISE_RETURN_IF_ERROR(pool_->DeletePage(p));
+  return pool_->DeletePage(oid);
+}
+
+Result<uint64_t> LargeObjectStore::PageFootprint(ObjectId oid) const {
+  uint64_t length = 0;
+  std::vector<PageId> data_pages, dir_pages;
+  PARADISE_RETURN_IF_ERROR(CollectPages(oid, &length, &data_pages, &dir_pages));
+  return 1 + data_pages.size() + dir_pages.size();
+}
+
+}  // namespace paradise

@@ -1,0 +1,39 @@
+// Page identifiers and the on-disk database-file header layout shared by the
+// disk manager and the buffer pool.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace paradise {
+
+/// Physical page number within the database file. Page 0 is the file header
+/// and is never handed out by the allocator.
+using PageId = uint64_t;
+
+inline constexpr PageId kInvalidPageId = std::numeric_limits<PageId>::max();
+
+/// Object identifier for a large object: the PageId of its header page.
+using ObjectId = PageId;
+
+inline constexpr ObjectId kInvalidObjectId = kInvalidPageId;
+
+namespace page_header {
+
+// Layout of the database-file header (page 0), all little-endian:
+//   [0,8)   magic "PRDSARRY"
+//   [8,12)  page size
+//   [12,20) page count (including the header page)
+//   [20,28) free-list head PageId (kInvalidPageId if empty)
+//   [28,36) root-catalog ObjectId (kInvalidObjectId if absent)
+inline constexpr char kMagic[8] = {'P', 'R', 'D', 'S', 'A', 'R', 'R', 'Y'};
+inline constexpr size_t kMagicOffset = 0;
+inline constexpr size_t kPageSizeOffset = 8;
+inline constexpr size_t kPageCountOffset = 12;
+inline constexpr size_t kFreeListOffset = 20;
+inline constexpr size_t kCatalogOffset = 28;
+inline constexpr size_t kHeaderBytes = 36;
+
+}  // namespace page_header
+
+}  // namespace paradise

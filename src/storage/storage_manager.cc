@@ -1,0 +1,141 @@
+#include "storage/storage_manager.h"
+
+#include "common/coding.h"
+
+namespace paradise {
+
+StorageManager::~StorageManager() {
+  if (is_open()) (void)Close();
+}
+
+Status StorageManager::Create(const std::string& path,
+                              const StorageOptions& options) {
+  if (is_open()) return Status::InvalidArgument("StorageManager already open");
+  options_ = options;
+  disk_ = std::make_unique<DiskManager>();
+  PARADISE_RETURN_IF_ERROR(disk_->Create(path, options));
+  pool_ = std::make_unique<BufferPool>(disk_.get(), options);
+  objects_ = std::make_unique<LargeObjectStore>(pool_.get());
+  catalog_.clear();
+  catalog_dirty_ = false;
+  return Status::OK();
+}
+
+Status StorageManager::Open(const std::string& path,
+                            const StorageOptions& options) {
+  if (is_open()) return Status::InvalidArgument("StorageManager already open");
+  options_ = options;
+  disk_ = std::make_unique<DiskManager>();
+  PARADISE_RETURN_IF_ERROR(disk_->Open(path, options));
+  pool_ = std::make_unique<BufferPool>(disk_.get(), options);
+  objects_ = std::make_unique<LargeObjectStore>(pool_.get());
+  return LoadCatalog();
+}
+
+Status StorageManager::Close() {
+  if (!is_open()) return Status::OK();
+  PARADISE_RETURN_IF_ERROR(PersistCatalog());
+  PARADISE_RETURN_IF_ERROR(pool_->FlushAll());
+  return disk_->Close();
+}
+
+Status StorageManager::SetRoot(const std::string& name, uint64_t value) {
+  catalog_[name] = value;
+  catalog_dirty_ = true;
+  return Status::OK();
+}
+
+Result<uint64_t> StorageManager::GetRoot(const std::string& name) const {
+  auto it = catalog_.find(name);
+  if (it == catalog_.end()) {
+    return Status::NotFound("no catalog entry named '" + name + "'");
+  }
+  return it->second;
+}
+
+Status StorageManager::RemoveRoot(const std::string& name) {
+  auto it = catalog_.find(name);
+  if (it == catalog_.end()) {
+    return Status::NotFound("no catalog entry named '" + name + "'");
+  }
+  catalog_.erase(it);
+  catalog_dirty_ = true;
+  return Status::OK();
+}
+
+Status StorageManager::Checkpoint() {
+  PARADISE_RETURN_IF_ERROR(PersistCatalog());
+  PARADISE_RETURN_IF_ERROR(pool_->FlushAll());
+  return disk_->Sync();
+}
+
+Status StorageManager::FlushAndEvictAll() {
+  PARADISE_RETURN_IF_ERROR(PersistCatalog());
+  return pool_->FlushAndEvictAll();
+}
+
+uint64_t StorageManager::FileSizeBytes() const {
+  return disk_->page_count() * disk_->page_size();
+}
+
+namespace {
+// Catalog serialization: fixed32 entry count, then per entry
+// fixed32 name length + name bytes + fixed64 value.
+std::string SerializeCatalog(const std::map<std::string, uint64_t>& catalog) {
+  std::string out;
+  char scratch[8];
+  EncodeFixed32(scratch, static_cast<uint32_t>(catalog.size()));
+  out.append(scratch, 4);
+  for (const auto& [name, value] : catalog) {
+    EncodeFixed32(scratch, static_cast<uint32_t>(name.size()));
+    out.append(scratch, 4);
+    out.append(name);
+    EncodeFixed64(scratch, value);
+    out.append(scratch, 8);
+  }
+  return out;
+}
+}  // namespace
+
+Status StorageManager::LoadCatalog() {
+  catalog_.clear();
+  catalog_dirty_ = false;
+  const ObjectId oid = disk_->catalog_oid();
+  if (oid == kInvalidObjectId) return Status::OK();
+  PARADISE_ASSIGN_OR_RETURN(std::string blob, objects_->Read(oid));
+  if (blob.size() < 4) return Status::Corruption("catalog blob too small");
+  const char* p = blob.data();
+  const char* end = blob.data() + blob.size();
+  const uint32_t count = DecodeFixed32(p);
+  p += 4;
+  for (uint32_t i = 0; i < count; ++i) {
+    if (p + 4 > end) return Status::Corruption("truncated catalog entry");
+    const uint32_t name_len = DecodeFixed32(p);
+    p += 4;
+    if (p + name_len + 8 > end) {
+      return Status::Corruption("truncated catalog entry");
+    }
+    std::string name(p, name_len);
+    p += name_len;
+    const uint64_t value = DecodeFixed64(p);
+    p += 8;
+    catalog_[std::move(name)] = value;
+  }
+  return Status::OK();
+}
+
+Status StorageManager::PersistCatalog() {
+  if (!catalog_dirty_) return Status::OK();
+  const std::string blob = SerializeCatalog(catalog_);
+  ObjectId oid = disk_->catalog_oid();
+  if (oid == kInvalidObjectId) {
+    PARADISE_ASSIGN_OR_RETURN(oid, objects_->Create(blob));
+    disk_->set_catalog_oid(oid);
+  } else {
+    PARADISE_RETURN_IF_ERROR(objects_->Overwrite(oid, blob));
+  }
+  catalog_dirty_ = false;
+  return disk_->Sync();
+}
+
+}  // namespace paradise

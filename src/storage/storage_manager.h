@@ -1,0 +1,82 @@
+// StorageManager: facade tying together the disk manager, the buffer pool
+// and the large-object store, plus a small persistent name→id catalog so
+// database structures (fact files, B-trees, arrays) can be found again after
+// reopening the file. This is the library's SHORE substitute (DESIGN.md §2).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/options.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "storage/large_object.h"
+
+namespace paradise {
+
+class StorageManager {
+ public:
+  StorageManager() = default;
+  ~StorageManager();
+
+  StorageManager(const StorageManager&) = delete;
+  StorageManager& operator=(const StorageManager&) = delete;
+
+  /// Creates a new database file.
+  Status Create(const std::string& path, const StorageOptions& options);
+
+  /// Opens an existing database file and loads the root catalog.
+  Status Open(const std::string& path, const StorageOptions& options);
+
+  /// Persists the catalog, flushes all pages and closes. Idempotent.
+  Status Close();
+
+  bool is_open() const { return disk_ != nullptr && disk_->is_open(); }
+
+  BufferPool* pool() { return pool_.get(); }
+  DiskManager* disk() { return disk_.get(); }
+  LargeObjectStore* objects() { return objects_.get(); }
+  const StorageOptions& options() const { return options_; }
+
+  /// Associates `name` with a page/object id in the persistent catalog.
+  Status SetRoot(const std::string& name, uint64_t value);
+
+  /// Looks up a catalog entry.
+  Result<uint64_t> GetRoot(const std::string& name) const;
+
+  bool HasRoot(const std::string& name) const {
+    return catalog_.contains(name);
+  }
+
+  /// Removes a catalog entry (NotFound if absent).
+  Status RemoveRoot(const std::string& name);
+
+  /// All catalog entries, for introspection tools.
+  const std::map<std::string, uint64_t>& catalog() const { return catalog_; }
+
+  /// Persists the catalog and flushes dirty pages without closing.
+  Status Checkpoint();
+
+  /// Cold-run protocol: flush everything and empty the buffer pool.
+  Status FlushAndEvictAll();
+
+  /// Total file size in bytes (for storage-footprint reporting).
+  uint64_t FileSizeBytes() const;
+
+ private:
+  Status LoadCatalog();
+  Status PersistCatalog();
+
+  StorageOptions options_;
+  std::unique_ptr<DiskManager> disk_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<LargeObjectStore> objects_;
+  std::map<std::string, uint64_t> catalog_;
+  bool catalog_dirty_ = false;
+};
+
+}  // namespace paradise

@@ -1,0 +1,205 @@
+// Bitmap and bitmap-join-index tests: bit algebra, iteration, serialization,
+// and the per-attribute-value index over fact tuples.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "index/bitmap.h"
+#include "index/bitmap_index.h"
+#include "storage/storage_manager.h"
+#include "test_util.h"
+
+namespace paradise {
+namespace {
+
+using paradise::testing::TempFile;
+
+TEST(BitmapTest, SetTestClear) {
+  Bitmap b(130);
+  EXPECT_EQ(b.num_bits(), 130u);
+  EXPECT_EQ(b.CountOnes(), 0u);
+  b.Set(0);
+  b.Set(64);
+  b.Set(129);
+  EXPECT_TRUE(b.Test(0));
+  EXPECT_TRUE(b.Test(64));
+  EXPECT_TRUE(b.Test(129));
+  EXPECT_FALSE(b.Test(1));
+  EXPECT_EQ(b.CountOnes(), 3u);
+  b.Clear(64);
+  EXPECT_FALSE(b.Test(64));
+  EXPECT_EQ(b.CountOnes(), 2u);
+}
+
+TEST(BitmapTest, AllOnes) {
+  Bitmap b = Bitmap::AllOnes(70);
+  EXPECT_EQ(b.CountOnes(), 70u);
+  for (uint64_t i = 0; i < 70; ++i) EXPECT_TRUE(b.Test(i));
+}
+
+TEST(BitmapTest, AndOrNot) {
+  Bitmap a(100), b(100);
+  a.Set(1);
+  a.Set(2);
+  a.Set(3);
+  b.Set(2);
+  b.Set(3);
+  b.Set(4);
+  Bitmap anded = a;
+  ASSERT_OK(anded.And(b));
+  EXPECT_EQ(anded.CountOnes(), 2u);
+  EXPECT_TRUE(anded.Test(2));
+  EXPECT_TRUE(anded.Test(3));
+
+  Bitmap ored = a;
+  ASSERT_OK(ored.Or(b));
+  EXPECT_EQ(ored.CountOnes(), 4u);
+
+  Bitmap notted = a;
+  notted.Not();
+  EXPECT_EQ(notted.CountOnes(), 97u);
+  EXPECT_FALSE(notted.Test(1));
+  EXPECT_TRUE(notted.Test(0));
+  // Trailing bits beyond num_bits stay zero after Not.
+  notted.Not();
+  EXPECT_EQ(notted.CountOnes(), 3u);
+}
+
+TEST(BitmapTest, SizeMismatchRejected) {
+  Bitmap a(10), b(11);
+  EXPECT_TRUE(a.And(b).IsInvalidArgument());
+  EXPECT_TRUE(a.Or(b).IsInvalidArgument());
+}
+
+TEST(BitmapTest, FindNextSet) {
+  Bitmap b(200);
+  b.Set(5);
+  b.Set(63);
+  b.Set(64);
+  b.Set(199);
+  EXPECT_EQ(b.FindNextSet(0), 5u);
+  EXPECT_EQ(b.FindNextSet(5), 5u);
+  EXPECT_EQ(b.FindNextSet(6), 63u);
+  EXPECT_EQ(b.FindNextSet(64), 64u);
+  EXPECT_EQ(b.FindNextSet(65), 199u);
+  EXPECT_EQ(b.FindNextSet(200), 200u);  // past the end
+  Bitmap empty(50);
+  EXPECT_EQ(empty.FindNextSet(0), 50u);
+}
+
+TEST(BitmapTest, IteratorVisitsAllSetBits) {
+  Bitmap b(500);
+  Random rng(3);
+  std::set<uint64_t> expected;
+  for (int i = 0; i < 60; ++i) {
+    const uint64_t bit = rng.Uniform(500);
+    b.Set(bit);
+    expected.insert(bit);
+  }
+  std::set<uint64_t> seen;
+  for (BitmapIterator it(&b); it.Valid(); it.Next()) seen.insert(it.bit());
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(BitmapTest, SerializeRoundTrip) {
+  Bitmap b(333);
+  Random rng(9);
+  for (int i = 0; i < 40; ++i) b.Set(rng.Uniform(333));
+  ASSERT_OK_AND_ASSIGN(Bitmap back, Bitmap::Deserialize(b.Serialize()));
+  EXPECT_TRUE(back == b);
+  EXPECT_EQ(b.SerializedBytes(), b.Serialize().size());
+}
+
+TEST(BitmapTest, DeserializeRejectsBadBlobs) {
+  EXPECT_TRUE(Bitmap::Deserialize("abc").status().IsCorruption());
+  std::string blob = Bitmap(64).Serialize();
+  blob.pop_back();
+  EXPECT_TRUE(Bitmap::Deserialize(blob).status().IsCorruption());
+}
+
+TEST(BitmapTest, ZeroBitBitmap) {
+  Bitmap b(0);
+  EXPECT_EQ(b.CountOnes(), 0u);
+  EXPECT_EQ(b.FindNextSet(0), 0u);
+  ASSERT_OK_AND_ASSIGN(Bitmap back, Bitmap::Deserialize(b.Serialize()));
+  EXPECT_EQ(back.num_bits(), 0u);
+}
+
+class BitmapIndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    file_ = std::make_unique<TempFile>("bmidx");
+    StorageOptions options;
+    options.page_size = 4096;
+    options.buffer_pool_pages = 64;
+    ASSERT_OK(storage_.Create(file_->path(), options));
+  }
+
+  std::unique_ptr<TempFile> file_;
+  StorageManager storage_;
+};
+
+TEST_F(BitmapIndexTest, BuildAndLookup) {
+  // 100 tuples; attribute value = tuple % 4.
+  BitmapJoinIndex::Builder builder(100);
+  for (uint64_t t = 0; t < 100; ++t) builder.Add(static_cast<int64_t>(t % 4), t);
+  ASSERT_OK_AND_ASSIGN(ObjectId dir, builder.Finish(storage_.objects()));
+  ASSERT_OK_AND_ASSIGN(BitmapJoinIndex index,
+                       BitmapJoinIndex::Open(storage_.objects(), dir));
+  EXPECT_EQ(index.num_tuples(), 100u);
+  EXPECT_EQ(index.num_values(), 4u);
+  ASSERT_OK_AND_ASSIGN(Bitmap b2, index.Lookup(2));
+  EXPECT_EQ(b2.CountOnes(), 25u);
+  for (uint64_t t = 0; t < 100; ++t) EXPECT_EQ(b2.Test(t), t % 4 == 2);
+}
+
+TEST_F(BitmapIndexTest, AbsentValueIsAllZero) {
+  BitmapJoinIndex::Builder builder(10);
+  builder.Add(1, 0);
+  ASSERT_OK_AND_ASSIGN(ObjectId dir, builder.Finish(storage_.objects()));
+  ASSERT_OK_AND_ASSIGN(BitmapJoinIndex index,
+                       BitmapJoinIndex::Open(storage_.objects(), dir));
+  ASSERT_OK_AND_ASSIGN(Bitmap missing, index.Lookup(999));
+  EXPECT_EQ(missing.CountOnes(), 0u);
+  EXPECT_EQ(missing.num_bits(), 10u);
+}
+
+TEST_F(BitmapIndexTest, LookupAnyOrsValues) {
+  BitmapJoinIndex::Builder builder(30);
+  for (uint64_t t = 0; t < 30; ++t) builder.Add(static_cast<int64_t>(t % 3), t);
+  ASSERT_OK_AND_ASSIGN(ObjectId dir, builder.Finish(storage_.objects()));
+  ASSERT_OK_AND_ASSIGN(BitmapJoinIndex index,
+                       BitmapJoinIndex::Open(storage_.objects(), dir));
+  ASSERT_OK_AND_ASSIGN(Bitmap merged, index.LookupAny({0, 2}));
+  EXPECT_EQ(merged.CountOnes(), 20u);
+}
+
+TEST_F(BitmapIndexTest, ValuesSortedAndBytesAccounted) {
+  BitmapJoinIndex::Builder builder(8);
+  builder.Add(5, 0);
+  builder.Add(-3, 1);
+  builder.Add(9, 2);
+  ASSERT_OK_AND_ASSIGN(ObjectId dir, builder.Finish(storage_.objects()));
+  ASSERT_OK_AND_ASSIGN(BitmapJoinIndex index,
+                       BitmapJoinIndex::Open(storage_.objects(), dir));
+  const std::vector<int64_t> values = index.Values();
+  EXPECT_EQ(values, (std::vector<int64_t>{-3, 5, 9}));
+  ASSERT_OK_AND_ASSIGN(uint64_t bytes, index.TotalBitmapBytes());
+  EXPECT_EQ(bytes, 3 * Bitmap(8).SerializedBytes());
+}
+
+TEST_F(BitmapIndexTest, SurvivesColdReopen) {
+  BitmapJoinIndex::Builder builder(50);
+  for (uint64_t t = 0; t < 50; ++t) builder.Add(static_cast<int64_t>(t / 10), t);
+  ASSERT_OK_AND_ASSIGN(ObjectId dir, builder.Finish(storage_.objects()));
+  ASSERT_OK(storage_.FlushAndEvictAll());
+  ASSERT_OK_AND_ASSIGN(BitmapJoinIndex index,
+                       BitmapJoinIndex::Open(storage_.objects(), dir));
+  ASSERT_OK_AND_ASSIGN(Bitmap b, index.Lookup(3));
+  EXPECT_EQ(b.CountOnes(), 10u);
+  EXPECT_TRUE(b.Test(30));
+  EXPECT_TRUE(b.Test(39));
+  EXPECT_FALSE(b.Test(40));
+}
+
+}  // namespace
+}  // namespace paradise

@@ -1,0 +1,233 @@
+// B+tree tests: point and range behaviour, duplicate keys, node splits at
+// scale (parameterized), deletion, persistence, and structural invariants.
+#include <algorithm>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "index/btree.h"
+#include "test_util.h"
+
+namespace paradise {
+namespace {
+
+using paradise::testing::TempFile;
+
+class BTreeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    file_ = std::make_unique<TempFile>("btree");
+    StorageOptions options;
+    options.page_size = 4096;
+    options.buffer_pool_pages = 64;
+    ASSERT_OK(disk_.Create(file_->path(), options));
+    pool_ = std::make_unique<BufferPool>(&disk_, options);
+  }
+
+  std::unique_ptr<TempFile> file_;
+  DiskManager disk_;
+  std::unique_ptr<BufferPool> pool_;
+};
+
+TEST_F(BTreeTest, EmptyTree) {
+  ASSERT_OK_AND_ASSIGN(BTree tree, BTree::Create(pool_.get()));
+  ASSERT_OK_AND_ASSIGN(bool has, tree.Contains(1));
+  EXPECT_FALSE(has);
+  ASSERT_OK_AND_ASSIGN(uint64_t n, tree.CountEntries());
+  EXPECT_EQ(n, 0u);
+  ASSERT_OK_AND_ASSIGN(BTreeIterator it, tree.Begin());
+  EXPECT_FALSE(it.Valid());
+  ASSERT_OK(tree.CheckInvariants());
+}
+
+TEST_F(BTreeTest, InsertAndLookup) {
+  ASSERT_OK_AND_ASSIGN(BTree tree, BTree::Create(pool_.get()));
+  ASSERT_OK(tree.Insert(5, 50));
+  ASSERT_OK(tree.Insert(3, 30));
+  ASSERT_OK(tree.Insert(9, 90));
+  ASSERT_OK_AND_ASSIGN(std::optional<int64_t> v, tree.GetFirst(3));
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 30);
+  ASSERT_OK_AND_ASSIGN(std::optional<int64_t> missing, tree.GetFirst(4));
+  EXPECT_FALSE(missing.has_value());
+}
+
+TEST_F(BTreeTest, DuplicateKeysKeepAllValues) {
+  ASSERT_OK_AND_ASSIGN(BTree tree, BTree::Create(pool_.get()));
+  for (int64_t v = 0; v < 10; ++v) ASSERT_OK(tree.Insert(7, v));
+  std::vector<int64_t> values;
+  ASSERT_OK(tree.GetValues(7, &values));
+  ASSERT_EQ(values.size(), 10u);
+  for (int64_t v = 0; v < 10; ++v) EXPECT_EQ(values[v], v);
+}
+
+TEST_F(BTreeTest, ExactDuplicatePairRejected) {
+  ASSERT_OK_AND_ASSIGN(BTree tree, BTree::Create(pool_.get()));
+  ASSERT_OK(tree.Insert(1, 2));
+  EXPECT_TRUE(tree.Insert(1, 2).IsAlreadyExists());
+  ASSERT_OK(tree.Insert(1, 3));  // same key, different value is fine
+}
+
+TEST_F(BTreeTest, IterationIsSorted) {
+  ASSERT_OK_AND_ASSIGN(BTree tree, BTree::Create(pool_.get()));
+  Random rng(77);
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_OK(tree.Insert(static_cast<int64_t>(rng.Uniform(100)), i));
+  }
+  ASSERT_OK_AND_ASSIGN(BTreeIterator it, tree.Begin());
+  int64_t prev_key = INT64_MIN;
+  int64_t prev_val = INT64_MIN;
+  uint64_t count = 0;
+  while (it.Valid()) {
+    EXPECT_TRUE(it.key() > prev_key ||
+                (it.key() == prev_key && it.value() > prev_val));
+    prev_key = it.key();
+    prev_val = it.value();
+    ++count;
+    ASSERT_OK(it.Next());
+  }
+  EXPECT_EQ(count, 500u);
+}
+
+TEST_F(BTreeTest, SeekFindsLowerBound) {
+  ASSERT_OK_AND_ASSIGN(BTree tree, BTree::Create(pool_.get()));
+  for (int64_t k = 0; k < 100; k += 10) ASSERT_OK(tree.Insert(k, k));
+  ASSERT_OK_AND_ASSIGN(BTreeIterator it, tree.Seek(25));
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key(), 30);
+  ASSERT_OK_AND_ASSIGN(it, tree.Seek(30));
+  EXPECT_EQ(it.key(), 30);
+  ASSERT_OK_AND_ASSIGN(it, tree.Seek(1000));
+  EXPECT_FALSE(it.Valid());
+}
+
+TEST_F(BTreeTest, NegativeKeys) {
+  ASSERT_OK_AND_ASSIGN(BTree tree, BTree::Create(pool_.get()));
+  ASSERT_OK(tree.Insert(-100, 1));
+  ASSERT_OK(tree.Insert(0, 2));
+  ASSERT_OK(tree.Insert(100, 3));
+  ASSERT_OK_AND_ASSIGN(BTreeIterator it, tree.Begin());
+  EXPECT_EQ(it.key(), -100);
+  ASSERT_OK_AND_ASSIGN(std::optional<int64_t> v, tree.GetFirst(-100));
+  EXPECT_EQ(*v, 1);
+}
+
+TEST_F(BTreeTest, DeleteExactPair) {
+  ASSERT_OK_AND_ASSIGN(BTree tree, BTree::Create(pool_.get()));
+  ASSERT_OK(tree.Insert(4, 40));
+  ASSERT_OK(tree.Insert(4, 41));
+  bool erased = false;
+  ASSERT_OK(tree.Delete(4, 40, &erased));
+  EXPECT_TRUE(erased);
+  ASSERT_OK(tree.Delete(4, 40, &erased));
+  EXPECT_FALSE(erased);  // already gone
+  std::vector<int64_t> values;
+  ASSERT_OK(tree.GetValues(4, &values));
+  ASSERT_EQ(values.size(), 1u);
+  EXPECT_EQ(values[0], 41);
+  ASSERT_OK(tree.CheckInvariants());
+}
+
+TEST_F(BTreeTest, PersistsAcrossPoolEviction) {
+  ASSERT_OK_AND_ASSIGN(BTree tree, BTree::Create(pool_.get()));
+  for (int64_t k = 0; k < 2000; ++k) ASSERT_OK(tree.Insert(k, k * 2));
+  const PageId root = tree.root();
+  ASSERT_OK(pool_->FlushAndEvictAll());
+  ASSERT_OK_AND_ASSIGN(BTree reopened, BTree::Open(pool_.get(), root));
+  ASSERT_OK_AND_ASSIGN(std::optional<int64_t> v, reopened.GetFirst(1234));
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 2468);
+  ASSERT_OK_AND_ASSIGN(uint64_t n, reopened.CountEntries());
+  EXPECT_EQ(n, 2000u);
+  ASSERT_OK(reopened.CheckInvariants());
+}
+
+TEST_F(BTreeTest, OpenRejectsNonTreePage) {
+  ASSERT_OK_AND_ASSIGN(PageGuard g, pool_->NewPage());
+  const PageId raw = g.page_id();
+  g.Release();
+  EXPECT_TRUE(BTree::Open(pool_.get(), raw).status().IsCorruption());
+}
+
+// Parameterized scale sweep: enough entries to force multi-level trees.
+class BTreeScaleTest : public BTreeTest,
+                       public ::testing::WithParamInterface<int> {};
+
+TEST_P(BTreeScaleTest, RandomInsertLookupInvariants) {
+  const int n = GetParam();
+  ASSERT_OK_AND_ASSIGN(BTree tree, BTree::Create(pool_.get()));
+  Random rng(static_cast<uint64_t>(n));
+  std::multimap<int64_t, int64_t> reference;
+  for (int i = 0; i < n; ++i) {
+    const int64_t key = static_cast<int64_t>(rng.Uniform(n / 2 + 1));
+    Status st = tree.Insert(key, i);
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    reference.emplace(key, i);
+  }
+  ASSERT_OK(tree.CheckInvariants());
+  ASSERT_OK_AND_ASSIGN(uint64_t count, tree.CountEntries());
+  EXPECT_EQ(count, reference.size());
+  // Height must be logarithmic (leaf capacity ~255 at 4 KiB pages).
+  ASSERT_OK_AND_ASSIGN(uint32_t height, tree.Height());
+  EXPECT_LE(height, 4u);
+  // Spot-check 50 keys.
+  for (int probe = 0; probe <= 50; ++probe) {
+    const int64_t key = probe * (n / 100 + 1);
+    std::vector<int64_t> got;
+    ASSERT_OK(tree.GetValues(key, &got));
+    auto [lo, hi] = reference.equal_range(key);
+    std::vector<int64_t> expected;
+    for (auto it = lo; it != hi; ++it) expected.push_back(it->second);
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(got, expected) << "key " << key;
+  }
+}
+
+TEST_P(BTreeScaleTest, SequentialInsertStaysBalanced) {
+  const int n = GetParam();
+  ASSERT_OK_AND_ASSIGN(BTree tree, BTree::Create(pool_.get()));
+  for (int i = 0; i < n; ++i) ASSERT_OK(tree.Insert(i, i));
+  ASSERT_OK(tree.CheckInvariants());
+  ASSERT_OK_AND_ASSIGN(uint64_t count, tree.CountEntries());
+  EXPECT_EQ(count, static_cast<uint64_t>(n));
+  ASSERT_OK_AND_ASSIGN(BTreeIterator it, tree.Seek(n / 2));
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key(), n / 2);
+}
+
+TEST_P(BTreeScaleTest, ReverseInsertStaysBalanced) {
+  const int n = GetParam();
+  ASSERT_OK_AND_ASSIGN(BTree tree, BTree::Create(pool_.get()));
+  for (int i = n - 1; i >= 0; --i) ASSERT_OK(tree.Insert(i, i));
+  ASSERT_OK(tree.CheckInvariants());
+  ASSERT_OK_AND_ASSIGN(uint64_t count, tree.CountEntries());
+  EXPECT_EQ(count, static_cast<uint64_t>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BTreeScaleTest,
+                         ::testing::Values(10, 300, 1000, 5000, 20000));
+
+TEST(StringPrefixKeyTest, PreservesOrder) {
+  const std::vector<std::string> sorted = {"",     "A",    "AA1", "AA2",
+                                           "AB",   "B",    "BA",  "ZZZZ"};
+  for (size_t i = 1; i < sorted.size(); ++i) {
+    EXPECT_LT(StringPrefixKey(sorted[i - 1]), StringPrefixKey(sorted[i]))
+        << sorted[i - 1] << " vs " << sorted[i];
+  }
+}
+
+TEST(StringPrefixKeyTest, DistinctShortStringsDistinctKeys) {
+  std::set<int64_t> keys;
+  for (int i = 0; i < 1000; ++i) {
+    keys.insert(StringPrefixKey("V" + std::to_string(i)));
+  }
+  EXPECT_EQ(keys.size(), 1000u);
+}
+
+TEST(StringPrefixKeyTest, OnlyFirstEightBytesMatter) {
+  EXPECT_EQ(StringPrefixKey("12345678"), StringPrefixKey("12345678ZZZ"));
+}
+
+}  // namespace
+}  // namespace paradise

@@ -1,0 +1,138 @@
+// CUBE operator tests: every cuboid must equal the corresponding single
+// consolidation, across cubes and levels (parameterized).
+#include <bit>
+
+#include <gtest/gtest.h>
+
+#include "core/consolidate.h"
+#include "core/cube.h"
+#include "test_util.h"
+
+namespace paradise {
+namespace {
+
+using paradise::testing::SmallDbOptions;
+using paradise::testing::TempFile;
+using paradise::testing::TinyConfig;
+
+class CubeTest : public ::testing::TestWithParam<size_t> {
+ protected:
+  void SetUp() override {
+    file_ = std::make_unique<TempFile>("cube");
+    ASSERT_OK_AND_ASSIGN(data_, gen::Generate(TinyConfig(350, 71)));
+    ASSERT_OK_AND_ASSIGN(
+        db_, BuildDatabaseFromDataset(file_->path(), data_,
+                                      SmallDbOptions()));
+  }
+
+  std::unique_ptr<TempFile> file_;
+  gen::SyntheticDataset data_;
+  std::unique_ptr<Database> db_;
+};
+
+TEST_P(CubeTest, EveryCuboidMatchesItsConsolidation) {
+  const size_t level = GetParam();
+  CubeQuery cube;
+  cube.level_cols.assign(3, level);
+  CubeStats stats;
+  ASSERT_OK_AND_ASSIGN(std::vector<Cuboid> cuboids,
+                       ArrayCube(*db_->olap(), cube, nullptr, &stats));
+  ASSERT_EQ(cuboids.size(), 8u);  // 2^3
+  EXPECT_GT(stats.chunks_read, 0u);
+
+  std::set<uint32_t> masks_seen;
+  for (const Cuboid& cuboid : cuboids) {
+    masks_seen.insert(cuboid.mask);
+    query::ConsolidationQuery q;
+    q.dims.resize(3);
+    for (size_t d = 0; d < 3; ++d) {
+      if ((cuboid.mask >> d) & 1) q.dims[d].group_by_col = level;
+    }
+    ASSERT_OK_AND_ASSIGN(query::GroupedResult expected,
+                         ArrayConsolidate(*db_->olap(), q));
+    EXPECT_TRUE(cuboid.result.SameAs(expected))
+        << "mask " << cuboid.mask << ":\ngot:\n"
+        << cuboid.result.ToString(cube.agg) << "expected:\n"
+        << expected.ToString(cube.agg);
+  }
+  EXPECT_EQ(masks_seen.size(), 8u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, CubeTest, ::testing::Values(1, 2));
+
+TEST(CubeTestStandalone, MixedLevelsPerDimension) {
+  TempFile file("cube_mixed");
+  ASSERT_OK_AND_ASSIGN(gen::SyntheticDataset data,
+                       gen::Generate(TinyConfig(200, 72)));
+  ASSERT_OK_AND_ASSIGN(
+      std::unique_ptr<Database> db,
+      BuildDatabaseFromDataset(file.path(), data, SmallDbOptions()));
+  CubeQuery cube;
+  cube.level_cols = {1, 2, 1};
+  ASSERT_OK_AND_ASSIGN(std::vector<Cuboid> cuboids,
+                       ArrayCube(*db->olap(), cube));
+  for (const Cuboid& cuboid : cuboids) {
+    query::ConsolidationQuery q;
+    q.dims.resize(3);
+    for (size_t d = 0; d < 3; ++d) {
+      if ((cuboid.mask >> d) & 1) q.dims[d].group_by_col = cube.level_cols[d];
+    }
+    ASSERT_OK_AND_ASSIGN(query::GroupedResult expected,
+                         ArrayConsolidate(*db->olap(), q));
+    EXPECT_TRUE(cuboid.result.SameAs(expected)) << "mask " << cuboid.mask;
+  }
+}
+
+TEST(CubeTestStandalone, OrderIsFinestFirstAndGrandTotalLast) {
+  TempFile file("cube_order");
+  ASSERT_OK_AND_ASSIGN(
+      std::unique_ptr<Database> db,
+      BuildDatabaseFromConfig(file.path(), TinyConfig(100), SmallDbOptions()));
+  CubeQuery cube;
+  cube.level_cols = {1, 1, 1};
+  ASSERT_OK_AND_ASSIGN(std::vector<Cuboid> cuboids,
+                       ArrayCube(*db->olap(), cube));
+  for (size_t i = 1; i < cuboids.size(); ++i) {
+    EXPECT_GE(std::popcount(cuboids[i - 1].mask),
+              std::popcount(cuboids[i].mask));
+  }
+  EXPECT_EQ(cuboids.front().mask, 7u);
+  EXPECT_EQ(cuboids.back().mask, 0u);
+  ASSERT_EQ(cuboids.back().result.num_groups(), 1u);
+}
+
+TEST(CubeTestStandalone, LatticeCheaperThanNaive) {
+  // The lattice scheme's aggregate ops must be far below the naive
+  // simultaneous cost of 2^n updates per valid cell.
+  TempFile file("cube_cost");
+  ASSERT_OK_AND_ASSIGN(gen::SyntheticDataset data,
+                       gen::Generate(TinyConfig(480, 73)));  // 100 % dense
+  ASSERT_OK_AND_ASSIGN(
+      std::unique_ptr<Database> db,
+      BuildDatabaseFromDataset(file.path(), data, SmallDbOptions()));
+  CubeQuery cube;
+  cube.level_cols = {1, 1, 1};
+  CubeStats stats;
+  ASSERT_OK(ArrayCube(*db->olap(), cube, nullptr, &stats).status());
+  EXPECT_LT(stats.aggregate_ops, 8u * 480u / 2);
+}
+
+TEST(CubeTestStandalone, RejectsBadArguments) {
+  TempFile file("cube_bad");
+  ASSERT_OK_AND_ASSIGN(
+      std::unique_ptr<Database> db,
+      BuildDatabaseFromConfig(file.path(), TinyConfig(50), SmallDbOptions()));
+  CubeQuery wrong_arity;
+  wrong_arity.level_cols = {1, 1};
+  EXPECT_TRUE(
+      ArrayCube(*db->olap(), wrong_arity).status().IsInvalidArgument());
+  CubeQuery bad_level;
+  bad_level.level_cols = {1, 1, 9};
+  EXPECT_TRUE(ArrayCube(*db->olap(), bad_level).status().IsInvalidArgument());
+  CubeQuery key_level;
+  key_level.level_cols = {0, 1, 1};
+  EXPECT_TRUE(ArrayCube(*db->olap(), key_level).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace paradise

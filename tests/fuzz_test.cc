@@ -1,0 +1,130 @@
+// Randomized end-to-end fuzzing: for each seed, generate a random star
+// schema (dimension count, sizes, cardinalities, chunk extents that need
+// not divide the sizes, density) and a random query (grouping levels,
+// selections with random value lists), then assert that every applicable
+// engine matches the brute-force reference exactly.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "query/engine.h"
+#include "test_util.h"
+
+namespace paradise {
+namespace {
+
+using paradise::testing::BruteForce;
+using paradise::testing::SmallDbOptions;
+using paradise::testing::TempFile;
+
+gen::GenConfig RandomConfig(Random* rng) {
+  gen::GenConfig config;
+  const size_t n = 2 + rng->Uniform(3);  // 2..4 dimensions
+  config.dims.resize(n);
+  uint64_t total = 1;
+  for (size_t d = 0; d < n; ++d) {
+    config.dims[d].name = "dim" + std::to_string(d);
+    config.dims[d].size = static_cast<uint32_t>(3 + rng->Uniform(14));
+    const uint32_t c1 =
+        static_cast<uint32_t>(1 + rng->Uniform(config.dims[d].size));
+    const uint32_t c2 = static_cast<uint32_t>(1 + rng->Uniform(c1));
+    config.dims[d].level_cardinalities = {c1, c2};
+    config.chunk_extents.push_back(
+        static_cast<uint32_t>(1 + rng->Uniform(config.dims[d].size + 2)));
+    total *= config.dims[d].size;
+  }
+  // Density from near-empty to full.
+  config.num_valid_cells = 1 + rng->Uniform(total);
+  config.seed = rng->Next();
+  return config;
+}
+
+query::ConsolidationQuery RandomQuery(const gen::GenConfig& config,
+                                      Random* rng) {
+  query::ConsolidationQuery q;
+  q.dims.resize(config.dims.size());
+  for (size_t d = 0; d < config.dims.size(); ++d) {
+    if (rng->Bernoulli(0.6)) {
+      q.dims[d].group_by_col = 1 + rng->Uniform(2);
+    }
+    const uint64_t num_selections = rng->Uniform(3);  // 0..2 per dimension
+    for (uint64_t s = 0; s < num_selections; ++s) {
+      const size_t attr = 1 + rng->Uniform(2);
+      const uint32_t card = config.dims[d].level_cardinalities[attr - 1];
+      query::Selection sel;
+      sel.attr_col = attr;
+      const uint64_t num_values = 1 + rng->Uniform(3);
+      for (uint64_t v = 0; v < num_values; ++v) {
+        // Occasionally select a value that does not exist.
+        if (rng->Bernoulli(0.1)) {
+          sel.values.push_back(query::Literal{std::string("MISSING")});
+        } else {
+          sel.values.push_back(query::Literal{gen::AttrValue(
+              d, attr, static_cast<uint32_t>(rng->Uniform(card)))});
+        }
+      }
+      q.dims[d].selections.push_back(std::move(sel));
+    }
+  }
+  switch (rng->Uniform(5)) {
+    case 0:
+      q.agg = query::AggFunc::kSum;
+      break;
+    case 1:
+      q.agg = query::AggFunc::kCount;
+      break;
+    case 2:
+      q.agg = query::AggFunc::kMin;
+      break;
+    case 3:
+      q.agg = query::AggFunc::kMax;
+      break;
+    default:
+      q.agg = query::AggFunc::kAvg;
+  }
+  return q;
+}
+
+class FuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzTest, AllEnginesMatchBruteForceOnRandomWorkloads) {
+  Random rng(GetParam());
+  TempFile file("fuzz" + std::to_string(GetParam()));
+  const gen::GenConfig config = RandomConfig(&rng);
+  ASSERT_OK_AND_ASSIGN(gen::SyntheticDataset data, gen::Generate(config));
+  DatabaseOptions options = SmallDbOptions();
+  options.build_btree_join_indexes = true;
+  // Exercise every chunk format across seeds.
+  const ChunkFormat formats[] = {
+      ChunkFormat::kOffsetCompressed, ChunkFormat::kDense, ChunkFormat::kAuto,
+      ChunkFormat::kLzwDense};
+  options.array.chunk_format = formats[GetParam() % 4];
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Database> db,
+                       BuildDatabaseFromDataset(file.path(), data, options));
+
+  for (int round = 0; round < 4; ++round) {
+    const query::ConsolidationQuery q = RandomQuery(config, &rng);
+    const query::GroupedResult expected = BruteForce(data, q);
+    std::vector<EngineKind> engines = {EngineKind::kArray,
+                                       EngineKind::kStarJoin,
+                                       EngineKind::kLeftDeep};
+    if (q.HasSelection()) {
+      engines.push_back(EngineKind::kBitmap);
+      engines.push_back(EngineKind::kBTreeSelect);
+    }
+    for (EngineKind kind : engines) {
+      ASSERT_OK_AND_ASSIGN(Execution exec,
+                           RunQuery(db.get(), kind, q, /*cold=*/round == 0));
+      ASSERT_TRUE(exec.result.SameAs(expected))
+          << "seed " << GetParam() << " round " << round << " engine "
+          << EngineKindToString(kind) << "\ngot:\n"
+          << exec.result.ToString(q.agg) << "expected:\n"
+          << expected.ToString(q.agg);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{25}));
+
+}  // namespace
+}  // namespace paradise

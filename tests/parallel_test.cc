@@ -1,0 +1,93 @@
+// Parallel consolidation tests: exact agreement with the serial algorithm
+// across thread counts (parameterized), error handling, and stats.
+#include <gtest/gtest.h>
+
+#include "core/consolidate.h"
+#include "core/parallel.h"
+#include "test_util.h"
+
+namespace paradise {
+namespace {
+
+using paradise::testing::BruteForce;
+using paradise::testing::SmallDbOptions;
+using paradise::testing::TempFile;
+using paradise::testing::TinyConfig;
+
+class ParallelConsolidateTest : public ::testing::TestWithParam<size_t> {
+ protected:
+  void SetUp() override {
+    file_ = std::make_unique<TempFile>("parallel");
+    ASSERT_OK_AND_ASSIGN(data_, gen::Generate(TinyConfig(400, 61)));
+    ASSERT_OK_AND_ASSIGN(
+        db_, BuildDatabaseFromDataset(file_->path(), data_,
+                                      SmallDbOptions()));
+  }
+
+  std::unique_ptr<TempFile> file_;
+  gen::SyntheticDataset data_;
+  std::unique_ptr<Database> db_;
+};
+
+TEST_P(ParallelConsolidateTest, MatchesSerialResult) {
+  const size_t threads = GetParam();
+  for (int variant = 0; variant < 3; ++variant) {
+    query::ConsolidationQuery q;
+    q.dims.resize(3);
+    if (variant == 0) q = gen::Query1(3);
+    if (variant == 1) q.dims[1].group_by_col = 2;
+    // variant 2: full collapse.
+    ASSERT_OK_AND_ASSIGN(query::GroupedResult serial,
+                         ArrayConsolidate(*db_->olap(), q));
+    ParallelConsolidateStats stats;
+    ASSERT_OK_AND_ASSIGN(
+        query::GroupedResult parallel,
+        ParallelArrayConsolidate(*db_->olap(), q, threads, nullptr, &stats));
+    EXPECT_TRUE(parallel.SameAs(serial)) << "variant " << variant;
+    EXPECT_EQ(stats.threads_used, threads);
+    EXPECT_GT(stats.chunks_read, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ParallelConsolidateTest,
+                         ::testing::Values(1, 2, 3, 4, 8));
+
+TEST(ParallelConsolidateErrors, RejectsBadArguments) {
+  TempFile file("parallel_err");
+  ASSERT_OK_AND_ASSIGN(
+      std::unique_ptr<Database> db,
+      BuildDatabaseFromConfig(file.path(), TinyConfig(50), SmallDbOptions()));
+  EXPECT_TRUE(
+      ParallelArrayConsolidate(*db->olap(), gen::Query2(3), 2).status()
+          .IsInvalidArgument());
+  EXPECT_TRUE(
+      ParallelArrayConsolidate(*db->olap(), gen::Query1(3), 0).status()
+          .IsInvalidArgument());
+}
+
+TEST(ParallelConsolidateErrors, MatchesBruteForceAtScale) {
+  // A larger cube so several chunks are in flight per worker.
+  TempFile file("parallel_scale");
+  gen::GenConfig config;
+  config.dims.resize(4);
+  const uint32_t sizes[4] = {10, 10, 10, 20};
+  for (size_t d = 0; d < 4; ++d) {
+    config.dims[d].name = "dim" + std::to_string(d);
+    config.dims[d].size = sizes[d];
+    config.dims[d].level_cardinalities = {5, 2};
+  }
+  config.num_valid_cells = 4000;
+  config.seed = 99;
+  config.chunk_extents = {5, 5, 5, 5};
+  ASSERT_OK_AND_ASSIGN(gen::SyntheticDataset data, gen::Generate(config));
+  ASSERT_OK_AND_ASSIGN(
+      std::unique_ptr<Database> db,
+      BuildDatabaseFromDataset(file.path(), data, SmallDbOptions()));
+  const query::ConsolidationQuery q = gen::Query1(4);
+  ASSERT_OK_AND_ASSIGN(query::GroupedResult result,
+                       ParallelArrayConsolidate(*db->olap(), q, 4));
+  EXPECT_TRUE(result.SameAs(BruteForce(data, q)));
+}
+
+}  // namespace
+}  // namespace paradise

@@ -1,0 +1,397 @@
+// Tests for the relational substrate: schemas, tuples, the slotted heap
+// file, the extent-based fact file, and dimension tables with dictionaries.
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "index/btree.h"
+#include "relational/dimension_table.h"
+#include "relational/fact_file.h"
+#include "relational/heap_file.h"
+#include "relational/schema.h"
+#include "relational/tuple.h"
+#include "test_util.h"
+
+namespace paradise {
+namespace {
+
+using paradise::testing::TempFile;
+
+Schema SalesSchema() {
+  return Schema({{"pid", ColumnType::kInt32},
+                 {"sid", ColumnType::kInt32},
+                 {"volume", ColumnType::kInt64},
+                 {"note", ColumnType::kString16}});
+}
+
+TEST(SchemaTest, OffsetsAndRecordSize) {
+  const Schema s = SalesSchema();
+  EXPECT_EQ(s.num_columns(), 4u);
+  EXPECT_EQ(s.offset(0), 0u);
+  EXPECT_EQ(s.offset(1), 4u);
+  EXPECT_EQ(s.offset(2), 8u);
+  EXPECT_EQ(s.offset(3), 16u);
+  EXPECT_EQ(s.record_size(), 32u);
+}
+
+TEST(SchemaTest, ColumnIndexLookup) {
+  const Schema s = SalesSchema();
+  ASSERT_OK_AND_ASSIGN(size_t i, s.ColumnIndex("volume"));
+  EXPECT_EQ(i, 2u);
+  EXPECT_TRUE(s.ColumnIndex("nope").status().IsNotFound());
+}
+
+TEST(SchemaTest, SerializeRoundTrip) {
+  const Schema s = SalesSchema();
+  ASSERT_OK_AND_ASSIGN(Schema back, Schema::Deserialize(s.Serialize()));
+  EXPECT_TRUE(back == s);
+  EXPECT_EQ(back.record_size(), s.record_size());
+}
+
+TEST(SchemaTest, DeserializeRejectsGarbage) {
+  EXPECT_TRUE(Schema::Deserialize("ab").status().IsCorruption());
+}
+
+TEST(TupleTest, SetGetAllTypes) {
+  const Schema s = SalesSchema();
+  Tuple t(&s);
+  t.SetInt32(0, -7);
+  t.SetInt32(1, 42);
+  t.SetInt64(2, 123456789012345);
+  ASSERT_OK(t.SetString(3, "hello"));
+  EXPECT_EQ(t.GetInt32(0), -7);
+  EXPECT_EQ(t.GetInt32(1), 42);
+  EXPECT_EQ(t.GetInt64(2), 123456789012345);
+  EXPECT_EQ(t.GetString(3), "hello");
+}
+
+TEST(TupleTest, StringPaddingAndLimit) {
+  const Schema s = SalesSchema();
+  Tuple t(&s);
+  ASSERT_OK(t.SetString(3, "exactly16bytes!!"));
+  EXPECT_EQ(t.GetString(3), "exactly16bytes!!");
+  EXPECT_TRUE(t.SetString(3, "seventeen bytes!!").IsInvalidArgument());
+  ASSERT_OK(t.SetString(3, "short"));
+  EXPECT_EQ(t.GetString(3), "short");  // trailing NULs stripped
+}
+
+TEST(TupleTest, RefViewsRawBytes) {
+  const Schema s = SalesSchema();
+  Tuple t(&s);
+  t.SetInt32(0, 99);
+  TupleRef ref(&s, t.bytes().data());
+  EXPECT_EQ(ref.GetInt32(0), 99);
+}
+
+class HeapFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    file_ = std::make_unique<TempFile>("heap");
+    StorageOptions options;
+    options.page_size = 4096;
+    options.buffer_pool_pages = 32;
+    ASSERT_OK(disk_.Create(file_->path(), options));
+    pool_ = std::make_unique<BufferPool>(&disk_, options);
+  }
+
+  std::unique_ptr<TempFile> file_;
+  DiskManager disk_;
+  std::unique_ptr<BufferPool> pool_;
+};
+
+TEST_F(HeapFileTest, AppendGetScan) {
+  ASSERT_OK_AND_ASSIGN(HeapFile heap, HeapFile::Create(pool_.get()));
+  std::vector<RecordId> rids;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_OK_AND_ASSIGN(RecordId rid,
+                         heap.Append("record-" + std::to_string(i)));
+    rids.push_back(rid);
+  }
+  std::string rec;
+  ASSERT_OK(heap.Get(rids[42], &rec));
+  EXPECT_EQ(rec, "record-42");
+  ASSERT_OK_AND_ASSIGN(HeapFileIterator it, heap.Scan());
+  int count = 0;
+  while (it.Valid()) {
+    EXPECT_EQ(it.record(), "record-" + std::to_string(count));
+    ++count;
+    ASSERT_OK(it.Next());
+  }
+  EXPECT_EQ(count, 100);
+}
+
+TEST_F(HeapFileTest, VariableLengthRecordsSpanPages) {
+  ASSERT_OK_AND_ASSIGN(HeapFile heap, HeapFile::Create(pool_.get()));
+  Random rng(5);
+  std::vector<std::string> records;
+  for (int i = 0; i < 300; ++i) {
+    records.emplace_back(rng.Uniform(200) + 1, static_cast<char>('a' + i % 26));
+    ASSERT_OK(heap.Append(records.back()).status());
+  }
+  ASSERT_OK_AND_ASSIGN(uint64_t pages, heap.CountPages());
+  EXPECT_GT(pages, 1u);
+  ASSERT_OK_AND_ASSIGN(uint64_t n, heap.CountRecords());
+  EXPECT_EQ(n, 300u);
+  ASSERT_OK_AND_ASSIGN(HeapFileIterator it, heap.Scan());
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(it.Valid());
+    EXPECT_EQ(it.record(), records[i]);
+    ASSERT_OK(it.Next());
+  }
+  EXPECT_FALSE(it.Valid());
+}
+
+TEST_F(HeapFileTest, OversizedRecordRejected) {
+  ASSERT_OK_AND_ASSIGN(HeapFile heap, HeapFile::Create(pool_.get()));
+  EXPECT_TRUE(heap.Append(std::string(5000, 'x')).status().IsInvalidArgument());
+}
+
+TEST_F(HeapFileTest, ReopenResumesAppending) {
+  PageId first = kInvalidPageId;
+  {
+    ASSERT_OK_AND_ASSIGN(HeapFile heap, HeapFile::Create(pool_.get()));
+    first = heap.first_page();
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_OK(heap.Append("a" + std::to_string(i)).status());
+    }
+  }
+  ASSERT_OK(pool_->FlushAndEvictAll());
+  ASSERT_OK_AND_ASSIGN(HeapFile heap, HeapFile::Open(pool_.get(), first));
+  ASSERT_OK(heap.Append("resumed").status());
+  ASSERT_OK_AND_ASSIGN(uint64_t n, heap.CountRecords());
+  EXPECT_EQ(n, 51u);
+}
+
+TEST_F(HeapFileTest, GetBadSlotFails) {
+  ASSERT_OK_AND_ASSIGN(HeapFile heap, HeapFile::Create(pool_.get()));
+  ASSERT_OK(heap.Append("only").status());
+  std::string rec;
+  EXPECT_TRUE(heap.Get(RecordId{heap.first_page(), 7}, &rec).IsNotFound());
+}
+
+class FactFileTest : public HeapFileTest {};
+
+TEST_F(FactFileTest, AppendGetScan) {
+  ASSERT_OK_AND_ASSIGN(FactFile fact,
+                       FactFile::Create(pool_.get(), &disk_, 16, 4));
+  for (int i = 0; i < 1000; ++i) {
+    std::string rec(16, '\0');
+    std::memcpy(rec.data(), &i, sizeof(i));
+    ASSERT_OK(fact.Append(rec));
+  }
+  EXPECT_EQ(fact.num_tuples(), 1000u);
+  char buf[16];
+  ASSERT_OK(fact.Get(777, buf));
+  int v = 0;
+  std::memcpy(&v, buf, sizeof(v));
+  EXPECT_EQ(v, 777);
+  EXPECT_TRUE(fact.Get(1000, buf).IsOutOfRange());
+
+  int expected = 0;
+  ASSERT_OK(fact.ScanAll([&](uint64_t t, const char* record) -> Status {
+    int got = 0;
+    std::memcpy(&got, record, sizeof(got));
+    EXPECT_EQ(got, expected);
+    EXPECT_EQ(t, static_cast<uint64_t>(expected));
+    ++expected;
+    return Status::OK();
+  }));
+  EXPECT_EQ(expected, 1000);
+}
+
+TEST_F(FactFileTest, WrongRecordSizeRejected) {
+  ASSERT_OK_AND_ASSIGN(FactFile fact,
+                       FactFile::Create(pool_.get(), &disk_, 16, 4));
+  EXPECT_TRUE(fact.Append("short").IsInvalidArgument());
+  EXPECT_TRUE(FactFile::Create(pool_.get(), &disk_, 0, 4)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(FactFileTest, FetchBitmapVisitsExactlySetBits) {
+  ASSERT_OK_AND_ASSIGN(FactFile fact,
+                       FactFile::Create(pool_.get(), &disk_, 8, 4));
+  for (uint64_t i = 0; i < 2000; ++i) {
+    std::string rec(8, '\0');
+    std::memcpy(rec.data(), &i, sizeof(i));
+    ASSERT_OK(fact.Append(rec));
+  }
+  Bitmap bitmap(2000);
+  std::set<uint64_t> expected;
+  Random rng(17);
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t t = rng.Uniform(2000);
+    bitmap.Set(t);
+    expected.insert(t);
+  }
+  std::set<uint64_t> seen;
+  ASSERT_OK(fact.FetchBitmap(bitmap,
+                             [&](uint64_t t, const char* record) -> Status {
+                               uint64_t v = 0;
+                               std::memcpy(&v, record, sizeof(v));
+                               EXPECT_EQ(v, t);
+                               seen.insert(t);
+                               return Status::OK();
+                             }));
+  EXPECT_EQ(seen, expected);
+  // Mismatched bitmap size is rejected.
+  Bitmap wrong(5);
+  EXPECT_TRUE(fact.FetchBitmap(wrong, [](uint64_t, const char*) {
+                    return Status::OK();
+                  }).IsInvalidArgument());
+}
+
+TEST_F(FactFileTest, ReopenKeepsTuplesAfterSync) {
+  PageId meta = kInvalidPageId;
+  {
+    ASSERT_OK_AND_ASSIGN(FactFile fact,
+                         FactFile::Create(pool_.get(), &disk_, 8, 4));
+    meta = fact.meta_page();
+    for (uint64_t i = 0; i < 500; ++i) {
+      std::string rec(8, '\0');
+      std::memcpy(rec.data(), &i, sizeof(i));
+      ASSERT_OK(fact.Append(rec));
+    }
+    ASSERT_OK(fact.Sync());
+  }
+  ASSERT_OK(pool_->FlushAndEvictAll());
+  ASSERT_OK_AND_ASSIGN(FactFile fact,
+                       FactFile::Open(pool_.get(), &disk_, meta));
+  EXPECT_EQ(fact.num_tuples(), 500u);
+  char buf[8];
+  ASSERT_OK(fact.Get(499, buf));
+  uint64_t v = 0;
+  std::memcpy(&v, buf, sizeof(v));
+  EXPECT_EQ(v, 499u);
+}
+
+TEST_F(FactFileTest, NoPerTupleSpaceOverhead) {
+  // 16-byte records in 4096-byte pages: exactly 256 per page, no slots.
+  ASSERT_OK_AND_ASSIGN(FactFile fact,
+                       FactFile::Create(pool_.get(), &disk_, 16, 4));
+  EXPECT_EQ(fact.tuples_per_page(), 256u);
+  for (int i = 0; i < 256; ++i) {
+    ASSERT_OK(fact.Append(std::string(16, 'x')));
+  }
+  EXPECT_EQ(fact.used_data_pages(), 1u);
+  ASSERT_OK(fact.Append(std::string(16, 'y')));
+  EXPECT_EQ(fact.used_data_pages(), 2u);
+}
+
+Schema DimSchema() {
+  return Schema({{"d0", ColumnType::kInt32},
+                 {"h01", ColumnType::kString16},
+                 {"h02", ColumnType::kString16}});
+}
+
+class DimensionTableTest : public HeapFileTest {};
+
+TEST_F(DimensionTableTest, AppendBuildsDictionaries) {
+  ASSERT_OK_AND_ASSIGN(
+      DimensionTable dim,
+      DimensionTable::Create(pool_.get(), "dim0", DimSchema()));
+  const Schema schema = DimSchema();
+  for (int key = 0; key < 12; ++key) {
+    Tuple row(&schema);
+    row.SetInt32(0, key);
+    ASSERT_OK(row.SetString(1, "L1_" + std::to_string(key / 3)));
+    ASSERT_OK(row.SetString(2, "L2_" + std::to_string(key / 6)));
+    ASSERT_OK(dim.Append(row));
+  }
+  EXPECT_EQ(dim.num_rows(), 12u);
+  ASSERT_OK_AND_ASSIGN(const AttributeDictionary* d1, dim.Dictionary(1));
+  EXPECT_EQ(d1->cardinality(), 4);
+  ASSERT_OK_AND_ASSIGN(const AttributeDictionary* d2, dim.Dictionary(2));
+  EXPECT_EQ(d2->cardinality(), 2);
+  // Codes follow first appearance: key 0..2 -> code 0, 3..5 -> code 1, ...
+  ASSERT_OK_AND_ASSIGN(int32_t code, dim.RowAttrCode(7, 1));
+  EXPECT_EQ(code, 2);
+  EXPECT_EQ(d1->code_to_display[2], "L1_2");
+  ASSERT_OK_AND_ASSIGN(uint32_t row, dim.RowOfKey(9));
+  EXPECT_EQ(row, 9u);
+  EXPECT_TRUE(dim.RowOfKey(99).status().IsNotFound());
+}
+
+TEST_F(DimensionTableTest, DuplicateKeyRejected) {
+  ASSERT_OK_AND_ASSIGN(
+      DimensionTable dim,
+      DimensionTable::Create(pool_.get(), "dim0", DimSchema()));
+  const Schema schema = DimSchema();
+  Tuple row(&schema);
+  row.SetInt32(0, 5);
+  ASSERT_OK(row.SetString(1, "a"));
+  ASSERT_OK(row.SetString(2, "b"));
+  ASSERT_OK(dim.Append(row));
+  EXPECT_TRUE(dim.Append(row).IsAlreadyExists());
+}
+
+TEST_F(DimensionTableTest, ValueCodeLookup) {
+  ASSERT_OK_AND_ASSIGN(
+      DimensionTable dim,
+      DimensionTable::Create(pool_.get(), "dim0", DimSchema()));
+  const Schema schema = DimSchema();
+  for (int key = 0; key < 6; ++key) {
+    Tuple row(&schema);
+    row.SetInt32(0, key);
+    ASSERT_OK(row.SetString(1, "V" + std::to_string(key % 2)));
+    ASSERT_OK(row.SetString(2, "W"));
+    ASSERT_OK(dim.Append(row));
+  }
+  ASSERT_OK_AND_ASSIGN(int32_t code, dim.ValueCode(1, StringPrefixKey("V1")));
+  EXPECT_EQ(code, 1);
+  EXPECT_TRUE(dim.ValueCode(1, StringPrefixKey("V9")).status().IsNotFound());
+  EXPECT_TRUE(dim.ValueCode(0, 0).status().IsInvalidArgument());  // key col
+}
+
+TEST_F(DimensionTableTest, LevelMapMatchesRowCodes) {
+  ASSERT_OK_AND_ASSIGN(
+      DimensionTable dim,
+      DimensionTable::Create(pool_.get(), "dim0", DimSchema()));
+  const Schema schema = DimSchema();
+  for (int key = 0; key < 10; ++key) {
+    Tuple row(&schema);
+    row.SetInt32(0, key);
+    ASSERT_OK(row.SetString(1, "G" + std::to_string(key / 4)));
+    ASSERT_OK(row.SetString(2, "H"));
+    ASSERT_OK(dim.Append(row));
+  }
+  ASSERT_OK_AND_ASSIGN(std::vector<int32_t> level, dim.LevelMap(1));
+  ASSERT_EQ(level.size(), 10u);
+  for (uint32_t row = 0; row < 10; ++row) {
+    ASSERT_OK_AND_ASSIGN(int32_t code, dim.RowAttrCode(row, 1));
+    EXPECT_EQ(level[row], code);
+  }
+}
+
+TEST_F(DimensionTableTest, ReopenRebuildsCaches) {
+  PageId first = kInvalidPageId;
+  const Schema schema = DimSchema();
+  {
+    ASSERT_OK_AND_ASSIGN(
+        DimensionTable dim,
+        DimensionTable::Create(pool_.get(), "dim0", DimSchema()));
+    first = dim.first_page();
+    for (int key = 0; key < 20; ++key) {
+      Tuple row(&schema);
+      row.SetInt32(0, key);
+      ASSERT_OK(row.SetString(1, "X" + std::to_string(key % 5)));
+      ASSERT_OK(row.SetString(2, "Y" + std::to_string(key % 2)));
+      ASSERT_OK(dim.Append(row));
+    }
+  }
+  ASSERT_OK(pool_->FlushAndEvictAll());
+  ASSERT_OK_AND_ASSIGN(
+      DimensionTable dim,
+      DimensionTable::Open(pool_.get(), "dim0", DimSchema(), first));
+  EXPECT_EQ(dim.num_rows(), 20u);
+  ASSERT_OK_AND_ASSIGN(const AttributeDictionary* d1, dim.Dictionary(1));
+  EXPECT_EQ(d1->cardinality(), 5);
+  ASSERT_OK_AND_ASSIGN(uint32_t row, dim.RowOfKey(13));
+  EXPECT_EQ(row, 13u);
+  ASSERT_OK_AND_ASSIGN(int32_t code, dim.RowAttrCode(13, 1));
+  EXPECT_EQ(code, 3);
+}
+
+}  // namespace
+}  // namespace paradise

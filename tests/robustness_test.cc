@@ -1,0 +1,140 @@
+// Robustness fuzzing of every deserializer: random and mutated blobs must
+// produce a clean Status (never a crash, hang, or huge allocation), and
+// valid blobs with single-byte mutations must either round-trip visibly
+// differently or fail cleanly.
+#include <gtest/gtest.h>
+
+#include "array/chunk.h"
+#include "array/chunk_layout.h"
+#include "common/lzw.h"
+#include "common/random.h"
+#include "core/index_to_index.h"
+#include "index/bitmap.h"
+#include "relational/schema.h"
+#include "schema/star_schema.h"
+#include "test_util.h"
+
+namespace paradise {
+namespace {
+
+std::string RandomBlob(Random* rng, size_t max_len) {
+  std::string out;
+  const uint64_t len = rng->Uniform(max_len + 1);
+  out.reserve(len);
+  for (uint64_t i = 0; i < len; ++i) {
+    out.push_back(static_cast<char>(rng->Uniform(256)));
+  }
+  return out;
+}
+
+class DeserializerFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DeserializerFuzz, RandomBlobsNeverCrash) {
+  Random rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const std::string blob = RandomBlob(&rng, 512);
+    // Every deserializer must return, OK or not, without crashing.
+    (void)Chunk::Deserialize(blob);
+    (void)ChunkView::Make(blob);
+    (void)Bitmap::Deserialize(blob);
+    (void)Schema::Deserialize(blob);
+    (void)StarSchema::Deserialize(blob);
+    (void)LzwDecompress(blob);
+    size_t consumed = 0;
+    (void)ChunkLayout::Deserialize(blob, &consumed);
+    (void)IndexToIndexArray::Deserialize(blob, &consumed);
+    (void)UnwrapChunkBlob(std::string(blob));
+  }
+}
+
+TEST_P(DeserializerFuzz, MutatedValidChunksFailCleanlyOrParse) {
+  Random rng(GetParam() + 1000);
+  Chunk chunk(200);
+  for (int i = 0; i < 40; ++i) {
+    (void)chunk.Put(static_cast<uint32_t>(rng.Uniform(200)),
+                    rng.UniformRange(-5, 5));
+  }
+  for (ChunkFormat fmt : {ChunkFormat::kOffsetCompressed, ChunkFormat::kDense,
+                          ChunkFormat::kLzwDense}) {
+    const std::string valid = chunk.Serialize(fmt);
+    for (int trial = 0; trial < 50; ++trial) {
+      std::string mutated = valid;
+      const size_t pos = rng.Uniform(mutated.size());
+      mutated[pos] = static_cast<char>(rng.Uniform(256));
+      Result<Chunk> r = Chunk::Deserialize(mutated);
+      if (r.ok()) {
+        // A parse that succeeds must at least be internally consistent.
+        EXPECT_LE(r->num_valid(), r->capacity() == 0 ? r->num_valid()
+                                                     : r->capacity());
+      }
+      // Truncations must fail or parse; never crash.
+      if (mutated.size() > 1) {
+        (void)Chunk::Deserialize(
+            std::string_view(mutated.data(), mutated.size() / 2));
+      }
+    }
+  }
+}
+
+TEST_P(DeserializerFuzz, MutatedBitmapsNeverCrash) {
+  Random rng(GetParam() + 2000);
+  Bitmap bitmap(300);
+  for (int i = 0; i < 50; ++i) bitmap.Set(rng.Uniform(300));
+  const std::string valid = bitmap.Serialize();
+  for (int trial = 0; trial < 50; ++trial) {
+    std::string mutated = valid;
+    mutated[rng.Uniform(mutated.size())] =
+        static_cast<char>(rng.Uniform(256));
+    Result<Bitmap> r = Bitmap::Deserialize(mutated);
+    if (r.ok()) {
+      // Iterating a successfully parsed bitmap must terminate.
+      uint64_t n = 0;
+      for (BitmapIterator it(&*r); it.Valid() && n < 1000000; it.Next()) ++n;
+    }
+  }
+}
+
+TEST_P(DeserializerFuzz, LzwStreamsTerminate) {
+  Random rng(GetParam() + 3000);
+  const std::string valid = LzwCompress(RandomBlob(&rng, 2000));
+  for (int trial = 0; trial < 50; ++trial) {
+    std::string mutated = valid;
+    if (!mutated.empty()) {
+      mutated[rng.Uniform(mutated.size())] =
+          static_cast<char>(rng.Uniform(256));
+    }
+    Result<std::string> r = LzwDecompress(mutated);
+    if (r.ok()) {
+      EXPECT_LE(r->size(), 1u << 24);  // bounded by the (mutated) header
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeserializerFuzz,
+                         ::testing::Range(uint64_t{1}, uint64_t{9}));
+
+TEST(RobustnessTest, OpenRejectsTruncatedDatabase) {
+  paradise::testing::TempFile file("trunc");
+  {
+    auto db = BuildDatabaseFromConfig(file.path(),
+                                      paradise::testing::TinyConfig(100),
+                                      paradise::testing::SmallDbOptions());
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE((*db)->storage()->Close().ok());
+  }
+  // Truncate the file to half and try to open it: must fail cleanly.
+  {
+    std::FILE* f = std::fopen(file.path().c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fclose(f);
+    ASSERT_EQ(truncate(file.path().c_str(), size / 2), 0);
+  }
+  Result<std::unique_ptr<Database>> reopened =
+      Database::Open(file.path(), paradise::testing::SmallDbOptions());
+  EXPECT_FALSE(reopened.ok());
+}
+
+}  // namespace
+}  // namespace paradise

@@ -1,0 +1,165 @@
+// Snowflake mapping tests (§2.2): normalize (with FD validation), persist,
+// load, denormalize, and rebuild a star DimensionTable that matches the
+// original.
+#include <gtest/gtest.h>
+
+#include "schema/snowflake.h"
+#include "test_util.h"
+
+namespace paradise {
+namespace {
+
+using paradise::testing::TempFile;
+
+class SnowflakeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    file_ = std::make_unique<TempFile>("snowflake");
+    StorageOptions options;
+    options.page_size = 4096;
+    options.buffer_pool_pages = 64;
+    ASSERT_OK(storage_.Create(file_->path(), options));
+    schema_ = Schema({{"pid", ColumnType::kInt32},
+                      {"type", ColumnType::kString16},
+                      {"category", ColumnType::kString16}});
+  }
+
+  /// A strictly hierarchical product dimension: 18 products, 6 types,
+  /// 3 categories; type t belongs to category t % 3.
+  Result<DimensionTable> MakeFlat() {
+    PARADISE_ASSIGN_OR_RETURN(
+        DimensionTable flat,
+        DimensionTable::Create(storage_.pool(), "product", schema_));
+    for (int32_t pid = 0; pid < 18; ++pid) {
+      Tuple row(&schema_);
+      row.SetInt32(0, pid);
+      const int type = pid % 6;
+      PARADISE_RETURN_IF_ERROR(
+          row.SetString(1, "type" + std::to_string(type)));
+      PARADISE_RETURN_IF_ERROR(
+          row.SetString(2, "cat" + std::to_string(type % 3)));
+      PARADISE_RETURN_IF_ERROR(flat.Append(row));
+    }
+    return flat;
+  }
+
+  std::unique_ptr<TempFile> file_;
+  StorageManager storage_;
+  Schema schema_;
+};
+
+TEST_F(SnowflakeTest, NormalizeBuildsLevelTables) {
+  ASSERT_OK_AND_ASSIGN(DimensionTable flat, MakeFlat());
+  ASSERT_OK_AND_ASSIGN(SnowflakeDimension snow,
+                       SnowflakeDimension::Normalize(flat));
+  EXPECT_EQ(snow.num_levels(), 2u);
+  EXPECT_EQ(snow.level_names(),
+            (std::vector<std::string>{"type", "category"}));
+  EXPECT_EQ(snow.base().size(), 18u);
+  EXPECT_EQ(snow.level(0).size(), 6u);   // types
+  EXPECT_EQ(snow.level(1).size(), 3u);   // categories
+  // FK chain: type t -> category t % 3 (codes follow first appearance).
+  for (const SnowflakeLevelRow& row : snow.level(0)) {
+    EXPECT_EQ(row.parent_id, row.id % 3) << row.value;
+  }
+  for (const SnowflakeLevelRow& row : snow.level(1)) {
+    EXPECT_EQ(row.parent_id, -1);  // top level has no parent
+  }
+}
+
+TEST_F(SnowflakeTest, NormalizeRejectsFdViolation) {
+  ASSERT_OK_AND_ASSIGN(
+      DimensionTable flat,
+      DimensionTable::Create(storage_.pool(), "broken", schema_));
+  // Two members share type "t0" but disagree on category: not a snowflake.
+  for (int i = 0; i < 2; ++i) {
+    Tuple row(&schema_);
+    row.SetInt32(0, i);
+    ASSERT_OK(row.SetString(1, "t0"));
+    ASSERT_OK(row.SetString(2, "cat" + std::to_string(i)));
+    ASSERT_OK(flat.Append(row));
+  }
+  Result<SnowflakeDimension> snow = SnowflakeDimension::Normalize(flat);
+  ASSERT_FALSE(snow.ok());
+  EXPECT_TRUE(snow.status().IsInvalidArgument());
+  EXPECT_NE(snow.status().message().find("not a snowflake"),
+            std::string::npos);
+}
+
+TEST_F(SnowflakeTest, DenormalizeMatchesOriginal) {
+  ASSERT_OK_AND_ASSIGN(DimensionTable flat, MakeFlat());
+  ASSERT_OK_AND_ASSIGN(SnowflakeDimension snow,
+                       SnowflakeDimension::Normalize(flat));
+  ASSERT_OK_AND_ASSIGN(std::vector<std::vector<std::string>> values,
+                       snow.Denormalize());
+  ASSERT_EQ(values.size(), flat.num_rows());
+  for (uint32_t m = 0; m < flat.num_rows(); ++m) {
+    EXPECT_EQ(values[m][0], flat.rows()[m].GetString(1));
+    EXPECT_EQ(values[m][1], flat.rows()[m].GetString(2));
+  }
+}
+
+TEST_F(SnowflakeTest, PersistLoadRoundTrip) {
+  ASSERT_OK_AND_ASSIGN(DimensionTable flat, MakeFlat());
+  ASSERT_OK_AND_ASSIGN(SnowflakeDimension snow,
+                       SnowflakeDimension::Normalize(flat));
+  ASSERT_OK(snow.Persist(&storage_));
+  ASSERT_OK(storage_.FlushAndEvictAll());
+  ASSERT_OK_AND_ASSIGN(
+      SnowflakeDimension loaded,
+      SnowflakeDimension::Load(&storage_, "product", {"type", "category"}));
+  EXPECT_EQ(loaded.base().size(), snow.base().size());
+  for (size_t l = 0; l < 2; ++l) {
+    ASSERT_EQ(loaded.level(l).size(), snow.level(l).size());
+    for (size_t i = 0; i < snow.level(l).size(); ++i) {
+      EXPECT_EQ(loaded.level(l)[i].value, snow.level(l)[i].value);
+      EXPECT_EQ(loaded.level(l)[i].parent_id, snow.level(l)[i].parent_id);
+    }
+  }
+}
+
+TEST_F(SnowflakeTest, ToDimensionTableRebuildsStarForm) {
+  ASSERT_OK_AND_ASSIGN(DimensionTable flat, MakeFlat());
+  ASSERT_OK_AND_ASSIGN(SnowflakeDimension snow,
+                       SnowflakeDimension::Normalize(flat));
+  ASSERT_OK_AND_ASSIGN(DimensionTable rebuilt,
+                       snow.ToDimensionTable(storage_.pool(), schema_));
+  ASSERT_EQ(rebuilt.num_rows(), flat.num_rows());
+  for (uint32_t m = 0; m < flat.num_rows(); ++m) {
+    EXPECT_EQ(rebuilt.rows()[m].GetInt32(0), flat.rows()[m].GetInt32(0));
+    EXPECT_EQ(rebuilt.rows()[m].GetString(1), flat.rows()[m].GetString(1));
+    EXPECT_EQ(rebuilt.rows()[m].GetString(2), flat.rows()[m].GetString(2));
+  }
+  // Dictionaries (and so dense codes) also agree.
+  ASSERT_OK_AND_ASSIGN(const AttributeDictionary* a, flat.Dictionary(1));
+  ASSERT_OK_AND_ASSIGN(const AttributeDictionary* b, rebuilt.Dictionary(1));
+  EXPECT_EQ(a->code_to_display, b->code_to_display);
+}
+
+TEST_F(SnowflakeTest, SingleLevelDimension) {
+  const Schema one_level({{"k", ColumnType::kInt32},
+                          {"name", ColumnType::kString16}});
+  ASSERT_OK_AND_ASSIGN(
+      DimensionTable flat,
+      DimensionTable::Create(storage_.pool(), "simple", one_level));
+  for (int32_t k = 0; k < 4; ++k) {
+    Tuple row(&one_level);
+    row.SetInt32(0, k);
+    ASSERT_OK(row.SetString(1, "n" + std::to_string(k % 2)));
+    ASSERT_OK(flat.Append(row));
+  }
+  ASSERT_OK_AND_ASSIGN(SnowflakeDimension snow,
+                       SnowflakeDimension::Normalize(flat));
+  EXPECT_EQ(snow.num_levels(), 1u);
+  ASSERT_OK_AND_ASSIGN(auto values, snow.Denormalize());
+  EXPECT_EQ(values[3][0], "n1");
+}
+
+TEST_F(SnowflakeTest, LoadMissingDimensionFails) {
+  EXPECT_TRUE(SnowflakeDimension::Load(&storage_, "ghost", {"l"})
+                  .status()
+                  .IsNotFound());
+}
+
+}  // namespace
+}  // namespace paradise

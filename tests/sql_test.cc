@@ -1,0 +1,267 @@
+// SQL front-end tests: lexer/parser shapes and errors, binder resolution
+// against a star schema, planner rules, and RunSql end to end against the
+// typed-query path.
+#include <gtest/gtest.h>
+
+#include "query/planner.h"
+#include "query/sql.h"
+#include "test_util.h"
+
+namespace paradise {
+namespace {
+
+using paradise::testing::BruteForce;
+using paradise::testing::SmallDbOptions;
+using paradise::testing::TempFile;
+using paradise::testing::TinyConfig;
+using query::AggFunc;
+using query::CompileSql;
+using query::ParseSql;
+using query::SqlQuery;
+
+StarSchema RetailSchema() {
+  StarSchema schema;
+  schema.cube_name = "sales";
+  schema.measures = {"volume"};
+  schema.dims = {
+      DimensionSpec{"product",
+                    {{"pid", ColumnType::kInt32},
+                     {"type", ColumnType::kString16},
+                     {"category", ColumnType::kString16}}},
+      DimensionSpec{"store",
+                    {{"sid", ColumnType::kInt32},
+                     {"city", ColumnType::kString16},
+                     {"region", ColumnType::kString16}}},
+  };
+  return schema;
+}
+
+TEST(SqlParserTest, MinimalQuery) {
+  ASSERT_OK_AND_ASSIGN(SqlQuery q, ParseSql("SELECT sum(volume) FROM sales"));
+  EXPECT_EQ(q.agg, AggFunc::kSum);
+  EXPECT_EQ(q.agg_argument, "volume");
+  EXPECT_EQ(q.tables, std::vector<std::string>{"sales"});
+  EXPECT_TRUE(q.predicates.empty());
+  EXPECT_TRUE(q.group_by.empty());
+}
+
+TEST(SqlParserTest, FullQueryShape) {
+  ASSERT_OK_AND_ASSIGN(
+      SqlQuery q,
+      ParseSql("select avg(volume), product.category, store.region "
+               "from sales, product, store "
+               "where sales.pid = product.pid and product.type = 'type3' "
+               "  and store.city in ('city1', 'city2') "
+               "group by product.category, store.region;"));
+  EXPECT_EQ(q.agg, AggFunc::kAvg);
+  EXPECT_EQ(q.select_columns.size(), 2u);
+  EXPECT_EQ(q.select_columns[0].table, std::optional<std::string>("product"));
+  EXPECT_EQ(q.tables.size(), 3u);
+  ASSERT_EQ(q.predicates.size(), 3u);
+  EXPECT_TRUE(q.predicates[0].rhs_column.has_value());  // join predicate
+  EXPECT_EQ(q.predicates[1].values.size(), 1u);
+  EXPECT_EQ(q.predicates[2].values.size(), 2u);  // IN list
+  EXPECT_EQ(q.group_by.size(), 2u);
+}
+
+TEST(SqlParserTest, AllAggregates) {
+  for (const auto& [name, agg] :
+       std::vector<std::pair<std::string, AggFunc>>{
+           {"sum", AggFunc::kSum},
+           {"COUNT", AggFunc::kCount},
+           {"Min", AggFunc::kMin},
+           {"max", AggFunc::kMax},
+           {"AVG", AggFunc::kAvg}}) {
+    ASSERT_OK_AND_ASSIGN(SqlQuery q,
+                         ParseSql("select " + name + "(volume) from f"));
+    EXPECT_EQ(q.agg, agg) << name;
+  }
+}
+
+TEST(SqlParserTest, IntegerLiterals) {
+  ASSERT_OK_AND_ASSIGN(
+      SqlQuery q, ParseSql("select sum(v) from f where d.a = -42"));
+  ASSERT_EQ(q.predicates.size(), 1u);
+  EXPECT_EQ(query::NormalizeLiteral(q.predicates[0].values[0]), -42);
+}
+
+TEST(SqlParserTest, SyntaxErrors) {
+  EXPECT_TRUE(ParseSql("").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseSql("SELEKT sum(v) FROM f").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseSql("select v from f").status().IsInvalidArgument());
+  EXPECT_TRUE(
+      ParseSql("select sum(v) from f where").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseSql("select sum(v) from f where a = ")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ParseSql("select sum(v) from f where a in ()")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ParseSql("select sum(v) from f group volume")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ParseSql("select sum(v) from f extra tokens")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ParseSql("select sum(v) from f where a = 'unterminated")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ParseSql("select sum(v), count(v) from f")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(SqlBinderTest, BindsGroupBySelectionsAndJoins) {
+  ASSERT_OK_AND_ASSIGN(
+      query::ConsolidationQuery q,
+      CompileSql("select sum(volume), product.category, store.region "
+                 "from sales, product, store "
+                 "where sales.pid = product.pid and sales.sid = store.sid "
+                 "  and product.type = 'type3' "
+                 "group by product.category, store.region",
+                 RetailSchema()));
+  EXPECT_EQ(q.agg, AggFunc::kSum);
+  EXPECT_EQ(q.dims[0].group_by_col, 2u);  // product.category
+  EXPECT_EQ(q.dims[1].group_by_col, 2u);  // store.region
+  ASSERT_EQ(q.dims[0].selections.size(), 1u);
+  EXPECT_EQ(q.dims[0].selections[0].attr_col, 1u);  // product.type
+  EXPECT_TRUE(q.dims[1].selections.empty());
+}
+
+TEST(SqlBinderTest, UnqualifiedColumnsResolveWhenUnique) {
+  ASSERT_OK_AND_ASSIGN(
+      query::ConsolidationQuery q,
+      CompileSql("select sum(volume), category from sales "
+                 "where region = 'west' group by category",
+                 RetailSchema()));
+  EXPECT_EQ(q.dims[0].group_by_col, 2u);
+  ASSERT_EQ(q.dims[1].selections.size(), 1u);
+  EXPECT_EQ(q.dims[1].selections[0].attr_col, 2u);
+}
+
+TEST(SqlBinderTest, BindErrors) {
+  const StarSchema schema = RetailSchema();
+  // Unknown table.
+  EXPECT_TRUE(CompileSql("select sum(volume) from nonsense", schema)
+                  .status()
+                  .IsNotFound());
+  // Unknown column.
+  EXPECT_TRUE(CompileSql("select sum(volume) from sales where bogus = 1",
+                         schema)
+                  .status()
+                  .IsNotFound());
+  // Aggregate over a non-measure.
+  EXPECT_TRUE(CompileSql("select sum(category) from sales", schema)
+                  .status()
+                  .IsInvalidArgument());
+  // Select column missing from GROUP BY.
+  EXPECT_TRUE(CompileSql(
+                  "select sum(volume), product.category from sales", schema)
+                  .status()
+                  .IsInvalidArgument());
+  // Selection on the key column is rejected by validation.
+  EXPECT_TRUE(CompileSql("select sum(volume) from sales where product.pid = 1",
+                         schema)
+                  .status()
+                  .IsInvalidArgument());
+  // Grouping one dimension at two levels.
+  EXPECT_TRUE(
+      CompileSql("select sum(volume) from sales "
+                 "group by product.category, product.type",
+                 schema)
+          .status()
+          .IsNotSupported());
+  // Non-star join predicate.
+  EXPECT_TRUE(CompileSql(
+                  "select sum(volume) from sales where product.type = "
+                  "store.city",
+                  schema)
+                  .status()
+                  .IsNotSupported());
+}
+
+class SqlEndToEndTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    file_ = std::make_unique<TempFile>("sql_e2e");
+    ASSERT_OK_AND_ASSIGN(data_, gen::Generate(TinyConfig(300, 41)));
+    ASSERT_OK_AND_ASSIGN(
+        db_, BuildDatabaseFromDataset(file_->path(), data_,
+                                      SmallDbOptions()));
+  }
+
+  std::unique_ptr<TempFile> file_;
+  gen::SyntheticDataset data_;
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(SqlEndToEndTest, SqlMatchesTypedQuery) {
+  // TinyConfig dims are dim0/dim1/dim2 with attrs h01/h02, h11/h12, h21/h22.
+  ASSERT_OK_AND_ASSIGN(
+      SqlExecution sql,
+      RunSql(db_.get(),
+             "select sum(volume), dim0.h01, dim1.h11, dim2.h21 "
+             "from cube, dim0, dim1, dim2 "
+             "group by dim0.h01, dim1.h11, dim2.h21"));
+  EXPECT_TRUE(sql.execution.result.SameAs(BruteForce(data_, gen::Query1(3))));
+  EXPECT_EQ(sql.plan.engine, EngineKind::kArray);
+}
+
+TEST_F(SqlEndToEndTest, SqlSelectionQuery) {
+  const std::string value = gen::AttrValue(1, 2, 0);
+  ASSERT_OK_AND_ASSIGN(
+      SqlExecution sql,
+      RunSql(db_.get(),
+             "select sum(volume), dim0.h01 from cube "
+             "where dim1.h12 = '" + value + "' group by dim0.h01"));
+  query::ConsolidationQuery expected_q;
+  expected_q.dims.resize(3);
+  expected_q.dims[0].group_by_col = 1;
+  expected_q.dims[1].selections.push_back(
+      query::Selection{2, {query::Literal{value}}});
+  EXPECT_TRUE(sql.execution.result.SameAs(BruteForce(data_, expected_q)));
+}
+
+TEST_F(SqlEndToEndTest, PlannerRules) {
+  // No selection -> array.
+  ASSERT_OK_AND_ASSIGN(PlanChoice no_sel,
+                       ChoosePlan(*db_, gen::Query1(3)));
+  EXPECT_EQ(no_sel.engine, EngineKind::kArray);
+
+  // Moderate selectivity (1/2 per dim on 3 dims => S = 0.125) -> array.
+  ASSERT_OK_AND_ASSIGN(PlanChoice mid, ChoosePlan(*db_, gen::Query2(3)));
+  EXPECT_EQ(mid.engine, EngineKind::kArray);
+  EXPECT_NEAR(mid.estimated_selectivity, 0.125, 1e-9);
+
+  // Force the crossover: raise the threshold above the estimate -> bitmap.
+  PlannerOptions options;
+  options.bitmap_crossover = 0.5;
+  ASSERT_OK_AND_ASSIGN(PlanChoice low,
+                       ChoosePlan(*db_, gen::Query2(3), options));
+  EXPECT_EQ(low.engine, EngineKind::kBitmap);
+  EXPECT_FALSE(low.reason.empty());
+}
+
+TEST_F(SqlEndToEndTest, PlannerFallsBackWithoutArray) {
+  TempFile lean_file("sql_lean");
+  DatabaseOptions options = SmallDbOptions();
+  options.build_array = false;
+  ASSERT_OK_AND_ASSIGN(
+      std::unique_ptr<Database> lean,
+      BuildDatabaseFromDataset(lean_file.path(), data_, options));
+  ASSERT_OK_AND_ASSIGN(PlanChoice no_sel, ChoosePlan(*lean, gen::Query1(3)));
+  EXPECT_EQ(no_sel.engine, EngineKind::kStarJoin);
+  ASSERT_OK_AND_ASSIGN(PlanChoice sel, ChoosePlan(*lean, gen::Query2(3)));
+  EXPECT_EQ(sel.engine, EngineKind::kBitmap);
+}
+
+TEST_F(SqlEndToEndTest, SqlErrorsSurface) {
+  EXPECT_TRUE(RunSql(db_.get(), "select nonsense").status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(RunSql(db_.get(), "select sum(volume) from nowhere")
+                  .status()
+                  .IsNotFound());
+}
+
+}  // namespace
+}  // namespace paradise
