@@ -1,0 +1,32 @@
+// CRC32C (Castagnoli) checksums for on-disk page integrity. Software
+// slice-by-8 implementation; the polynomial's error-detection properties are
+// what storage systems standardized on (iSCSI, ext4, leveldb). Stored CRCs
+// are masked (leveldb idiom) so checksumming a buffer that itself contains
+// an embedded CRC does not degenerate.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace paradise {
+
+/// CRC32C of `data[0, n)`, seeded with the standard initial value.
+uint32_t Crc32c(const char* data, size_t n);
+
+/// Extends `crc` (a value previously returned by Crc32c/Crc32cExtend) with
+/// `data[0, n)`, as if the two buffers had been concatenated.
+uint32_t Crc32cExtend(uint32_t crc, const char* data, size_t n);
+
+/// Masks a CRC before storing it alongside the data it covers.
+inline uint32_t MaskCrc32c(uint32_t crc) {
+  // Rotate right by 15 bits and add a constant (leveldb's kMaskDelta).
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8u;
+}
+
+/// Inverse of MaskCrc32c.
+inline uint32_t UnmaskCrc32c(uint32_t masked) {
+  const uint32_t rot = masked - 0xa282ead8u;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace paradise

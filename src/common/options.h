@@ -4,11 +4,15 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 
 #include "common/status.h"
 
 namespace paradise {
+
+class Disk;
 
 /// Buffer-pool victim selection policy.
 enum class EvictionPolicy : uint8_t {
@@ -37,6 +41,25 @@ struct StorageOptions {
 
   /// If true, CreateDatabase() truncates an existing file.
   bool allow_overwrite = false;
+
+  /// On-disk page-format version written by Create(). Version 2 (default)
+  /// appends a CRC32C trailer to every physical page; version 1 is the
+  /// legacy checksumless seed format, kept writable for compatibility
+  /// testing. Open() always auto-detects the file's version.
+  uint32_t format_version = 2;
+
+  /// Transient-read-fault handling in the buffer pool: a failed disk read
+  /// (kIOError) is retried up to this many additional times before the
+  /// error propagates. Checksum failures (kCorruption) are never retried.
+  size_t read_retry_limit = 2;
+
+  /// Base backoff before the first read retry; doubles per attempt.
+  uint64_t read_retry_backoff_micros = 100;
+
+  /// Test/tooling hook: if set, the StorageManager passes its freshly
+  /// constructed DiskManager through this decorator (e.g. wrapping it in a
+  /// FaultInjectingDiskManager) before any I/O happens.
+  std::function<std::unique_ptr<Disk>(std::unique_ptr<Disk>)> wrap_disk;
 
   /// Validates the option values.
   Status Validate() const;

@@ -25,9 +25,11 @@ std::string_view EngineKindToString(EngineKind kind) {
   return "unknown";
 }
 
-Result<Execution> RunQuery(Database* db, EngineKind kind,
-                           const query::ConsolidationQuery& q,
-                           bool cold) {
+namespace {
+
+Result<Execution> RunQueryImpl(Database* db, EngineKind kind,
+                               const query::ConsolidationQuery& q,
+                               bool cold) {
   if (cold) {
     PARADISE_RETURN_IF_ERROR(db->DropCaches());
   }
@@ -106,6 +108,21 @@ Result<Execution> RunQuery(Database* db, EngineKind kind,
   exec.stats.seconds = watch.ElapsedSeconds();
   exec.stats.io = db->storage()->pool()->stats().Delta(before);
   return exec;
+}
+
+}  // namespace
+
+Result<Execution> RunQuery(Database* db, EngineKind kind,
+                           const query::ConsolidationQuery& q,
+                           bool cold) {
+  Result<Execution> r = RunQueryImpl(db, kind, q, cold);
+  if (!r.ok()) {
+    // Name the failing engine so a fault deep in the storage stack is
+    // attributable from the top-level status alone.
+    return r.status().WithContext("engine " +
+                                  std::string(EngineKindToString(kind)));
+  }
+  return r;
 }
 
 }  // namespace paradise

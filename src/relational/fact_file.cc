@@ -19,7 +19,7 @@ constexpr size_t kNumTuplesOffset = 8;
 constexpr size_t kExtentRootOffset = 16;
 }  // namespace
 
-Result<FactFile> FactFile::Create(BufferPool* pool, DiskManager* disk,
+Result<FactFile> FactFile::Create(BufferPool* pool, Disk* disk,
                                   uint32_t record_size,
                                   uint32_t pages_per_extent) {
   if (record_size == 0 || record_size > pool->page_size()) {
@@ -39,7 +39,7 @@ Result<FactFile> FactFile::Create(BufferPool* pool, DiskManager* disk,
   return FactFile(pool, g.page_id(), record_size, 0, std::move(extents));
 }
 
-Result<FactFile> FactFile::Open(BufferPool* pool, DiskManager* disk,
+Result<FactFile> FactFile::Open(BufferPool* pool, Disk* disk,
                                 PageId meta_page) {
   uint32_t record_size = 0;
   uint64_t num_tuples = 0;

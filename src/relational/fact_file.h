@@ -25,12 +25,12 @@ class FactFile {
 
   /// Creates an empty fact file for `record_size`-byte records; pages are
   /// grouped into extents of `pages_per_extent` contiguous pages.
-  static Result<FactFile> Create(BufferPool* pool, DiskManager* disk,
+  static Result<FactFile> Create(BufferPool* pool, Disk* disk,
                                  uint32_t record_size,
                                  uint32_t pages_per_extent);
 
   /// Opens a fact file from its meta page.
-  static Result<FactFile> Open(BufferPool* pool, DiskManager* disk,
+  static Result<FactFile> Open(BufferPool* pool, Disk* disk,
                                PageId meta_page);
 
   /// Appends one record. Call Sync() after a batch of appends to persist

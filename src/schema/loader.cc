@@ -2,7 +2,9 @@
 
 namespace paradise {
 
-Result<std::unique_ptr<Database>> BuildDatabaseFromDataset(
+namespace {
+
+Result<std::unique_ptr<Database>> BuildDatabaseFromDatasetImpl(
     const std::string& path, const gen::SyntheticDataset& data,
     DatabaseOptions options) {
   if (options.chunk_extents.empty()) {
@@ -36,6 +38,19 @@ Result<std::unique_ptr<Database>> BuildDatabaseFromDataset(
   }
   PARADISE_RETURN_IF_ERROR(db->FinishLoad());
   return db;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Database>> BuildDatabaseFromDataset(
+    const std::string& path, const gen::SyntheticDataset& data,
+    DatabaseOptions options) {
+  Result<std::unique_ptr<Database>> r =
+      BuildDatabaseFromDatasetImpl(path, data, std::move(options));
+  if (!r.ok()) {
+    return r.status().WithContext("loading database '" + path + "'");
+  }
+  return r;
 }
 
 Result<std::unique_ptr<Database>> BuildDatabaseFromConfig(

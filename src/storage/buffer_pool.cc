@@ -1,7 +1,9 @@
 #include "storage/buffer_pool.h"
 
 #include <cassert>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 namespace paradise {
 
@@ -35,9 +37,11 @@ void PageGuard::Release() {
   }
 }
 
-BufferPool::BufferPool(DiskManager* disk, const StorageOptions& options)
+BufferPool::BufferPool(Disk* disk, const StorageOptions& options)
     : disk_(disk),
       page_size_(options.page_size),
+      read_retry_limit_(options.read_retry_limit),
+      read_retry_backoff_micros_(options.read_retry_backoff_micros),
       eviction_(options.eviction) {
   frames_.resize(options.buffer_pool_pages);
   free_frames_.reserve(frames_.size());
@@ -119,7 +123,7 @@ Result<PageGuard> BufferPool::FetchPage(PageId id) {
   }
   PARADISE_ASSIGN_OR_RETURN(size_t idx, AcquireFrame());
   Frame& f = frames_[idx];
-  Status st = disk_->ReadPage(id, f.data.data());
+  Status st = ReadWithRetry(id, f.data.data());
   if (!st.ok()) {
     free_frames_.push_back(idx);
     return st;
@@ -204,6 +208,24 @@ Status BufferPool::FlushAndEvictAll() {
     free_frames_.push_back(i);
   }
   return Status::OK();
+}
+
+Status BufferPool::ReadWithRetry(PageId id, char* buf) {
+  Status st = disk_->ReadPage(id, buf);
+  uint64_t backoff = read_retry_backoff_micros_;
+  for (size_t attempt = 0; !st.ok() && st.IsIOError() &&
+                           attempt < read_retry_limit_;
+       ++attempt) {
+    // Only transient I/O errors are worth re-issuing; a checksum mismatch
+    // (kCorruption) would just re-read the same bad bytes.
+    if (backoff > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(backoff));
+      backoff *= 2;
+    }
+    ++stats_.read_retries;
+    st = disk_->ReadPage(id, buf);
+  }
+  return st;
 }
 
 size_t BufferPool::pinned_frames() const {

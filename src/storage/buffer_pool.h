@@ -33,6 +33,8 @@ struct BufferPoolStats {
   uint64_t rand_disk_reads = 0;
   uint64_t disk_writes = 0;
   uint64_t evictions = 0;
+  /// Disk reads re-issued after a transient (kIOError) failure.
+  uint64_t read_retries = 0;
 
   BufferPoolStats Delta(const BufferPoolStats& earlier) const {
     BufferPoolStats d;
@@ -43,6 +45,7 @@ struct BufferPoolStats {
     d.rand_disk_reads = rand_disk_reads - earlier.rand_disk_reads;
     d.disk_writes = disk_writes - earlier.disk_writes;
     d.evictions = evictions - earlier.evictions;
+    d.read_retries = read_retries - earlier.read_retries;
     return d;
   }
 };
@@ -81,7 +84,7 @@ class PageGuard {
 
 class BufferPool {
  public:
-  BufferPool(DiskManager* disk, const StorageOptions& options);
+  BufferPool(Disk* disk, const StorageOptions& options);
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
@@ -145,8 +148,14 @@ class BufferPool {
     return frames_[frame_index].data.data();
   }
 
-  DiskManager* disk_;
+  /// One read attempt against the disk, with bounded retry-with-backoff for
+  /// transient (kIOError) failures. kCorruption is never retried.
+  Status ReadWithRetry(PageId id, char* buf);
+
+  Disk* disk_;
   size_t page_size_;
+  size_t read_retry_limit_;
+  uint64_t read_retry_backoff_micros_;
   std::vector<Frame> frames_;
   std::vector<size_t> free_frames_;
   std::unordered_map<PageId, size_t> page_table_;

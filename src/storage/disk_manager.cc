@@ -1,10 +1,12 @@
 #include "storage/disk_manager.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <vector>
 
 #include "common/coding.h"
+#include "common/crc32c.h"
 
 namespace paradise {
 
@@ -12,12 +14,22 @@ namespace {
 std::string ErrnoMessage(const std::string& what, const std::string& path) {
   return what + " '" + path + "': " + std::strerror(errno);
 }
+
+bool AllZero(const char* buf, size_t n) {
+  return std::all_of(buf, buf + n, [](char c) { return c == 0; });
+}
 }  // namespace
 
 DiskManager::~DiskManager() {
   // Best-effort close; errors are already reported via the Status API when
   // callers Close() explicitly.
   if (file_ != nullptr) (void)Close();
+}
+
+uint32_t DiskManager::PageCrc(PageId id, const char* buf) const {
+  char encoded_id[8];
+  EncodeFixed64(encoded_id, id);
+  return Crc32cExtend(Crc32c(buf, page_size_), encoded_id, sizeof(encoded_id));
 }
 
 Status DiskManager::Create(const std::string& path,
@@ -38,6 +50,8 @@ Status DiskManager::Create(const std::string& path,
   }
   path_ = path;
   page_size_ = options.page_size;
+  format_version_ = options.format_version;
+  stride_ = page_header::PhysicalStride(format_version_, page_size_);
   page_count_ = 1;  // header page
   free_list_head_ = kInvalidPageId;
   catalog_oid_ = kInvalidObjectId;
@@ -67,12 +81,26 @@ Status DiskManager::Open(const std::string& path,
 
 Status DiskManager::Close() {
   if (file_ == nullptr) return Status::OK();
+  // Propagate every failure mode: header write, stream flush, and the final
+  // fclose (which may surface deferred write errors). The file handle is
+  // released regardless, so Close() stays idempotent.
   Status st = WriteHeader();
+  if (std::fflush(file_) != 0 && st.ok()) {
+    st = Status::IOError(ErrnoMessage("flush failed closing", path_));
+  }
   if (std::fclose(file_) != 0 && st.ok()) {
     st = Status::IOError(ErrnoMessage("close failed", path_));
   }
   file_ = nullptr;
   return st;
+}
+
+Status DiskManager::Flush() {
+  if (file_ == nullptr) return Status::InvalidArgument("DiskManager not open");
+  if (std::fflush(file_) != 0) {
+    return Status::IOError(ErrnoMessage("flush failed", path_));
+  }
+  return Status::OK();
 }
 
 Status DiskManager::CheckPageId(PageId id) const {
@@ -87,13 +115,39 @@ Status DiskManager::CheckPageId(PageId id) const {
 Status DiskManager::ReadPage(PageId id, char* buf) {
   if (file_ == nullptr) return Status::InvalidArgument("DiskManager not open");
   PARADISE_RETURN_IF_ERROR(CheckPageId(id));
-  const uint64_t offset = id * page_size_;
+  const uint64_t offset = id * stride_;
   if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
     return Status::IOError(ErrnoMessage("seek failed", path_));
   }
   if (std::fread(buf, 1, page_size_, file_) != page_size_) {
+    std::clearerr(file_);
     return Status::IOError("short read of page " + std::to_string(id) +
                            " in " + path_);
+  }
+  if (format_version_ >= page_header::kFormatChecksummed) {
+    char trailer[page_header::kPageTrailerBytes];
+    if (std::fread(trailer, 1, sizeof(trailer), file_) != sizeof(trailer)) {
+      std::clearerr(file_);
+      return Status::IOError("short trailer read of page " +
+                             std::to_string(id) + " in " + path_);
+    }
+    if (AllZero(trailer, sizeof(trailer))) {
+      // Allocated-but-never-written page (sparse extent tail): all-zero data
+      // with an all-zero trailer is accepted as an uninitialized page.
+      if (!AllZero(buf, page_size_)) {
+        return Status::Corruption("checksum missing on non-empty page " +
+                                  std::to_string(id) + " in " + path_);
+      }
+    } else {
+      const uint32_t stored = UnmaskCrc32c(DecodeFixed32(trailer));
+      const uint32_t computed = PageCrc(id, buf);
+      if (stored != computed) {
+        return Status::Corruption(
+            "checksum mismatch on page " + std::to_string(id) + " in " +
+            path_ + " (stored " + std::to_string(stored) + ", computed " +
+            std::to_string(computed) + ")");
+      }
+    }
   }
   ++reads_;
   return Status::OK();
@@ -102,13 +156,21 @@ Status DiskManager::ReadPage(PageId id, char* buf) {
 Status DiskManager::WritePage(PageId id, const char* buf) {
   if (file_ == nullptr) return Status::InvalidArgument("DiskManager not open");
   PARADISE_RETURN_IF_ERROR(CheckPageId(id));
-  const uint64_t offset = id * page_size_;
+  const uint64_t offset = id * stride_;
   if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
     return Status::IOError(ErrnoMessage("seek failed", path_));
   }
   if (std::fwrite(buf, 1, page_size_, file_) != page_size_) {
     return Status::IOError("short write of page " + std::to_string(id) +
                            " in " + path_);
+  }
+  if (format_version_ >= page_header::kFormatChecksummed) {
+    char trailer[page_header::kPageTrailerBytes] = {};
+    EncodeFixed32(trailer, MaskCrc32c(PageCrc(id, buf)));
+    if (std::fwrite(trailer, 1, sizeof(trailer), file_) != sizeof(trailer)) {
+      return Status::IOError("short trailer write of page " +
+                             std::to_string(id) + " in " + path_);
+    }
   }
   ++writes_;
   return Status::OK();
@@ -132,18 +194,16 @@ Result<PageId> DiskManager::AllocateContiguous(uint64_t n) {
   if (n == 0) return Status::InvalidArgument("cannot allocate 0 pages");
   const PageId first = page_count_;
   // Extend the file by writing the last new page; intermediate pages are
-  // materialized lazily by the filesystem.
-  std::vector<char> zeros(page_size_, 0);
+  // materialized lazily by the filesystem and read back as uninitialized
+  // zero pages until first written.
   const uint64_t last = first + n - 1;
-  const uint64_t offset = last * page_size_;
-  if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
-    return Status::IOError(ErrnoMessage("seek failed", path_));
-  }
-  if (std::fwrite(zeros.data(), 1, page_size_, file_) != page_size_) {
-    return Status::IOError("failed to extend file " + path_);
-  }
-  ++writes_;
   page_count_ = last + 1;
+  std::vector<char> zeros(page_size_, 0);
+  Status st = WritePage(last, zeros.data());
+  if (!st.ok()) {
+    page_count_ = first;
+    return st;
+  }
   return first;
 }
 
@@ -167,11 +227,21 @@ Status DiskManager::WriteHeader() {
   EncodeFixed64(buf.data() + page_header::kPageCountOffset, page_count_);
   EncodeFixed64(buf.data() + page_header::kFreeListOffset, free_list_head_);
   EncodeFixed64(buf.data() + page_header::kCatalogOffset, catalog_oid_);
+  if (format_version_ >= page_header::kFormatChecksummed) {
+    EncodeFixed32(buf.data() + page_header::kVersionOffset, format_version_);
+  }
   if (std::fseek(file_, 0, SEEK_SET) != 0) {
     return Status::IOError(ErrnoMessage("seek failed", path_));
   }
   if (std::fwrite(buf.data(), 1, page_size_, file_) != page_size_) {
     return Status::IOError("failed to write header of " + path_);
+  }
+  if (format_version_ >= page_header::kFormatChecksummed) {
+    char trailer[page_header::kPageTrailerBytes] = {};
+    EncodeFixed32(trailer, MaskCrc32c(PageCrc(0, buf.data())));
+    if (std::fwrite(trailer, 1, sizeof(trailer), file_) != sizeof(trailer)) {
+      return Status::IOError("failed to write header trailer of " + path_);
+    }
   }
   ++writes_;
   if (std::fflush(file_) != 0) {
@@ -202,9 +272,44 @@ Status DiskManager::ReadHeader() {
         "page size mismatch: file has " + std::to_string(stored_page_size) +
         ", options specify " + std::to_string(page_size_));
   }
+  // Legacy (seed) files end their header at byte 36 with the remainder of
+  // the page zeroed, so a zero version field means v1.
+  const uint32_t stored_version =
+      DecodeFixed32(buf.data() + page_header::kVersionOffset);
+  format_version_ =
+      stored_version == 0 ? page_header::kFormatLegacy : stored_version;
+  if (format_version_ > page_header::kFormatChecksummed) {
+    return Status::NotSupported("database file " + path_ +
+                                " has format version " +
+                                std::to_string(format_version_) +
+                                "; this build supports up to version " +
+                                std::to_string(
+                                    page_header::kFormatChecksummed));
+  }
+  stride_ = page_header::PhysicalStride(format_version_, page_size_);
   page_count_ = DecodeFixed64(buf.data() + page_header::kPageCountOffset);
   free_list_head_ = DecodeFixed64(buf.data() + page_header::kFreeListOffset);
   catalog_oid_ = DecodeFixed64(buf.data() + page_header::kCatalogOffset);
+  if (format_version_ >= page_header::kFormatChecksummed) {
+    // Verify the whole header page against its trailer before trusting the
+    // free list and catalog pointers.
+    std::vector<char> page(page_size_);
+    char trailer[page_header::kPageTrailerBytes];
+    if (std::fseek(file_, 0, SEEK_SET) != 0) {
+      return Status::IOError(ErrnoMessage("seek failed", path_));
+    }
+    if (std::fread(page.data(), 1, page_size_, file_) != page_size_ ||
+        std::fread(trailer, 1, sizeof(trailer), file_) != sizeof(trailer)) {
+      return Status::Corruption("database file truncated in header: " +
+                                path_);
+    }
+    const uint32_t stored = UnmaskCrc32c(DecodeFixed32(trailer));
+    const uint32_t computed = PageCrc(0, page.data());
+    if (stored != computed) {
+      return Status::Corruption("checksum mismatch on page 0 (header) in " +
+                                path_);
+    }
+  }
   return Status::OK();
 }
 

@@ -1,7 +1,11 @@
-// DiskManager: the lowest storage layer. Owns the database file, allocates
+// Disk: the virtual interface of the lowest storage layer, and DiskManager,
+// its real implementation. The DiskManager owns the database file, allocates
 // and frees pages (free pages form an on-disk linked list threaded through
-// their first 8 bytes), and performs raw page I/O. All higher layers access
-// pages through the BufferPool, never through this class directly.
+// their first 8 bytes), and performs raw page I/O with per-page CRC32C
+// verification (format v2; legacy v1 files are read without checksums). All
+// higher layers access pages through the BufferPool, which talks to a Disk* —
+// so a FaultInjectingDiskManager (storage/fault_injection.h) can interpose
+// on every page transfer without the upper layers noticing.
 #pragma once
 
 #include <cstdint>
@@ -15,65 +19,121 @@
 
 namespace paradise {
 
-class DiskManager {
+/// Abstract page-file interface. One concrete implementation (DiskManager)
+/// plus decorators (FaultInjectingDiskManager).
+class Disk {
+ public:
+  virtual ~Disk() = default;
+
+  /// Creates a new database file (fails if it exists unless
+  /// options.allow_overwrite) and writes a fresh header.
+  virtual Status Create(const std::string& path,
+                        const StorageOptions& options) = 0;
+
+  /// Opens an existing database file and validates its header.
+  virtual Status Open(const std::string& path,
+                      const StorageOptions& options) = 0;
+
+  /// Flushes the header and closes the file. Idempotent. Flush or close
+  /// failures are reported — callers must not assume Close() cannot fail.
+  virtual Status Close() = 0;
+
+  /// Pushes buffered writes to the operating system.
+  virtual Status Flush() = 0;
+
+  virtual bool is_open() const = 0;
+  virtual size_t page_size() const = 0;
+  virtual uint64_t page_count() const = 0;
+  virtual const std::string& path() const = 0;
+
+  /// On-disk format version (page_header::kFormat*).
+  virtual uint32_t format_version() const = 0;
+
+  /// Byte offset of page `id` in the file (checksum trailers included), for
+  /// storage accounting and fault-injection tooling.
+  virtual uint64_t PhysicalPageOffset(PageId id) const = 0;
+
+  /// Reads page `id` into `buf` (page_size() bytes), verifying its checksum
+  /// on v2 files. A mismatch is kCorruption naming the page.
+  virtual Status ReadPage(PageId id, char* buf) = 0;
+
+  /// Writes page `id` from `buf` (page_size() bytes), appending a fresh
+  /// checksum trailer on v2 files.
+  virtual Status WritePage(PageId id, const char* buf) = 0;
+
+  /// Allocates one page, reusing the free list when possible. The page's
+  /// contents are unspecified; callers must initialize it.
+  virtual Result<PageId> AllocatePage() = 0;
+
+  /// Allocates `n` physically contiguous pages at the end of the file and
+  /// returns the first PageId. Used for fact-file extents.
+  virtual Result<PageId> AllocateContiguous(uint64_t n) = 0;
+
+  /// Returns page `id` to the free list.
+  virtual Status FreePage(PageId id) = 0;
+
+  /// Reads/writes the root-catalog ObjectId slot in the header.
+  virtual ObjectId catalog_oid() const = 0;
+  virtual void set_catalog_oid(ObjectId oid) = 0;
+
+  /// Persists the header page and flushes the file.
+  virtual Status Sync() = 0;
+
+  /// Number of physical page reads/writes performed (for I/O accounting).
+  virtual uint64_t reads_performed() const = 0;
+  virtual uint64_t writes_performed() const = 0;
+};
+
+class DiskManager final : public Disk {
  public:
   DiskManager() = default;
-  ~DiskManager();
+  ~DiskManager() override;
 
   DiskManager(const DiskManager&) = delete;
   DiskManager& operator=(const DiskManager&) = delete;
 
-  /// Creates a new database file (fails if it exists unless
-  /// options.allow_overwrite) and writes a fresh header.
-  Status Create(const std::string& path, const StorageOptions& options);
+  Status Create(const std::string& path, const StorageOptions& options) override;
+  Status Open(const std::string& path, const StorageOptions& options) override;
+  Status Close() override;
+  Status Flush() override;
 
-  /// Opens an existing database file and validates its header.
-  Status Open(const std::string& path, const StorageOptions& options);
+  bool is_open() const override { return file_ != nullptr; }
+  size_t page_size() const override { return page_size_; }
+  uint64_t page_count() const override { return page_count_; }
+  const std::string& path() const override { return path_; }
+  uint32_t format_version() const override { return format_version_; }
+  uint64_t PhysicalPageOffset(PageId id) const override {
+    return id * stride_;
+  }
 
-  /// Flushes the header and closes the file. Idempotent.
-  Status Close();
+  Status ReadPage(PageId id, char* buf) override;
+  Status WritePage(PageId id, const char* buf) override;
+  Result<PageId> AllocatePage() override;
+  Result<PageId> AllocateContiguous(uint64_t n) override;
+  Status FreePage(PageId id) override;
 
-  bool is_open() const { return file_ != nullptr; }
-  size_t page_size() const { return page_size_; }
-  uint64_t page_count() const { return page_count_; }
-  const std::string& path() const { return path_; }
+  ObjectId catalog_oid() const override { return catalog_oid_; }
+  void set_catalog_oid(ObjectId oid) override { catalog_oid_ = oid; }
 
-  /// Reads page `id` into `buf` (page_size() bytes).
-  Status ReadPage(PageId id, char* buf);
+  Status Sync() override;
 
-  /// Writes page `id` from `buf` (page_size() bytes).
-  Status WritePage(PageId id, const char* buf);
-
-  /// Allocates one page, reusing the free list when possible. The page's
-  /// contents are unspecified; callers must initialize it.
-  Result<PageId> AllocatePage();
-
-  /// Allocates `n` physically contiguous pages at the end of the file and
-  /// returns the first PageId. Used for fact-file extents.
-  Result<PageId> AllocateContiguous(uint64_t n);
-
-  /// Returns page `id` to the free list.
-  Status FreePage(PageId id);
-
-  /// Reads/writes the root-catalog ObjectId slot in the header.
-  ObjectId catalog_oid() const { return catalog_oid_; }
-  void set_catalog_oid(ObjectId oid) { catalog_oid_ = oid; }
-
-  /// Persists the header page and fsyncs the file.
-  Status Sync();
-
-  /// Number of physical page reads/writes performed (for I/O accounting).
-  uint64_t reads_performed() const { return reads_; }
-  uint64_t writes_performed() const { return writes_; }
+  uint64_t reads_performed() const override { return reads_; }
+  uint64_t writes_performed() const override { return writes_; }
 
  private:
   Status WriteHeader();
   Status ReadHeader();
   Status CheckPageId(PageId id) const;
 
+  /// CRC32C over a page's data bytes extended with its encoded PageId, so a
+  /// page written to the wrong slot also fails verification.
+  uint32_t PageCrc(PageId id, const char* buf) const;
+
   std::FILE* file_ = nullptr;
   std::string path_;
   size_t page_size_ = 0;
+  uint32_t format_version_ = page_header::kFormatChecksummed;
+  uint64_t stride_ = 0;  // physical bytes per page (page_size_ + trailer)
   uint64_t page_count_ = 0;
   PageId free_list_head_ = kInvalidPageId;
   ObjectId catalog_oid_ = kInvalidObjectId;

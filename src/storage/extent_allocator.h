@@ -20,7 +20,7 @@ namespace paradise {
 
 class ExtentAllocator {
  public:
-  ExtentAllocator(BufferPool* pool, DiskManager* disk)
+  ExtentAllocator(BufferPool* pool, Disk* disk)
       : pool_(pool), disk_(disk) {}
 
   /// Creates a fresh extent directory; returns its root PageId.
@@ -49,7 +49,7 @@ class ExtentAllocator {
   Status PersistDirectory();
 
   BufferPool* pool_;
-  DiskManager* disk_;
+  Disk* disk_;
   PageId root_ = kInvalidPageId;
   uint32_t pages_per_extent_ = 0;
   std::vector<PageId> extent_firsts_;

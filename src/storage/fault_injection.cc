@@ -1,0 +1,148 @@
+#include "storage/fault_injection.h"
+
+#include <cstdio>
+
+namespace paradise {
+
+FaultInjectingDiskManager::FaultInjectingDiskManager(
+    std::unique_ptr<Disk> inner, FaultInjectionOptions faults)
+    : inner_(std::move(inner)), faults_(faults), rng_(faults.seed) {}
+
+void FaultInjectingDiskManager::Arm(const FaultInjectionOptions& faults) {
+  faults_ = faults;
+  rng_ = Random(faults.seed);
+  reads_seen_ = 0;
+  writes_seen_ = 0;
+  injected_ = 0;
+}
+
+Status FaultInjectingDiskManager::Create(const std::string& path,
+                                         const StorageOptions& options) {
+  return inner_->Create(path, options);
+}
+
+Status FaultInjectingDiskManager::Open(const std::string& path,
+                                       const StorageOptions& options) {
+  return inner_->Open(path, options);
+}
+
+Status FaultInjectingDiskManager::Close() {
+  const bool inject = faults_.fail_on_close && Armed();
+  Status st = inner_->Close();
+  if (st.ok() && inject) {
+    ++injected_;
+    return Status::IOError("injected write failure flushing header of " +
+                           (path().empty() ? std::string("database file")
+                                           : path()));
+  }
+  return st;
+}
+
+Status FaultInjectingDiskManager::Flush() { return inner_->Flush(); }
+
+Status FaultInjectingDiskManager::ReadPage(PageId id, char* buf) {
+  ++reads_seen_;
+  if (faults_.fail_nth_read != 0 && reads_seen_ == faults_.fail_nth_read &&
+      Armed()) {
+    ++injected_;
+    return Status::IOError("injected read fault on page " +
+                           std::to_string(id));
+  }
+  if (faults_.flip_bit_on_nth_read != 0 &&
+      reads_seen_ == faults_.flip_bit_on_nth_read && Armed()) {
+    ++injected_;
+    PARADISE_RETURN_IF_ERROR(
+        FlipBitOnDisk(id, rng_.Uniform(8 * inner_->page_size())));
+  }
+  if (Armed() && InRange(id)) {
+    if (faults_.read_error_probability > 0.0 &&
+        rng_.Bernoulli(faults_.read_error_probability)) {
+      ++injected_;
+      return Status::IOError("injected read fault on page " +
+                             std::to_string(id));
+    }
+    if (faults_.read_bit_flip_probability > 0.0 &&
+        rng_.Bernoulli(faults_.read_bit_flip_probability)) {
+      ++injected_;
+      PARADISE_RETURN_IF_ERROR(
+          FlipBitOnDisk(id, rng_.Uniform(8 * inner_->page_size())));
+    }
+  }
+  return inner_->ReadPage(id, buf);
+}
+
+Status FaultInjectingDiskManager::WritePage(PageId id, const char* buf) {
+  ++writes_seen_;
+  if (faults_.fail_nth_write != 0 && writes_seen_ == faults_.fail_nth_write &&
+      Armed()) {
+    ++injected_;
+    return Status::IOError("injected write fault on page " +
+                           std::to_string(id));
+  }
+  if (faults_.torn_write_on_nth_write != 0 &&
+      writes_seen_ == faults_.torn_write_on_nth_write && Armed()) {
+    ++injected_;
+    return TornWrite(id, buf);
+  }
+  if (Armed() && InRange(id) && faults_.write_error_probability > 0.0 &&
+      rng_.Bernoulli(faults_.write_error_probability)) {
+    ++injected_;
+    return Status::IOError("injected write fault on page " +
+                           std::to_string(id));
+  }
+  return inner_->WritePage(id, buf);
+}
+
+Status FaultInjectingDiskManager::FlipBitOnDisk(PageId id,
+                                                uint64_t bit_index) {
+  if (!inner_->is_open()) {
+    return Status::InvalidArgument("fault injector: disk not open");
+  }
+  if (bit_index >= 8 * inner_->page_size()) {
+    return Status::InvalidArgument("bit index beyond page");
+  }
+  // Push the inner manager's buffered writes out first so the direct file
+  // access below sees (and keeps) current bytes.
+  PARADISE_RETURN_IF_ERROR(inner_->Flush());
+  std::FILE* f = std::fopen(inner_->path().c_str(), "rb+");
+  if (f == nullptr) {
+    return Status::IOError("fault injector: cannot open " + inner_->path());
+  }
+  const uint64_t offset =
+      inner_->PhysicalPageOffset(id) + bit_index / 8;
+  char byte = 0;
+  if (std::fseek(f, static_cast<long>(offset), SEEK_SET) != 0 ||
+      std::fread(&byte, 1, 1, f) != 1) {
+    std::fclose(f);
+    return Status::IOError("fault injector: cannot read byte to corrupt");
+  }
+  byte = static_cast<char>(byte ^ (1u << (bit_index % 8)));
+  if (std::fseek(f, static_cast<long>(offset), SEEK_SET) != 0 ||
+      std::fwrite(&byte, 1, 1, f) != 1 || std::fflush(f) != 0) {
+    std::fclose(f);
+    return Status::IOError("fault injector: cannot write corrupted byte");
+  }
+  std::fclose(f);
+  return Status::OK();
+}
+
+Status FaultInjectingDiskManager::TornWrite(PageId id, const char* buf) {
+  PARADISE_RETURN_IF_ERROR(inner_->Flush());
+  std::FILE* f = std::fopen(inner_->path().c_str(), "rb+");
+  if (f == nullptr) {
+    return Status::IOError("fault injector: cannot open " + inner_->path());
+  }
+  const uint64_t offset = inner_->PhysicalPageOffset(id);
+  const size_t half = inner_->page_size() / 2;
+  if (std::fseek(f, static_cast<long>(offset), SEEK_SET) != 0 ||
+      std::fwrite(buf, 1, half, f) != half || std::fflush(f) != 0) {
+    std::fclose(f);
+    return Status::IOError("fault injector: torn write failed outright");
+  }
+  std::fclose(f);
+  // Report success: a torn write is silent at write time and only detectable
+  // later, by checksum verification on read.
+  return Status::OK();
+}
+
+}  // namespace paradise

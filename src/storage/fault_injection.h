@@ -1,0 +1,139 @@
+// FaultInjectingDiskManager: a Disk decorator that injects storage faults —
+// read/write errors, on-disk bit flips, torn writes, and close-time flush
+// failures — deterministically (seeded PRNG plus one-shot countdowns) so the
+// fault-testing suite can prove every layer above the disk either retries to
+// the correct answer or fails with a descriptive Status, never a crash or a
+// silently wrong result.
+//
+// Faults are injected at the Disk boundary the BufferPool talks to.
+// Corruption faults (bit flips, torn writes) are applied to the underlying
+// file itself, below the inner DiskManager's checksum layer, so they are
+// surfaced exactly the way real media corruption is: as kCorruption from
+// checksum verification on the next read of the page.
+//
+// Install via StorageOptions::wrap_disk:
+//   FaultInjectingDiskManager* faults = nullptr;
+//   options.storage.wrap_disk = [&](std::unique_ptr<Disk> inner) {
+//     auto w = std::make_unique<FaultInjectingDiskManager>(std::move(inner));
+//     faults = w.get();
+//     return std::unique_ptr<Disk>(std::move(w));
+//   };
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+
+namespace paradise {
+
+/// Fault schedule. Countdown fields are 1-based one-shot triggers counted in
+/// calls seen by this wrapper (0 = disabled); probabilistic fields draw from
+/// the seeded PRNG per call. All injections respect [min_page, max_page] and
+/// stop once `max_injected_faults` have fired, which makes probabilistic
+/// faults transient: bounded retry eventually succeeds.
+struct FaultInjectionOptions {
+  uint64_t seed = 42;
+
+  // Probabilistic faults (0.0 disables).
+  double read_error_probability = 0.0;
+  double write_error_probability = 0.0;
+  double read_bit_flip_probability = 0.0;
+
+  // One-shot countdowns: fire on exactly the Nth read/write seen.
+  uint64_t fail_nth_read = 0;
+  uint64_t fail_nth_write = 0;
+  uint64_t flip_bit_on_nth_read = 0;
+  uint64_t torn_write_on_nth_write = 0;
+
+  // Page-range filter for probabilistic faults.
+  PageId min_page = 0;
+  PageId max_page = kInvalidPageId;
+
+  // Total injected-fault budget across all fault kinds.
+  uint64_t max_injected_faults = UINT64_MAX;
+
+  // Close() reports a header-flush failure (after really closing the file).
+  bool fail_on_close = false;
+};
+
+class FaultInjectingDiskManager final : public Disk {
+ public:
+  explicit FaultInjectingDiskManager(std::unique_ptr<Disk> inner,
+                                     FaultInjectionOptions faults = {});
+
+  // --- Disk interface, forwarded with fault hooks ---
+  Status Create(const std::string& path, const StorageOptions& options) override;
+  Status Open(const std::string& path, const StorageOptions& options) override;
+  Status Close() override;
+  Status Flush() override;
+  bool is_open() const override { return inner_->is_open(); }
+  size_t page_size() const override { return inner_->page_size(); }
+  uint64_t page_count() const override { return inner_->page_count(); }
+  const std::string& path() const override { return inner_->path(); }
+  uint32_t format_version() const override { return inner_->format_version(); }
+  uint64_t PhysicalPageOffset(PageId id) const override {
+    return inner_->PhysicalPageOffset(id);
+  }
+  Status ReadPage(PageId id, char* buf) override;
+  Status WritePage(PageId id, const char* buf) override;
+  Result<PageId> AllocatePage() override { return inner_->AllocatePage(); }
+  Result<PageId> AllocateContiguous(uint64_t n) override {
+    return inner_->AllocateContiguous(n);
+  }
+  Status FreePage(PageId id) override { return inner_->FreePage(id); }
+  ObjectId catalog_oid() const override { return inner_->catalog_oid(); }
+  void set_catalog_oid(ObjectId oid) override { inner_->set_catalog_oid(oid); }
+  Status Sync() override { return inner_->Sync(); }
+  uint64_t reads_performed() const override {
+    return inner_->reads_performed();
+  }
+  uint64_t writes_performed() const override {
+    return inner_->writes_performed();
+  }
+
+  // --- fault control ---
+
+  /// Live-tunable schedule: tests typically load a database fault-free, then
+  /// arm faults before querying.
+  FaultInjectionOptions& faults() { return faults_; }
+
+  /// Replaces the schedule, reseeds the PRNG and zeroes the call counters,
+  /// so one-shot countdowns are relative to the arming point.
+  void Arm(const FaultInjectionOptions& faults);
+
+  /// Flips one bit of page `id` directly in the underlying file (below the
+  /// checksum layer). `bit_index` is within the page's data bytes. The next
+  /// uncached read of the page fails checksum verification on v2 files.
+  Status FlipBitOnDisk(PageId id, uint64_t bit_index);
+
+  uint64_t reads_seen() const { return reads_seen_; }
+  uint64_t writes_seen() const { return writes_seen_; }
+  uint64_t injected_faults() const { return injected_; }
+
+  Disk* inner() { return inner_.get(); }
+
+ private:
+  bool InRange(PageId id) const {
+    return id >= faults_.min_page && id <= faults_.max_page;
+  }
+  bool Armed() const { return injected_ < faults_.max_injected_faults; }
+
+  /// Persists only a prefix of the page to the file and reports success —
+  /// the write that a power cut interrupted.
+  Status TornWrite(PageId id, const char* buf);
+
+  std::unique_ptr<Disk> inner_;
+  FaultInjectionOptions faults_;
+  Random rng_;
+  uint64_t reads_seen_ = 0;
+  uint64_t writes_seen_ = 0;
+  uint64_t injected_ = 0;
+};
+
+}  // namespace paradise

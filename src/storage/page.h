@@ -26,13 +26,35 @@ namespace page_header {
 //   [12,20) page count (including the header page)
 //   [20,28) free-list head PageId (kInvalidPageId if empty)
 //   [28,36) root-catalog ObjectId (kInvalidObjectId if absent)
+//   [36,40) format version (v2+; zero on legacy v1 files, whose headers end
+//           at byte 36 with the rest of the page zeroed)
 inline constexpr char kMagic[8] = {'P', 'R', 'D', 'S', 'A', 'R', 'R', 'Y'};
 inline constexpr size_t kMagicOffset = 0;
 inline constexpr size_t kPageSizeOffset = 8;
 inline constexpr size_t kPageCountOffset = 12;
 inline constexpr size_t kFreeListOffset = 20;
 inline constexpr size_t kCatalogOffset = 28;
-inline constexpr size_t kHeaderBytes = 36;
+inline constexpr size_t kVersionOffset = 36;
+inline constexpr size_t kHeaderBytes = 40;
+
+/// Format versions. v1 (the seed format) stores bare pages; v2 appends a
+/// kPageTrailerBytes trailer to every physical page holding a masked CRC32C
+/// of the page contents and its PageId (DESIGN.md "Page format v2").
+inline constexpr uint32_t kFormatLegacy = 1;
+inline constexpr uint32_t kFormatChecksummed = 2;
+
+// v2 per-page trailer, appended after the page's page_size data bytes:
+//   [0,4)  masked CRC32C over (data bytes || fixed64 PageId)
+//   [4,8)  reserved, written as zero
+inline constexpr size_t kPageTrailerBytes = 8;
+
+/// Distance in bytes between the starts of consecutive physical pages.
+inline constexpr uint64_t PhysicalStride(uint32_t format_version,
+                                         size_t page_size) {
+  return format_version >= kFormatChecksummed
+             ? page_size + kPageTrailerBytes
+             : page_size;
+}
 
 }  // namespace page_header
 

@@ -8,11 +8,17 @@ StorageManager::~StorageManager() {
   if (is_open()) (void)Close();
 }
 
+std::unique_ptr<Disk> StorageManager::MakeDisk() const {
+  std::unique_ptr<Disk> disk = std::make_unique<DiskManager>();
+  if (options_.wrap_disk) disk = options_.wrap_disk(std::move(disk));
+  return disk;
+}
+
 Status StorageManager::Create(const std::string& path,
                               const StorageOptions& options) {
   if (is_open()) return Status::InvalidArgument("StorageManager already open");
   options_ = options;
-  disk_ = std::make_unique<DiskManager>();
+  disk_ = MakeDisk();
   PARADISE_RETURN_IF_ERROR(disk_->Create(path, options));
   pool_ = std::make_unique<BufferPool>(disk_.get(), options);
   objects_ = std::make_unique<LargeObjectStore>(pool_.get());
@@ -25,7 +31,7 @@ Status StorageManager::Open(const std::string& path,
                             const StorageOptions& options) {
   if (is_open()) return Status::InvalidArgument("StorageManager already open");
   options_ = options;
-  disk_ = std::make_unique<DiskManager>();
+  disk_ = MakeDisk();
   PARADISE_RETURN_IF_ERROR(disk_->Open(path, options));
   pool_ = std::make_unique<BufferPool>(disk_.get(), options);
   objects_ = std::make_unique<LargeObjectStore>(pool_.get());
@@ -34,9 +40,13 @@ Status StorageManager::Open(const std::string& path,
 
 Status StorageManager::Close() {
   if (!is_open()) return Status::OK();
-  PARADISE_RETURN_IF_ERROR(PersistCatalog());
-  PARADISE_RETURN_IF_ERROR(pool_->FlushAll());
-  return disk_->Close();
+  // Even when persisting fails, the file handle must still be released —
+  // otherwise a fault during shutdown leaks the descriptor and leaves the
+  // manager wedged in the "open" state. First error wins.
+  Status st = PersistCatalog();
+  if (st.ok()) st = pool_->FlushAll();
+  Status close_st = disk_->Close();
+  return st.ok() ? close_st : st;
 }
 
 Status StorageManager::SetRoot(const std::string& name, uint64_t value) {
@@ -75,7 +85,9 @@ Status StorageManager::FlushAndEvictAll() {
 }
 
 uint64_t StorageManager::FileSizeBytes() const {
-  return disk_->page_count() * disk_->page_size();
+  // PhysicalPageOffset(page_count) accounts for per-page checksum trailers
+  // on format-v2 files, which page_count * page_size would under-report.
+  return disk_->PhysicalPageOffset(disk_->page_count());
 }
 
 namespace {

@@ -38,7 +38,7 @@ class StorageManager {
   bool is_open() const { return disk_ != nullptr && disk_->is_open(); }
 
   BufferPool* pool() { return pool_.get(); }
-  DiskManager* disk() { return disk_.get(); }
+  Disk* disk() { return disk_.get(); }
   LargeObjectStore* objects() { return objects_.get(); }
   const StorageOptions& options() const { return options_; }
 
@@ -71,8 +71,11 @@ class StorageManager {
   Status LoadCatalog();
   Status PersistCatalog();
 
+  /// Builds the (possibly wrapped) disk stack per options_.wrap_disk.
+  std::unique_ptr<Disk> MakeDisk() const;
+
   StorageOptions options_;
-  std::unique_ptr<DiskManager> disk_;
+  std::unique_ptr<Disk> disk_;
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<LargeObjectStore> objects_;
   std::map<std::string, uint64_t> catalog_;

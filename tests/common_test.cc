@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "common/coding.h"
+#include "common/crc32c.h"
 #include "common/logging.h"
 #include "common/options.h"
 #include "common/random.h"
@@ -220,6 +221,43 @@ TEST(OptionsTest, StorageValidation) {
   o.buffer_pool_pages = 64;
   o.pages_per_extent = 0;
   EXPECT_TRUE(o.Validate().IsInvalidArgument());
+  o.pages_per_extent = 32;
+  o.format_version = 0;
+  EXPECT_TRUE(o.Validate().IsInvalidArgument());
+  o.format_version = 3;
+  EXPECT_TRUE(o.Validate().IsInvalidArgument());
+  o.format_version = 1;
+  EXPECT_OK(o.Validate());
+  o.read_retry_limit = 65;
+  EXPECT_TRUE(o.Validate().IsInvalidArgument());
+}
+
+TEST(Crc32cTest, KnownAnswerVectors) {
+  // Standard CRC32C check value: "123456789" -> 0xE3069283.
+  EXPECT_EQ(Crc32c("123456789", 9), 0xE3069283u);
+  // From the iSCSI RFC 3720 test vectors.
+  const std::string zeros(32, '\0');
+  EXPECT_EQ(Crc32c(zeros.data(), zeros.size()), 0x8A9136AAu);
+  const std::string ones(32, '\xff');
+  EXPECT_EQ(Crc32c(ones.data(), ones.size()), 0x62A8AB43u);
+  EXPECT_EQ(Crc32c("", 0), 0u);
+}
+
+TEST(Crc32cTest, ExtendMatchesOneShot) {
+  const std::string data = "paradise array consolidation";
+  for (size_t split = 0; split <= data.size(); ++split) {
+    const uint32_t partial = Crc32c(data.data(), split);
+    EXPECT_EQ(Crc32cExtend(partial, data.data() + split, data.size() - split),
+              Crc32c(data.data(), data.size()))
+        << "split at " << split;
+  }
+}
+
+TEST(Crc32cTest, MaskRoundTripsAndDiffers) {
+  const uint32_t crc = Crc32c("123456789", 9);
+  EXPECT_NE(MaskCrc32c(crc), crc);
+  EXPECT_EQ(UnmaskCrc32c(MaskCrc32c(crc)), crc);
+  EXPECT_EQ(UnmaskCrc32c(MaskCrc32c(0u)), 0u);
 }
 
 TEST(OptionsTest, ArrayValidation) {

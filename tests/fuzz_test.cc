@@ -7,6 +7,7 @@
 
 #include "common/random.h"
 #include "query/engine.h"
+#include "storage/fault_injection.h"
 #include "test_util.h"
 
 namespace paradise {
@@ -125,6 +126,74 @@ TEST_P(FuzzTest, AllEnginesMatchBruteForceOnRandomWorkloads) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest,
                          ::testing::Range(uint64_t{1}, uint64_t{25}));
+
+/// Fault-fuzzing mode: the same randomized schemas and queries, but with a
+/// FaultInjectingDiskManager armed with random probabilistic read faults and
+/// on-disk bit flips. The differential invariant is weaker and absolute:
+/// every engine either reproduces the brute-force result exactly, or returns
+/// a non-OK Status (kIOError / kCorruption) with a message — never a crash
+/// and never a silently wrong answer.
+class FaultFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FaultFuzzTest, ResultMatchesBruteForceOrStatusIsNonOk) {
+  Random rng(GetParam() * 7919 + 13);
+  TempFile file("faultfuzz" + std::to_string(GetParam()));
+  const gen::GenConfig config = RandomConfig(&rng);
+  ASSERT_OK_AND_ASSIGN(gen::SyntheticDataset data, gen::Generate(config));
+  DatabaseOptions options = SmallDbOptions();
+  options.build_btree_join_indexes = true;
+  options.storage.read_retry_limit = rng.Uniform(4);  // 0..3
+  options.storage.read_retry_backoff_micros = 0;
+  FaultInjectingDiskManager* faults = nullptr;
+  options.storage.wrap_disk = [&faults](std::unique_ptr<Disk> inner) {
+    auto wrapped =
+        std::make_unique<FaultInjectingDiskManager>(std::move(inner));
+    faults = wrapped.get();
+    return std::unique_ptr<Disk>(std::move(wrapped));
+  };
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Database> db,
+                       BuildDatabaseFromDataset(file.path(), data, options));
+  ASSERT_NE(faults, nullptr);
+
+  // Arm faults only after the fault-free load.
+  FaultInjectionOptions fi;
+  fi.seed = rng.Next();
+  fi.read_error_probability = 0.01 * static_cast<double>(rng.Uniform(4));
+  fi.read_bit_flip_probability =
+      0.002 * static_cast<double>(rng.Uniform(3));
+  fi.max_injected_faults = 1 + rng.Uniform(5);
+  faults->Arm(fi);
+
+  for (int round = 0; round < 3; ++round) {
+    const query::ConsolidationQuery q = RandomQuery(config, &rng);
+    const query::GroupedResult expected = BruteForce(data, q);
+    std::vector<EngineKind> engines = {EngineKind::kArray,
+                                       EngineKind::kStarJoin,
+                                       EngineKind::kLeftDeep};
+    if (q.HasSelection()) {
+      engines.push_back(EngineKind::kBitmap);
+      engines.push_back(EngineKind::kBTreeSelect);
+    }
+    for (EngineKind kind : engines) {
+      auto r = RunQuery(db.get(), kind, q, /*cold=*/true);
+      if (r.ok()) {
+        ASSERT_TRUE(r.value().result.SameAs(expected))
+            << "seed " << GetParam() << " round " << round << " engine "
+            << EngineKindToString(kind)
+            << " silently diverged under faults\ngot:\n"
+            << r.value().result.ToString(q.agg) << "expected:\n"
+            << expected.ToString(q.agg);
+      } else {
+        const Status st = r.status();
+        EXPECT_TRUE(st.IsIOError() || st.IsCorruption()) << st.ToString();
+        EXPECT_FALSE(st.ToString().empty());
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultFuzzTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{13}));
 
 }  // namespace
 }  // namespace paradise
