@@ -19,9 +19,13 @@ Status StorageOptions::Validate() const {
   if (pages_per_extent == 0) {
     return Status::InvalidArgument("pages_per_extent must be > 0");
   }
-  if (format_version < 1 || format_version > 2) {
-    return Status::InvalidArgument("format_version must be 1 or 2, got " +
+  if (format_version < 1 || format_version > 3) {
+    return Status::InvalidArgument("format_version must be 1, 2 or 3, got " +
                                    std::to_string(format_version));
+  }
+  if (read_only && allow_overwrite) {
+    return Status::InvalidArgument(
+        "read_only and allow_overwrite are mutually exclusive");
   }
   if (read_retry_limit > 64) {
     return Status::InvalidArgument("read_retry_limit must be <= 64, got " +

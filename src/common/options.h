@@ -42,11 +42,22 @@ struct StorageOptions {
   /// If true, CreateDatabase() truncates an existing file.
   bool allow_overwrite = false;
 
-  /// On-disk page-format version written by Create(). Version 2 (default)
-  /// appends a CRC32C trailer to every physical page; version 1 is the
-  /// legacy checksumless seed format, kept writable for compatibility
+  /// On-disk page-format version written by Create(). Version 3 (default)
+  /// adds the dual-slot commit manifest used for crash-consistent commits;
+  /// version 2 appends a CRC32C trailer to every physical page; version 1 is
+  /// the legacy checksumless seed format, kept writable for compatibility
   /// testing. Open() always auto-detects the file's version.
-  uint32_t format_version = 2;
+  uint32_t format_version = 3;
+
+  /// Open the file for reading only: Create() is rejected, all mutating page
+  /// operations fail, and Close() releases the handle without committing.
+  /// Used by verification tooling (dbverify) so that inspecting a damaged
+  /// file can never modify it.
+  bool read_only = false;
+
+  /// If true, StorageManager::Open() runs the storage scrub (storage/scrub.h)
+  /// right after recovery and fails with kCorruption when it finds issues.
+  bool scrub_on_open = false;
 
   /// Transient-read-fault handling in the buffer pool: a failed disk read
   /// (kIOError) is retried up to this many additional times before the

@@ -118,9 +118,14 @@ Result<Execution> RunQuery(Database* db, EngineKind kind,
   Result<Execution> r = RunQueryImpl(db, kind, q, cold);
   if (!r.ok()) {
     // Name the failing engine so a fault deep in the storage stack is
-    // attributable from the top-level status alone.
-    return r.status().WithContext("engine " +
-                                  std::string(EngineKindToString(kind)));
+    // attributable from the top-level status alone. Corruption means the
+    // file itself is damaged — point the operator at the offline checker.
+    Status st = r.status().WithContext("engine " +
+                                       std::string(EngineKindToString(kind)));
+    if (st.IsCorruption()) {
+      st = st.WithContext("database appears damaged; run `dbverify` on it");
+    }
+    return st;
   }
   return r;
 }

@@ -71,6 +71,9 @@ class FactFile {
   /// extent tails — the on-disk footprint reported by the storage benches.
   uint64_t total_pages() const;
 
+  /// Underlying extent allocator (for dbverify's extent cross-checks).
+  const ExtentAllocator& extent_allocator() const { return extents_; }
+
  private:
   FactFile(BufferPool* pool, PageId meta_page, uint32_t record_size,
            uint64_t num_tuples, ExtentAllocator extents)

@@ -30,6 +30,12 @@ Result<std::unique_ptr<Database>> Database::Create(const std::string& path,
   PARADISE_RETURN_IF_ERROR(
       db->storage_->Create(path, db->options_.storage));
 
+  // Durably mark the file as mid-load before any structure is built: from
+  // here until FinishLoad()'s final commit, a crash makes Open() report an
+  // incomplete load instead of serving a partial database.
+  db->storage_->set_load_state(page_header::kLoadBuilding);
+  PARADISE_RETURN_IF_ERROR(db->storage_->Checkpoint());
+
   // Persist the logical schema.
   PARADISE_ASSIGN_OR_RETURN(
       ObjectId schema_oid,
@@ -67,8 +73,24 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& path,
   db->storage_ = std::make_unique<StorageManager>();
   PARADISE_RETURN_IF_ERROR(db->storage_->Open(path, db->options_.storage));
 
-  PARADISE_ASSIGN_OR_RETURN(uint64_t schema_oid,
-                            db->storage_->GetRoot(kSchemaRoot));
+  if (db->storage_->load_state() == page_header::kLoadBuilding) {
+    return Status::Corruption(
+        "incomplete load: database '" + path +
+        "' was interrupted before FinishLoad() committed; rebuild it from "
+        "the source data");
+  }
+
+  // A crash between DiskManager::Create's first commit and Database::Create's
+  // mid-load checkpoint leaves a committed-but-empty catalog; treat the
+  // missing schema root as the same incomplete-load condition.
+  Result<uint64_t> schema_oid_or = db->storage_->GetRoot(kSchemaRoot);
+  if (!schema_oid_or.ok() && schema_oid_or.status().IsNotFound()) {
+    return Status::Corruption(
+        "incomplete load: database '" + path +
+        "' has no schema catalog entry; creation was interrupted before the "
+        "first commit, rebuild it from the source data");
+  }
+  PARADISE_ASSIGN_OR_RETURN(uint64_t schema_oid, std::move(schema_oid_or));
   PARADISE_ASSIGN_OR_RETURN(std::string schema_blob,
                             db->storage_->objects()->Read(schema_oid));
   PARADISE_ASSIGN_OR_RETURN(db->schema_,
@@ -147,6 +169,10 @@ Status Database::BeginFacts() {
     }
   }
   facts_begun_ = true;
+  // Commit the frozen dimensions (still marked mid-load) so the fact phase
+  // starts from a durable prefix; a crash during it stays a clean
+  // incomplete-load at Open().
+  PARADISE_RETURN_IF_ERROR(storage_->Checkpoint());
   if (options_.build_array) {
     olap_builder_ = std::make_unique<OlapArray::Builder>(
         storage_.get(), schema_.cube_name, DimPointers(),
@@ -202,6 +228,9 @@ Status Database::FinishLoad() {
     PARADISE_RETURN_IF_ERROR(BuildBTreeJoinIndexes());
   }
   load_finished_ = true;
+  // The commit below publishes the fully built database and clears the
+  // mid-load mark in the same atomic manifest write.
+  storage_->set_load_state(page_header::kLoadCommitted);
   return storage_->Checkpoint();
 }
 

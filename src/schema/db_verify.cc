@@ -1,0 +1,125 @@
+#include "schema/db_verify.h"
+
+#include <map>
+#include <unordered_set>
+#include <utility>
+
+#include "storage/disk_manager.h"
+#include "storage/storage_manager.h"
+
+namespace paradise {
+
+std::vector<std::string> VerifyReport::AllIssues() const {
+  std::vector<std::string> all = scrub.issues;
+  all.insert(all.end(), issues.begin(), issues.end());
+  return all;
+}
+
+Result<VerifyReport> VerifyDatabase(const std::string& path,
+                                    DatabaseOptions options) {
+  options.storage.read_only = true;
+  options.storage.allow_overwrite = false;
+  VerifyReport report;
+
+  // Stage 1: storage-level scrub (page checksums, free list, manifest
+  // invariants) plus catalog bounds. A file that will not even open at this
+  // level is itself a finding, not a tool failure.
+  {
+    StorageManager storage;
+    Status st = storage.Open(path, options.storage);
+    if (!st.ok()) {
+      report.issues.push_back("storage open failed: " + st.ToString());
+      return report;
+    }
+    PARADISE_RETURN_IF_ERROR(ScrubStorage(&storage, &report.scrub));
+    report.page_count = storage.disk()->page_count();
+    report.catalog_entries = storage.catalog().size();
+    const PageId first_user =
+        page_header::FirstUserPage(storage.disk()->format_version());
+    // Every catalog root is a PageId or ObjectId (the PageId of an object
+    // header), so all of them must land inside the file's user area.
+    for (const auto& [name, value] : storage.catalog()) {
+      if (value < first_user || value >= report.page_count) {
+        report.issues.push_back("catalog entry '" + name +
+                                "' points to page " + std::to_string(value) +
+                                " outside the file");
+      }
+    }
+    PARADISE_RETURN_IF_ERROR(storage.Close());
+  }
+
+  // Stage 2: open the full database (read-only) and cross-check the fact
+  // file's extent map against the free list and reserved pages.
+  Result<std::unique_ptr<Database>> db_or = Database::Open(path, options);
+  if (!db_or.ok()) {
+    report.issues.push_back("database open failed: " +
+                            db_or.status().ToString());
+    return report;
+  }
+  Database* db = db_or.value().get();
+  const uint64_t page_count = db->storage()->disk()->page_count();
+  const PageId first_user =
+      page_header::FirstUserPage(db->storage()->disk()->format_version());
+
+  std::map<PageId, std::string> claims;
+  auto claim = [&](PageId id, const std::string& what) {
+    if (id < first_user || id >= page_count) {
+      report.issues.push_back(what + " page " + std::to_string(id) +
+                              " lies outside the file");
+      return;
+    }
+    auto [it, fresh] = claims.emplace(id, what);
+    if (!fresh) {
+      report.issues.push_back("page " + std::to_string(id) +
+                              " claimed by both " + it->second + " and " +
+                              what);
+    }
+  };
+
+  const ExtentAllocator& extents = db->fact()->extent_allocator();
+  claim(db->fact()->meta_page(), "fact meta");
+  for (PageId dir : extents.directory_pages()) {
+    claim(dir, "fact extent directory");
+  }
+  const uint32_t per_extent = extents.pages_per_extent();
+  for (size_t k = 0; k < extents.extent_firsts().size(); ++k) {
+    const PageId first = extents.extent_firsts()[k];
+    for (uint32_t i = 0; i < per_extent; ++i) {
+      claim(first + i, "fact extent " + std::to_string(k));
+    }
+  }
+
+  // No page may be both structurally owned and on the free list — that is
+  // how a double free (or a stale free list from a lost commit) shows up.
+  for (PageId free_page : report.scrub.free_pages) {
+    auto it = claims.find(free_page);
+    if (it != claims.end()) {
+      report.issues.push_back("page " + std::to_string(free_page) +
+                              " is on the free list but owned by " +
+                              it->second);
+    }
+  }
+
+  // Every fact tuple must be reachable through the extent map and
+  // checksum-clean.
+  uint64_t tuples = 0;
+  Status scan = db->fact()->ScanAll(
+      [&](uint64_t, const char*) {
+        ++tuples;
+        return Status::OK();
+      });
+  if (!scan.ok()) {
+    report.issues.push_back("fact scan failed: " + scan.ToString());
+  }
+  report.fact_tuples = tuples;
+  return report;
+}
+
+Result<VerifyReport> VerifyDatabaseFile(const std::string& path) {
+  PARADISE_ASSIGN_OR_RETURN(StorageOptions storage, ProbeStorageOptions(path));
+  DatabaseOptions options;
+  options.storage = storage;
+  return VerifyDatabase(path, options);
+}
+
+}  // namespace paradise

@@ -1,0 +1,45 @@
+// Database verification: the library behind the `dbverify` tool. Runs the
+// storage scrub (storage/scrub.h), then opens the database read-only and
+// cross-checks the structures above the page layer: catalog roots in bounds,
+// fact-file extents in bounds / non-overlapping / disjoint from the free
+// list, and every fact tuple reachable. Verification never writes to the
+// file.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "schema/database.h"
+#include "storage/scrub.h"
+
+namespace paradise {
+
+struct VerifyReport {
+  ScrubReport scrub;
+  /// Database-level findings (scrub findings live in `scrub.issues`).
+  std::vector<std::string> issues;
+  uint64_t page_count = 0;
+  uint64_t catalog_entries = 0;
+  uint64_t fact_tuples = 0;
+
+  bool clean() const { return issues.empty() && scrub.clean(); }
+
+  /// All findings, scrub first, for uniform reporting.
+  std::vector<std::string> AllIssues() const;
+};
+
+/// Verifies the database at `path`. `options.storage.read_only` is forced
+/// on. Returns non-OK only when verification cannot run at all (e.g. the
+/// file does not exist); every consistency finding — including a file whose
+/// storage or database layer refuses to open — lands in the report.
+Result<VerifyReport> VerifyDatabase(const std::string& path,
+                                    DatabaseOptions options);
+
+/// Convenience for tooling: probes page size and format from the raw file
+/// header, then runs VerifyDatabase.
+Result<VerifyReport> VerifyDatabaseFile(const std::string& path);
+
+}  // namespace paradise

@@ -1,5 +1,7 @@
 #include "storage/disk_manager.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
@@ -38,6 +40,9 @@ Status DiskManager::Create(const std::string& path,
   if (file_ != nullptr) {
     return Status::InvalidArgument("DiskManager already open");
   }
+  if (options.read_only) {
+    return Status::InvalidArgument("cannot create a database read-only");
+  }
   if (!options.allow_overwrite) {
     if (std::FILE* probe = std::fopen(path.c_str(), "rb")) {
       std::fclose(probe);
@@ -52,10 +57,28 @@ Status DiskManager::Create(const std::string& path,
   page_size_ = options.page_size;
   format_version_ = options.format_version;
   stride_ = page_header::PhysicalStride(format_version_, page_size_);
-  page_count_ = 1;  // header page
   free_list_head_ = kInvalidPageId;
   catalog_oid_ = kInvalidObjectId;
-  return WriteHeader();
+  load_state_ = page_header::kLoadCommitted;
+  epoch_ = 0;
+  read_only_ = false;
+  dirty_since_commit_ = true;  // the fresh header must reach a first commit
+  session_freed_.clear();
+  if (format_version_ >= page_header::kFormatManifest) {
+    // Header + the two manifest slot pages. The header is immutable from
+    // here on; all mutable metadata lives in the manifest.
+    page_count_ = 3;
+    PARADISE_RETURN_IF_ERROR(WriteHeader());
+    std::vector<char> zeros(page_size_, 0);
+    PARADISE_RETURN_IF_ERROR(
+        WritePage(page_header::kManifestSlotPages[0], zeros.data()));
+    // Commits epoch 1 into slot page 2 and fsyncs, so even a freshly created
+    // empty file recovers cleanly.
+    return Commit();
+  }
+  page_count_ = 1;  // header page
+  PARADISE_RETURN_IF_ERROR(WriteHeader());
+  return SyncFile();
 }
 
 Status DiskManager::Open(const std::string& path,
@@ -64,35 +87,60 @@ Status DiskManager::Open(const std::string& path,
   if (file_ != nullptr) {
     return Status::InvalidArgument("DiskManager already open");
   }
-  file_ = std::fopen(path.c_str(), "rb+");
+  read_only_ = options.read_only;
+  file_ = std::fopen(path.c_str(), read_only_ ? "rb" : "rb+");
   if (file_ == nullptr) {
     return Status::IOError(ErrnoMessage("cannot open", path));
   }
   path_ = path;
   page_size_ = options.page_size;
+  load_state_ = page_header::kLoadCommitted;
+  epoch_ = 0;
+  dirty_since_commit_ = false;
+  session_freed_.clear();
   Status st = ReadHeader();
   if (!st.ok()) {
     std::fclose(file_);
     file_ = nullptr;
     return st;
   }
+  // A crash between the data fsync and the metadata commit leaves fully
+  // durable pages past the committed page count: the file was extended and
+  // synced, only the commit never landed. Adopt the physical length as a
+  // floor so those orphaned pages stay addressable (in-place-updated
+  // structures may already reference them) and, crucially, are never handed
+  // out a second time by a later allocation.
+  if (std::fseek(file_, 0, SEEK_END) == 0) {
+    const long end = std::ftell(file_);
+    if (end > 0) {
+      const uint64_t physical = static_cast<uint64_t>(end) / stride_;
+      if (physical > page_count_) {
+        page_count_ = physical;
+        // The manifest under-counts; record the corrected count next commit.
+        if (!read_only_) dirty_since_commit_ = true;
+      }
+    }
+  }
   return Status::OK();
 }
 
 Status DiskManager::Close() {
   if (file_ == nullptr) return Status::OK();
-  // Propagate every failure mode: header write, stream flush, and the final
-  // fclose (which may surface deferred write errors). The file handle is
+  // Commit current metadata (manifest on v3, header rewrite on v1/v2), then
+  // release the handle. Every failure mode is propagated, but the handle is
   // released regardless, so Close() stays idempotent.
-  Status st = WriteHeader();
-  if (std::fflush(file_) != 0 && st.ok()) {
-    st = Status::IOError(ErrnoMessage("flush failed closing", path_));
-  }
+  Status st = read_only_ ? Status::OK() : Commit();
   if (std::fclose(file_) != 0 && st.ok()) {
     st = Status::IOError(ErrnoMessage("close failed", path_));
   }
   file_ = nullptr;
   return st;
+}
+
+void DiskManager::Abandon() {
+  if (file_ == nullptr) return;
+  std::fclose(file_);
+  file_ = nullptr;
 }
 
 Status DiskManager::Flush() {
@@ -108,6 +156,14 @@ Status DiskManager::CheckPageId(PageId id) const {
     return Status::OutOfRange("page id " + std::to_string(id) +
                               " outside file of " +
                               std::to_string(page_count_) + " pages");
+  }
+  return Status::OK();
+}
+
+Status DiskManager::CheckWritable() const {
+  if (file_ == nullptr) return Status::InvalidArgument("DiskManager not open");
+  if (read_only_) {
+    return Status::InvalidArgument("database opened read-only: " + path_);
   }
   return Status::OK();
 }
@@ -154,7 +210,7 @@ Status DiskManager::ReadPage(PageId id, char* buf) {
 }
 
 Status DiskManager::WritePage(PageId id, const char* buf) {
-  if (file_ == nullptr) return Status::InvalidArgument("DiskManager not open");
+  PARADISE_RETURN_IF_ERROR(CheckWritable());
   PARADISE_RETURN_IF_ERROR(CheckPageId(id));
   const uint64_t offset = id * stride_;
   if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
@@ -173,24 +229,35 @@ Status DiskManager::WritePage(PageId id, const char* buf) {
     }
   }
   ++writes_;
+  dirty_since_commit_ = true;
   return Status::OK();
 }
 
 Result<PageId> DiskManager::AllocatePage() {
-  if (file_ == nullptr) return Status::InvalidArgument("DiskManager not open");
+  PARADISE_RETURN_IF_ERROR(CheckWritable());
   if (free_list_head_ != kInvalidPageId) {
     const PageId id = free_list_head_;
     // The first 8 bytes of a free page hold the next free PageId.
     std::vector<char> buf(page_size_);
     PARADISE_RETURN_IF_ERROR(ReadPage(id, buf.data()));
-    free_list_head_ = DecodeFixed64(buf.data());
+    const PageId next = DecodeFixed64(buf.data());
+    if (next != kInvalidPageId &&
+        (next == id || next >= page_count_ ||
+         next < page_header::FirstUserPage(format_version_))) {
+      return Status::Corruption(
+          "free list corrupted: free page " + std::to_string(id) +
+          " links to invalid page " + std::to_string(next) + " in " + path_);
+    }
+    free_list_head_ = next;
+    session_freed_.erase(id);
+    dirty_since_commit_ = true;
     return id;
   }
   return AllocateContiguous(1);
 }
 
 Result<PageId> DiskManager::AllocateContiguous(uint64_t n) {
-  if (file_ == nullptr) return Status::InvalidArgument("DiskManager not open");
+  PARADISE_RETURN_IF_ERROR(CheckWritable());
   if (n == 0) return Status::InvalidArgument("cannot allocate 0 pages");
   const PageId first = page_count_;
   // Extend the file by writing the last new page; intermediate pages are
@@ -208,13 +275,26 @@ Result<PageId> DiskManager::AllocateContiguous(uint64_t n) {
 }
 
 Status DiskManager::FreePage(PageId id) {
-  if (file_ == nullptr) return Status::InvalidArgument("DiskManager not open");
+  PARADISE_RETURN_IF_ERROR(CheckWritable());
   PARADISE_RETURN_IF_ERROR(CheckPageId(id));
-  if (id == 0) return Status::InvalidArgument("cannot free the header page");
+  if (id < page_header::FirstUserPage(format_version_)) {
+    return Status::InvalidArgument(
+        "cannot free reserved page " + std::to_string(id) +
+        (id == 0 ? " (file header)" : " (commit manifest)"));
+  }
+  if (!session_freed_.insert(id).second) {
+    return Status::Corruption("double free of page " + std::to_string(id) +
+                              " in " + path_);
+  }
   std::vector<char> buf(page_size_, 0);
   EncodeFixed64(buf.data(), free_list_head_);
-  PARADISE_RETURN_IF_ERROR(WritePage(id, buf.data()));
+  Status st = WritePage(id, buf.data());
+  if (!st.ok()) {
+    session_freed_.erase(id);
+    return st;
+  }
   free_list_head_ = id;
+  dirty_since_commit_ = true;
   return Status::OK();
 }
 
@@ -278,13 +358,13 @@ Status DiskManager::ReadHeader() {
       DecodeFixed32(buf.data() + page_header::kVersionOffset);
   format_version_ =
       stored_version == 0 ? page_header::kFormatLegacy : stored_version;
-  if (format_version_ > page_header::kFormatChecksummed) {
+  if (format_version_ > page_header::kMaxSupportedFormat) {
     return Status::NotSupported("database file " + path_ +
                                 " has format version " +
                                 std::to_string(format_version_) +
                                 "; this build supports up to version " +
                                 std::to_string(
-                                    page_header::kFormatChecksummed));
+                                    page_header::kMaxSupportedFormat));
   }
   stride_ = page_header::PhysicalStride(format_version_, page_size_);
   page_count_ = DecodeFixed64(buf.data() + page_header::kPageCountOffset);
@@ -310,12 +390,164 @@ Status DiskManager::ReadHeader() {
                                 path_);
     }
   }
+  if (format_version_ >= page_header::kFormatManifest) {
+    // On v3 the header fields beyond page size/version are a snapshot from
+    // Create(); the committed manifest is authoritative.
+    return LoadManifest();
+  }
+  return Status::OK();
+}
+
+Status DiskManager::LoadManifest() {
+  namespace ph = page_header;
+  struct Slot {
+    bool valid = false;
+    uint64_t epoch = 0;
+    uint64_t page_count = 0;
+    PageId free_list = kInvalidPageId;
+    ObjectId catalog = kInvalidObjectId;
+    uint32_t load_state = ph::kLoadCommitted;
+  };
+  Slot best;
+  int valid_slots = 0;
+  // The slots are read raw, ignoring the page trailer: a torn manifest write
+  // damages the trailer too, and the record is self-validating through its
+  // internal CRC. An unparseable slot is simply not a candidate — recovery
+  // falls back to the other slot.
+  std::vector<char> buf(page_size_);
+  for (PageId sid : ph::kManifestSlotPages) {
+    if (std::fseek(file_, static_cast<long>(sid * stride_), SEEK_SET) != 0) {
+      continue;
+    }
+    if (std::fread(buf.data(), 1, page_size_, file_) != page_size_) {
+      std::clearerr(file_);
+      continue;
+    }
+    ++reads_;
+    if (std::memcmp(buf.data() + ph::kManifestMagicOffset, ph::kManifestMagic,
+                    sizeof(ph::kManifestMagic)) != 0) {
+      continue;
+    }
+    const uint32_t stored =
+        UnmaskCrc32c(DecodeFixed32(buf.data() + ph::kManifestCrcOffset));
+    if (stored != Crc32c(buf.data(), ph::kManifestCrcOffset)) continue;
+    Slot s;
+    s.valid = true;
+    s.epoch = DecodeFixed64(buf.data() + ph::kManifestEpochOffset);
+    s.page_count = DecodeFixed64(buf.data() + ph::kManifestPageCountOffset);
+    s.free_list = DecodeFixed64(buf.data() + ph::kManifestFreeListOffset);
+    s.catalog = DecodeFixed64(buf.data() + ph::kManifestCatalogOffset);
+    s.load_state = DecodeFixed32(buf.data() + ph::kManifestLoadStateOffset);
+    ++valid_slots;
+    if (!best.valid || s.epoch > best.epoch) best = s;
+  }
+  if (!best.valid) {
+    return Status::Corruption(
+        "no valid commit manifest in " + path_ +
+        " (file was never committed, or both manifest slots are damaged)");
+  }
+  if (best.page_count < ph::FirstUserPage(ph::kFormatManifest)) {
+    return Status::Corruption("manifest in " + path_ +
+                              " declares implausible page count " +
+                              std::to_string(best.page_count));
+  }
+  if (best.free_list != kInvalidPageId &&
+      (best.free_list >= best.page_count ||
+       best.free_list < ph::FirstUserPage(ph::kFormatManifest))) {
+    return Status::Corruption("manifest in " + path_ +
+                              " has free-list head " +
+                              std::to_string(best.free_list) +
+                              " outside the file");
+  }
+  epoch_ = best.epoch;
+  page_count_ = best.page_count;
+  free_list_head_ = best.free_list;
+  catalog_oid_ = best.catalog;
+  load_state_ = best.load_state;
+  // A single surviving slot (fresh file, torn commit, or damaged slot) loses
+  // the dual-slot redundancy; mark the session dirty so the next commit
+  // rewrites the alternate slot and restores it.
+  if (valid_slots < 2 && !read_only_) dirty_since_commit_ = true;
+  return Status::OK();
+}
+
+Status DiskManager::CommitManifest() {
+  namespace ph = page_header;
+  const uint64_t next_epoch = epoch_ + 1;
+  std::vector<char> buf(page_size_, 0);
+  std::memcpy(buf.data() + ph::kManifestMagicOffset, ph::kManifestMagic,
+              sizeof(ph::kManifestMagic));
+  EncodeFixed64(buf.data() + ph::kManifestEpochOffset, next_epoch);
+  EncodeFixed64(buf.data() + ph::kManifestPageCountOffset, page_count_);
+  EncodeFixed64(buf.data() + ph::kManifestFreeListOffset, free_list_head_);
+  EncodeFixed64(buf.data() + ph::kManifestCatalogOffset, catalog_oid_);
+  EncodeFixed32(buf.data() + ph::kManifestLoadStateOffset, load_state_);
+  EncodeFixed32(buf.data() + ph::kManifestCrcOffset,
+                MaskCrc32c(Crc32c(buf.data(), ph::kManifestCrcOffset)));
+  PARADISE_RETURN_IF_ERROR(
+      WritePage(ph::ManifestSlotPage(next_epoch), buf.data()));
+  epoch_ = next_epoch;
+  return Status::OK();
+}
+
+Status DiskManager::SyncFile() {
+  if (std::fflush(file_) != 0) {
+    return Status::IOError(ErrnoMessage("flush failed", path_));
+  }
+  if (::fsync(fileno(file_)) != 0) {
+    return Status::IOError(ErrnoMessage("fsync failed", path_));
+  }
   return Status::OK();
 }
 
 Status DiskManager::Sync() {
   if (file_ == nullptr) return Status::InvalidArgument("DiskManager not open");
-  return WriteHeader();
+  if (read_only_) return Status::OK();
+  return SyncFile();
+}
+
+Status DiskManager::Commit() {
+  PARADISE_RETURN_IF_ERROR(CheckWritable());
+  if (format_version_ >= page_header::kFormatManifest) {
+    // Nothing changed since the last commit: skipping keeps a read-only
+    // usage pattern (open, query, close) from churning the epoch — and
+    // guarantees a refused Open() leaves the file byte-identical.
+    if (!dirty_since_commit_ && epoch_ > 0) return Status::OK();
+    PARADISE_RETURN_IF_ERROR(CommitManifest());
+  } else {
+    // Legacy formats have no manifest: the header is rewritten in place,
+    // which is not torn-write-safe (DESIGN.md documents this gap).
+    PARADISE_RETURN_IF_ERROR(WriteHeader());
+  }
+  PARADISE_RETURN_IF_ERROR(SyncFile());
+  dirty_since_commit_ = false;
+  return Status::OK();
+}
+
+Result<StorageOptions> ProbeStorageOptions(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IOError(ErrnoMessage("cannot open", path));
+  }
+  char buf[page_header::kHeaderBytes];
+  const size_t got = std::fread(buf, 1, sizeof(buf), f);
+  std::fclose(f);
+  if (got != sizeof(buf)) {
+    return Status::Corruption("database file too small: " + path);
+  }
+  if (std::memcmp(buf + page_header::kMagicOffset, page_header::kMagic,
+                  sizeof(page_header::kMagic)) != 0) {
+    return Status::Corruption("bad magic in " + path);
+  }
+  StorageOptions options;
+  options.page_size = DecodeFixed32(buf + page_header::kPageSizeOffset);
+  const uint32_t stored_version =
+      DecodeFixed32(buf + page_header::kVersionOffset);
+  options.format_version =
+      stored_version == 0 ? page_header::kFormatLegacy : stored_version;
+  PARADISE_RETURN_IF_ERROR(
+      options.Validate().WithContext("probing header of " + path));
+  return options;
 }
 
 }  // namespace paradise

@@ -2,15 +2,19 @@
 // its real implementation. The DiskManager owns the database file, allocates
 // and frees pages (free pages form an on-disk linked list threaded through
 // their first 8 bytes), and performs raw page I/O with per-page CRC32C
-// verification (format v2; legacy v1 files are read without checksums). All
-// higher layers access pages through the BufferPool, which talks to a Disk* —
-// so a FaultInjectingDiskManager (storage/fault_injection.h) can interpose
-// on every page transfer without the upper layers noticing.
+// verification (format v2+; legacy v1 files are read without checksums).
+// Format v3 adds a dual-slot commit manifest (pages 1 and 2) so that commits
+// are atomic under power loss: Commit() writes the alternate slot and
+// fsyncs, and Open() adopts the newest slot whose CRC validates. All higher
+// layers access pages through the BufferPool, which talks to a Disk* — so a
+// FaultInjectingDiskManager (storage/fault_injection.h) can interpose on
+// every page transfer without the upper layers noticing.
 #pragma once
 
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <unordered_set>
 
 #include "common/options.h"
 #include "common/result.h"
@@ -26,19 +30,28 @@ class Disk {
   virtual ~Disk() = default;
 
   /// Creates a new database file (fails if it exists unless
-  /// options.allow_overwrite) and writes a fresh header.
+  /// options.allow_overwrite), writes a fresh header (and, on v3, the first
+  /// manifest), and makes the result durable.
   virtual Status Create(const std::string& path,
                         const StorageOptions& options) = 0;
 
-  /// Opens an existing database file and validates its header.
+  /// Opens an existing database file, validates its header, and on v3 files
+  /// recovers the newest valid manifest slot.
   virtual Status Open(const std::string& path,
                       const StorageOptions& options) = 0;
 
-  /// Flushes the header and closes the file. Idempotent. Flush or close
-  /// failures are reported — callers must not assume Close() cannot fail.
+  /// Commits current metadata (see Commit()) and closes the file.
+  /// Idempotent; the handle is released even when the commit fails, and the
+  /// failure is reported — callers must not assume Close() cannot fail.
   virtual Status Close() = 0;
 
-  /// Pushes buffered writes to the operating system.
+  /// Closes the file WITHOUT committing: whatever the last successful
+  /// Commit() (or Create()) made durable stays the recovered state. Used
+  /// after a failure when committing could persist a half-written state.
+  virtual void Abandon() = 0;
+
+  /// Pushes buffered writes to the operating system (no durability barrier;
+  /// see Sync()).
   virtual Status Flush() = 0;
 
   virtual bool is_open() const = 0;
@@ -54,11 +67,11 @@ class Disk {
   virtual uint64_t PhysicalPageOffset(PageId id) const = 0;
 
   /// Reads page `id` into `buf` (page_size() bytes), verifying its checksum
-  /// on v2 files. A mismatch is kCorruption naming the page.
+  /// on v2+ files. A mismatch is kCorruption naming the page.
   virtual Status ReadPage(PageId id, char* buf) = 0;
 
   /// Writes page `id` from `buf` (page_size() bytes), appending a fresh
-  /// checksum trailer on v2 files.
+  /// checksum trailer on v2+ files.
   virtual Status WritePage(PageId id, const char* buf) = 0;
 
   /// Allocates one page, reusing the free list when possible. The page's
@@ -69,15 +82,38 @@ class Disk {
   /// returns the first PageId. Used for fact-file extents.
   virtual Result<PageId> AllocateContiguous(uint64_t n) = 0;
 
-  /// Returns page `id` to the free list.
+  /// Returns page `id` to the free list. Freeing a page twice in one session
+  /// is detected and reported as kCorruption.
   virtual Status FreePage(PageId id) = 0;
 
-  /// Reads/writes the root-catalog ObjectId slot in the header.
+  /// Reads/writes the in-memory root-catalog ObjectId (persisted by the next
+  /// Commit()).
   virtual ObjectId catalog_oid() const = 0;
   virtual void set_catalog_oid(ObjectId oid) = 0;
 
-  /// Persists the header page and flushes the file.
+  /// Current free-list head (kInvalidPageId when empty), for scrub tooling.
+  virtual PageId free_list_head() const = 0;
+
+  /// Load-state flag carried in the manifest (page_header::kLoad*); v1/v2
+  /// files have no durable slot for it and always report kLoadCommitted.
+  virtual uint32_t load_state() const = 0;
+  virtual void set_load_state(uint32_t state) = 0;
+
+  /// Durability barrier: forces previously written pages down to stable
+  /// storage (fsync). Does NOT commit metadata.
   virtual Status Sync() = 0;
+
+  /// Atomically commits current metadata (page count, free list, catalog
+  /// oid, load state) and makes it durable. On v3 this writes the alternate
+  /// manifest slot with the next epoch and fsyncs; a crash at any point
+  /// leaves the previous commit recoverable. On v1/v2 it rewrites the header
+  /// in place (not torn-write-safe; the legacy gap is documented in
+  /// DESIGN.md).
+  virtual Status Commit() = 0;
+
+  /// Epoch of the most recent commit (0 before any; Create() commits epoch 1
+  /// on v3 files).
+  virtual uint64_t commit_epoch() const = 0;
 
   /// Number of physical page reads/writes performed (for I/O accounting).
   virtual uint64_t reads_performed() const = 0;
@@ -95,6 +131,7 @@ class DiskManager final : public Disk {
   Status Create(const std::string& path, const StorageOptions& options) override;
   Status Open(const std::string& path, const StorageOptions& options) override;
   Status Close() override;
+  void Abandon() override;
   Status Flush() override;
 
   bool is_open() const override { return file_ != nullptr; }
@@ -113,9 +150,20 @@ class DiskManager final : public Disk {
   Status FreePage(PageId id) override;
 
   ObjectId catalog_oid() const override { return catalog_oid_; }
-  void set_catalog_oid(ObjectId oid) override { catalog_oid_ = oid; }
+  void set_catalog_oid(ObjectId oid) override {
+    dirty_since_commit_ = dirty_since_commit_ || catalog_oid_ != oid;
+    catalog_oid_ = oid;
+  }
+  PageId free_list_head() const override { return free_list_head_; }
+  uint32_t load_state() const override { return load_state_; }
+  void set_load_state(uint32_t state) override {
+    dirty_since_commit_ = dirty_since_commit_ || load_state_ != state;
+    load_state_ = state;
+  }
 
   Status Sync() override;
+  Status Commit() override;
+  uint64_t commit_epoch() const override { return epoch_; }
 
   uint64_t reads_performed() const override { return reads_; }
   uint64_t writes_performed() const override { return writes_; }
@@ -123,7 +171,11 @@ class DiskManager final : public Disk {
  private:
   Status WriteHeader();
   Status ReadHeader();
+  Status LoadManifest();
+  Status CommitManifest();
+  Status SyncFile();
   Status CheckPageId(PageId id) const;
+  Status CheckWritable() const;
 
   /// CRC32C over a page's data bytes extended with its encoded PageId, so a
   /// page written to the wrong slot also fails verification.
@@ -137,8 +189,25 @@ class DiskManager final : public Disk {
   uint64_t page_count_ = 0;
   PageId free_list_head_ = kInvalidPageId;
   ObjectId catalog_oid_ = kInvalidObjectId;
+  uint32_t load_state_ = page_header::kLoadCommitted;
+  uint64_t epoch_ = 0;
+  bool read_only_ = false;
+  // True when any state the manifest covers (pages, free list, catalog oid,
+  // load state) changed since the last commit. A clean v3 Commit() is a
+  // no-op, so a session that only reads never advances the epoch or touches
+  // the file's manifest slots. Also set when recovery finds only one valid
+  // slot, so the next commit restores dual-slot redundancy.
+  bool dirty_since_commit_ = false;
+  // Pages freed since open and not yet re-allocated; a second FreePage() of
+  // any of them would corrupt the free list, so it is rejected instead.
+  std::unordered_set<PageId> session_freed_;
   uint64_t reads_ = 0;
   uint64_t writes_ = 0;
 };
+
+/// Reads the raw file header of `path` and returns StorageOptions matching
+/// the file (page size; format_version as stored). Lets tooling open a
+/// database file without knowing its page size in advance.
+Result<StorageOptions> ProbeStorageOptions(const std::string& path);
 
 }  // namespace paradise

@@ -44,6 +44,15 @@ class ExtentAllocator {
   uint64_t num_extents() const { return extent_firsts_.size(); }
   PageId root() const { return root_; }
 
+  /// First PageId of each extent, in logical order (for dbverify's
+  /// allocator-vs-catalog cross-checks).
+  const std::vector<PageId>& extent_firsts() const { return extent_firsts_; }
+
+  /// Directory meta pages (root first, then the overflow chain).
+  const std::vector<PageId>& directory_pages() const {
+    return directory_pages_;
+  }
+
  private:
   /// Rewrites the on-disk directory from the in-memory extent list.
   Status PersistDirectory();

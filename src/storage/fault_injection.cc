@@ -1,6 +1,7 @@
 #include "storage/fault_injection.h"
 
 #include <cstdio>
+#include <utility>
 
 namespace paradise {
 
@@ -13,20 +14,53 @@ void FaultInjectingDiskManager::Arm(const FaultInjectionOptions& faults) {
   rng_ = Random(faults.seed);
   reads_seen_ = 0;
   writes_seen_ = 0;
+  ops_seen_ = 0;
+  syncs_seen_ = 0;
   injected_ = 0;
+  power_lost_ = false;
+  preimages_.clear();
+  op_log_.clear();
+}
+
+Status FaultInjectingDiskManager::PowerLossError() const {
+  return Status::IOError(
+      "simulated power loss" +
+      (inner_->path().empty() ? std::string() : " on " + inner_->path()));
+}
+
+Status FaultInjectingDiskManager::GateOp() {
+  if (power_lost_) return PowerLossError();
+  if (faults_.power_loss_after_ops != 0 &&
+      ops_seen_ >= faults_.power_loss_after_ops) {
+    SimulatePowerLoss();
+    return PowerLossError();
+  }
+  return Status::OK();
+}
+
+void FaultInjectingDiskManager::RecordOp(std::string op) {
+  if (faults_.record_ops) op_log_.push_back(std::move(op));
 }
 
 Status FaultInjectingDiskManager::Create(const std::string& path,
                                          const StorageOptions& options) {
+  if (power_lost_) return PowerLossError();
   return inner_->Create(path, options);
 }
 
 Status FaultInjectingDiskManager::Open(const std::string& path,
                                        const StorageOptions& options) {
+  if (power_lost_) return PowerLossError();
   return inner_->Open(path, options);
 }
 
 Status FaultInjectingDiskManager::Close() {
+  if (power_lost_) {
+    // A dead machine cannot run the commit protocol: release the handle
+    // without committing so the file keeps exactly its crash-time state.
+    inner_->Abandon();
+    return PowerLossError();
+  }
   const bool inject = faults_.fail_on_close && Armed();
   Status st = inner_->Close();
   if (st.ok() && inject) {
@@ -38,9 +72,52 @@ Status FaultInjectingDiskManager::Close() {
   return st;
 }
 
-Status FaultInjectingDiskManager::Flush() { return inner_->Flush(); }
+void FaultInjectingDiskManager::Abandon() {
+  preimages_.clear();
+  inner_->Abandon();
+}
+
+Status FaultInjectingDiskManager::Flush() {
+  PARADISE_RETURN_IF_ERROR(GateOp());
+  ++ops_seen_;
+  RecordOp("flush");
+  // fflush moves data into OS buffers only — it is NOT a durability barrier,
+  // so pre-images survive it and a power loss still rolls the writes back.
+  return inner_->Flush();
+}
+
+Status FaultInjectingDiskManager::Sync() {
+  PARADISE_RETURN_IF_ERROR(GateOp());
+  ++ops_seen_;
+  ++syncs_seen_;
+  RecordOp("sync");
+  if (faults_.fail_nth_sync != 0 && syncs_seen_ == faults_.fail_nth_sync &&
+      Armed()) {
+    ++injected_;
+    return Status::IOError("injected fsync failure on " + path());
+  }
+  Status st = inner_->Sync();
+  if (st.ok()) preimages_.clear();  // data reached stable storage
+  return st;
+}
+
+Status FaultInjectingDiskManager::Commit() {
+  PARADISE_RETURN_IF_ERROR(GateOp());
+  ++ops_seen_;
+  ++syncs_seen_;
+  RecordOp("commit");
+  if (faults_.fail_nth_sync != 0 && syncs_seen_ == faults_.fail_nth_sync &&
+      Armed()) {
+    ++injected_;
+    return Status::IOError("injected fsync failure on " + path());
+  }
+  Status st = inner_->Commit();
+  if (st.ok()) preimages_.clear();  // manifest and data are durable
+  return st;
+}
 
 Status FaultInjectingDiskManager::ReadPage(PageId id, char* buf) {
+  PARADISE_RETURN_IF_ERROR(GateOp());
   ++reads_seen_;
   if (faults_.fail_nth_read != 0 && reads_seen_ == faults_.fail_nth_read &&
       Armed()) {
@@ -72,7 +149,11 @@ Status FaultInjectingDiskManager::ReadPage(PageId id, char* buf) {
 }
 
 Status FaultInjectingDiskManager::WritePage(PageId id, const char* buf) {
+  PARADISE_RETURN_IF_ERROR(GateOp());
+  ++ops_seen_;
   ++writes_seen_;
+  RecordOp("write:" + std::to_string(id));
+  PARADISE_RETURN_IF_ERROR(CapturePreimage(id));
   if (faults_.fail_nth_write != 0 && writes_seen_ == faults_.fail_nth_write &&
       Armed()) {
     ++injected_;
@@ -91,6 +172,76 @@ Status FaultInjectingDiskManager::WritePage(PageId id, const char* buf) {
                            std::to_string(id));
   }
   return inner_->WritePage(id, buf);
+}
+
+Result<PageId> FaultInjectingDiskManager::AllocatePage() {
+  PARADISE_RETURN_IF_ERROR(GateOp());
+  ++ops_seen_;
+  RecordOp("alloc");
+  return inner_->AllocatePage();
+}
+
+Result<PageId> FaultInjectingDiskManager::AllocateContiguous(uint64_t n) {
+  PARADISE_RETURN_IF_ERROR(GateOp());
+  ++ops_seen_;
+  RecordOp("alloc_contig:" + std::to_string(n));
+  return inner_->AllocateContiguous(n);
+}
+
+Status FaultInjectingDiskManager::FreePage(PageId id) {
+  PARADISE_RETURN_IF_ERROR(GateOp());
+  ++ops_seen_;
+  RecordOp("free:" + std::to_string(id));
+  PARADISE_RETURN_IF_ERROR(CapturePreimage(id));
+  return inner_->FreePage(id);
+}
+
+Status FaultInjectingDiskManager::CapturePreimage(PageId id) {
+  if (faults_.power_loss_after_ops == 0 || power_lost_) return Status::OK();
+  if (preimages_.count(id) != 0) return Status::OK();
+  if (!inner_->is_open()) return Status::OK();
+  // Push the inner manager's buffered writes out so the raw read below sees
+  // the page's real current bytes, trailer included.
+  PARADISE_RETURN_IF_ERROR(inner_->Flush());
+  const uint64_t offset = inner_->PhysicalPageOffset(id);
+  const uint64_t stride =
+      inner_->PhysicalPageOffset(1) - inner_->PhysicalPageOffset(0);
+  std::string bytes(stride, '\0');
+  std::FILE* f = std::fopen(inner_->path().c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IOError("fault injector: cannot open " + inner_->path());
+  }
+  if (std::fseek(f, static_cast<long>(offset), SEEK_SET) == 0) {
+    // A short read means the page lies (partly) beyond EOF — a fresh
+    // allocation; the zero fill stands in for bytes that did not yet exist.
+    (void)std::fread(bytes.data(), 1, bytes.size(), f);
+  }
+  std::fclose(f);
+  preimages_.emplace(id, std::move(bytes));
+  return Status::OK();
+}
+
+void FaultInjectingDiskManager::SimulatePowerLoss() {
+  if (power_lost_) return;
+  power_lost_ = true;
+  ++injected_;
+  RecordOp("power_loss");
+  if (inner_->is_open() && !preimages_.empty()) {
+    // Flush the inner manager's stdio buffers first so none of its pending
+    // writes can land on top of the rollback below.
+    (void)inner_->Flush();
+    if (std::FILE* f = std::fopen(inner_->path().c_str(), "rb+")) {
+      for (const auto& [id, bytes] : preimages_) {
+        if (std::fseek(f, static_cast<long>(inner_->PhysicalPageOffset(id)),
+                       SEEK_SET) == 0) {
+          (void)std::fwrite(bytes.data(), 1, bytes.size(), f);
+        }
+      }
+      std::fflush(f);
+      std::fclose(f);
+    }
+  }
+  preimages_.clear();
 }
 
 Status FaultInjectingDiskManager::FlipBitOnDisk(PageId id,

@@ -1,15 +1,22 @@
 // FaultInjectingDiskManager: a Disk decorator that injects storage faults —
-// read/write errors, on-disk bit flips, torn writes, and close-time flush
-// failures — deterministically (seeded PRNG plus one-shot countdowns) so the
-// fault-testing suite can prove every layer above the disk either retries to
-// the correct answer or fails with a descriptive Status, never a crash or a
-// silently wrong result.
+// read/write errors, on-disk bit flips, torn writes, close-time flush
+// failures, fsync failures, and whole-machine power loss — deterministically
+// (seeded PRNG plus one-shot countdowns) so the fault-testing suite can
+// prove every layer above the disk either retries to the correct answer or
+// fails with a descriptive Status, never a crash or a silently wrong result.
 //
 // Faults are injected at the Disk boundary the BufferPool talks to.
 // Corruption faults (bit flips, torn writes) are applied to the underlying
 // file itself, below the inner DiskManager's checksum layer, so they are
 // surfaced exactly the way real media corruption is: as kCorruption from
 // checksum verification on the next read of the page.
+//
+// The power-loss mode drives the crash-point sweep (tests/
+// crash_recovery_test.cc): after a chosen number of mutating disk operations
+// the wrapper rolls the file back to its last durability barrier (modeling
+// the loss of everything the OS had not fsynced) and fails all further I/O,
+// so reopening the file exercises exactly the state a real crash would
+// leave behind.
 //
 // Install via StorageOptions::wrap_disk:
 //   FaultInjectingDiskManager* faults = nullptr;
@@ -21,8 +28,10 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/random.h"
 #include "common/result.h"
@@ -51,6 +60,10 @@ struct FaultInjectionOptions {
   uint64_t flip_bit_on_nth_read = 0;
   uint64_t torn_write_on_nth_write = 0;
 
+  // One-shot countdown: fail exactly the Nth durability barrier (Sync or
+  // Commit) seen, leaving buffered data un-fsynced.
+  uint64_t fail_nth_sync = 0;
+
   // Page-range filter for probabilistic faults.
   PageId min_page = 0;
   PageId max_page = kInvalidPageId;
@@ -60,6 +73,20 @@ struct FaultInjectionOptions {
 
   // Close() reports a header-flush failure (after really closing the file).
   bool fail_on_close = false;
+
+  // Power-loss crash point (0 = disabled): after this many mutating disk
+  // operations (page writes, frees, allocations, flushes, syncs, commits)
+  // have been allowed through, the machine "dies" — every page written since
+  // the last successful durability barrier is rolled back in the file
+  // (modeling the maximal loss of un-fsynced data a real crash can inflict)
+  // and every subsequent operation, reads included, fails with kIOError.
+  // Close() on a dead disk abandons the file instead of committing.
+  uint64_t power_loss_after_ops = 0;
+
+  // Record one entry per mutating operation ("write:<page>", "free:<page>",
+  // "alloc", "flush", "sync", "commit") so tests can assert ordering
+  // contracts such as data-sync-before-commit.
+  bool record_ops = false;
 };
 
 class FaultInjectingDiskManager final : public Disk {
@@ -71,6 +98,7 @@ class FaultInjectingDiskManager final : public Disk {
   Status Create(const std::string& path, const StorageOptions& options) override;
   Status Open(const std::string& path, const StorageOptions& options) override;
   Status Close() override;
+  void Abandon() override;
   Status Flush() override;
   bool is_open() const override { return inner_->is_open(); }
   size_t page_size() const override { return inner_->page_size(); }
@@ -82,14 +110,19 @@ class FaultInjectingDiskManager final : public Disk {
   }
   Status ReadPage(PageId id, char* buf) override;
   Status WritePage(PageId id, const char* buf) override;
-  Result<PageId> AllocatePage() override { return inner_->AllocatePage(); }
-  Result<PageId> AllocateContiguous(uint64_t n) override {
-    return inner_->AllocateContiguous(n);
-  }
-  Status FreePage(PageId id) override { return inner_->FreePage(id); }
+  Result<PageId> AllocatePage() override;
+  Result<PageId> AllocateContiguous(uint64_t n) override;
+  Status FreePage(PageId id) override;
   ObjectId catalog_oid() const override { return inner_->catalog_oid(); }
   void set_catalog_oid(ObjectId oid) override { inner_->set_catalog_oid(oid); }
-  Status Sync() override { return inner_->Sync(); }
+  PageId free_list_head() const override { return inner_->free_list_head(); }
+  uint32_t load_state() const override { return inner_->load_state(); }
+  void set_load_state(uint32_t state) override {
+    inner_->set_load_state(state);
+  }
+  Status Sync() override;
+  Status Commit() override;
+  uint64_t commit_epoch() const override { return inner_->commit_epoch(); }
   uint64_t reads_performed() const override {
     return inner_->reads_performed();
   }
@@ -103,18 +136,29 @@ class FaultInjectingDiskManager final : public Disk {
   /// arm faults before querying.
   FaultInjectionOptions& faults() { return faults_; }
 
-  /// Replaces the schedule, reseeds the PRNG and zeroes the call counters,
-  /// so one-shot countdowns are relative to the arming point.
+  /// Replaces the schedule, reseeds the PRNG and zeroes the call counters
+  /// (including power-loss state), so one-shot countdowns are relative to
+  /// the arming point.
   void Arm(const FaultInjectionOptions& faults);
 
   /// Flips one bit of page `id` directly in the underlying file (below the
   /// checksum layer). `bit_index` is within the page's data bytes. The next
-  /// uncached read of the page fails checksum verification on v2 files.
+  /// uncached read of the page fails checksum verification on v2+ files.
   Status FlipBitOnDisk(PageId id, uint64_t bit_index);
+
+  /// Kills the disk now, as if power were cut: un-fsynced page writes are
+  /// rolled back in the file and all further operations fail. Idempotent.
+  /// Also fired automatically by the power_loss_after_ops countdown.
+  void SimulatePowerLoss();
+  bool power_lost() const { return power_lost_; }
 
   uint64_t reads_seen() const { return reads_seen_; }
   uint64_t writes_seen() const { return writes_seen_; }
+  uint64_t ops_seen() const { return ops_seen_; }
   uint64_t injected_faults() const { return injected_; }
+
+  /// Mutating-operation trace (empty unless faults().record_ops).
+  const std::vector<std::string>& op_log() const { return op_log_; }
 
   Disk* inner() { return inner_.get(); }
 
@@ -123,6 +167,17 @@ class FaultInjectingDiskManager final : public Disk {
     return id >= faults_.min_page && id <= faults_.max_page;
   }
   bool Armed() const { return injected_ < faults_.max_injected_faults; }
+
+  /// Gate shared by every operation: fails once the power-loss countdown has
+  /// expired (triggering the crash on first expiry).
+  Status GateOp();
+  void RecordOp(std::string op);
+  Status PowerLossError() const;
+
+  /// Snapshots page `id`'s current on-disk bytes (data + trailer) so a later
+  /// SimulatePowerLoss() can roll the write back. Pages beyond EOF snapshot
+  /// as zeros. No-op unless power-loss mode is armed.
+  Status CapturePreimage(PageId id);
 
   /// Persists only a prefix of the page to the file and reports success —
   /// the write that a power cut interrupted.
@@ -133,7 +188,14 @@ class FaultInjectingDiskManager final : public Disk {
   Random rng_;
   uint64_t reads_seen_ = 0;
   uint64_t writes_seen_ = 0;
+  uint64_t ops_seen_ = 0;
+  uint64_t syncs_seen_ = 0;
   uint64_t injected_ = 0;
+  bool power_lost_ = false;
+  // On-disk bytes of pages written since the last durability barrier, keyed
+  // by page id; restored verbatim on power loss.
+  std::map<PageId, std::string> preimages_;
+  std::vector<std::string> op_log_;
 };
 
 }  // namespace paradise

@@ -39,9 +39,14 @@ inline constexpr size_t kHeaderBytes = 40;
 
 /// Format versions. v1 (the seed format) stores bare pages; v2 appends a
 /// kPageTrailerBytes trailer to every physical page holding a masked CRC32C
-/// of the page contents and its PageId (DESIGN.md "Page format v2").
+/// of the page contents and its PageId (DESIGN.md "Page format v2"); v3
+/// additionally reserves pages 1 and 2 as a dual-slot commit manifest and
+/// treats the page-0 header as immutable after Create (DESIGN.md "Crash
+/// consistency").
 inline constexpr uint32_t kFormatLegacy = 1;
 inline constexpr uint32_t kFormatChecksummed = 2;
+inline constexpr uint32_t kFormatManifest = 3;
+inline constexpr uint32_t kMaxSupportedFormat = kFormatManifest;
 
 // v2 per-page trailer, appended after the page's page_size data bytes:
 //   [0,4)  masked CRC32C over (data bytes || fixed64 PageId)
@@ -54,6 +59,50 @@ inline constexpr uint64_t PhysicalStride(uint32_t format_version,
   return format_version >= kFormatChecksummed
              ? page_size + kPageTrailerBytes
              : page_size;
+}
+
+// v3 dual-slot commit manifest. Pages 1 and 2 each hold one manifest record;
+// a commit with epoch E writes slot page ManifestSlotPage(E), so successive
+// commits alternate slots and a torn manifest write can only damage the slot
+// being written, never the previously committed one. Open() parses both
+// slots raw (ignoring the page trailer, which a torn write may also have
+// damaged) and adopts the record with the highest epoch whose internal CRC
+// validates. Record layout, little-endian:
+//   [0,8)   magic "PRDSMNFS"
+//   [8,16)  commit epoch (monotonic, starts at 1 for Create's commit)
+//   [16,24) page count (including header + manifest pages)
+//   [24,32) free-list head PageId (kInvalidPageId if empty)
+//   [32,40) root-catalog ObjectId (kInvalidObjectId if absent)
+//   [40,44) load state (kLoadCommitted / kLoadBuilding)
+//   [44,48) masked CRC32C over bytes [0,44)
+inline constexpr char kManifestMagic[8] = {'P', 'R', 'D', 'S',
+                                           'M', 'N', 'F', 'S'};
+inline constexpr size_t kManifestMagicOffset = 0;
+inline constexpr size_t kManifestEpochOffset = 8;
+inline constexpr size_t kManifestPageCountOffset = 16;
+inline constexpr size_t kManifestFreeListOffset = 24;
+inline constexpr size_t kManifestCatalogOffset = 32;
+inline constexpr size_t kManifestLoadStateOffset = 40;
+inline constexpr size_t kManifestCrcOffset = 44;
+inline constexpr size_t kManifestBytes = 48;
+
+inline constexpr PageId kManifestSlotPages[2] = {1, 2};
+
+/// Slot page written by the commit with the given epoch.
+inline constexpr PageId ManifestSlotPage(uint64_t epoch) {
+  return kManifestSlotPages[epoch & 1];
+}
+
+/// Load-state values carried in the manifest: a database file is `building`
+/// from Database::Create until FinishLoad's final commit marks it
+/// `committed`; Open() on a building file reports an incomplete load.
+inline constexpr uint32_t kLoadCommitted = 0;
+inline constexpr uint32_t kLoadBuilding = 1;
+
+/// First PageId the allocator may hand out for the given format (v3 reserves
+/// the two manifest slot pages after the header).
+inline constexpr PageId FirstUserPage(uint32_t format_version) {
+  return format_version >= kFormatManifest ? 3 : 1;
 }
 
 }  // namespace page_header

@@ -1,6 +1,7 @@
 #include "storage/storage_manager.h"
 
 #include "common/coding.h"
+#include "storage/scrub.h"
 
 namespace paradise {
 
@@ -24,6 +25,7 @@ Status StorageManager::Create(const std::string& path,
   objects_ = std::make_unique<LargeObjectStore>(pool_.get());
   catalog_.clear();
   catalog_dirty_ = false;
+  stale_catalog_oid_ = kInvalidObjectId;
   return Status::OK();
 }
 
@@ -35,17 +37,36 @@ Status StorageManager::Open(const std::string& path,
   PARADISE_RETURN_IF_ERROR(disk_->Open(path, options));
   pool_ = std::make_unique<BufferPool>(disk_.get(), options);
   objects_ = std::make_unique<LargeObjectStore>(pool_.get());
-  return LoadCatalog();
+  stale_catalog_oid_ = kInvalidObjectId;
+  Status st = LoadCatalog();
+  if (st.ok() && options_.scrub_on_open) {
+    ScrubReport report;
+    st = ScrubStorage(this, &report);
+    if (st.ok() && !report.clean()) {
+      st = Status::Corruption(
+          "scrub found " + std::to_string(report.issues.size()) +
+          " issue(s) in " + path + "; first: " + report.issues.front());
+    }
+  }
+  if (!st.ok()) {
+    // A file this manager refused to open must never be mutated by it:
+    // release the handle without committing, or the destructor's Close()
+    // would publish a fresh manifest epoch on a file we just rejected.
+    disk_->Abandon();
+    return st;
+  }
+  return Status::OK();
 }
 
 Status StorageManager::Close() {
   if (!is_open()) return Status::OK();
-  // Even when persisting fails, the file handle must still be released —
-  // otherwise a fault during shutdown leaks the descriptor and leaves the
-  // manager wedged in the "open" state. First error wins.
-  Status st = PersistCatalog();
-  if (st.ok()) st = pool_->FlushAll();
-  Status close_st = disk_->Close();
+  // Even when the final checkpoint fails, the file handle must still be
+  // released — otherwise a fault during shutdown leaks the descriptor and
+  // leaves the manager wedged in the "open" state. First error wins. A
+  // failed checkpoint is NOT retried inside disk Close(): the last durable
+  // commit stays the recovered state.
+  Status st = options_.read_only ? Status::OK() : Checkpoint();
+  Status close_st = st.ok() ? disk_->Close() : (disk_->Abandon(), Status::OK());
   return st.ok() ? close_st : st;
 }
 
@@ -74,12 +95,31 @@ Status StorageManager::RemoveRoot(const std::string& name) {
 }
 
 Status StorageManager::Checkpoint() {
+  // Durable-commit ordering contract (DESIGN.md "Crash consistency"):
+  //   1. rewrite the catalog blob copy-on-write — never overwriting the blob
+  //      the last committed manifest points to;
+  //   2. flush every dirty page so the file holds all data the new commit
+  //      will reference;
+  //   3. Sync: fsync the data down to stable storage;
+  //   4. Commit: write the alternate manifest slot naming the new catalog,
+  //      and fsync again;
+  //   5. only now free the superseded catalog blob. The resulting free-list
+  //      update rides in the next commit — a crash meanwhile merely leaks
+  //      those pages, it never dangles a committed pointer.
+  // Every step mutates only state the durable manifest does not yet
+  // reference, so a crash anywhere leaves the previous commit intact.
   PARADISE_RETURN_IF_ERROR(PersistCatalog());
   PARADISE_RETURN_IF_ERROR(pool_->FlushAll());
-  return disk_->Sync();
+  PARADISE_RETURN_IF_ERROR(disk_->Sync());
+  PARADISE_RETURN_IF_ERROR(disk_->Commit());
+  return FreeStaleCatalog();
 }
 
 Status StorageManager::FlushAndEvictAll() {
+  // Writes everything out (including a fresh copy-on-write catalog blob when
+  // dirty) but commits nothing: the catalog is never persisted "ahead" of
+  // the data pages it references, because only Checkpoint()/Close() publish
+  // a new catalog pointer — and they flush data first (see Checkpoint()).
   PARADISE_RETURN_IF_ERROR(PersistCatalog());
   return pool_->FlushAndEvictAll();
 }
@@ -139,15 +179,31 @@ Status StorageManager::LoadCatalog() {
 Status StorageManager::PersistCatalog() {
   if (!catalog_dirty_) return Status::OK();
   const std::string blob = SerializeCatalog(catalog_);
-  ObjectId oid = disk_->catalog_oid();
-  if (oid == kInvalidObjectId) {
-    PARADISE_ASSIGN_OR_RETURN(oid, objects_->Create(blob));
-    disk_->set_catalog_oid(oid);
-  } else {
-    PARADISE_RETURN_IF_ERROR(objects_->Overwrite(oid, blob));
+  const ObjectId old = disk_->catalog_oid();
+  // Copy-on-write: the blob named by the last committed manifest must stay
+  // byte-identical until a newer manifest lands, or a crash between the two
+  // would recover a manifest whose catalog pages were clobbered.
+  PARADISE_ASSIGN_OR_RETURN(const ObjectId oid, objects_->Create(blob));
+  disk_->set_catalog_oid(oid);
+  if (old != kInvalidObjectId) {
+    if (stale_catalog_oid_ == kInvalidObjectId) {
+      stale_catalog_oid_ = old;  // committed blob: defer until after Commit
+    } else {
+      // `old` was written after the last commit and is referenced by no
+      // manifest, so it can be recycled immediately.
+      PARADISE_RETURN_IF_ERROR(objects_->Free(old));
+    }
   }
   catalog_dirty_ = false;
-  return disk_->Sync();
+  return Status::OK();
+}
+
+Status StorageManager::FreeStaleCatalog() {
+  if (stale_catalog_oid_ == kInvalidObjectId) return Status::OK();
+  const ObjectId oid = stale_catalog_oid_;
+  stale_catalog_oid_ = kInvalidObjectId;
+  return objects_->Free(oid).WithContext(
+      "recycling superseded catalog object");
 }
 
 }  // namespace paradise

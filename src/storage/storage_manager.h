@@ -32,7 +32,8 @@ class StorageManager {
   /// Opens an existing database file and loads the root catalog.
   Status Open(const std::string& path, const StorageOptions& options);
 
-  /// Persists the catalog, flushes all pages and closes. Idempotent.
+  /// Runs a final Checkpoint() and closes the file. Idempotent. On
+  /// read-only managers, simply releases the handle.
   Status Close();
 
   bool is_open() const { return disk_ != nullptr && disk_->is_open(); }
@@ -58,11 +59,22 @@ class StorageManager {
   /// All catalog entries, for introspection tools.
   const std::map<std::string, uint64_t>& catalog() const { return catalog_; }
 
-  /// Persists the catalog and flushes dirty pages without closing.
+  /// Durably commits the current state without closing: persists the
+  /// catalog (copy-on-write), flushes dirty pages, fsyncs, and commits the
+  /// manifest. After a successful Checkpoint a crash at any later point
+  /// recovers exactly this state.
   Status Checkpoint();
 
-  /// Cold-run protocol: flush everything and empty the buffer pool.
+  /// Cold-run protocol: flush everything and empty the buffer pool. NOT a
+  /// durability point — nothing is fsynced or committed; use Checkpoint()
+  /// for that.
   Status FlushAndEvictAll();
+
+  /// Load-state flag stored in the commit manifest (page_header::kLoad*);
+  /// persisted by the next Checkpoint()/Close(). On v1/v2 files the flag
+  /// has no durable slot and reads back kLoadCommitted.
+  uint32_t load_state() const { return disk_->load_state(); }
+  void set_load_state(uint32_t state) { disk_->set_load_state(state); }
 
   /// Total file size in bytes (for storage-footprint reporting).
   uint64_t FileSizeBytes() const;
@@ -70,6 +82,7 @@ class StorageManager {
  private:
   Status LoadCatalog();
   Status PersistCatalog();
+  Status FreeStaleCatalog();
 
   /// Builds the (possibly wrapped) disk stack per options_.wrap_disk.
   std::unique_ptr<Disk> MakeDisk() const;
@@ -80,6 +93,9 @@ class StorageManager {
   std::unique_ptr<LargeObjectStore> objects_;
   std::map<std::string, uint64_t> catalog_;
   bool catalog_dirty_ = false;
+  // Catalog blob named by the last committed manifest, superseded by a
+  // copy-on-write rewrite but not yet safe to free (see Checkpoint()).
+  ObjectId stale_catalog_oid_ = kInvalidObjectId;
 };
 
 }  // namespace paradise

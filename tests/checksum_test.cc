@@ -44,7 +44,10 @@ void FlipByteInFile(const std::string& path, uint64_t offset, char mask) {
 
 TEST(ChecksumTest, RoundTripChecksummedPages) {
   TempFile file("crc_roundtrip");
-  const StorageOptions options = SmallOptions();
+  StorageOptions options = SmallOptions();
+  // Pin v2: this test covers the plain checksummed layout without the v3
+  // manifest pages.
+  options.format_version = page_header::kFormatChecksummed;
   std::vector<PageId> ids;
   {
     DiskManager disk;
@@ -148,12 +151,12 @@ TEST(ChecksumTest, RejectsFutureFormatVersions) {
     ASSERT_OK(disk.Create(file.path(), options));
     ASSERT_OK(disk.Close());
   }
-  // Bump the stored version field to 3 and refresh nothing else; Open must
-  // refuse before it misinterprets the layout.
+  // Bump the stored version field past every supported format and refresh
+  // nothing else; Open must refuse before it misinterprets the layout.
   {
     std::FILE* f = std::fopen(file.path().c_str(), "rb+");
     ASSERT_NE(f, nullptr);
-    char version[4] = {3, 0, 0, 0};
+    char version[4] = {page_header::kMaxSupportedFormat + 1, 0, 0, 0};
     ASSERT_EQ(std::fseek(f, page_header::kVersionOffset, SEEK_SET), 0);
     ASSERT_EQ(std::fwrite(version, 1, 4, f), 4u);
     ASSERT_EQ(std::fclose(f), 0);

@@ -224,10 +224,17 @@ TEST(OptionsTest, StorageValidation) {
   o.pages_per_extent = 32;
   o.format_version = 0;
   EXPECT_TRUE(o.Validate().IsInvalidArgument());
-  o.format_version = 3;
+  o.format_version = 4;
   EXPECT_TRUE(o.Validate().IsInvalidArgument());
+  o.format_version = 3;
+  EXPECT_OK(o.Validate());
   o.format_version = 1;
   EXPECT_OK(o.Validate());
+  o.read_only = true;
+  o.allow_overwrite = true;
+  EXPECT_TRUE(o.Validate().IsInvalidArgument());
+  o.read_only = false;
+  o.allow_overwrite = false;
   o.read_retry_limit = 65;
   EXPECT_TRUE(o.Validate().IsInvalidArgument());
 }

@@ -1,0 +1,217 @@
+// Tests for the dbverify library (schema/db_verify.h): clean committed
+// databases verify with zero findings and zero file mutation, every
+// corrupted fixture — bit flip, truncation, garbage — produces findings (the
+// tool's non-zero exit), legacy v1 files verify, and the read-only storage
+// mode underpinning it all rejects writes and never commits.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "schema/db_verify.h"
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+#include "storage/storage_manager.h"
+#include "test_util.h"
+
+namespace paradise {
+namespace {
+
+using paradise::testing::SmallDbOptions;
+using paradise::testing::TempFile;
+using paradise::testing::TinyConfig;
+
+/// XORs one byte of the file at `offset` with `mask`.
+void FlipByteInFile(const std::string& path, uint64_t offset, char mask) {
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  char byte = 0;
+  ASSERT_EQ(std::fseek(f, static_cast<long>(offset), SEEK_SET), 0);
+  ASSERT_EQ(std::fread(&byte, 1, 1, f), 1u);
+  byte = static_cast<char>(byte ^ mask);
+  ASSERT_EQ(std::fseek(f, static_cast<long>(offset), SEEK_SET), 0);
+  ASSERT_EQ(std::fwrite(&byte, 1, 1, f), 1u);
+  ASSERT_EQ(std::fclose(f), 0);
+}
+
+std::string ReadWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+void BuildTinyDb(const std::string& path, gen::SyntheticDataset* data,
+                 DatabaseOptions options = SmallDbOptions()) {
+  const gen::GenConfig config = TinyConfig(70, 13);
+  ASSERT_OK_AND_ASSIGN(*data, gen::Generate(config));
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Database> db,
+                       BuildDatabaseFromDataset(path, *data, options));
+}
+
+TEST(DbVerifyTest, CleanDatabaseVerifiesWithoutFindings) {
+  TempFile file("dbverify_clean");
+  gen::SyntheticDataset data;
+  DatabaseOptions options = SmallDbOptions();
+  options.build_btree_join_indexes = true;
+  BuildTinyDb(file.path(), &data, options);
+
+  ASSERT_OK_AND_ASSIGN(VerifyReport report, VerifyDatabaseFile(file.path()));
+  EXPECT_TRUE(report.clean())
+      << (report.AllIssues().empty() ? std::string("?")
+                                     : report.AllIssues().front());
+  EXPECT_TRUE(report.AllIssues().empty());
+  EXPECT_GT(report.page_count, 4u);
+  EXPECT_GT(report.catalog_entries, 0u);
+  EXPECT_EQ(report.fact_tuples, data.cell_global_indices.size());
+  EXPECT_EQ(report.scrub.pages_scanned,
+            report.page_count -
+                page_header::FirstUserPage(page_header::kFormatManifest));
+  EXPECT_EQ(report.scrub.pages_corrupt, 0u);
+}
+
+TEST(DbVerifyTest, VerificationNeverModifiesTheFile) {
+  TempFile file("dbverify_readonly");
+  gen::SyntheticDataset data;
+  BuildTinyDb(file.path(), &data);
+  const std::string before = ReadWholeFile(file.path());
+  ASSERT_FALSE(before.empty());
+  ASSERT_OK_AND_ASSIGN(VerifyReport report, VerifyDatabaseFile(file.path()));
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(ReadWholeFile(file.path()), before)
+      << "dbverify mutated the file it was checking";
+}
+
+TEST(DbVerifyTest, FlagsASingleBitFlip) {
+  TempFile file("dbverify_flip");
+  gen::SyntheticDataset data;
+  BuildTinyDb(file.path(), &data);
+  const StorageOptions storage = SmallDbOptions().storage;
+  const uint64_t stride = storage.page_size + page_header::kPageTrailerBytes;
+  // Any user page: the first one past the header and the manifest slots.
+  const PageId victim = page_header::FirstUserPage(page_header::kFormatManifest);
+  FlipByteInFile(file.path(), victim * stride + 700, 0x08);
+
+  ASSERT_OK_AND_ASSIGN(VerifyReport report, VerifyDatabaseFile(file.path()));
+  EXPECT_FALSE(report.clean());
+  EXPECT_GE(report.scrub.pages_corrupt, 1u);
+  bool named = false;
+  for (const std::string& issue : report.AllIssues()) {
+    if (issue.find("page " + std::to_string(victim)) != std::string::npos) {
+      named = true;
+    }
+  }
+  EXPECT_TRUE(named) << "no finding names the corrupted page";
+}
+
+TEST(DbVerifyTest, FlagsATruncatedFile) {
+  TempFile file("dbverify_trunc");
+  gen::SyntheticDataset data;
+  BuildTinyDb(file.path(), &data);
+  const StorageOptions storage = SmallDbOptions().storage;
+  const uint64_t stride = storage.page_size + page_header::kPageTrailerBytes;
+  // Keep the header and both manifest slots; chop off the data pages.
+  std::filesystem::resize_file(file.path(), 4 * stride);
+
+  ASSERT_OK_AND_ASSIGN(VerifyReport report, VerifyDatabaseFile(file.path()));
+  EXPECT_FALSE(report.clean());
+  EXPECT_FALSE(report.AllIssues().empty());
+}
+
+TEST(DbVerifyTest, GarbageFileCannotBeVerified) {
+  TempFile file("dbverify_garbage");
+  {
+    std::ofstream out(file.path(), std::ios::binary);
+    out << "this is not a paradise database file at all";
+  }
+  auto r = VerifyDatabaseFile(file.path());
+  ASSERT_FALSE(r.ok());  // the tool exits 2: it cannot even probe the header
+}
+
+TEST(DbVerifyTest, MissingFileCannotBeVerified) {
+  auto r = VerifyDatabaseFile("/nonexistent/path/to/nothing.db");
+  ASSERT_FALSE(r.ok());
+}
+
+TEST(DbVerifyTest, LegacyV1DatabaseVerifiesClean) {
+  TempFile file("dbverify_v1");
+  gen::SyntheticDataset data;
+  DatabaseOptions options = SmallDbOptions();
+  options.storage.format_version = page_header::kFormatLegacy;
+  BuildTinyDb(file.path(), &data, options);
+
+  ASSERT_OK_AND_ASSIGN(VerifyReport report, VerifyDatabaseFile(file.path()));
+  EXPECT_TRUE(report.clean())
+      << (report.AllIssues().empty() ? std::string("?")
+                                     : report.AllIssues().front());
+  EXPECT_EQ(report.fact_tuples, data.cell_global_indices.size());
+}
+
+/// The read-only storage mode dbverify relies on: writes are rejected at the
+/// disk layer and Close never commits, so the epoch cannot move.
+TEST(DbVerifyTest, ReadOnlyStorageRejectsWritesAndNeverCommits) {
+  TempFile file("dbverify_ro");
+  gen::SyntheticDataset data;
+  BuildTinyDb(file.path(), &data);
+  uint64_t epoch_before = 0;
+  {
+    DiskManager disk;
+    ASSERT_OK(disk.Open(file.path(), SmallDbOptions().storage));
+    epoch_before = disk.commit_epoch();
+    disk.Abandon();
+  }
+  {
+    StorageOptions options = SmallDbOptions().storage;
+    options.read_only = true;
+    StorageManager sm;
+    ASSERT_OK(sm.Open(file.path(), options));
+    EXPECT_FALSE(sm.disk()->WritePage(
+        page_header::FirstUserPage(sm.disk()->format_version()),
+        std::string(options.page_size, 'x').data()).ok());
+    EXPECT_FALSE(sm.disk()->AllocatePage().ok());
+    ASSERT_OK(sm.Close());
+  }
+  DiskManager disk;
+  ASSERT_OK(disk.Open(file.path(), SmallDbOptions().storage));
+  EXPECT_EQ(disk.commit_epoch(), epoch_before)
+      << "a read-only session advanced the commit epoch";
+  disk.Abandon();
+  // Creating a file read-only is meaningless and rejected.
+  StorageOptions ro = SmallDbOptions().storage;
+  ro.read_only = true;
+  StorageManager sm2;
+  TempFile fresh("dbverify_ro_create");
+  const Status create_st = sm2.Create(fresh.path(), ro);
+  EXPECT_TRUE(create_st.IsInvalidArgument()) << create_st.ToString();
+}
+
+/// scrub_on_open turns a damaged file into a refused Open for applications
+/// that opt in, instead of a latent read error later.
+TEST(DbVerifyTest, ScrubOnOpenRefusesACorruptFile) {
+  TempFile file("dbverify_scrub_open");
+  gen::SyntheticDataset data;
+  BuildTinyDb(file.path(), &data);
+  const StorageOptions storage = SmallDbOptions().storage;
+  const uint64_t stride = storage.page_size + page_header::kPageTrailerBytes;
+  const PageId victim =
+      page_header::FirstUserPage(page_header::kFormatManifest) + 1;
+  FlipByteInFile(file.path(), victim * stride + 900, 0x04);
+
+  StorageOptions scrubbed = storage;
+  scrubbed.scrub_on_open = true;
+  StorageManager sm;
+  const Status st = sm.Open(file.path(), scrubbed);
+  EXPECT_TRUE(st.IsCorruption()) << st.ToString();
+
+  // Without the scrub the open itself still succeeds (lazy detection).
+  StorageManager lazy;
+  ASSERT_OK(lazy.Open(file.path(), storage));
+  lazy.disk()->Abandon();
+}
+
+}  // namespace
+}  // namespace paradise
