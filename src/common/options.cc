@@ -31,6 +31,17 @@ Status StorageOptions::Validate() const {
     return Status::InvalidArgument("read_retry_limit must be <= 64, got " +
                                    std::to_string(read_retry_limit));
   }
+  if (pool_shards == 0) {
+    return Status::InvalidArgument("pool_shards must be >= 1");
+  }
+  if (pool_shards > 256) {
+    return Status::InvalidArgument("pool_shards must be <= 256, got " +
+                                   std::to_string(pool_shards));
+  }
+  if (io_pool_threads > 64) {
+    return Status::InvalidArgument("io_pool_threads must be <= 64, got " +
+                                   std::to_string(io_pool_threads));
+  }
   return Status::OK();
 }
 

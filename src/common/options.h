@@ -36,6 +36,25 @@ struct StorageOptions {
   /// pool; 2048 8 KiB pages matches that default.
   size_t buffer_pool_pages = 2048;
 
+  /// Number of independently latched buffer-pool partitions. Pages hash to a
+  /// shard by PageId, each shard owning its own frames, page table, clock
+  /// hand and statistics, so concurrent fetches of distinct pages proceed in
+  /// parallel. The effective count is clamped so every shard keeps at least
+  /// kMinFramesPerShard frames (small pools degrade to a single shard, which
+  /// preserves the exact eviction order the single-threaded pool had).
+  size_t pool_shards = 8;
+
+  /// Chunk read-ahead depth: scan-shaped algorithms keep up to this many
+  /// chunk blobs in flight ahead of the consuming thread(s) via the storage
+  /// manager's background I/O pool. 0 disables read-ahead (all chunk reads
+  /// happen synchronously on the consuming thread).
+  size_t prefetch_depth = 4;
+
+  /// Worker threads in the background I/O pool that serves chunk read-ahead.
+  /// 0 disables the pool (and with it all read-ahead) regardless of
+  /// prefetch_depth.
+  size_t io_pool_threads = 2;
+
   /// Pages per extent for extent-based files (the fact file).
   size_t pages_per_extent = 32;
 

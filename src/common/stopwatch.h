@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 
 namespace paradise {
@@ -34,16 +35,40 @@ class Stopwatch {
 };
 
 /// Accumulates named phase timings (e.g. "scan", "aggregate") so an
-/// algorithm can report where its time went.
+/// algorithm can report where its time went. Accumulation is thread-safe:
+/// parallel consolidation workers add their per-phase time into the one
+/// timer carried by ExecutionStats, so phase totals are CPU-seconds summed
+/// across workers (they can exceed wall-clock time at high thread counts).
+/// Copyable despite the internal mutex — copies snapshot the totals.
 class PhaseTimer {
  public:
-  /// Adds `micros` to the named phase.
+  PhaseTimer() = default;
+  PhaseTimer(const PhaseTimer& other) : phases_(other.Snapshot()) {}
+  PhaseTimer& operator=(const PhaseTimer& other) {
+    if (this != &other) {
+      std::map<std::string, int64_t> copy = other.Snapshot();
+      std::lock_guard<std::mutex> lock(mu_);
+      phases_ = std::move(copy);
+    }
+    return *this;
+  }
+
+  /// Adds `micros` to the named phase. Safe from any thread.
   void Add(const std::string& phase, int64_t micros) {
+    std::lock_guard<std::mutex> lock(mu_);
     phases_[phase] += micros;
+  }
+
+  /// Merges every phase of `other` into this timer.
+  void Merge(const PhaseTimer& other) {
+    std::map<std::string, int64_t> theirs = other.Snapshot();
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [phase, micros] : theirs) phases_[phase] += micros;
   }
 
   /// Total microseconds recorded for `phase` (0 if never recorded).
   int64_t Micros(const std::string& phase) const {
+    std::lock_guard<std::mutex> lock(mu_);
     auto it = phases_.find(phase);
     return it == phases_.end() ? 0 : it->second;
   }
@@ -52,11 +77,23 @@ class PhaseTimer {
     return static_cast<double>(Micros(phase)) * 1e-6;
   }
 
+  /// Consistent copy of all phase totals.
+  std::map<std::string, int64_t> Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return phases_;
+  }
+
+  /// Phase totals by reference — only safe once concurrent Add()ers have
+  /// joined (reporting code reads this after the query returns).
   const std::map<std::string, int64_t>& phases() const { return phases_; }
 
-  void Clear() { phases_.clear(); }
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    phases_.clear();
+  }
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, int64_t> phases_;
 };
 

@@ -1,10 +1,11 @@
 #include "core/consolidate_select.h"
 
 #include <algorithm>
-
-#include "core/aggregate.h"
+#include <optional>
 
 namespace paradise {
+
+namespace select_detail {
 
 namespace {
 
@@ -50,132 +51,184 @@ Status FinalIndexList(const OlapArray& array, size_t d,
 
 }  // namespace
 
+Result<SelectionPlan> MakeSelectionPlan(const OlapArray& array,
+                                        const query::ConsolidationQuery& q,
+                                        const GroupSpec& spec) {
+  SelectionPlan plan;
+  const size_t n = array.layout().num_dims();
+  plan.lists.resize(n);
+  for (size_t d = 0; d < n; ++d) {
+    PARADISE_RETURN_IF_ERROR(
+        FinalIndexList(array, d, q.dims[d], &plan.lists[d]));
+    if (plan.lists[d].empty()) {
+      // Empty cross-product: nothing qualifies.
+      plan.empty = true;
+      return plan;
+    }
+  }
+  // Precompute group-code contributions per dimension index so each hit is a
+  // few array lookups plus adds (position-based aggregation).
+  plan.level_maps.resize(spec.grouped_dims.size());
+  for (size_t g = 0; g < spec.grouped_dims.size(); ++g) {
+    plan.level_maps[g] =
+        &array.i2i(spec.grouped_dims[g]).MapColumn(spec.group_cols[g]);
+  }
+  return plan;
+}
+
+std::vector<SelectionChunkWork> PlanSelectionChunks(
+    const OlapArray& array, const query::ConsolidationQuery& q,
+    const SelectionPlan& plan, const ArraySelectOptions& options,
+    ArraySelectStats* stats) {
+  const ChunkLayout& layout = array.layout();
+  const size_t n = layout.num_dims();
+  std::vector<SelectionChunkWork> out;
+  for (uint64_t chunk_no = 0; chunk_no < layout.num_chunks(); ++chunk_no) {
+    if (array.array(q.measure).ChunkIsEmpty(chunk_no)) continue;
+    const CellCoords base = layout.ChunkBase(chunk_no);
+    const CellCoords cdims = layout.ChunkDims(chunk_no);
+
+    // §4.2 optimization 1: compute each dimension list's overlap with this
+    // chunk's coordinate box; an empty overlap means the chunk holds no
+    // cross-product element and need not be read.
+    SelectionChunkWork work;
+    work.chunk_no = chunk_no;
+    work.slice_begin.resize(n);
+    work.slice_end.resize(n);
+    for (size_t d = 0; d < n; ++d) {
+      const auto& list = plan.lists[d];
+      const auto lo = std::lower_bound(list.begin(), list.end(), base[d]);
+      const auto hi = std::lower_bound(lo, list.end(), base[d] + cdims[d]);
+      work.slice_begin[d] = static_cast<uint32_t>(lo - list.begin());
+      work.slice_end[d] = static_cast<uint32_t>(hi - list.begin());
+      if (lo == hi) work.overlap = false;
+    }
+    if (!work.overlap && options.skip_non_overlapping_chunks) {
+      if (stats != nullptr) ++stats->chunks_skipped;
+      continue;
+    }
+    out.push_back(std::move(work));
+  }
+  return out;
+}
+
+Status ProbeSelectionChunk(const OlapArray& array, const GroupSpec& spec,
+                           const SelectionPlan& plan,
+                           const SelectionChunkWork& work,
+                           const std::string& blob,
+                           std::vector<query::AggState>* flat,
+                           ArraySelectStats* stats) {
+  PARADISE_ASSIGN_OR_RETURN(ChunkView view, ChunkView::Make(blob));
+  if (stats != nullptr) ++stats->chunks_read;
+  if (!work.overlap) return Status::OK();  // ablation path: nothing to probe
+
+  const ChunkLayout& layout = array.layout();
+  const size_t n = layout.num_dims();
+  const CellCoords base = layout.ChunkBase(work.chunk_no);
+  const CellCoords cdims = layout.ChunkDims(work.chunk_no);
+
+  // Row-major local strides of this chunk.
+  std::vector<uint32_t> local_strides(n);
+  uint32_t s = 1;
+  for (size_t i = n; i > 0; --i) {
+    local_strides[i - 1] = s;
+    s *= cdims[i - 1];
+  }
+
+  // §4.2 optimizations 2+3: enumerate cross-product elements in increasing
+  // chunk-offset order (row-major odometer over the list slices) and probe
+  // the sorted stored chunk with a forward-moving binary search directly on
+  // the serialized bytes.
+  const auto& lists = plan.lists;
+  const bool sparse = view.sparse();
+  uint32_t probe_pos = 0;
+  std::vector<uint32_t> pos(n);
+  for (size_t d = 0; d < n; ++d) pos[d] = work.slice_begin[d];
+  bool done = false;
+  while (!done) {
+    uint32_t offset = 0;
+    for (size_t d = 0; d < n; ++d) {
+      offset += (lists[d][pos[d]] - base[d]) * local_strides[d];
+    }
+    if (stats != nullptr) ++stats->candidates;
+    std::optional<int64_t> hit;
+    if (sparse) {
+      probe_pos = view.SparseLowerBound(offset, probe_pos);
+      if (probe_pos < view.num_valid()) {
+        const ChunkEntry e = view.SparseEntry(probe_pos);
+        if (e.offset == offset) hit = e.value;
+      }
+    } else {
+      hit = view.Get(offset);
+    }
+    if (hit.has_value()) {
+      uint64_t flat_idx = 0;
+      for (size_t g = 0; g < spec.grouped_dims.size(); ++g) {
+        const size_t gd = spec.grouped_dims[g];
+        flat_idx += static_cast<uint64_t>(
+                        (*plan.level_maps[g])[lists[gd][pos[gd]]]) *
+                    spec.strides[g];
+      }
+      (*flat)[flat_idx].Add(*hit);
+      if (stats != nullptr) ++stats->hits;
+    }
+    if (sparse && probe_pos >= view.num_valid()) {
+      break;  // no later offset can match
+    }
+    // Advance the odometer (last dimension fastest).
+    size_t d = n - 1;
+    for (;;) {
+      if (++pos[d] < work.slice_end[d]) break;
+      pos[d] = work.slice_begin[d];
+      if (d == 0) {
+        done = true;
+        break;
+      }
+      --d;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace select_detail
+
 Result<query::GroupedResult> ArrayConsolidateWithSelection(
     const OlapArray& array, const query::ConsolidationQuery& q,
     PhaseTimer* timer, ArraySelectStats* stats,
     const ArraySelectOptions& options) {
+  using select_detail::MakeSelectionPlan;
+  using select_detail::PlanSelectionChunks;
+  using select_detail::ProbeSelectionChunk;
+  using select_detail::SelectionChunkWork;
+  using select_detail::SelectionPlan;
+
   if (!q.HasSelection()) {
     return Status::InvalidArgument(
         "ArrayConsolidateWithSelection requires a selection; use "
         "ArrayConsolidate");
   }
   PARADISE_ASSIGN_OR_RETURN(GroupSpec spec, GroupSpec::Make(array, q));
-  const ChunkLayout& layout = array.layout();
-  const size_t n = layout.num_dims();
 
   // Phase 1: B-tree index lookups and list merging.
-  std::vector<std::vector<uint32_t>> lists(n);
+  SelectionPlan plan;
   {
     ScopedPhase phase(timer, "index-lookup");
-    for (size_t d = 0; d < n; ++d) {
-      PARADISE_RETURN_IF_ERROR(FinalIndexList(array, d, q.dims[d], &lists[d]));
-      if (lists[d].empty()) {
-        // Empty cross-product: nothing qualifies.
-        return FlatToGroupedResult(spec, {}, spec.GroupColumnNames(array));
-      }
+    PARADISE_ASSIGN_OR_RETURN(plan, MakeSelectionPlan(array, q, spec));
+    if (plan.empty) {
+      return FlatToGroupedResult(spec, {}, spec.GroupColumnNames(array));
     }
-  }
-
-  // Precompute group-code contributions per dimension index so each hit is a
-  // few array lookups plus adds (position-based aggregation).
-  std::vector<const std::vector<int32_t>*> level_maps(spec.grouped_dims.size());
-  for (size_t g = 0; g < spec.grouped_dims.size(); ++g) {
-    level_maps[g] =
-        &array.i2i(spec.grouped_dims[g]).MapColumn(spec.group_cols[g]);
   }
 
   std::vector<query::AggState> flat(spec.num_groups);
   {
     ScopedPhase phase(timer, "probe+aggregate");
-    // Reused per-chunk state.
-    std::vector<uint32_t> slice_begin(n), slice_end(n), pos(n);
-    std::vector<uint32_t> local_strides(n);
-    for (uint64_t chunk_no = 0; chunk_no < layout.num_chunks(); ++chunk_no) {
-      if (array.array(q.measure).ChunkIsEmpty(chunk_no)) continue;
-      const CellCoords base = layout.ChunkBase(chunk_no);
-      const CellCoords cdims = layout.ChunkDims(chunk_no);
-
-      // §4.2 optimization 1: compute each dimension list's overlap with this
-      // chunk's coordinate box; an empty overlap means the chunk holds no
-      // cross-product element and need not be read.
-      bool overlap = true;
-      for (size_t d = 0; d < n; ++d) {
-        const auto lo = std::lower_bound(lists[d].begin(), lists[d].end(),
-                                         base[d]);
-        const auto hi = std::lower_bound(lo, lists[d].end(),
-                                         base[d] + cdims[d]);
-        slice_begin[d] = static_cast<uint32_t>(lo - lists[d].begin());
-        slice_end[d] = static_cast<uint32_t>(hi - lists[d].begin());
-        if (lo == hi) overlap = false;
-      }
-      if (!overlap && options.skip_non_overlapping_chunks) {
-        if (stats != nullptr) ++stats->chunks_skipped;
-        continue;
-      }
-
-      PARADISE_ASSIGN_OR_RETURN(std::string blob,
-                                array.array(q.measure).ReadChunkBlob(chunk_no));
-      PARADISE_ASSIGN_OR_RETURN(ChunkView view, ChunkView::Make(blob));
-      if (stats != nullptr) ++stats->chunks_read;
-      if (!overlap) continue;  // ablation path: chunk read, nothing to probe
-
-      // Row-major local strides of this chunk.
-      uint32_t s = 1;
-      for (size_t i = n; i > 0; --i) {
-        local_strides[i - 1] = s;
-        s *= cdims[i - 1];
-      }
-
-      // §4.2 optimizations 2+3: enumerate cross-product elements in
-      // increasing chunk-offset order (row-major odometer over the list
-      // slices) and probe the sorted stored chunk with a forward-moving
-      // binary search directly on the serialized bytes.
-      const bool sparse = view.sparse();
-      uint32_t probe_pos = 0;
-      for (size_t d = 0; d < n; ++d) pos[d] = slice_begin[d];
-      bool done = false;
-      while (!done) {
-        uint32_t offset = 0;
-        for (size_t d = 0; d < n; ++d) {
-          offset += (lists[d][pos[d]] - base[d]) * local_strides[d];
-        }
-        if (stats != nullptr) ++stats->candidates;
-        std::optional<int64_t> hit;
-        if (sparse) {
-          probe_pos = view.SparseLowerBound(offset, probe_pos);
-          if (probe_pos < view.num_valid()) {
-            const ChunkEntry e = view.SparseEntry(probe_pos);
-            if (e.offset == offset) hit = e.value;
-          }
-        } else {
-          hit = view.Get(offset);
-        }
-        if (hit.has_value()) {
-          uint64_t flat_idx = 0;
-          for (size_t g = 0; g < spec.grouped_dims.size(); ++g) {
-            const size_t gd = spec.grouped_dims[g];
-            flat_idx += static_cast<uint64_t>(
-                            (*level_maps[g])[lists[gd][pos[gd]]]) *
-                        spec.strides[g];
-          }
-          flat[flat_idx].Add(*hit);
-          if (stats != nullptr) ++stats->hits;
-        }
-        if (sparse && probe_pos >= view.num_valid()) {
-          break;  // no later offset can match
-        }
-        // Advance the odometer (last dimension fastest).
-        size_t d = n - 1;
-        for (;;) {
-          if (++pos[d] < slice_end[d]) break;
-          pos[d] = slice_begin[d];
-          if (d == 0) {
-            done = true;
-            break;
-          }
-          --d;
-        }
-      }
+    const std::vector<SelectionChunkWork> chunks =
+        PlanSelectionChunks(array, q, plan, options, stats);
+    for (const SelectionChunkWork& work : chunks) {
+      PARADISE_ASSIGN_OR_RETURN(
+          std::string blob, array.array(q.measure).ReadChunkBlob(work.chunk_no));
+      PARADISE_RETURN_IF_ERROR(
+          ProbeSelectionChunk(array, spec, plan, work, blob, &flat, stats));
     }
   }
 

@@ -3,13 +3,22 @@
 // index lists, merge them, then enumerate the cross-product lazily in chunk
 // order — skipping chunks that cannot contain a selected cell — and probe
 // each candidate by binary search over the chunk's sorted offsets.
+//
+// The building blocks (index-list resolution, per-chunk overlap slices, the
+// odometer probe over one chunk) are exposed so the parallel engine
+// (core/parallel.h) can run the same algorithm with the chunk loop fanned
+// out across worker threads: phase 1 and the overlap scan are cheap and
+// stay serial, the per-chunk probe works on disjoint chunks and private
+// result arrays.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
 #include "common/stopwatch.h"
+#include "core/aggregate.h"
 #include "core/olap_array.h"
 #include "query/query.h"
 #include "query/result.h"
@@ -34,5 +43,54 @@ Result<query::GroupedResult> ArrayConsolidateWithSelection(
     const OlapArray& array, const query::ConsolidationQuery& q,
     PhaseTimer* timer = nullptr, ArraySelectStats* stats = nullptr,
     const ArraySelectOptions& options = {});
+
+namespace select_detail {
+
+/// Phase-1 state shared by the serial and parallel paths: per-dimension
+/// final index lists (sorted, deduplicated) and per-group level maps.
+/// `empty` is true when some dimension's list came out empty — the
+/// cross-product is empty and the result has no groups.
+struct SelectionPlan {
+  std::vector<std::vector<uint32_t>> lists;
+  std::vector<const std::vector<int32_t>*> level_maps;
+  bool empty = false;
+};
+
+/// Resolves the B-tree lookups and level maps (paper §4.2 phase 1).
+Result<SelectionPlan> MakeSelectionPlan(const OlapArray& array,
+                                        const query::ConsolidationQuery& q,
+                                        const GroupSpec& spec);
+
+/// One chunk the probe loop must read, with the half-open per-dimension
+/// slice [slice_begin[d], slice_end[d]) into plan.lists[d] covering the
+/// chunk's coordinate box. `overlap` is false only on the ablation path
+/// that reads non-overlapping chunks anyway (nothing to probe).
+struct SelectionChunkWork {
+  uint64_t chunk_no = 0;
+  std::vector<uint32_t> slice_begin;
+  std::vector<uint32_t> slice_end;
+  bool overlap = true;
+};
+
+/// Scans the chunk directory (no chunk I/O) and returns the chunks the
+/// probe loop must read, in chunk-number order. Skipped chunks are counted
+/// into `stats` when given.
+std::vector<SelectionChunkWork> PlanSelectionChunks(
+    const OlapArray& array, const query::ConsolidationQuery& q,
+    const SelectionPlan& plan, const ArraySelectOptions& options,
+    ArraySelectStats* stats);
+
+/// Probes one chunk blob: enumerates the cross-product elements inside the
+/// chunk's slices in increasing offset order and aggregates hits into
+/// `flat` (paper §4.2 optimizations 2+3). `flat` and `stats` may be
+/// thread-private; calls for distinct chunks are otherwise independent.
+Status ProbeSelectionChunk(const OlapArray& array, const GroupSpec& spec,
+                           const SelectionPlan& plan,
+                           const SelectionChunkWork& work,
+                           const std::string& blob,
+                           std::vector<query::AggState>* flat,
+                           ArraySelectStats* stats);
+
+}  // namespace select_detail
 
 }  // namespace paradise

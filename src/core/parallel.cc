@@ -1,53 +1,18 @@
 #include "core/parallel.h"
 
-#include <condition_variable>
-#include <deque>
-#include <mutex>
+#include <algorithm>
+#include <atomic>
 #include <thread>
+#include <utility>
 
+#include "array/chunk_prefetcher.h"
 #include "core/aggregate.h"
+#include "storage/io_pool.h"
+#include "storage/storage_manager.h"
 
 namespace paradise {
 
 namespace {
-
-/// Bounded single-producer multi-consumer queue of chunk work items.
-class WorkQueue {
- public:
-  explicit WorkQueue(size_t capacity) : capacity_(capacity) {}
-
-  void Push(uint64_t chunk_no, std::string blob) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock, [&] { return items_.size() < capacity_; });
-    items_.emplace_back(chunk_no, std::move(blob));
-    not_empty_.notify_one();
-  }
-
-  void Close() {
-    std::lock_guard<std::mutex> lock(mu_);
-    closed_ = true;
-    not_empty_.notify_all();
-  }
-
-  bool Pop(uint64_t* chunk_no, std::string* blob) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
-    if (items_.empty()) return false;
-    *chunk_no = items_.front().first;
-    *blob = std::move(items_.front().second);
-    items_.pop_front();
-    not_full_.notify_one();
-    return true;
-  }
-
- private:
-  const size_t capacity_;
-  std::mutex mu_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<std::pair<uint64_t, std::string>> items_;
-  bool closed_ = false;
-};
 
 /// Aggregates one chunk blob into `flat` (the per-worker result array).
 Status AggregateChunk(const OlapArray& array, const GroupSpec& spec,
@@ -91,6 +56,43 @@ Status AggregateChunk(const OlapArray& array, const GroupSpec& spec,
   return Status::OK();
 }
 
+/// Read-ahead wiring shared by both engines: depth and pool come from the
+/// array's storage manager.
+ChunkReadAhead MakeCursor(const OlapArray& array, size_t measure,
+                          std::vector<uint64_t> chunks) {
+  StorageManager* storage = array.storage();
+  return ChunkReadAhead(&array.array(measure), std::move(chunks),
+                        storage->options().prefetch_depth, storage->io_pool(),
+                        storage->pool());
+}
+
+/// Runs `num_threads` workers over `fn` (worker index as argument) and
+/// returns the first non-OK status any worker produced.
+template <typename Fn>
+Status RunWorkers(size_t num_threads, Fn&& fn) {
+  std::vector<Status> worker_status(num_threads);
+  std::vector<std::thread> workers;
+  workers.reserve(num_threads);
+  for (size_t w = 0; w < num_threads; ++w) {
+    workers.emplace_back([&, w] { worker_status[w] = fn(w); });
+  }
+  for (std::thread& t : workers) t.join();
+  for (Status& st : worker_status) PARADISE_RETURN_IF_ERROR(st);
+  return Status::OK();
+}
+
+/// Merges per-worker flat result arrays into one (order-independent).
+std::vector<query::AggState> MergePartials(
+    uint64_t num_groups, std::vector<std::vector<query::AggState>>* partials) {
+  std::vector<query::AggState> flat(num_groups);
+  for (const auto& partial : *partials) {
+    for (uint64_t i = 0; i < num_groups; ++i) {
+      if (partial[i].count > 0) flat[i].Merge(partial[i]);
+    }
+  }
+  return flat;
+}
+
 }  // namespace
 
 Result<query::GroupedResult> ParallelArrayConsolidate(
@@ -98,66 +100,137 @@ Result<query::GroupedResult> ParallelArrayConsolidate(
     size_t num_threads, PhaseTimer* timer, ParallelConsolidateStats* stats) {
   if (q.HasSelection()) {
     return Status::InvalidArgument(
-        "ParallelArrayConsolidate handles no-selection queries");
+        "ParallelArrayConsolidate handles no-selection queries; use "
+        "ParallelArrayConsolidateWithSelection");
   }
   if (num_threads == 0) {
     return Status::InvalidArgument("num_threads must be >= 1");
   }
   PARADISE_ASSIGN_OR_RETURN(GroupSpec spec, GroupSpec::Make(array, q));
 
-  WorkQueue queue(/*capacity=*/2 * num_threads);
+  // The chunk list is cheap to enumerate (directory lookups only) and fixes
+  // the claim order for the read-ahead window.
+  std::vector<uint64_t> chunks;
+  const uint64_t num_chunks = array.layout().num_chunks();
+  for (uint64_t c = 0; c < num_chunks; ++c) {
+    if (!array.array(q.measure).ChunkIsEmpty(c)) chunks.push_back(c);
+  }
+
   std::vector<std::vector<query::AggState>> partials(
       num_threads, std::vector<query::AggState>(spec.num_groups));
-  std::vector<Status> worker_status(num_threads);
-  std::vector<std::thread> workers;
-  workers.reserve(num_threads);
-  for (size_t w = 0; w < num_threads; ++w) {
-    workers.emplace_back([&, w] {
-      uint64_t chunk_no = 0;
-      std::string blob;
-      while (queue.Pop(&chunk_no, &blob)) {
-        Status st = AggregateChunk(array, spec, chunk_no, blob, &partials[w]);
-        if (!st.ok()) {
-          worker_status[w] = std::move(st);
-          return;  // drain stops; coordinator sees the error after join
-        }
-      }
-    });
-  }
-
-  Status scan_status;
-  uint64_t chunks_read = 0;
+  std::atomic<uint64_t> chunks_read{0};
   {
     ScopedPhase phase(timer, "scan+aggregate");
-    const uint64_t num_chunks = array.layout().num_chunks();
-    for (uint64_t c = 0; c < num_chunks; ++c) {
-      if (array.array(q.measure).ChunkIsEmpty(c)) continue;
-      Result<std::string> blob = array.array(q.measure).ReadChunkBlob(c);
-      if (!blob.ok()) {
-        scan_status = blob.status();
-        break;
+    ChunkReadAhead cursor = MakeCursor(array, q.measure, std::move(chunks));
+    PARADISE_RETURN_IF_ERROR(RunWorkers(num_threads, [&](size_t w) -> Status {
+      uint64_t chunk_no = 0;
+      std::string blob;
+      for (;;) {
+        PARADISE_ASSIGN_OR_RETURN(bool more, cursor.Next(&chunk_no, &blob));
+        if (!more) return Status::OK();
+        chunks_read.fetch_add(1, std::memory_order_relaxed);
+        PARADISE_RETURN_IF_ERROR(
+            AggregateChunk(array, spec, chunk_no, blob, &partials[w]));
       }
-      queue.Push(c, std::move(blob).value());
-      ++chunks_read;
-    }
-    queue.Close();
-    for (std::thread& t : workers) t.join();
+    }));
   }
-  PARADISE_RETURN_IF_ERROR(scan_status);
-  for (const Status& st : worker_status) PARADISE_RETURN_IF_ERROR(st);
 
-  std::vector<query::AggState> flat(spec.num_groups);
+  std::vector<query::AggState> flat;
   {
     ScopedPhase phase(timer, "merge");
-    for (const auto& partial : partials) {
-      for (uint64_t i = 0; i < spec.num_groups; ++i) {
-        if (partial[i].count > 0) flat[i].Merge(partial[i]);
+    flat = MergePartials(spec.num_groups, &partials);
+  }
+  if (stats != nullptr) {
+    stats->chunks_read = chunks_read.load(std::memory_order_relaxed);
+    stats->threads_used = num_threads;
+  }
+  ScopedPhase phase(timer, "emit");
+  return FlatToGroupedResult(spec, flat, spec.GroupColumnNames(array));
+}
+
+Result<query::GroupedResult> ParallelArrayConsolidateWithSelection(
+    const OlapArray& array, const query::ConsolidationQuery& q,
+    size_t num_threads, PhaseTimer* timer, ArraySelectStats* select_stats,
+    ParallelConsolidateStats* stats, const ArraySelectOptions& options) {
+  using select_detail::MakeSelectionPlan;
+  using select_detail::PlanSelectionChunks;
+  using select_detail::ProbeSelectionChunk;
+  using select_detail::SelectionChunkWork;
+  using select_detail::SelectionPlan;
+
+  if (!q.HasSelection()) {
+    return Status::InvalidArgument(
+        "ParallelArrayConsolidateWithSelection requires a selection; use "
+        "ParallelArrayConsolidate");
+  }
+  if (num_threads == 0) {
+    return Status::InvalidArgument("num_threads must be >= 1");
+  }
+  PARADISE_ASSIGN_OR_RETURN(GroupSpec spec, GroupSpec::Make(array, q));
+
+  // Phase 1 stays serial: B-tree probes and list merges are a tiny fraction
+  // of query time and share the (read-only) index structures.
+  SelectionPlan plan;
+  {
+    ScopedPhase phase(timer, "index-lookup");
+    PARADISE_ASSIGN_OR_RETURN(plan, MakeSelectionPlan(array, q, spec));
+    if (plan.empty) {
+      if (stats != nullptr) stats->threads_used = num_threads;
+      return FlatToGroupedResult(spec, {}, spec.GroupColumnNames(array));
+    }
+  }
+
+  // The overlap scan is pure CPU over the chunk directory; running it
+  // serially fixes the candidate order (chunk-number = physical order, what
+  // read-ahead wants) before any chunk I/O happens.
+  const std::vector<SelectionChunkWork> work_items =
+      PlanSelectionChunks(array, q, plan, options, select_stats);
+
+  std::vector<std::vector<query::AggState>> partials(
+      num_threads, std::vector<query::AggState>(spec.num_groups));
+  std::vector<ArraySelectStats> worker_stats(num_threads);
+  {
+    ScopedPhase phase(timer, "probe+aggregate");
+    std::vector<uint64_t> chunks;
+    chunks.reserve(work_items.size());
+    for (const SelectionChunkWork& w : work_items) chunks.push_back(w.chunk_no);
+    ChunkReadAhead cursor = MakeCursor(array, q.measure, std::move(chunks));
+    PARADISE_RETURN_IF_ERROR(RunWorkers(num_threads, [&](size_t w) -> Status {
+      uint64_t chunk_no = 0;
+      std::string blob;
+      for (;;) {
+        PARADISE_ASSIGN_OR_RETURN(bool more, cursor.Next(&chunk_no, &blob));
+        if (!more) return Status::OK();
+        // work_items is sorted by chunk_no (PlanSelectionChunks scans in
+        // chunk order), so the claimed chunk's slices are found by binary
+        // search.
+        const auto it = std::lower_bound(
+            work_items.begin(), work_items.end(), chunk_no,
+            [](const SelectionChunkWork& lhs, uint64_t c) {
+              return lhs.chunk_no < c;
+            });
+        PARADISE_RETURN_IF_ERROR(ProbeSelectionChunk(
+            array, spec, plan, *it, blob, &partials[w],
+            select_stats != nullptr ? &worker_stats[w] : nullptr));
       }
+    }));
+  }
+
+  std::vector<query::AggState> flat;
+  {
+    ScopedPhase phase(timer, "merge");
+    flat = MergePartials(spec.num_groups, &partials);
+  }
+  if (select_stats != nullptr) {
+    for (const ArraySelectStats& ws : worker_stats) {
+      select_stats->chunks_read += ws.chunks_read;
+      select_stats->candidates += ws.candidates;
+      select_stats->hits += ws.hits;
     }
   }
   if (stats != nullptr) {
-    stats->chunks_read = chunks_read;
     stats->threads_used = num_threads;
+    if (select_stats != nullptr) stats->chunks_read = select_stats->chunks_read;
   }
   ScopedPhase phase(timer, "emit");
   return FlatToGroupedResult(spec, flat, spec.GroupColumnNames(array));

@@ -1,11 +1,18 @@
 // Parallel array consolidation — the intra-operator parallelism the paper
 // names as future work (§6: "we would like to investigate parallelization
-// of OLAP data structures and key OLAP operations"). One coordinator thread
-// reads chunk blobs through the (single-threaded) buffer pool in chunk
-// order; worker threads decode and aggregate position-based into private
-// flat result arrays, merged at the end. This parallelizes the CPU side of
-// §4.1 — decode + IndexToIndex lookups + aggregation — while keeping the
-// storage manager single-threaded, as in the paper.
+// of OLAP data structures and key OLAP operations"). Worker threads claim
+// chunks from a shared read-ahead cursor and each runs the full per-chunk
+// pipeline — fetch through the (sharded, thread-safe) buffer pool, decode,
+// aggregate position-based into a private flat result array — so there is
+// no coordinator bottleneck: the only serialized step is the final merge of
+// the private arrays. When the storage manager has a background I/O pool,
+// the cursor keeps the next chunks' reads in flight ahead of the workers
+// (array/chunk_prefetcher.h).
+//
+// Both engines produce bit-identical GroupedResults to their serial
+// counterparts at every thread count: AggState accumulation over int64
+// measures (sum/count/min/max) is order-independent, and chunk→group
+// assignment does not depend on which worker processes the chunk.
 #pragma once
 
 #include <cstddef>
@@ -13,6 +20,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "common/stopwatch.h"
+#include "core/consolidate_select.h"
 #include "core/olap_array.h"
 #include "query/query.h"
 #include "query/result.h"
@@ -31,5 +39,17 @@ Result<query::GroupedResult> ParallelArrayConsolidate(
     const OlapArray& array, const query::ConsolidationQuery& q,
     size_t num_threads, PhaseTimer* timer = nullptr,
     ParallelConsolidateStats* stats = nullptr);
+
+/// Runs a consolidation with at least one selection (paper §4.2) with
+/// `num_threads` worker threads. Phase 1 (B-tree index lookups) and the
+/// chunk-overlap scan stay serial — they are cheap and touch no chunk data;
+/// the per-chunk probe loop fans out. Produces exactly the same
+/// GroupedResult as ArrayConsolidateWithSelection.
+Result<query::GroupedResult> ParallelArrayConsolidateWithSelection(
+    const OlapArray& array, const query::ConsolidationQuery& q,
+    size_t num_threads, PhaseTimer* timer = nullptr,
+    ArraySelectStats* select_stats = nullptr,
+    ParallelConsolidateStats* stats = nullptr,
+    const ArraySelectOptions& options = {});
 
 }  // namespace paradise

@@ -2,6 +2,7 @@
 
 #include "core/consolidate.h"
 #include "core/consolidate_select.h"
+#include "core/parallel.h"
 #include "relational/bitmap_select.h"
 #include "relational/btree_select.h"
 #include "relational/hash_join.h"
@@ -29,9 +30,12 @@ namespace {
 
 Result<Execution> RunQueryImpl(Database* db, EngineKind kind,
                                const query::ConsolidationQuery& q,
-                               bool cold) {
-  if (cold) {
+                               const RunQueryOptions& options) {
+  if (options.cold) {
     PARADISE_RETURN_IF_ERROR(db->DropCaches());
+  }
+  if (options.num_threads == 0) {
+    return Status::InvalidArgument("num_threads must be >= 1");
   }
   const BufferPoolStats before = db->storage()->pool()->stats();
   Execution exec;
@@ -42,11 +46,25 @@ Result<Execution> RunQueryImpl(Database* db, EngineKind kind,
       if (!db->has_olap()) {
         return Status::InvalidArgument("database has no OLAP array");
       }
+      const size_t threads = options.num_threads;
       if (q.HasSelection()) {
         ArraySelectStats stats;
+        if (threads > 1) {
+          PARADISE_ASSIGN_OR_RETURN(
+              exec.result, ParallelArrayConsolidateWithSelection(
+                               *db->olap(), q, threads, &exec.stats.phases,
+                               &stats));
+        } else {
+          PARADISE_ASSIGN_OR_RETURN(
+              exec.result, ArrayConsolidateWithSelection(
+                               *db->olap(), q, &exec.stats.phases, &stats));
+        }
+        exec.stats.aux = stats.chunks_read;
+      } else if (threads > 1) {
+        ParallelConsolidateStats stats;
         PARADISE_ASSIGN_OR_RETURN(
-            exec.result, ArrayConsolidateWithSelection(
-                             *db->olap(), q, &exec.stats.phases, &stats));
+            exec.result, ParallelArrayConsolidate(*db->olap(), q, threads,
+                                                  &exec.stats.phases, &stats));
         exec.stats.aux = stats.chunks_read;
       } else {
         ArrayConsolidateStats stats;
@@ -113,9 +131,16 @@ Result<Execution> RunQueryImpl(Database* db, EngineKind kind,
 }  // namespace
 
 Result<Execution> RunQuery(Database* db, EngineKind kind,
+                           const query::ConsolidationQuery& q, bool cold) {
+  RunQueryOptions options;
+  options.cold = cold;
+  return RunQuery(db, kind, q, options);
+}
+
+Result<Execution> RunQuery(Database* db, EngineKind kind,
                            const query::ConsolidationQuery& q,
-                           bool cold) {
-  Result<Execution> r = RunQueryImpl(db, kind, q, cold);
+                           const RunQueryOptions& options) {
+  Result<Execution> r = RunQueryImpl(db, kind, q, options);
   if (!r.ok()) {
     // Name the failing engine so a fault deep in the storage stack is
     // attributable from the top-level status alone. Corruption means the

@@ -66,10 +66,26 @@ struct Execution {
   ExecutionStats stats;
 };
 
+struct RunQueryOptions {
+  /// Cold-buffer protocol (the paper's §5 default): flush and drop all
+  /// buffered pages before the query.
+  bool cold = true;
+  /// Worker threads for the array engine (core/parallel.h); 1 = the serial
+  /// algorithms. Other engines ignore this and run serially. Parallel runs
+  /// produce bit-identical results to serial ones.
+  size_t num_threads = 1;
+};
+
 /// Runs `q` with engine `kind`. With `cold` (the default, matching the
 /// paper's protocol) all buffered pages are flushed and dropped first.
 Result<Execution> RunQuery(Database* db, EngineKind kind,
                            const query::ConsolidationQuery& q,
                            bool cold = true);
+
+/// Options-struct overload: adds intra-query parallelism for the array
+/// engine.
+Result<Execution> RunQuery(Database* db, EngineKind kind,
+                           const query::ConsolidationQuery& q,
+                           const RunQueryOptions& options);
 
 }  // namespace paradise

@@ -119,8 +119,11 @@ Result<SqlExecution> RunSql(Database* db, std::string_view sql, bool cold,
   }
 
   PARADISE_ASSIGN_OR_RETURN(out.plan, ChoosePlan(*db, q, options));
+  RunQueryOptions run_options;
+  run_options.cold = cold;
+  run_options.num_threads = options.num_threads;
   PARADISE_ASSIGN_OR_RETURN(out.execution,
-                            RunQuery(db, out.plan.engine, q, cold));
+                            RunQuery(db, out.plan.engine, q, run_options));
   return out;
 }
 

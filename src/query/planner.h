@@ -37,6 +37,11 @@ struct PlannerOptions {
   /// Try to answer SUM queries from registered materialized aggregates
   /// (core/aggregate_registry.h) before touching the base cube.
   bool use_materialized_aggregates = true;
+
+  /// Worker threads for array-engine plans (forwarded to
+  /// RunQueryOptions::num_threads); 1 = serial. Parallel plans return
+  /// bit-identical results.
+  size_t num_threads = 1;
 };
 
 /// Picks an engine for `q` over `db`. Fails if the query is invalid for the

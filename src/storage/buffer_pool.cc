@@ -7,10 +7,26 @@
 
 namespace paradise {
 
+namespace {
+/// Shard-count clamp: every shard keeps at least this many frames, so small
+/// pools (and the tests that reason about exact eviction order) collapse to
+/// a single shard with the same semantics the unsharded pool had.
+constexpr size_t kMinFramesPerShard = 16;
+
+size_t EffectiveShards(const StorageOptions& options) {
+  const size_t by_capacity =
+      options.buffer_pool_pages / (2 * kMinFramesPerShard);
+  size_t shards = options.pool_shards;
+  if (shards > by_capacity) shards = by_capacity;
+  return shards == 0 ? 1 : shards;
+}
+}  // namespace
+
 PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
   if (this != &other) {
     Release();
     pool_ = other.pool_;
+    shard_index_ = other.shard_index_;
     frame_index_ = other.frame_index_;
     page_id_ = other.page_id_;
     other.pool_ = nullptr;
@@ -21,17 +37,17 @@ PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
 
 const char* PageGuard::data() const {
   assert(valid());
-  return pool_->FrameData(frame_index_);
+  return pool_->FrameData(shard_index_, frame_index_);
 }
 
 char* PageGuard::mutable_data() {
   assert(valid());
-  return pool_->MutableFrameData(frame_index_);
+  return pool_->MutableFrameData(shard_index_, frame_index_);
 }
 
 void PageGuard::Release() {
   if (pool_ != nullptr) {
-    pool_->Unpin(frame_index_);
+    pool_->Unpin(shard_index_, frame_index_);
     pool_ = nullptr;
     page_id_ = kInvalidPageId;
   }
@@ -40,24 +56,50 @@ void PageGuard::Release() {
 BufferPool::BufferPool(Disk* disk, const StorageOptions& options)
     : disk_(disk),
       page_size_(options.page_size),
+      capacity_(options.buffer_pool_pages),
       read_retry_limit_(options.read_retry_limit),
       read_retry_backoff_micros_(options.read_retry_backoff_micros),
       eviction_(options.eviction) {
-  frames_.resize(options.buffer_pool_pages);
-  free_frames_.reserve(frames_.size());
-  for (size_t i = frames_.size(); i > 0; --i) {
-    free_frames_.push_back(i - 1);
+  const size_t num_shards = EffectiveShards(options);
+  shards_.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    // Distribute frames evenly; the first (capacity % shards) shards take
+    // one extra so the total stays exactly buffer_pool_pages.
+    const size_t frames =
+        capacity_ / num_shards + (s < capacity_ % num_shards ? 1 : 0);
+    shard->frames.resize(frames);
+    shard->free_frames.reserve(frames);
+    for (size_t i = frames; i > 0; --i) {
+      shard->free_frames.push_back(i - 1);
+    }
+    shards_.push_back(std::move(shard));
   }
 }
 
-Result<size_t> BufferPool::PickClockVictim() {
+const char* BufferPool::FrameData(size_t shard_index,
+                                  size_t frame_index) const {
+  // No latch: the caller holds a pin, so the frame cannot be evicted or
+  // reused, and its data vector is never reallocated while pinned.
+  return shards_[shard_index]->frames[frame_index].data.data();
+}
+
+char* BufferPool::MutableFrameData(size_t shard_index, size_t frame_index) {
+  Shard& s = *shards_[shard_index];
+  std::lock_guard<std::mutex> lock(s.mu);
+  Frame& f = s.frames[frame_index];
+  f.dirty = true;
+  return f.data.data();
+}
+
+Result<size_t> BufferPool::PickClockVictim(Shard& s) {
   // Clock sweep: clear reference bits until an unpinned, unreferenced frame
   // is found. Two full sweeps with no victim means every frame is pinned.
-  const size_t n = frames_.size();
+  const size_t n = s.frames.size();
   for (size_t step = 0; step < 2 * n; ++step) {
-    Frame& f = frames_[clock_hand_];
-    const size_t idx = clock_hand_;
-    clock_hand_ = (clock_hand_ + 1) % n;
+    Frame& f = s.frames[s.clock_hand];
+    const size_t idx = s.clock_hand;
+    s.clock_hand = (s.clock_hand + 1) % n;
     if (f.pin_count > 0) continue;
     if (f.referenced) {
       f.referenced = false;
@@ -66,132 +108,181 @@ Result<size_t> BufferPool::PickClockVictim() {
     return idx;
   }
   return Status::ResourceExhausted(
-      "buffer pool exhausted: all " + std::to_string(n) + " frames pinned");
+      "buffer pool exhausted: all " + std::to_string(n) +
+      " frames of the page's shard pinned");
 }
 
-Result<size_t> BufferPool::PickLruVictim() {
-  size_t victim = frames_.size();
+Result<size_t> BufferPool::PickLruVictim(Shard& s) {
+  size_t victim = s.frames.size();
   uint64_t oldest = UINT64_MAX;
-  for (size_t i = 0; i < frames_.size(); ++i) {
-    const Frame& f = frames_[i];
+  for (size_t i = 0; i < s.frames.size(); ++i) {
+    const Frame& f = s.frames[i];
     if (f.pin_count > 0) continue;
     if (f.last_used < oldest) {
       oldest = f.last_used;
       victim = i;
     }
   }
-  if (victim == frames_.size()) {
-    return Status::ResourceExhausted("buffer pool exhausted: all " +
-                                     std::to_string(frames_.size()) +
-                                     " frames pinned");
+  if (victim == s.frames.size()) {
+    return Status::ResourceExhausted(
+        "buffer pool exhausted: all " + std::to_string(s.frames.size()) +
+        " frames of the page's shard pinned");
   }
   return victim;
 }
 
-Result<size_t> BufferPool::AcquireFrame() {
-  if (!free_frames_.empty()) {
-    const size_t idx = free_frames_.back();
-    free_frames_.pop_back();
-    if (frames_[idx].data.empty()) frames_[idx].data.resize(page_size_);
+Result<size_t> BufferPool::AcquireFrame(Shard& s) {
+  if (!s.free_frames.empty()) {
+    const size_t idx = s.free_frames.back();
+    s.free_frames.pop_back();
+    if (s.frames[idx].data.empty()) s.frames[idx].data.resize(page_size_);
     return idx;
   }
   PARADISE_ASSIGN_OR_RETURN(size_t idx, eviction_ == EvictionPolicy::kLru
-                                            ? PickLruVictim()
-                                            : PickClockVictim());
-  Frame& f = frames_[idx];
+                                            ? PickLruVictim(s)
+                                            : PickClockVictim(s));
+  Frame& f = s.frames[idx];
   if (f.dirty) {
+    // Write-back under the shard latch: only this shard stalls, and the
+    // OLAP read path evicts clean pages almost exclusively.
     PARADISE_RETURN_IF_ERROR(disk_->WritePage(f.page_id, f.data.data()));
-    ++stats_.disk_writes;
+    ++s.stats.disk_writes;
     f.dirty = false;
   }
-  page_table_.erase(f.page_id);
+  s.page_table.erase(f.page_id);
   f.page_id = kInvalidPageId;
-  ++stats_.evictions;
+  ++s.stats.evictions;
   return idx;
 }
 
+void BufferPool::CountDiskRead(Shard& s, PageId id) {
+  ++s.stats.disk_reads;
+  const PageId prev =
+      last_disk_read_.exchange(id, std::memory_order_relaxed);
+  if (prev != kInvalidPageId && id == prev + 1) {
+    ++s.stats.seq_disk_reads;
+  } else {
+    ++s.stats.rand_disk_reads;
+  }
+}
+
 Result<PageGuard> BufferPool::FetchPage(PageId id) {
-  ++stats_.logical_reads;
-  auto it = page_table_.find(id);
-  if (it != page_table_.end()) {
-    ++stats_.hits;
-    Frame& f = frames_[it->second];
+  const size_t shard_index = ShardIndex(id);
+  Shard& s = *shards_[shard_index];
+  std::unique_lock<std::mutex> lock(s.mu);
+  ++s.stats.logical_reads;
+  for (;;) {
+    auto it = s.page_table.find(id);
+    if (it == s.page_table.end()) break;
+    Frame& f = s.frames[it->second];
+    if (f.io_in_progress) {
+      // Another thread is reading this page right now; wait instead of
+      // issuing a duplicate disk read. On wake the frame may have been
+      // reclaimed (failed read), so re-run the lookup from scratch.
+      s.io_cv.wait(lock);
+      continue;
+    }
+    ++s.stats.hits;
     ++f.pin_count;
     f.referenced = true;
-    f.last_used = ++tick_;
-    return PageGuard(this, it->second, id);
+    f.last_used = ++s.tick;
+    return PageGuard(this, shard_index, it->second, id);
   }
-  PARADISE_ASSIGN_OR_RETURN(size_t idx, AcquireFrame());
-  Frame& f = frames_[idx];
-  Status st = ReadWithRetry(id, f.data.data());
-  if (!st.ok()) {
-    free_frames_.push_back(idx);
-    return st;
-  }
-  ++stats_.disk_reads;
-  if (last_disk_read_ != kInvalidPageId && id == last_disk_read_ + 1) {
-    ++stats_.seq_disk_reads;
-  } else {
-    ++stats_.rand_disk_reads;
-  }
-  last_disk_read_ = id;
+  PARADISE_ASSIGN_OR_RETURN(size_t idx, AcquireFrame(s));
+  Frame& f = s.frames[idx];
+  // Reserve the frame (pinned + io flag) so eviction skips it and same-page
+  // fetches wait, then read outside the latch so other pages in this shard
+  // stay servable during the I/O.
   f.page_id = id;
   f.pin_count = 1;
   f.dirty = false;
   f.referenced = true;
-  f.last_used = ++tick_;
-  page_table_[id] = idx;
-  return PageGuard(this, idx, id);
+  f.io_in_progress = true;
+  f.last_used = ++s.tick;
+  s.page_table[id] = idx;
+  lock.unlock();
+
+  uint64_t retries = 0;
+  Status st = ReadWithRetry(id, f.data.data(), &retries);
+
+  lock.lock();
+  f.io_in_progress = false;
+  s.stats.read_retries += retries;
+  if (!st.ok()) {
+    s.page_table.erase(id);
+    f.page_id = kInvalidPageId;
+    f.pin_count = 0;
+    s.free_frames.push_back(idx);
+    s.io_cv.notify_all();
+    return st;
+  }
+  CountDiskRead(s, id);
+  s.io_cv.notify_all();
+  return PageGuard(this, shard_index, idx, id);
 }
 
 Result<PageGuard> BufferPool::NewPage() {
   PARADISE_ASSIGN_OR_RETURN(PageId id, disk_->AllocatePage());
-  PARADISE_ASSIGN_OR_RETURN(size_t idx, AcquireFrame());
-  Frame& f = frames_[idx];
+  const size_t shard_index = ShardIndex(id);
+  Shard& s = *shards_[shard_index];
+  std::lock_guard<std::mutex> lock(s.mu);
+  PARADISE_ASSIGN_OR_RETURN(size_t idx, AcquireFrame(s));
+  Frame& f = s.frames[idx];
   std::memset(f.data.data(), 0, page_size_);
   f.page_id = id;
   f.pin_count = 1;
   f.dirty = true;
   f.referenced = true;
-  f.last_used = ++tick_;
-  page_table_[id] = idx;
-  return PageGuard(this, idx, id);
+  f.io_in_progress = false;
+  f.last_used = ++s.tick;
+  s.page_table[id] = idx;
+  return PageGuard(this, shard_index, idx, id);
 }
 
 Status BufferPool::DeletePage(PageId id) {
-  auto it = page_table_.find(id);
-  if (it != page_table_.end()) {
-    Frame& f = frames_[it->second];
-    if (f.pin_count > 0) {
-      return Status::InvalidArgument("cannot delete pinned page " +
-                                     std::to_string(id));
+  Shard& s = *shards_[ShardIndex(id)];
+  {
+    std::unique_lock<std::mutex> lock(s.mu);
+    auto it = s.page_table.find(id);
+    if (it != s.page_table.end()) {
+      Frame& f = s.frames[it->second];
+      if (f.pin_count > 0) {
+        return Status::InvalidArgument("cannot delete pinned page " +
+                                       std::to_string(id));
+      }
+      f.page_id = kInvalidPageId;
+      f.dirty = false;
+      s.free_frames.push_back(it->second);
+      s.page_table.erase(it);
     }
-    f.page_id = kInvalidPageId;
-    f.dirty = false;
-    free_frames_.push_back(it->second);
-    page_table_.erase(it);
   }
   return disk_->FreePage(id);
 }
 
 Status BufferPool::FlushPage(PageId id) {
-  auto it = page_table_.find(id);
-  if (it == page_table_.end()) return Status::OK();
-  Frame& f = frames_[it->second];
+  Shard& s = *shards_[ShardIndex(id)];
+  std::unique_lock<std::mutex> lock(s.mu);
+  auto it = s.page_table.find(id);
+  if (it == s.page_table.end()) return Status::OK();
+  Frame& f = s.frames[it->second];
   if (f.dirty) {
     PARADISE_RETURN_IF_ERROR(disk_->WritePage(f.page_id, f.data.data()));
-    ++stats_.disk_writes;
+    ++s.stats.disk_writes;
     f.dirty = false;
   }
   return Status::OK();
 }
 
 Status BufferPool::FlushAll() {
-  for (Frame& f : frames_) {
-    if (f.page_id != kInvalidPageId && f.dirty) {
-      PARADISE_RETURN_IF_ERROR(disk_->WritePage(f.page_id, f.data.data()));
-      ++stats_.disk_writes;
-      f.dirty = false;
+  for (auto& shard : shards_) {
+    Shard& s = *shard;
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (Frame& f : s.frames) {
+      if (f.page_id != kInvalidPageId && f.dirty) {
+        PARADISE_RETURN_IF_ERROR(disk_->WritePage(f.page_id, f.data.data()));
+        ++s.stats.disk_writes;
+        f.dirty = false;
+      }
     }
   }
   return Status::OK();
@@ -199,18 +290,22 @@ Status BufferPool::FlushAll() {
 
 Status BufferPool::FlushAndEvictAll() {
   PARADISE_RETURN_IF_ERROR(FlushAll());
-  for (size_t i = 0; i < frames_.size(); ++i) {
-    Frame& f = frames_[i];
-    if (f.page_id == kInvalidPageId || f.pin_count > 0) continue;
-    page_table_.erase(f.page_id);
-    f.page_id = kInvalidPageId;
-    f.referenced = false;
-    free_frames_.push_back(i);
+  for (auto& shard : shards_) {
+    Shard& s = *shard;
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (size_t i = 0; i < s.frames.size(); ++i) {
+      Frame& f = s.frames[i];
+      if (f.page_id == kInvalidPageId || f.pin_count > 0) continue;
+      s.page_table.erase(f.page_id);
+      f.page_id = kInvalidPageId;
+      f.referenced = false;
+      s.free_frames.push_back(i);
+    }
   }
   return Status::OK();
 }
 
-Status BufferPool::ReadWithRetry(PageId id, char* buf) {
+Status BufferPool::ReadWithRetry(PageId id, char* buf, uint64_t* retries) {
   Status st = disk_->ReadPage(id, buf);
   uint64_t backoff = read_retry_backoff_micros_;
   for (size_t attempt = 0; !st.ok() && st.IsIOError() &&
@@ -222,22 +317,57 @@ Status BufferPool::ReadWithRetry(PageId id, char* buf) {
       std::this_thread::sleep_for(std::chrono::microseconds(backoff));
       backoff *= 2;
     }
-    ++stats_.read_retries;
+    ++*retries;
     st = disk_->ReadPage(id, buf);
   }
   return st;
 }
 
+BufferPoolStats BufferPool::stats() const {
+  BufferPoolStats total;
+  for (const auto& shard : shards_) {
+    const Shard& s = *shard;
+    std::lock_guard<std::mutex> lock(s.mu);
+    total.logical_reads += s.stats.logical_reads;
+    total.hits += s.stats.hits;
+    total.disk_reads += s.stats.disk_reads;
+    total.seq_disk_reads += s.stats.seq_disk_reads;
+    total.rand_disk_reads += s.stats.rand_disk_reads;
+    total.disk_writes += s.stats.disk_writes;
+    total.evictions += s.stats.evictions;
+    total.read_retries += s.stats.read_retries;
+  }
+  total.prefetched = prefetched_.load(std::memory_order_relaxed);
+  total.prefetch_hits = prefetch_hits_.load(std::memory_order_relaxed);
+  return total;
+}
+
+void BufferPool::ResetStats() {
+  for (auto& shard : shards_) {
+    Shard& s = *shard;
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.stats = BufferPoolStats{};
+  }
+  prefetched_.store(0, std::memory_order_relaxed);
+  prefetch_hits_.store(0, std::memory_order_relaxed);
+}
+
 size_t BufferPool::pinned_frames() const {
   size_t n = 0;
-  for (const Frame& f : frames_) {
-    if (f.page_id != kInvalidPageId && f.pin_count > 0) ++n;
+  for (const auto& shard : shards_) {
+    const Shard& s = *shard;
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (const Frame& f : s.frames) {
+      if (f.page_id != kInvalidPageId && f.pin_count > 0) ++n;
+    }
   }
   return n;
 }
 
-void BufferPool::Unpin(size_t frame_index) {
-  Frame& f = frames_[frame_index];
+void BufferPool::Unpin(size_t shard_index, size_t frame_index) {
+  Shard& s = *shards_[shard_index];
+  std::lock_guard<std::mutex> lock(s.mu);
+  Frame& f = s.frames[frame_index];
   assert(f.pin_count > 0);
   --f.pin_count;
 }

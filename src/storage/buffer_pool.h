@@ -4,9 +4,23 @@
 // its page I/O through this class, so both query engines compete under the
 // same I/O accounting — mirroring the paper, where both run inside Paradise
 // on one SHORE buffer pool.
+//
+// The pool is safe for concurrent use: frames are partitioned into shards
+// (PageId hash → shard), each shard independently latched with its own
+// clock hand, free list, page table and statistics, so parallel workers
+// fetching distinct pages never contend and a disk read on one shard never
+// blocks hits on any other. Within one shard a miss drops the latch for the
+// disk read (the frame is reserved with an io-in-progress flag; concurrent
+// fetches of the same page wait on it rather than duplicating the I/O).
+// Latch ordering: shard latch before disk mutex; no path takes two shard
+// latches at once (cross-shard operations visit shards one at a time).
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -35,6 +49,10 @@ struct BufferPoolStats {
   uint64_t evictions = 0;
   /// Disk reads re-issued after a transient (kIOError) failure.
   uint64_t read_retries = 0;
+  /// Chunk blobs read ahead of consumers by the background I/O pool, and the
+  /// subset a consumer later took without waiting (see ChunkReadAhead).
+  uint64_t prefetched = 0;
+  uint64_t prefetch_hits = 0;
 
   BufferPoolStats Delta(const BufferPoolStats& earlier) const {
     BufferPoolStats d;
@@ -46,6 +64,8 @@ struct BufferPoolStats {
     d.disk_writes = disk_writes - earlier.disk_writes;
     d.evictions = evictions - earlier.evictions;
     d.read_retries = read_retries - earlier.read_retries;
+    d.prefetched = prefetched - earlier.prefetched;
+    d.prefetch_hits = prefetch_hits - earlier.prefetch_hits;
     return d;
   }
 };
@@ -55,8 +75,12 @@ struct BufferPoolStats {
 class PageGuard {
  public:
   PageGuard() = default;
-  PageGuard(BufferPool* pool, size_t frame_index, PageId page_id)
-      : pool_(pool), frame_index_(frame_index), page_id_(page_id) {}
+  PageGuard(BufferPool* pool, size_t shard_index, size_t frame_index,
+            PageId page_id)
+      : pool_(pool),
+        shard_index_(shard_index),
+        frame_index_(frame_index),
+        page_id_(page_id) {}
   ~PageGuard() { Release(); }
 
   PageGuard(const PageGuard&) = delete;
@@ -78,6 +102,7 @@ class PageGuard {
 
  private:
   BufferPool* pool_ = nullptr;
+  size_t shard_index_ = 0;
   size_t frame_index_ = 0;
   PageId page_id_ = kInvalidPageId;
 };
@@ -90,6 +115,7 @@ class BufferPool {
   BufferPool& operator=(const BufferPool&) = delete;
 
   /// Returns a pinned guard on page `id`, reading it from disk on a miss.
+  /// Safe to call from any thread.
   Result<PageGuard> FetchPage(PageId id);
 
   /// Allocates a fresh zeroed page and returns it pinned (and dirty).
@@ -110,10 +136,20 @@ class BufferPool {
   /// the paper's cold-buffer protocol.
   Status FlushAndEvictAll();
 
-  size_t capacity() const { return frames_.size(); }
+  size_t capacity() const { return capacity_; }
   size_t page_size() const { return page_size_; }
-  const BufferPoolStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = BufferPoolStats{}; }
+  size_t num_shards() const { return shards_.size(); }
+
+  /// Aggregated counters across all shards. Consistent only when no fetches
+  /// are concurrently in flight (the benches read stats between queries).
+  BufferPoolStats stats() const;
+  void ResetStats();
+
+  /// Read-ahead accounting hooks used by ChunkReadAhead.
+  void RecordPrefetch() { prefetched_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordPrefetchHit() {
+    prefetch_hits_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   /// Number of currently pinned frames (for tests / leak detection).
   size_t pinned_frames() const;
@@ -126,44 +162,68 @@ class BufferPool {
     uint32_t pin_count = 0;
     bool dirty = false;
     bool referenced = false;
+    /// Set while the owning fetch reads the page from disk outside the shard
+    /// latch; concurrent fetches of the same page wait on `io_cv`.
+    bool io_in_progress = false;
     uint64_t last_used = 0;  // LRU timestamp
     std::vector<char> data;
   };
 
-  /// Finds a frame to (re)use, evicting an unpinned page if needed.
-  Result<size_t> AcquireFrame();
+  /// One independently latched pool partition.
+  struct Shard {
+    mutable std::mutex mu;
+    std::condition_variable io_cv;
+    std::vector<Frame> frames;
+    std::vector<size_t> free_frames;
+    std::unordered_map<PageId, size_t> page_table;
+    size_t clock_hand = 0;
+    uint64_t tick = 0;
+    BufferPoolStats stats;
+  };
+
+  size_t ShardIndex(PageId id) const {
+    // Cheap integer mix so physically clustered page runs still spread
+    // across shards instead of striding one shard per run modulus.
+    uint64_t h = id * UINT64_C(0x9e3779b97f4a7c15);
+    return static_cast<size_t>(h >> 32) % shards_.size();
+  }
+
+  /// Finds a frame to (re)use in `s`, evicting an unpinned page if needed.
+  /// Called with the shard latch held.
+  Result<size_t> AcquireFrame(Shard& s);
 
   /// Victim selection under each policy; returns the frame index or an
-  /// error when every frame is pinned.
-  Result<size_t> PickClockVictim();
-  Result<size_t> PickLruVictim();
+  /// error when every frame is pinned. Shard latch held.
+  Result<size_t> PickClockVictim(Shard& s);
+  Result<size_t> PickLruVictim(Shard& s);
 
-  void Unpin(size_t frame_index);
-  void MarkDirty(size_t frame_index) { frames_[frame_index].dirty = true; }
-  const char* FrameData(size_t frame_index) const {
-    return frames_[frame_index].data.data();
-  }
-  char* MutableFrameData(size_t frame_index) {
-    frames_[frame_index].dirty = true;
-    return frames_[frame_index].data.data();
-  }
+  void Unpin(size_t shard_index, size_t frame_index);
+  const char* FrameData(size_t shard_index, size_t frame_index) const;
+  char* MutableFrameData(size_t shard_index, size_t frame_index);
 
   /// One read attempt against the disk, with bounded retry-with-backoff for
-  /// transient (kIOError) failures. kCorruption is never retried.
-  Status ReadWithRetry(PageId id, char* buf);
+  /// transient (kIOError) failures. kCorruption is never retried. Called
+  /// WITHOUT any shard latch held; retry counts land in `s.stats` after the
+  /// latch is re-taken by the caller.
+  Status ReadWithRetry(PageId id, char* buf, uint64_t* retries);
+
+  /// Classifies a completed disk read as sequential or random and bumps the
+  /// shard's counters. Shard latch held.
+  void CountDiskRead(Shard& s, PageId id);
 
   Disk* disk_;
   size_t page_size_;
+  size_t capacity_;
   size_t read_retry_limit_;
   uint64_t read_retry_backoff_micros_;
-  std::vector<Frame> frames_;
-  std::vector<size_t> free_frames_;
-  std::unordered_map<PageId, size_t> page_table_;
-  size_t clock_hand_ = 0;
   EvictionPolicy eviction_;
-  uint64_t tick_ = 0;
-  BufferPoolStats stats_;
-  PageId last_disk_read_ = kInvalidPageId;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  /// Global last-read page for seq/rand classification; atomic so the
+  /// classification stays exact for serial workloads and merely approximate
+  /// under concurrency.
+  std::atomic<PageId> last_disk_read_{kInvalidPageId};
+  std::atomic<uint64_t> prefetched_{0};
+  std::atomic<uint64_t> prefetch_hits_{0};
 };
 
 }  // namespace paradise

@@ -23,6 +23,7 @@ bool AllZero(const char* buf, size_t n) {
 }  // namespace
 
 DiskManager::~DiskManager() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   // Best-effort close; errors are already reported via the Status API when
   // callers Close() explicitly.
   if (file_ != nullptr) (void)Close();
@@ -36,6 +37,7 @@ uint32_t DiskManager::PageCrc(PageId id, const char* buf) const {
 
 Status DiskManager::Create(const std::string& path,
                            const StorageOptions& options) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   PARADISE_RETURN_IF_ERROR(options.Validate());
   if (file_ != nullptr) {
     return Status::InvalidArgument("DiskManager already open");
@@ -83,6 +85,7 @@ Status DiskManager::Create(const std::string& path,
 
 Status DiskManager::Open(const std::string& path,
                          const StorageOptions& options) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   PARADISE_RETURN_IF_ERROR(options.Validate());
   if (file_ != nullptr) {
     return Status::InvalidArgument("DiskManager already open");
@@ -125,6 +128,7 @@ Status DiskManager::Open(const std::string& path,
 }
 
 Status DiskManager::Close() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (file_ == nullptr) return Status::OK();
   // Commit current metadata (manifest on v3, header rewrite on v1/v2), then
   // release the handle. Every failure mode is propagated, but the handle is
@@ -138,12 +142,14 @@ Status DiskManager::Close() {
 }
 
 void DiskManager::Abandon() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (file_ == nullptr) return;
   std::fclose(file_);
   file_ = nullptr;
 }
 
 Status DiskManager::Flush() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (file_ == nullptr) return Status::InvalidArgument("DiskManager not open");
   if (std::fflush(file_) != 0) {
     return Status::IOError(ErrnoMessage("flush failed", path_));
@@ -169,6 +175,7 @@ Status DiskManager::CheckWritable() const {
 }
 
 Status DiskManager::ReadPage(PageId id, char* buf) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (file_ == nullptr) return Status::InvalidArgument("DiskManager not open");
   PARADISE_RETURN_IF_ERROR(CheckPageId(id));
   const uint64_t offset = id * stride_;
@@ -210,6 +217,7 @@ Status DiskManager::ReadPage(PageId id, char* buf) {
 }
 
 Status DiskManager::WritePage(PageId id, const char* buf) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   PARADISE_RETURN_IF_ERROR(CheckWritable());
   PARADISE_RETURN_IF_ERROR(CheckPageId(id));
   const uint64_t offset = id * stride_;
@@ -234,6 +242,7 @@ Status DiskManager::WritePage(PageId id, const char* buf) {
 }
 
 Result<PageId> DiskManager::AllocatePage() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   PARADISE_RETURN_IF_ERROR(CheckWritable());
   if (free_list_head_ != kInvalidPageId) {
     const PageId id = free_list_head_;
@@ -257,6 +266,7 @@ Result<PageId> DiskManager::AllocatePage() {
 }
 
 Result<PageId> DiskManager::AllocateContiguous(uint64_t n) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   PARADISE_RETURN_IF_ERROR(CheckWritable());
   if (n == 0) return Status::InvalidArgument("cannot allocate 0 pages");
   const PageId first = page_count_;
@@ -275,6 +285,7 @@ Result<PageId> DiskManager::AllocateContiguous(uint64_t n) {
 }
 
 Status DiskManager::FreePage(PageId id) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   PARADISE_RETURN_IF_ERROR(CheckWritable());
   PARADISE_RETURN_IF_ERROR(CheckPageId(id));
   if (id < page_header::FirstUserPage(format_version_)) {
@@ -501,12 +512,14 @@ Status DiskManager::SyncFile() {
 }
 
 Status DiskManager::Sync() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (file_ == nullptr) return Status::InvalidArgument("DiskManager not open");
   if (read_only_) return Status::OK();
   return SyncFile();
 }
 
 Status DiskManager::Commit() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   PARADISE_RETURN_IF_ERROR(CheckWritable());
   if (format_version_ >= page_header::kFormatManifest) {
     // Nothing changed since the last commit: skipping keeps a read-only

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <mutex>
 #include <string>
 #include <unordered_set>
 
@@ -134,9 +135,15 @@ class DiskManager final : public Disk {
   void Abandon() override;
   Status Flush() override;
 
-  bool is_open() const override { return file_ != nullptr; }
+  bool is_open() const override {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    return file_ != nullptr;
+  }
   size_t page_size() const override { return page_size_; }
-  uint64_t page_count() const override { return page_count_; }
+  uint64_t page_count() const override {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    return page_count_;
+  }
   const std::string& path() const override { return path_; }
   uint32_t format_version() const override { return format_version_; }
   uint64_t PhysicalPageOffset(PageId id) const override {
@@ -149,24 +156,44 @@ class DiskManager final : public Disk {
   Result<PageId> AllocateContiguous(uint64_t n) override;
   Status FreePage(PageId id) override;
 
-  ObjectId catalog_oid() const override { return catalog_oid_; }
+  ObjectId catalog_oid() const override {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    return catalog_oid_;
+  }
   void set_catalog_oid(ObjectId oid) override {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
     dirty_since_commit_ = dirty_since_commit_ || catalog_oid_ != oid;
     catalog_oid_ = oid;
   }
-  PageId free_list_head() const override { return free_list_head_; }
-  uint32_t load_state() const override { return load_state_; }
+  PageId free_list_head() const override {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    return free_list_head_;
+  }
+  uint32_t load_state() const override {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    return load_state_;
+  }
   void set_load_state(uint32_t state) override {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
     dirty_since_commit_ = dirty_since_commit_ || load_state_ != state;
     load_state_ = state;
   }
 
   Status Sync() override;
   Status Commit() override;
-  uint64_t commit_epoch() const override { return epoch_; }
+  uint64_t commit_epoch() const override {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    return epoch_;
+  }
 
-  uint64_t reads_performed() const override { return reads_; }
-  uint64_t writes_performed() const override { return writes_; }
+  uint64_t reads_performed() const override {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    return reads_;
+  }
+  uint64_t writes_performed() const override {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    return writes_;
+  }
 
  private:
   Status WriteHeader();
@@ -180,6 +207,14 @@ class DiskManager final : public Disk {
   /// CRC32C over a page's data bytes extended with its encoded PageId, so a
   /// page written to the wrong slot also fails verification.
   uint32_t PageCrc(PageId id, const char* buf) const;
+
+  /// Serializes every file operation and all mutable metadata: the stdio
+  /// handle seeks before each transfer, so concurrent page I/O from the
+  /// sharded buffer pool and the background read-ahead pool must take turns
+  /// here. Recursive because public operations compose (Close→Commit,
+  /// AllocatePage→ReadPage, FreePage→WritePage). The mutex is a leaf in the
+  /// lock order: no code path calls back up into the pool while holding it.
+  mutable std::recursive_mutex mu_;
 
   std::FILE* file_ = nullptr;
   std::string path_;

@@ -10,6 +10,7 @@ FaultInjectingDiskManager::FaultInjectingDiskManager(
     : inner_(std::move(inner)), faults_(faults), rng_(faults.seed) {}
 
 void FaultInjectingDiskManager::Arm(const FaultInjectionOptions& faults) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   faults_ = faults;
   rng_ = Random(faults.seed);
   reads_seen_ = 0;
@@ -44,17 +45,20 @@ void FaultInjectingDiskManager::RecordOp(std::string op) {
 
 Status FaultInjectingDiskManager::Create(const std::string& path,
                                          const StorageOptions& options) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (power_lost_) return PowerLossError();
   return inner_->Create(path, options);
 }
 
 Status FaultInjectingDiskManager::Open(const std::string& path,
                                        const StorageOptions& options) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (power_lost_) return PowerLossError();
   return inner_->Open(path, options);
 }
 
 Status FaultInjectingDiskManager::Close() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (power_lost_) {
     // A dead machine cannot run the commit protocol: release the handle
     // without committing so the file keeps exactly its crash-time state.
@@ -73,11 +77,13 @@ Status FaultInjectingDiskManager::Close() {
 }
 
 void FaultInjectingDiskManager::Abandon() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   preimages_.clear();
   inner_->Abandon();
 }
 
 Status FaultInjectingDiskManager::Flush() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   PARADISE_RETURN_IF_ERROR(GateOp());
   ++ops_seen_;
   RecordOp("flush");
@@ -87,6 +93,7 @@ Status FaultInjectingDiskManager::Flush() {
 }
 
 Status FaultInjectingDiskManager::Sync() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   PARADISE_RETURN_IF_ERROR(GateOp());
   ++ops_seen_;
   ++syncs_seen_;
@@ -102,6 +109,7 @@ Status FaultInjectingDiskManager::Sync() {
 }
 
 Status FaultInjectingDiskManager::Commit() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   PARADISE_RETURN_IF_ERROR(GateOp());
   ++ops_seen_;
   ++syncs_seen_;
@@ -117,6 +125,7 @@ Status FaultInjectingDiskManager::Commit() {
 }
 
 Status FaultInjectingDiskManager::ReadPage(PageId id, char* buf) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   PARADISE_RETURN_IF_ERROR(GateOp());
   ++reads_seen_;
   if (faults_.fail_nth_read != 0 && reads_seen_ == faults_.fail_nth_read &&
@@ -149,6 +158,7 @@ Status FaultInjectingDiskManager::ReadPage(PageId id, char* buf) {
 }
 
 Status FaultInjectingDiskManager::WritePage(PageId id, const char* buf) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   PARADISE_RETURN_IF_ERROR(GateOp());
   ++ops_seen_;
   ++writes_seen_;
@@ -175,6 +185,7 @@ Status FaultInjectingDiskManager::WritePage(PageId id, const char* buf) {
 }
 
 Result<PageId> FaultInjectingDiskManager::AllocatePage() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   PARADISE_RETURN_IF_ERROR(GateOp());
   ++ops_seen_;
   RecordOp("alloc");
@@ -182,6 +193,7 @@ Result<PageId> FaultInjectingDiskManager::AllocatePage() {
 }
 
 Result<PageId> FaultInjectingDiskManager::AllocateContiguous(uint64_t n) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   PARADISE_RETURN_IF_ERROR(GateOp());
   ++ops_seen_;
   RecordOp("alloc_contig:" + std::to_string(n));
@@ -189,6 +201,7 @@ Result<PageId> FaultInjectingDiskManager::AllocateContiguous(uint64_t n) {
 }
 
 Status FaultInjectingDiskManager::FreePage(PageId id) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   PARADISE_RETURN_IF_ERROR(GateOp());
   ++ops_seen_;
   RecordOp("free:" + std::to_string(id));
@@ -222,6 +235,7 @@ Status FaultInjectingDiskManager::CapturePreimage(PageId id) {
 }
 
 void FaultInjectingDiskManager::SimulatePowerLoss() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (power_lost_) return;
   power_lost_ = true;
   ++injected_;
@@ -246,6 +260,7 @@ void FaultInjectingDiskManager::SimulatePowerLoss() {
 
 Status FaultInjectingDiskManager::FlipBitOnDisk(PageId id,
                                                 uint64_t bit_index) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (!inner_->is_open()) {
     return Status::InvalidArgument("fault injector: disk not open");
   }

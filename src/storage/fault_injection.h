@@ -30,6 +30,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -150,14 +151,31 @@ class FaultInjectingDiskManager final : public Disk {
   /// rolled back in the file and all further operations fail. Idempotent.
   /// Also fired automatically by the power_loss_after_ops countdown.
   void SimulatePowerLoss();
-  bool power_lost() const { return power_lost_; }
+  bool power_lost() const {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    return power_lost_;
+  }
 
-  uint64_t reads_seen() const { return reads_seen_; }
-  uint64_t writes_seen() const { return writes_seen_; }
-  uint64_t ops_seen() const { return ops_seen_; }
-  uint64_t injected_faults() const { return injected_; }
+  uint64_t reads_seen() const {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    return reads_seen_;
+  }
+  uint64_t writes_seen() const {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    return writes_seen_;
+  }
+  uint64_t ops_seen() const {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    return ops_seen_;
+  }
+  uint64_t injected_faults() const {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    return injected_;
+  }
 
-  /// Mutating-operation trace (empty unless faults().record_ops).
+  /// Mutating-operation trace (empty unless faults().record_ops). The
+  /// returned reference is only stable while no other thread is issuing
+  /// disk operations — read it after concurrent work has joined.
   const std::vector<std::string>& op_log() const { return op_log_; }
 
   Disk* inner() { return inner_.get(); }
@@ -182,6 +200,14 @@ class FaultInjectingDiskManager final : public Disk {
   /// Persists only a prefix of the page to the file and reports success —
   /// the write that a power cut interrupted.
   Status TornWrite(PageId id, const char* buf);
+
+  /// Serializes the fault schedule, PRNG, call counters, pre-images and op
+  /// log so the wrapper stays deterministic-per-schedule when the sharded
+  /// buffer pool and the read-ahead pool issue I/O concurrently. Recursive
+  /// because public operations compose (Close→Abandon, ReadPage→
+  /// FlipBitOnDisk, GateOp→SimulatePowerLoss). Like the inner DiskManager's
+  /// mutex, this is a leaf lock: nothing called under it re-enters the pool.
+  mutable std::recursive_mutex mu_;
 
   std::unique_ptr<Disk> inner_;
   FaultInjectionOptions faults_;

@@ -23,6 +23,9 @@ Status StorageManager::Create(const std::string& path,
   PARADISE_RETURN_IF_ERROR(disk_->Create(path, options));
   pool_ = std::make_unique<BufferPool>(disk_.get(), options);
   objects_ = std::make_unique<LargeObjectStore>(pool_.get());
+  if (options.io_pool_threads > 0) {
+    io_pool_ = std::make_unique<IoPool>(options.io_pool_threads);
+  }
   catalog_.clear();
   catalog_dirty_ = false;
   stale_catalog_oid_ = kInvalidObjectId;
@@ -37,6 +40,9 @@ Status StorageManager::Open(const std::string& path,
   PARADISE_RETURN_IF_ERROR(disk_->Open(path, options));
   pool_ = std::make_unique<BufferPool>(disk_.get(), options);
   objects_ = std::make_unique<LargeObjectStore>(pool_.get());
+  if (options.io_pool_threads > 0) {
+    io_pool_ = std::make_unique<IoPool>(options.io_pool_threads);
+  }
   stale_catalog_oid_ = kInvalidObjectId;
   Status st = LoadCatalog();
   if (st.ok() && options_.scrub_on_open) {
@@ -60,6 +66,9 @@ Status StorageManager::Open(const std::string& path,
 
 Status StorageManager::Close() {
   if (!is_open()) return Status::OK();
+  // Stop background I/O for good before any shutdown step: a prefetch task
+  // running after the disk closes would read through a dead handle.
+  if (io_pool_ != nullptr) io_pool_->Shutdown();
   // Even when the final checkpoint fails, the file handle must still be
   // released — otherwise a fault during shutdown leaks the descriptor and
   // leaves the manager wedged in the "open" state. First error wins. A
@@ -108,6 +117,9 @@ Status StorageManager::Checkpoint() {
   //      those pages, it never dangles a committed pointer.
   // Every step mutates only state the durable manifest does not yet
   // reference, so a crash anywhere leaves the previous commit intact.
+  // Background reads never dirty pages, but quiescing the I/O pool first
+  // keeps the flush-sync-commit sequence free of concurrent pool traffic.
+  QuiesceIo();
   PARADISE_RETURN_IF_ERROR(PersistCatalog());
   PARADISE_RETURN_IF_ERROR(pool_->FlushAll());
   PARADISE_RETURN_IF_ERROR(disk_->Sync());
@@ -120,6 +132,9 @@ Status StorageManager::FlushAndEvictAll() {
   // dirty) but commits nothing: the catalog is never persisted "ahead" of
   // the data pages it references, because only Checkpoint()/Close() publish
   // a new catalog pointer — and they flush data first (see Checkpoint()).
+  // Quiesce read-ahead first: a background fetch landing between the evict
+  // sweep and its completion would silently re-warm the "cold" pool.
+  QuiesceIo();
   PARADISE_RETURN_IF_ERROR(PersistCatalog());
   return pool_->FlushAndEvictAll();
 }

@@ -14,6 +14,7 @@
 #include "common/status.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
+#include "storage/io_pool.h"
 #include "storage/large_object.h"
 
 namespace paradise {
@@ -42,6 +43,17 @@ class StorageManager {
   Disk* disk() { return disk_.get(); }
   LargeObjectStore* objects() { return objects_.get(); }
   const StorageOptions& options() const { return options_; }
+
+  /// Background I/O pool serving chunk read-ahead, or nullptr when
+  /// options().io_pool_threads == 0.
+  IoPool* io_pool() { return io_pool_.get(); }
+
+  /// Blocks until the background I/O pool is idle (no-op without a pool).
+  /// Called before cache-dropping and commit operations; also available to
+  /// callers that need a quiescent pool (e.g. Database::DropCaches).
+  void QuiesceIo() {
+    if (io_pool_ != nullptr) io_pool_->Drain();
+  }
 
   /// Associates `name` with a page/object id in the persistent catalog.
   Status SetRoot(const std::string& name, uint64_t value);
@@ -90,6 +102,10 @@ class StorageManager {
   StorageOptions options_;
   std::unique_ptr<Disk> disk_;
   std::unique_ptr<BufferPool> pool_;
+  // Members destroy in reverse declaration order, so the I/O pool — whose
+  // workers read through pool_ and disk_ — must be declared after both to be
+  // torn down first.
+  std::unique_ptr<IoPool> io_pool_;
   std::unique_ptr<LargeObjectStore> objects_;
   std::map<std::string, uint64_t> catalog_;
   bool catalog_dirty_ = false;

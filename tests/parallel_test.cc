@@ -1,9 +1,12 @@
-// Parallel consolidation tests: exact agreement with the serial algorithm
-// across thread counts (parameterized), error handling, and stats.
+// Parallel consolidation tests: exact agreement with the serial algorithms
+// (no-selection §4.1 and selection §4.2) across thread counts
+// (parameterized), selection shapes, error handling, and stats.
 #include <gtest/gtest.h>
 
 #include "core/consolidate.h"
+#include "core/consolidate_select.h"
 #include "core/parallel.h"
+#include "query/engine.h"
 #include "test_util.h"
 
 namespace paradise {
@@ -49,6 +52,47 @@ TEST_P(ParallelConsolidateTest, MatchesSerialResult) {
   }
 }
 
+TEST_P(ParallelConsolidateTest, SelectionMatchesSerialResult) {
+  const size_t threads = GetParam();
+  // Selection shapes: every-dim equality (Query 2), selection+group on a
+  // prefix (Query 3), and a multi-value IN selection.
+  std::vector<query::ConsolidationQuery> queries;
+  queries.push_back(gen::Query2(3));
+  queries.push_back(gen::Query3(3, 2));
+  {
+    query::ConsolidationQuery q = gen::Query1(3);
+    query::Selection s;
+    s.attr_col = 1;
+    s.values = {query::Literal{gen::AttrValue(0, 1, 0)},
+                query::Literal{gen::AttrValue(0, 1, 1)}};
+    q.dims[0].selections.push_back(std::move(s));
+    queries.push_back(std::move(q));
+  }
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const query::ConsolidationQuery& q = queries[i];
+    ArraySelectStats serial_stats;
+    ASSERT_OK_AND_ASSIGN(
+        query::GroupedResult serial,
+        ArrayConsolidateWithSelection(*db_->olap(), q, nullptr,
+                                      &serial_stats));
+    ArraySelectStats par_select_stats;
+    ParallelConsolidateStats par_stats;
+    ASSERT_OK_AND_ASSIGN(
+        query::GroupedResult parallel,
+        ParallelArrayConsolidateWithSelection(*db_->olap(), q, threads,
+                                              nullptr, &par_select_stats,
+                                              &par_stats));
+    EXPECT_TRUE(parallel.SameAs(serial)) << "query " << i;
+    EXPECT_EQ(par_stats.threads_used, threads);
+    // The §4.2 work metrics are scheduling-independent: both paths read,
+    // skip and probe exactly the same chunks and candidates.
+    EXPECT_EQ(par_select_stats.chunks_read, serial_stats.chunks_read);
+    EXPECT_EQ(par_select_stats.chunks_skipped, serial_stats.chunks_skipped);
+    EXPECT_EQ(par_select_stats.candidates, serial_stats.candidates);
+    EXPECT_EQ(par_select_stats.hits, serial_stats.hits);
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Threads, ParallelConsolidateTest,
                          ::testing::Values(1, 2, 3, 4, 8));
 
@@ -63,6 +107,41 @@ TEST(ParallelConsolidateErrors, RejectsBadArguments) {
   EXPECT_TRUE(
       ParallelArrayConsolidate(*db->olap(), gen::Query1(3), 0).status()
           .IsInvalidArgument());
+  EXPECT_TRUE(ParallelArrayConsolidateWithSelection(*db->olap(),
+                                                    gen::Query1(3), 2)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ParallelArrayConsolidateWithSelection(*db->olap(),
+                                                    gen::Query2(3), 0)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(ParallelEngine, RunQueryThreadsMatchSerial) {
+  TempFile file("parallel_engine");
+  ASSERT_OK_AND_ASSIGN(gen::SyntheticDataset data,
+                       gen::Generate(TinyConfig(300, 17)));
+  ASSERT_OK_AND_ASSIGN(
+      std::unique_ptr<Database> db,
+      BuildDatabaseFromDataset(file.path(), data, SmallDbOptions()));
+  for (const query::ConsolidationQuery& q : {gen::Query1(3), gen::Query2(3)}) {
+    ASSERT_OK_AND_ASSIGN(Execution serial,
+                         RunQuery(db.get(), EngineKind::kArray, q));
+    for (size_t threads : {size_t{2}, size_t{4}}) {
+      RunQueryOptions options;
+      options.num_threads = threads;
+      ASSERT_OK_AND_ASSIGN(Execution parallel,
+                           RunQuery(db.get(), EngineKind::kArray, q, options));
+      EXPECT_TRUE(parallel.result.SameAs(serial.result))
+          << "threads=" << threads;
+      EXPECT_TRUE(parallel.result.SameAs(BruteForce(data, q)));
+    }
+  }
+  RunQueryOptions zero;
+  zero.num_threads = 0;
+  EXPECT_TRUE(RunQuery(db.get(), EngineKind::kArray, gen::Query1(3), zero)
+                  .status()
+                  .IsInvalidArgument());
 }
 
 TEST(ParallelConsolidateErrors, MatchesBruteForceAtScale) {
