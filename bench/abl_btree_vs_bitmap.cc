@@ -3,6 +3,7 @@
 // techniques over the full range of queries tested"). Query 2 selectivity
 // sweep on the 40x40x40x100 array, both relational selection plans plus the
 // array algorithm.
+#include "bench_json.h"
 #include "bench_util.h"
 #include "gen/datasets.h"
 
@@ -12,6 +13,8 @@ using namespace paradise::bench; // NOLINT(build/namespaces)
 int main() {
   PrintHeader("Ablation", "bitmap vs B-tree join-index selection (Query 2)",
               "per_dim_selectivity");
+  BenchReport report("abl_btree_vs_bitmap",
+                     "bitmap vs B-tree join-index selection (Query 2)");
   const query::ConsolidationQuery q = gen::Query2(4);
   for (uint32_t card : {2u, 5u, 10u}) {
     DatabaseOptions options = PaperOptions();
@@ -24,7 +27,10 @@ int main() {
                             EngineKind::kArray}) {
       const Execution exec = MustRun(db.get(), kind, q);
       PrintRow("1/" + std::to_string(card), kind, exec);
+      report.Add({{"per_dim_selectivity", "1/" + std::to_string(card)}}, kind,
+                 exec);
     }
   }
+  report.WriteFile();
   return 0;
 }

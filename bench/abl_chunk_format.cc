@@ -2,6 +2,7 @@
 // chunk-offset compression; we compare it against dense chunks and the
 // auto-selected format across the density range, reporting both the stored
 // bytes and the Query 1 scan time.
+#include "bench_json.h"
 #include "bench_util.h"
 #include "gen/datasets.h"
 
@@ -12,6 +13,8 @@ int main() {
   std::printf("# Ablation — chunk format vs density on 40x40x40x100\n");
   std::printf(
       "density_percent,format,array_bytes,q1_seconds,q1_disk_reads\n");
+  BenchReport report("abl_chunk_format",
+                     "chunk format vs density on 40x40x40x100 (Query 1)");
   for (double pct : {0.5, 2.0, 10.0, 20.0, 50.0}) {
     for (ChunkFormat format :
          {ChunkFormat::kOffsetCompressed, ChunkFormat::kDense,
@@ -23,13 +26,20 @@ int main() {
           MustBuild(file.path(), gen::DataSet2(pct / 100.0), options);
       const Execution exec =
           MustRun(db.get(), EngineKind::kArray, gen::Query1(4));
+      const uint64_t array_bytes = db->olap()->array().TotalDataBytes();
+      char density[32];
+      std::snprintf(density, sizeof(density), "%.1f", pct);
       std::printf("%.1f,%s,%llu,%.4f,%llu\n", pct,
                   std::string(ChunkFormatToString(format)).c_str(),
-                  static_cast<unsigned long long>(
-                      db->olap()->array().TotalDataBytes()),
+                  static_cast<unsigned long long>(array_bytes),
                   exec.stats.seconds,
                   static_cast<unsigned long long>(exec.stats.io.disk_reads));
+      report.Add({{"density_percent", density},
+                  {"format", std::string(ChunkFormatToString(format))}},
+                 EngineKind::kArray, exec,
+                 {{"array_bytes", static_cast<double>(array_bytes)}});
     }
   }
+  report.WriteFile();
   return 0;
 }

@@ -5,6 +5,7 @@
 // dimension on a fixed array and measure Query 1 (sequential scan) and
 // Query 2 (selective probing): bigger chunks help scans, smaller chunks help
 // selective reads.
+#include "bench_json.h"
 #include "bench_util.h"
 #include "gen/datasets.h"
 
@@ -16,6 +17,8 @@ int main() {
   PrintHeader("chunk-size ablation",
               "Query 1 and Query 2 vs chunk extents (array engine)",
               "chunk_extents_query");
+  BenchReport report("abl_chunk_size",
+                     "Query 1 and Query 2 vs chunk extents (array engine)");
   for (uint32_t extent : {5u, 10u, 20u, 40u}) {
     gen::GenConfig config = gen::DataSet1(100);
     config.chunk_extents = {extent, extent, extent, 10};
@@ -27,12 +30,17 @@ int main() {
       const Execution exec =
           MustRun(db.get(), EngineKind::kArray, gen::Query1(4));
       PrintRow(label + "_Q1", EngineKind::kArray, exec);
+      report.Add({{"chunk_extents", label}, {"query", "Q1"}},
+                 EngineKind::kArray, exec);
     }
     {
       const Execution exec =
           MustRun(db.get(), EngineKind::kArray, gen::Query2(4));
       PrintRow(label + "_Q2", EngineKind::kArray, exec);
+      report.Add({{"chunk_extents", label}, {"query", "Q2"}},
+                 EngineKind::kArray, exec);
     }
   }
+  report.WriteFile();
   return 0;
 }

@@ -2,6 +2,7 @@
 // consolidations independently. The lattice scheme computes coarse cuboids
 // from their smallest parent instead of rescanning the array, so it reads
 // the array once instead of 2^n times.
+#include "bench_json.h"
 #include "bench_util.h"
 #include "core/consolidate.h"
 #include "core/cube.h"
@@ -13,6 +14,8 @@ using namespace paradise::bench; // NOLINT(build/namespaces)
 int main() {
   std::printf("# Ablation — CUBE (all 16 cuboids) vs 16 consolidations\n");
   std::printf("dataset,method,seconds,chunks_read,aggregate_ops\n");
+  BenchReport report("abl_cube",
+                     "CUBE (all 16 cuboids) vs 16 independent consolidations");
   for (uint32_t last : {100u, 1000u}) {
     BenchFile file("abl_cube");
     std::unique_ptr<Database> db =
@@ -29,10 +32,16 @@ int main() {
       Result<std::vector<Cuboid>> cuboids =
           ArrayCube(*db->olap(), cube, nullptr, &stats);
       PARADISE_CHECK_OK(cuboids.status());
-      std::printf("%s,cube,%.4f,%llu,%llu\n", dataset.c_str(),
-                  watch.ElapsedSeconds(),
+      const double seconds = watch.ElapsedSeconds();
+      std::printf("%s,cube,%.4f,%llu,%llu\n", dataset.c_str(), seconds,
                   static_cast<unsigned long long>(stats.chunks_read),
                   static_cast<unsigned long long>(stats.aggregate_ops));
+      ExecutionStats exec_stats;
+      exec_stats.seconds = seconds;
+      exec_stats.aux = stats.chunks_read;
+      report.Add({{"dataset", dataset}, {"method", "cube"}}, "array",
+                 cuboids->size(), exec_stats,
+                 {{"aggregate_ops", static_cast<double>(stats.aggregate_ops)}});
     }
 
     // Sixteen independent consolidations.
@@ -53,11 +62,17 @@ int main() {
         chunks += stats.chunks_read;
         ops += stats.cells_scanned;
       }
-      std::printf("%s,independent,%.4f,%llu,%llu\n", dataset.c_str(),
-                  watch.ElapsedSeconds(),
+      const double seconds = watch.ElapsedSeconds();
+      std::printf("%s,independent,%.4f,%llu,%llu\n", dataset.c_str(), seconds,
                   static_cast<unsigned long long>(chunks),
                   static_cast<unsigned long long>(ops));
+      ExecutionStats exec_stats;
+      exec_stats.seconds = seconds;
+      exec_stats.aux = chunks;
+      report.Add({{"dataset", dataset}, {"method", "independent"}}, "array",
+                 16, exec_stats, {{"aggregate_ops", static_cast<double>(ops)}});
     }
   }
+  report.WriteFile();
   return 0;
 }

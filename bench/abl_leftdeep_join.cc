@@ -2,6 +2,7 @@
 // fused star-join consolidation operator. The paper argues the conventional
 // plan pays for materializing a growing intermediate at every stage; this
 // bench shows that cost directly (aux = total materialized rows).
+#include "bench_json.h"
 #include "bench_util.h"
 #include "gen/datasets.h"
 
@@ -12,6 +13,9 @@ int main() {
   PrintHeader("Ablation",
               "star-join operator vs left-deep hash-join pipeline (Query 1)",
               "density_percent");
+  BenchReport report(
+      "abl_leftdeep_join",
+      "star-join operator vs left-deep hash-join pipeline (Query 1)");
   const query::ConsolidationQuery q = gen::Query1(4);
   for (double pct : {1.0, 5.0, 10.0, 20.0}) {
     BenchFile file("abl_leftdeep");
@@ -23,7 +27,9 @@ int main() {
                             EngineKind::kArray}) {
       const Execution exec = MustRun(db.get(), kind, q);
       PrintRow(label, kind, exec);
+      report.Add({{"density_percent", label}}, kind, exec);
     }
   }
+  report.WriteFile();
   return 0;
 }

@@ -4,13 +4,14 @@
 // pipeline — fetch through the sharded buffer pool, decode, aggregate —
 // with chunk read-ahead on the storage manager's background I/O pool.
 //
-// Besides the CSV, the bench writes BENCH_parallel.json (machine-readable:
-// per path, threads → seconds / speedup plus buffer-pool counters) so the
-// scaling curve can be tracked across commits.
+// Besides the CSV, the bench writes BENCH_abl_parallel.json in the shared
+// bench schema (per path, threads → seconds / speedup plus buffer-pool
+// counters) so the scaling curve can be tracked across commits.
 #include <algorithm>
 #include <thread>
 #include <vector>
 
+#include "bench_json.h"
 #include "bench_util.h"
 #include "core/parallel.h"
 #include "gen/datasets.h"
@@ -69,28 +70,15 @@ void PrintCsv(const char* path_name, const std::vector<RunPoint>& points) {
   }
 }
 
-void AppendJson(std::string* out, const char* path_name,
-                const std::vector<RunPoint>& points) {
-  out->append("    \"");
-  out->append(path_name);
-  out->append("\": [\n");
-  char buf[512];
-  for (size_t i = 0; i < points.size(); ++i) {
-    const RunPoint& p = points[i];
-    std::snprintf(buf, sizeof(buf),
-                  "      {\"threads\": %zu, \"seconds\": %.6f, "
-                  "\"speedup\": %.3f, \"logical_reads\": %llu, "
-                  "\"disk_reads\": %llu, \"prefetched\": %llu, "
-                  "\"prefetch_hits\": %llu}%s\n",
-                  p.threads, p.seconds, p.speedup,
-                  static_cast<unsigned long long>(p.io.logical_reads),
-                  static_cast<unsigned long long>(p.io.disk_reads),
-                  static_cast<unsigned long long>(p.io.prefetched),
-                  static_cast<unsigned long long>(p.io.prefetch_hits),
-                  i + 1 < points.size() ? "," : "");
-    out->append(buf);
+void Report(BenchReport* report, const char* path_name,
+            const std::vector<RunPoint>& points) {
+  for (const RunPoint& p : points) {
+    ExecutionStats stats;
+    stats.seconds = p.seconds;
+    stats.io = p.io;
+    report->Add({{"path", path_name}, {"threads", std::to_string(p.threads)}},
+                "array", 0, stats, {{"speedup", p.speedup}});
   }
-  out->append("    ]");
 }
 
 void Die(const Status& st) {
@@ -157,29 +145,17 @@ int main() {
   }
   std::printf("selection_serial,1,%.4f,1.00,0,0,0,0\n", serial_select_seconds);
 
-  std::string json;
-  json.append("{\n  \"bench\": \"abl_parallel\",\n");
-  json.append("  \"dataset\": \"DataSet1(1000)\",\n");
-  char buf[128];
-  std::snprintf(buf, sizeof(buf), "  \"hardware_threads\": %u,\n", hw);
-  json.append(buf);
-  std::snprintf(buf, sizeof(buf), "  \"serial_selection_seconds\": %.6f,\n",
-                serial_select_seconds);
-  json.append(buf);
-  json.append("  \"paths\": {\n");
-  AppendJson(&json, "no_selection", no_sel);
-  json.append(",\n");
-  AppendJson(&json, "selection", sel);
-  json.append("\n  }\n}\n");
-
-  const char* json_path = "BENCH_parallel.json";
-  if (std::FILE* f = std::fopen(json_path, "w")) {
-    std::fwrite(json.data(), 1, json.size(), f);
-    std::fclose(f);
-    std::printf("# wrote %s\n", json_path);
-  } else {
-    std::fprintf(stderr, "cannot write %s\n", json_path);
-    return 1;
+  BenchReport report("abl_parallel",
+                     "parallel consolidation scaling (DataSet1(1000), warm "
+                     "pool, hardware_threads=" + std::to_string(hw) + ")");
+  Report(&report, "no_selection", no_sel);
+  Report(&report, "selection", sel);
+  {
+    ExecutionStats stats;
+    stats.seconds = serial_select_seconds;
+    report.Add({{"path", "selection_serial"}, {"threads", "1"}}, "array", 0,
+               stats);
   }
+  report.WriteFile();
   return 0;
 }

@@ -3,6 +3,7 @@
 // base cube. The consolidated ADT is orders of magnitude smaller, so
 // repeated coarse queries become nearly free — the aggregate-table pattern
 // the paper's ADT output design enables.
+#include "bench_json.h"
 #include "bench_util.h"
 #include "core/consolidate.h"
 #include "gen/datasets.h"
@@ -13,6 +14,8 @@ using namespace paradise::bench; // NOLINT(build/namespaces)
 int main() {
   std::printf("# Ablation — roll-up from a materialized consolidation\n");
   std::printf("query,source,seconds,disk_reads\n");
+  BenchReport report("abl_rollup",
+                     "roll-up from a materialized consolidation vs base cube");
   BenchFile file("abl_rollup");
   std::unique_ptr<Database> db =
       MustBuild(file.path(), gen::DataSet1(1000), PaperOptions());
@@ -39,10 +42,15 @@ int main() {
       Stopwatch watch;
       Result<query::GroupedResult> r = ArrayConsolidate(*db->olap(), q);
       PARADISE_CHECK_OK(r.status());
+      ExecutionStats exec_stats;
+      exec_stats.seconds = watch.ElapsedSeconds();
+      exec_stats.io = db->storage()->pool()->stats().Delta(before);
       std::printf("h2_rollup_run%d,base_cube,%.4f,%llu\n", run,
-                  watch.ElapsedSeconds(),
-                  static_cast<unsigned long long>(
-                      db->storage()->pool()->stats().Delta(before).disk_reads));
+                  exec_stats.seconds,
+                  static_cast<unsigned long long>(exec_stats.io.disk_reads));
+      report.Add({{"query", "h2_rollup_run" + std::to_string(run)},
+                  {"source", "base_cube"}},
+                 "array", r->num_groups(), exec_stats);
     }
     // From the materialized ADT (h2 is column 2 of the result dimensions,
     // whose members are h1 values).
@@ -55,11 +63,17 @@ int main() {
       Stopwatch watch;
       Result<query::GroupedResult> r = ArrayConsolidate(*mid, q);
       PARADISE_CHECK_OK(r.status());
+      ExecutionStats exec_stats;
+      exec_stats.seconds = watch.ElapsedSeconds();
+      exec_stats.io = db->storage()->pool()->stats().Delta(before);
       std::printf("h2_rollup_run%d,materialized,%.4f,%llu\n", run,
-                  watch.ElapsedSeconds(),
-                  static_cast<unsigned long long>(
-                      db->storage()->pool()->stats().Delta(before).disk_reads));
+                  exec_stats.seconds,
+                  static_cast<unsigned long long>(exec_stats.io.disk_reads));
+      report.Add({{"query", "h2_rollup_run" + std::to_string(run)},
+                  {"source", "materialized"}},
+                 "array", r->num_groups(), exec_stats);
     }
   }
+  report.WriteFile();
   return 0;
 }

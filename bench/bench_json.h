@@ -1,0 +1,106 @@
+// BenchReport: the machine-readable twin of the CSV every bench prints.
+// Collects one record per measured run and writes BENCH_<name>.json into the
+// working directory, so the scaling curves and regressions can be tracked
+// across commits with one parser.
+//
+// Every bench emits the same schema (schema_version 1):
+//
+//   {"bench": "<name>", "schema_version": 1, "description": "...",
+//    "runs": [{"sweep": {"<param>": "<value>", ...},    // strings
+//              "engine": "<engine or method name>",
+//              "groups": <result group count>,
+//              "extra": {"<metric>": <number>, ...},    // optional
+//              "stats": <ExecutionStats::ToJson()>}]}
+//
+// The "stats" object is identical in shape to the "query.stats" object
+// printed by tools/dbstats (see ExecutionStats::ToJson in query/engine.h);
+// the CI smoke step validates both against the same checker.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/json_writer.h"
+#include "query/engine.h"
+
+namespace paradise::bench {
+
+class BenchReport {
+ public:
+  /// Sweep parameters identifying one point ({{"last_dim_size", "50"}, ...}).
+  using Sweep = std::vector<std::pair<std::string, std::string>>;
+  /// Bench-specific numeric results that have no ExecutionStats home
+  /// (speedups, byte footprints, ...).
+  using Extra = std::vector<std::pair<std::string, double>>;
+
+  BenchReport(std::string name, std::string description)
+      : name_(std::move(name)), description_(std::move(description)) {}
+
+  /// Records a run measured through the engine entry point.
+  void Add(const Sweep& sweep, EngineKind kind, const Execution& exec,
+           const Extra& extra = {}) {
+    Add(sweep, std::string(EngineKindToString(kind)),
+        exec.result.num_groups(), exec.stats, extra);
+  }
+
+  /// Records a run whose stats the bench assembled itself (timed around a
+  /// core algorithm rather than RunQuery); `engine` then names the method.
+  void Add(const Sweep& sweep, const std::string& engine, uint64_t groups,
+           const ExecutionStats& stats, const Extra& extra = {}) {
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("sweep");
+    w.BeginObject();
+    for (const auto& [k, v] : sweep) w.KV(k, v);
+    w.EndObject();
+    w.KV("engine", engine);
+    w.KV("groups", groups);
+    if (!extra.empty()) {
+      w.Key("extra");
+      w.BeginObject();
+      for (const auto& [k, v] : extra) w.KV(k, v);
+      w.EndObject();
+    }
+    w.Key("stats");
+    w.Raw(stats.ToJson());
+    w.EndObject();
+    runs_.push_back(std::move(w).Take());
+  }
+
+  /// Writes BENCH_<name>.json. Returns false (with a note on stderr) when
+  /// the file cannot be written; benches treat that as a warning, not death,
+  /// so a read-only working directory doesn't kill the CSV output.
+  bool WriteFile() const {
+    JsonWriter w;
+    w.BeginObject();
+    w.KV("bench", name_);
+    w.KV("schema_version", uint64_t{1});
+    w.KV("description", description_);
+    w.Key("runs");
+    w.BeginArray();
+    for (const std::string& run : runs_) w.Raw(run);
+    w.EndArray();
+    w.EndObject();
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+      return false;
+    }
+    const std::string& doc = w.str();
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("# wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  std::string name_;
+  std::string description_;
+  std::vector<std::string> runs_;  // pre-rendered run objects
+};
+
+}  // namespace paradise::bench

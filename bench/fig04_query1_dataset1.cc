@@ -6,6 +6,7 @@
 // Expected shape (paper): the array algorithm wins by a wide margin at every
 // size; its time grows mildly with the fourth dimension because the same
 // data spreads over more, smaller chunks (40 -> 80 -> 800 chunks).
+#include "bench_json.h"
 #include "bench_util.h"
 #include "gen/datasets.h"
 
@@ -15,6 +16,7 @@ using namespace paradise::bench; // NOLINT(build/namespaces)
 int main() {
   PrintHeader("Figure 4", "Query 1 on Data Set 1 (array vs star-join)",
               "last_dim_size");
+  BenchReport report("fig04", "Query 1 on Data Set 1 (array vs star-join)");
   const query::ConsolidationQuery q = gen::Query1(4);
   for (uint32_t last : {50u, 100u, 1000u}) {
     BenchFile file("fig04_" + std::to_string(last));
@@ -23,7 +25,9 @@ int main() {
     for (EngineKind kind : {EngineKind::kArray, EngineKind::kStarJoin}) {
       const Execution exec = MustRun(db.get(), kind, q);
       PrintRow(std::to_string(last), kind, exec);
+      report.Add({{"last_dim_size", std::to_string(last)}}, kind, exec);
     }
   }
+  report.WriteFile();
   return 0;
 }

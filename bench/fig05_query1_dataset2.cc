@@ -6,6 +6,7 @@
 // relational time grows linearly with tuple count while the array's
 // compressed size (and so its scan time) grows with the same slope but a
 // smaller constant.
+#include "bench_json.h"
 #include "bench_util.h"
 #include "gen/datasets.h"
 
@@ -15,6 +16,7 @@ using namespace paradise::bench; // NOLINT(build/namespaces)
 int main() {
   PrintHeader("Figure 5", "Query 1 on Data Set 2 (density sweep)",
               "density_percent");
+  BenchReport report("fig05", "Query 1 on Data Set 2 (density sweep)");
   const query::ConsolidationQuery q = gen::Query1(4);
   for (double pct : {0.5, 1.0, 2.0, 5.0, 10.0, 15.0, 20.0}) {
     BenchFile file("fig05");
@@ -25,7 +27,9 @@ int main() {
       char label[32];
       std::snprintf(label, sizeof(label), "%.1f", pct);
       PrintRow(label, kind, exec);
+      report.Add({{"density_percent", label}}, kind, exec);
     }
   }
+  report.WriteFile();
   return 0;
 }

@@ -7,6 +7,7 @@
 // Expected shape (paper): the array wins while S > ~0.00024; at the very
 // lowest selectivities the bitmap plan edges ahead because the few
 // qualifying cells are scattered across almost as many array chunks.
+#include "bench_json.h"
 #include "bench_util.h"
 #include "gen/datasets.h"
 
@@ -16,6 +17,7 @@ using namespace paradise::bench; // NOLINT(build/namespaces)
 int main() {
   PrintHeader("Figure 6", "Query 2 on 40x40x40x1000 (selectivity sweep)",
               "per_dim_selectivity");
+  BenchReport report("fig06", "Query 2 on 40x40x40x1000 (selectivity sweep)");
   const query::ConsolidationQuery q = gen::Query2(4);
   for (uint32_t card : {2u, 3u, 4u, 5u, 8u, 10u}) {
     BenchFile file("fig06");
@@ -25,7 +27,10 @@ int main() {
     for (EngineKind kind : {EngineKind::kArray, EngineKind::kBitmap}) {
       const Execution exec = MustRun(db.get(), kind, q);
       PrintRow("1/" + std::to_string(card), kind, exec);
+      report.Add({{"per_dim_selectivity", "1/" + std::to_string(card)}}, kind,
+                 exec);
     }
   }
+  report.WriteFile();
   return 0;
 }

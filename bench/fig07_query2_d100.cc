@@ -1,5 +1,6 @@
 // Figure 7 (paper §5.6): same Query 2 selectivity sweep as Figure 6, on the
 // 40x40x40x100 array (Data Set 1, 10 % dense).
+#include "bench_json.h"
 #include "bench_util.h"
 #include "gen/datasets.h"
 
@@ -9,6 +10,7 @@ using namespace paradise::bench; // NOLINT(build/namespaces)
 int main() {
   PrintHeader("Figure 7", "Query 2 on 40x40x40x100 (selectivity sweep)",
               "per_dim_selectivity");
+  BenchReport report("fig07", "Query 2 on 40x40x40x100 (selectivity sweep)");
   const query::ConsolidationQuery q = gen::Query2(4);
   for (uint32_t card : {2u, 3u, 4u, 5u, 8u, 10u}) {
     BenchFile file("fig07");
@@ -18,7 +20,10 @@ int main() {
     for (EngineKind kind : {EngineKind::kArray, EngineKind::kBitmap}) {
       const Execution exec = MustRun(db.get(), kind, q);
       PrintRow("1/" + std::to_string(card), kind, exec);
+      report.Add({{"per_dim_selectivity", "1/" + std::to_string(card)}}, kind,
+                 exec);
     }
   }
+  report.WriteFile();
   return 0;
 }

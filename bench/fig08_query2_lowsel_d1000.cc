@@ -4,6 +4,7 @@
 // retrieves so few tuples that it beats the array algorithm, which still
 // must fetch roughly one chunk per qualifying cell. The sweep extends to
 // finer selectivities than Figure 6 to straddle the crossover.
+#include "bench_json.h"
 #include "bench_util.h"
 #include "gen/datasets.h"
 
@@ -14,6 +15,8 @@ int main() {
   PrintHeader("Figure 8",
               "Query 2 low-selectivity regime on 40x40x40x1000 (crossover)",
               "per_dim_selectivity");
+  BenchReport report(
+      "fig08", "Query 2 low-selectivity regime on 40x40x40x1000 (crossover)");
   const query::ConsolidationQuery q = gen::Query2(4);
   for (uint32_t card : {5u, 8u, 10u, 13u, 16u, 20u}) {
     BenchFile file("fig08");
@@ -23,7 +26,10 @@ int main() {
     for (EngineKind kind : {EngineKind::kArray, EngineKind::kBitmap}) {
       const Execution exec = MustRun(db.get(), kind, q);
       PrintRow("1/" + std::to_string(card), kind, exec);
+      report.Add({{"per_dim_selectivity", "1/" + std::to_string(card)}}, kind,
+                 exec);
     }
   }
+  report.WriteFile();
   return 0;
 }

@@ -1,5 +1,6 @@
 // Figure 9 (paper §5.6): the low-selectivity regime of Query 2 on the
 // 40x40x40x100 array, the companion of Figure 8.
+#include "bench_json.h"
 #include "bench_util.h"
 #include "gen/datasets.h"
 
@@ -10,6 +11,8 @@ int main() {
   PrintHeader("Figure 9",
               "Query 2 low-selectivity regime on 40x40x40x100 (crossover)",
               "per_dim_selectivity");
+  BenchReport report(
+      "fig09", "Query 2 low-selectivity regime on 40x40x40x100 (crossover)");
   const query::ConsolidationQuery q = gen::Query2(4);
   for (uint32_t card : {5u, 8u, 10u, 13u, 16u, 20u}) {
     BenchFile file("fig09");
@@ -19,7 +22,10 @@ int main() {
     for (EngineKind kind : {EngineKind::kArray, EngineKind::kBitmap}) {
       const Execution exec = MustRun(db.get(), kind, q);
       PrintRow("1/" + std::to_string(card), kind, exec);
+      report.Add({{"per_dim_selectivity", "1/" + std::to_string(card)}}, kind,
+                 exec);
     }
   }
+  report.WriteFile();
   return 0;
 }

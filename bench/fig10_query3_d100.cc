@@ -4,6 +4,7 @@
 // relational algorithm's time (one less bitmap fetch/AND, but the dominant
 // cost — retrieving the selected tuples — stays), because 90 % of its time
 // is tuple retrieval.
+#include "bench_json.h"
 #include "bench_util.h"
 #include "gen/datasets.h"
 
@@ -13,6 +14,8 @@ using namespace paradise::bench; // NOLINT(build/namespaces)
 int main() {
   PrintHeader("Figure 10", "Query 3 on 40x40x40x100 (3-dim selection sweep)",
               "per_dim_selectivity");
+  BenchReport report("fig10",
+                     "Query 3 on 40x40x40x100 (3-dim selection sweep)");
   const query::ConsolidationQuery q = gen::Query3(4, 3);
   for (uint32_t card : {2u, 3u, 4u, 5u, 8u, 10u}) {
     BenchFile file("fig10");
@@ -22,7 +25,10 @@ int main() {
     for (EngineKind kind : {EngineKind::kArray, EngineKind::kBitmap}) {
       const Execution exec = MustRun(db.get(), kind, q);
       PrintRow("1/" + std::to_string(card), kind, exec);
+      report.Add({{"per_dim_selectivity", "1/" + std::to_string(card)}}, kind,
+                 exec);
     }
   }
+  report.WriteFile();
   return 0;
 }

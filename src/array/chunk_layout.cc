@@ -15,19 +15,30 @@ Result<ChunkLayout> ChunkLayout::Make(std::vector<uint32_t> dims,
   if (dims.size() != chunk_extents.size()) {
     return Status::InvalidArgument("dims and chunk_extents length mismatch");
   }
+  // Overflow-safe running product: saturates at UINT64_MAX instead of
+  // wrapping, so e.g. three 2^22 extents (product 2^66) cannot slip past the
+  // uint32 bound below by wrapping to a small number.
+  auto checked_mul = [](uint64_t a, uint64_t b) {
+    return (b != 0 && a > UINT64_MAX / b) ? UINT64_MAX : a * b;
+  };
   uint64_t cells = 1;
+  uint64_t chunk_cells = 1;
   for (size_t i = 0; i < dims.size(); ++i) {
     if (dims[i] == 0 || chunk_extents[i] == 0) {
       return Status::InvalidArgument(
           "dimension sizes and chunk extents must be positive");
     }
-    cells *= dims[i];
+    cells = checked_mul(cells, dims[i]);
+    chunk_cells = checked_mul(chunk_cells, chunk_extents[i]);
   }
-  // Chunk cell counts must fit an offset in uint32.
-  uint64_t chunk_cells = 1;
-  for (uint32_t e : chunk_extents) chunk_cells *= e;
+  // Chunk cell counts must fit an offset in uint32 — CoordsToOffset and the
+  // chunk-offset compression store per-chunk offsets as uint32.
   if (chunk_cells > UINT32_MAX) {
     return Status::InvalidArgument("chunk too large: offsets must fit uint32");
+  }
+  // Global cell indices are uint64; a wrapped total would alias cells.
+  if (cells == UINT64_MAX) {
+    return Status::InvalidArgument("array too large: cell count overflows");
   }
   return ChunkLayout(std::move(dims), std::move(chunk_extents));
 }

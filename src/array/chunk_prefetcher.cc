@@ -25,6 +25,13 @@ ChunkReadAhead::~ChunkReadAhead() {
   // Tasks not yet started will see `cancelled` and bail before touching the
   // array; tasks mid-read hold the array pointer, so wait those out.
   state_->cv.wait(lock, [this] { return state_->in_flight == 0; });
+  // Blobs read ahead but never claimed (early scan termination) were wasted
+  // I/O; account them so prefetch tuning can see over-eager windows.
+  uint64_t wasted = 0;
+  for (size_t idx = state_->next_claim; idx < state_->slots.size(); ++idx) {
+    if (state_->slots[idx].state == Slot::kReady) ++wasted;
+  }
+  if (state_->pool != nullptr) state_->pool->RecordPrefetchWasted(wasted);
 }
 
 void ChunkReadAhead::ScheduleWindow(const std::shared_ptr<State>& st,

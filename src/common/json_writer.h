@@ -1,0 +1,142 @@
+// JsonWriter: a minimal append-only JSON emitter shared by every surface
+// that speaks the observability schema (ExecutionStats::ToJson, the metrics
+// registry snapshot, tools/dbstats and the bench BENCH_*.json files), so all
+// of them stay structurally valid and byte-stable without a JSON dependency.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace paradise {
+
+class JsonWriter {
+ public:
+  JsonWriter() { stack_.reserve(8); }
+
+  void BeginObject() {
+    Comma();
+    out_.push_back('{');
+    stack_.push_back(true);
+  }
+  void EndObject() {
+    out_.push_back('}');
+    stack_.pop_back();
+  }
+  void BeginArray() {
+    Comma();
+    out_.push_back('[');
+    stack_.push_back(true);
+  }
+  void EndArray() {
+    out_.push_back(']');
+    stack_.pop_back();
+  }
+
+  /// Emits `"name":` — must be followed by exactly one value call.
+  void Key(std::string_view name) {
+    Comma();
+    AppendEscaped(name);
+    out_.push_back(':');
+    key_pending_ = true;
+  }
+
+  void String(std::string_view v) {
+    Comma();
+    AppendEscaped(v);
+  }
+  void Uint(uint64_t v) {
+    Comma();
+    out_.append(std::to_string(v));
+  }
+  void Int(int64_t v) {
+    Comma();
+    out_.append(std::to_string(v));
+  }
+  void Double(double v) {
+    Comma();
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6f", v);
+    out_.append(buf);
+  }
+  void Bool(bool v) {
+    Comma();
+    out_.append(v ? "true" : "false");
+  }
+  void Null() {
+    Comma();
+    out_.append("null");
+  }
+
+  /// Splices a pre-rendered JSON value (e.g. a nested ToJson() result).
+  void Raw(std::string_view json) {
+    Comma();
+    out_.append(json);
+  }
+
+  // Key+value conveniences.
+  void KV(std::string_view k, std::string_view v) { Key(k), String(v); }
+  void KV(std::string_view k, uint64_t v) { Key(k), Uint(v); }
+  void KV(std::string_view k, int64_t v) { Key(k), Int(v); }
+  void KV(std::string_view k, double v) { Key(k), Double(v); }
+  void KV(std::string_view k, bool v) { Key(k), Bool(v); }
+
+  const std::string& str() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  /// Emits the separating comma before a sibling value and marks the
+  /// enclosing container non-empty. A value directly after Key() never
+  /// takes a comma.
+  void Comma() {
+    if (key_pending_) {
+      key_pending_ = false;
+      return;
+    }
+    if (!stack_.empty()) {
+      if (!stack_.back()) out_.push_back(',');
+      stack_.back() = false;
+    }
+  }
+
+  void AppendEscaped(std::string_view s) {
+    out_.push_back('"');
+    for (char c : s) {
+      switch (c) {
+        case '"':
+          out_.append("\\\"");
+          break;
+        case '\\':
+          out_.append("\\\\");
+          break;
+        case '\n':
+          out_.append("\\n");
+          break;
+        case '\r':
+          out_.append("\\r");
+          break;
+        case '\t':
+          out_.append("\\t");
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out_.append(buf);
+          } else {
+            out_.push_back(c);
+          }
+      }
+    }
+    out_.push_back('"');
+  }
+
+  std::string out_;
+  // One entry per open container; true while it is still empty.
+  std::vector<bool> stack_;
+  bool key_pending_ = false;
+};
+
+}  // namespace paradise

@@ -1,0 +1,196 @@
+#include "common/metrics.h"
+
+#include <bit>
+
+#include "common/json_writer.h"
+
+namespace paradise {
+
+void Histogram::Record(uint64_t value) {
+  counts_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  uint64_t cur = min_.load(std::memory_order_relaxed);
+  while (value < cur &&
+         !min_.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (value > cur &&
+         !max_.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t Histogram::PercentileUpperBound(double p) const {
+  const uint64_t n = count();
+  if (n == 0) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  // Rank of the percentile sample, 1-based; walk buckets until reached.
+  const uint64_t rank = static_cast<uint64_t>(p * static_cast<double>(n - 1)) + 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    seen += bucket_count(i);
+    if (seen >= rank) {
+      // Clamp to the observed max so a sparse top bucket does not report a
+      // bound far beyond any recorded sample.
+      const uint64_t upper = BucketUpperBound(i);
+      const uint64_t observed_max = max();
+      return upper < observed_max ? upper : observed_max;
+    }
+  }
+  return max();
+}
+
+void Histogram::Reset() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+size_t Histogram::BucketIndex(uint64_t value) {
+  return static_cast<size_t>(std::bit_width(value));
+}
+
+uint64_t Histogram::BucketLowerBound(size_t i) {
+  if (i <= 1) return 0;
+  return uint64_t{1} << (i - 1);
+}
+
+uint64_t Histogram::BucketUpperBound(size_t i) {
+  if (i == 0) return 0;
+  if (i >= 64) return UINT64_MAX;
+  return (uint64_t{1} << i) - 1;
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  // Leaked singleton: metric handles stay valid through static destruction.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+namespace {
+
+template <typename T>
+T* GetOrCreate(std::mutex& mu,
+               std::map<std::string, std::unique_ptr<T>, std::less<>>& map,
+               std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = map.find(name);
+  if (it == map.end()) {
+    it = map.emplace(std::string(name), std::make_unique<T>()).first;
+  }
+  return it->second.get();
+}
+
+template <typename T>
+const T* Find(std::mutex& mu,
+              const std::map<std::string, std::unique_ptr<T>, std::less<>>& map,
+              std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = map.find(name);
+  return it == map.end() ? nullptr : it->second.get();
+}
+
+template <typename T>
+std::vector<std::string> Names(
+    std::mutex& mu,
+    const std::map<std::string, std::unique_ptr<T>, std::less<>>& map) {
+  std::lock_guard<std::mutex> lock(mu);
+  std::vector<std::string> out;
+  out.reserve(map.size());
+  for (const auto& [name, metric] : map) out.push_back(name);
+  return out;
+}
+
+}  // namespace
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  return GetOrCreate(mu_, counters_, name);
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  return GetOrCreate(mu_, gauges_, name);
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  return GetOrCreate(mu_, histograms_, name);
+}
+
+const Counter* MetricsRegistry::FindCounter(std::string_view name) const {
+  return Find(mu_, counters_, name);
+}
+
+const Gauge* MetricsRegistry::FindGauge(std::string_view name) const {
+  return Find(mu_, gauges_, name);
+}
+
+const Histogram* MetricsRegistry::FindHistogram(std::string_view name) const {
+  return Find(mu_, histograms_, name);
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+std::vector<std::string> MetricsRegistry::CounterNames() const {
+  return Names(mu_, counters_);
+}
+
+std::vector<std::string> MetricsRegistry::GaugeNames() const {
+  return Names(mu_, gauges_);
+}
+
+std::vector<std::string> MetricsRegistry::HistogramNames() const {
+  return Names(mu_, histograms_);
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("counters");
+  w.BeginObject();
+  for (const auto& [name, c] : counters_) w.KV(name, c->value());
+  w.EndObject();
+  w.Key("gauges");
+  w.BeginObject();
+  for (const auto& [name, g] : gauges_) w.KV(name, g->value());
+  w.EndObject();
+  w.Key("histograms");
+  w.BeginObject();
+  for (const auto& [name, h] : histograms_) {
+    w.Key(name);
+    w.BeginObject();
+    const uint64_t n = h->count();
+    w.KV("count", n);
+    w.KV("sum", h->sum());
+    w.KV("min", n == 0 ? uint64_t{0} : h->min());
+    w.KV("max", h->max());
+    w.KV("mean", h->Mean());
+    w.KV("p50", h->PercentileUpperBound(0.50));
+    w.KV("p95", h->PercentileUpperBound(0.95));
+    w.KV("p99", h->PercentileUpperBound(0.99));
+    w.Key("buckets");
+    w.BeginArray();
+    for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      const uint64_t c = h->bucket_count(i);
+      if (c == 0) continue;
+      w.BeginArray();
+      w.Uint(Histogram::BucketLowerBound(i));
+      w.Uint(c);
+      w.EndArray();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+  return w.Take();
+}
+
+}  // namespace paradise

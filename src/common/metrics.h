@@ -1,0 +1,153 @@
+// MetricsRegistry: process-wide named counters, gauges and log-scale latency
+// histograms — the single observability surface the storage and query layers
+// report into (DESIGN.md choice 10). The paper's evaluation (§5.5.1) hinges
+// on knowing where time goes; the registry is how this library answers that
+// question for itself.
+//
+// Design constraints:
+//  - Recording is lock-free: counters and histogram buckets are relaxed
+//    atomics. The registry mutex guards registration only; metric objects
+//    are node-stable (held by unique_ptr), so a handle obtained once is
+//    valid and contention-free for the process lifetime.
+//  - Recording never allocates. Components resolve their handles at
+//    construction (and only when StorageOptions::metrics_enabled is set);
+//    the disabled configuration leaves the handles null, so the hot-path
+//    cost of disabled metrics is one pointer test.
+//  - Snapshots are advisory: they read each atomic individually, so totals
+//    observed while writers are running can be momentarily inconsistent
+//    with one another (same contract as BufferPool::stats()).
+//
+// Naming scheme: "<component>.<event>[_micros]" — e.g. "bufferpool.hits",
+// "disk.read_micros", "prefetch.wasted", "faults.injected". The "_micros"
+// suffix marks histograms of microsecond latencies.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace paradise {
+
+/// Monotonic event counter. All operations are relaxed atomics.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+/// Last-written level (buffer-pool occupancy, open file count, ...).
+class Gauge {
+ public:
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Log-scale (power-of-two bucketed) histogram for latency distributions.
+/// Bucket 0 holds the value 0; bucket i (1 <= i <= 64) holds values in
+/// [2^(i-1), 2^i). Recording is three relaxed atomic adds plus two bounded
+/// CAS loops for min/max; no allocation, no locks.
+class Histogram {
+ public:
+  static constexpr size_t kNumBuckets = 65;
+
+  void Record(uint64_t value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// UINT64_MAX / 0 while empty.
+  uint64_t min() const { return min_.load(std::memory_order_relaxed); }
+  uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  uint64_t bucket_count(size_t i) const {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+
+  double Mean() const {
+    const uint64_t n = count();
+    return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+  }
+
+  /// Upper-bound estimate of the p-th percentile (p in [0, 1]): the
+  /// inclusive upper edge of the bucket containing the p-th sample. Exact
+  /// for single-valued buckets (0 and 1), within 2x above.
+  uint64_t PercentileUpperBound(double p) const;
+
+  void Reset();
+
+  /// Bucket index of `value`: 0 for 0, else bit_width(value).
+  static size_t BucketIndex(uint64_t value);
+
+  /// Smallest value landing in bucket `i` (0 for buckets 0 and 1).
+  static uint64_t BucketLowerBound(size_t i);
+
+  /// Largest value landing in bucket `i`.
+  static uint64_t BucketUpperBound(size_t i);
+
+ private:
+  std::atomic<uint64_t> counts_[kNumBuckets]{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{UINT64_MAX};
+  std::atomic<uint64_t> max_{0};
+};
+
+class MetricsRegistry {
+ public:
+  /// The process-wide registry every component reports into.
+  static MetricsRegistry& Default();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the named metric, creating it on first use. The returned
+  /// pointer is stable for the registry's lifetime. Counters, gauges and
+  /// histograms live in separate namespaces.
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name);
+
+  /// Look up without creating (nullptr if absent) — for tools and tests.
+  const Counter* FindCounter(std::string_view name) const;
+  const Gauge* FindGauge(std::string_view name) const;
+  const Histogram* FindHistogram(std::string_view name) const;
+
+  /// Zeroes every registered metric (registration survives).
+  void ResetAll();
+
+  /// Registered names per kind, sorted (snapshot).
+  std::vector<std::string> CounterNames() const;
+  std::vector<std::string> GaugeNames() const;
+  std::vector<std::string> HistogramNames() const;
+
+  /// Full registry snapshot as one JSON object:
+  ///   {"counters": {name: value, ...},
+  ///    "gauges": {name: value, ...},
+  ///    "histograms": {name: {"count":..,"sum":..,"min":..,"max":..,
+  ///                          "mean":..,"p50":..,"p95":..,"p99":..,
+  ///                          "buckets": [[lower_bound, count], ...]}, ...}}
+  /// Histogram "buckets" lists only non-empty buckets. Zero-count metrics
+  /// are included; percentiles are PercentileUpperBound estimates.
+  std::string ToJson() const;
+
+ private:
+  mutable std::mutex mu_;  // guards the maps, never the metrics themselves
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace paradise

@@ -91,6 +91,12 @@ struct StorageOptions {
   /// FaultInjectingDiskManager) before any I/O happens.
   std::function<std::unique_ptr<Disk>(std::unique_ptr<Disk>)> wrap_disk;
 
+  /// Mirror storage-layer events into the process-wide MetricsRegistry
+  /// (bufferpool.* counters, disk.*_micros latency histograms, prefetch.*).
+  /// Components resolve their registry handles once, at construction, only
+  /// when this is set; disabled (the default) costs one null test per event.
+  bool metrics_enabled = false;
+
   /// Validates the option values.
   Status Validate() const;
 };

@@ -8,6 +8,8 @@
 #include <mutex>
 #include <string>
 
+#include "common/trace.h"
+
 namespace paradise {
 
 /// Simple monotonic stopwatch.
@@ -40,6 +42,14 @@ class Stopwatch {
 /// timer carried by ExecutionStats, so phase totals are CPU-seconds summed
 /// across workers (they can exceed wall-clock time at high thread counts).
 /// Copyable despite the internal mutex — copies snapshot the totals.
+///
+/// A timer may carry an ExecutionTrace sink: while one is attached, every
+/// ScopedPhase additionally opens/closes a trace span, which is how all the
+/// engines gained span-level tracing without signature changes. The sink
+/// pointer is borrowed (the engine owns the trace), is deliberately NOT
+/// copied by the copy operations (a snapshot copy must not keep feeding
+/// spans), and spans are only opened from the coordinator thread — worker
+/// threads get a timer with no sink (see RunWorkers call sites).
 class PhaseTimer {
  public:
   PhaseTimer() = default;
@@ -92,18 +102,36 @@ class PhaseTimer {
     phases_.clear();
   }
 
+  /// Attaches (or detaches, with nullptr) a trace sink. Not thread-safe
+  /// against concurrent ScopedPhase construction — set it before the query
+  /// starts and clear it after the coordinator returns.
+  void set_trace(ExecutionTrace* trace) { trace_ = trace; }
+  ExecutionTrace* trace() const { return trace_; }
+
  private:
   mutable std::mutex mu_;
   std::map<std::string, int64_t> phases_;
+  ExecutionTrace* trace_ = nullptr;  // borrowed; never copied
 };
 
 /// RAII guard adding the scope's duration to a PhaseTimer on destruction.
+/// When the timer carries a trace sink, the scope is also a trace span.
 class ScopedPhase {
  public:
   ScopedPhase(PhaseTimer* timer, std::string phase)
-      : timer_(timer), phase_(std::move(phase)) {}
+      : timer_(timer), phase_(std::move(phase)) {
+    if (timer_ != nullptr && timer_->trace() != nullptr) {
+      span_id_ = timer_->trace()->BeginSpan(phase_);
+      has_span_ = true;
+    }
+  }
   ~ScopedPhase() {
-    if (timer_ != nullptr) timer_->Add(phase_, watch_.ElapsedMicros());
+    if (timer_ != nullptr) {
+      timer_->Add(phase_, watch_.ElapsedMicros());
+      if (has_span_ && timer_->trace() != nullptr) {
+        timer_->trace()->EndSpan(span_id_);
+      }
+    }
   }
   ScopedPhase(const ScopedPhase&) = delete;
   ScopedPhase& operator=(const ScopedPhase&) = delete;
@@ -112,6 +140,8 @@ class ScopedPhase {
   PhaseTimer* timer_;
   std::string phase_;
   Stopwatch watch_;
+  uint64_t span_id_ = 0;
+  bool has_span_ = false;
 };
 
 }  // namespace paradise

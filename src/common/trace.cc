@@ -1,0 +1,156 @@
+#include "common/trace.h"
+
+#include "common/json_writer.h"
+
+namespace paradise {
+
+namespace {
+
+void WriteSpan(JsonWriter& w, const TraceSpan& span, int64_t now_micros) {
+  w.BeginObject();
+  w.KV("name", span.name);
+  w.KV("start_micros", span.start_micros);
+  // Open spans report their live duration so a mid-query snapshot is still
+  // well-formed JSON with meaningful numbers.
+  const int64_t duration =
+      span.open() ? now_micros - span.start_micros : span.duration_micros;
+  w.KV("duration_micros", duration);
+  if (!span.children.empty()) {
+    w.Key("children");
+    w.BeginArray();
+    for (const auto& child : span.children) {
+      WriteSpan(w, *child, now_micros);
+    }
+    w.EndArray();
+  }
+  w.EndObject();
+}
+
+void CopySpan(const TraceSpan& src, TraceSpan* dst, int64_t now_micros) {
+  dst->name = src.name;
+  dst->start_micros = src.start_micros;
+  dst->duration_micros =
+      src.open() ? now_micros - src.start_micros : src.duration_micros;
+  dst->children.reserve(src.children.size());
+  for (const auto& child : src.children) {
+    auto copy = std::make_unique<TraceSpan>();
+    CopySpan(*child, copy.get(), now_micros);
+    dst->children.push_back(std::move(copy));
+  }
+}
+
+const TraceSpan* FindDfs(const TraceSpan& span, std::string_view name) {
+  if (span.name == name) return &span;
+  for (const auto& child : span.children) {
+    if (const TraceSpan* found = FindDfs(*child, name)) return found;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+ExecutionTrace::ExecutionTrace(std::string root_name)
+    : epoch_(Clock::now()) {
+  root_.name = std::move(root_name);
+  root_.start_micros = 0;
+  open_stack_.push_back(&root_);
+  by_id_.push_back(&root_);
+}
+
+uint64_t ExecutionTrace::BeginSpan(std::string_view name) {
+  const int64_t now = NowMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  // After Finish() the stack is empty; re-root late spans under the root so
+  // a stray scope cannot crash or dangle.
+  TraceSpan* parent = open_stack_.empty() ? &root_ : open_stack_.back();
+  auto span = std::make_unique<TraceSpan>();
+  span->name = std::string(name);
+  span->start_micros = now;
+  TraceSpan* raw = span.get();
+  parent->children.push_back(std::move(span));
+  if (!open_stack_.empty()) open_stack_.push_back(raw);
+  by_id_.push_back(raw);
+  return by_id_.size() - 1;
+}
+
+void ExecutionTrace::EndSpan(uint64_t id) {
+  const int64_t now = NowMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id >= by_id_.size()) return;
+  TraceSpan* span = by_id_[id];
+  if (!span->open()) return;
+  // Pop the stack down to (and including) this span, closing any still-open
+  // descendants a caller forgot about on the way.
+  while (!open_stack_.empty()) {
+    TraceSpan* top = open_stack_.back();
+    open_stack_.pop_back();
+    if (top->open()) top->duration_micros = now - top->start_micros;
+    if (top == span) return;
+    if (open_stack_.empty()) break;
+  }
+  // `span` was not on the stack (e.g. created after Finish()); close it
+  // directly. The root is never popped by an ordinary EndSpan because the
+  // loop above stops once the stack empties.
+  if (span->open()) span->duration_micros = now - span->start_micros;
+}
+
+void ExecutionTrace::AddCompleteSpan(std::string_view name,
+                                     int64_t start_micros,
+                                     int64_t duration_micros) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TraceSpan* parent = open_stack_.empty() ? &root_ : open_stack_.back();
+  auto span = std::make_unique<TraceSpan>();
+  span->name = std::string(name);
+  span->start_micros = start_micros;
+  span->duration_micros = duration_micros < 0 ? 0 : duration_micros;
+  by_id_.push_back(span.get());
+  parent->children.push_back(std::move(span));
+}
+
+void ExecutionTrace::Finish() {
+  const int64_t now = NowMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  while (!open_stack_.empty()) {
+    TraceSpan* top = open_stack_.back();
+    open_stack_.pop_back();
+    if (top->open()) top->duration_micros = now - top->start_micros;
+  }
+}
+
+int64_t ExecutionTrace::ElapsedMicros() const { return NowMicros(); }
+
+TraceSpan ExecutionTrace::Snapshot() const {
+  const int64_t now = NowMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  TraceSpan copy;
+  CopySpan(root_, &copy, now);
+  return copy;
+}
+
+std::string ExecutionTrace::ToJson() const {
+  const int64_t now = NowMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonWriter w;
+  WriteSpan(w, root_, now);
+  return w.Take();
+}
+
+bool ExecutionTrace::FindSpan(std::string_view name, TraceSpan* out) const {
+  TraceSpan snapshot = Snapshot();
+  const TraceSpan* found = FindDfs(snapshot, name);
+  if (found == nullptr) return false;
+  if (out != nullptr) {
+    out->name = found->name;
+    out->start_micros = found->start_micros;
+    out->duration_micros = found->duration_micros;
+    out->children.clear();
+    for (const auto& child : found->children) {
+      auto copy = std::make_unique<TraceSpan>();
+      CopySpan(*child, copy.get(), 0);
+      out->children.push_back(std::move(copy));
+    }
+  }
+  return true;
+}
+
+}  // namespace paradise

@@ -1,0 +1,112 @@
+// ExecutionTrace: a per-query tree of timed spans — plan, index lookup,
+// chunk scan/probe, aggregate, merge, emit — the structured counterpart of
+// PhaseTimer's flat totals (DESIGN.md choice 10). The paper's §5.5.1
+// argument rests on separating scan cost from aggregation cost; a trace
+// makes that separation visible per query, with nesting and start times.
+//
+// Concurrency contract: spans are opened and closed by the coordinating
+// thread only (every ScopedPhase in the engines runs on it). The API is
+// nevertheless mutex-guarded so a worker reading ToJson() mid-query, or a
+// misplaced span, corrupts nothing. Parallel workers contribute CPU-second
+// totals through PhaseTimer, not spans; the "probe+aggregate" span brackets
+// their whole fork/join region in wall-clock terms.
+//
+// Tracing is opt-in per query (RunQueryOptions::trace). When off, no
+// ExecutionTrace exists and the ScopedPhase hook is one null test.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace paradise {
+
+/// One node of the span tree. `start_micros` is relative to the trace
+/// epoch (its construction); `duration_micros` is -1 while the span is
+/// still open.
+struct TraceSpan {
+  std::string name;
+  int64_t start_micros = 0;
+  int64_t duration_micros = -1;
+  std::vector<std::unique_ptr<TraceSpan>> children;
+
+  bool open() const { return duration_micros < 0; }
+};
+
+class ExecutionTrace {
+ public:
+  /// The root span (named `root_name`) opens immediately.
+  explicit ExecutionTrace(std::string root_name = "query");
+
+  ExecutionTrace(const ExecutionTrace&) = delete;
+  ExecutionTrace& operator=(const ExecutionTrace&) = delete;
+
+  /// Opens a child of the innermost open span and returns its id.
+  uint64_t BeginSpan(std::string_view name);
+
+  /// Closes span `id` (and, defensively, any still-open spans nested inside
+  /// it). Unknown or already-closed ids are ignored.
+  void EndSpan(uint64_t id);
+
+  /// Adds an already-measured closed span under the innermost open span —
+  /// for timings captured elsewhere (e.g. PhaseTimer totals of engines that
+  /// only report aggregates).
+  void AddCompleteSpan(std::string_view name, int64_t start_micros,
+                       int64_t duration_micros);
+
+  /// Closes every span that is still open, the root included. Idempotent.
+  void Finish();
+
+  /// Microseconds since trace construction.
+  int64_t ElapsedMicros() const;
+
+  /// Deep copy of the root span (open spans report their live duration).
+  TraceSpan Snapshot() const;
+
+  /// The span tree as one JSON object:
+  ///   {"name":..,"start_micros":..,"duration_micros":..,
+  ///    "children":[...]}        ("children" omitted when empty)
+  std::string ToJson() const;
+
+  /// First span with `name` in depth-first order, or nullopt-like empty
+  /// span copy check via found flag. Intended for tests.
+  bool FindSpan(std::string_view name, TraceSpan* out) const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  int64_t NowMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 epoch_)
+        .count();
+  }
+
+  mutable std::mutex mu_;
+  TraceSpan root_;
+  Clock::time_point epoch_;
+  std::vector<TraceSpan*> open_stack_;  // root at [0]; innermost at back
+  std::vector<TraceSpan*> by_id_;       // id -> node (root = 0)
+};
+
+/// RAII span guard; a null trace makes it a no-op.
+class TraceScope {
+ public:
+  TraceScope(ExecutionTrace* trace, std::string_view name) : trace_(trace) {
+    if (trace_ != nullptr) id_ = trace_->BeginSpan(name);
+  }
+  ~TraceScope() {
+    if (trace_ != nullptr) trace_->EndSpan(id_);
+  }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  ExecutionTrace* trace_;
+  uint64_t id_ = 0;
+};
+
+}  // namespace paradise

@@ -1,5 +1,6 @@
 #include "query/engine.h"
 
+#include "common/json_writer.h"
 #include "core/consolidate.h"
 #include "core/consolidate_select.h"
 #include "core/parallel.h"
@@ -31,14 +32,22 @@ namespace {
 Result<Execution> RunQueryImpl(Database* db, EngineKind kind,
                                const query::ConsolidationQuery& q,
                                const RunQueryOptions& options) {
-  if (options.cold) {
-    PARADISE_RETURN_IF_ERROR(db->DropCaches());
-  }
   if (options.num_threads == 0) {
     return Status::InvalidArgument("num_threads must be >= 1");
   }
-  const BufferPoolStats before = db->storage()->pool()->stats();
   Execution exec;
+  if (options.trace) {
+    exec.stats.trace = std::make_shared<ExecutionTrace>(
+        "query:" + std::string(EngineKindToString(kind)));
+    // Every ScopedPhase the engines open on the coordinator thread now also
+    // records a trace span; worker threads use sink-less scratch timers.
+    exec.stats.phases.set_trace(exec.stats.trace.get());
+  }
+  if (options.cold) {
+    TraceScope drop_span(exec.stats.trace.get(), "drop-caches");
+    PARADISE_RETURN_IF_ERROR(db->DropCaches());
+  }
+  const BufferPoolStats before = db->storage()->pool()->stats();
   Stopwatch watch;
 
   switch (kind) {
@@ -125,10 +134,47 @@ Result<Execution> RunQueryImpl(Database* db, EngineKind kind,
 
   exec.stats.seconds = watch.ElapsedSeconds();
   exec.stats.io = db->storage()->pool()->stats().Delta(before);
+  if (exec.stats.trace != nullptr) {
+    exec.stats.phases.set_trace(nullptr);
+    exec.stats.trace->Finish();
+  }
   return exec;
 }
 
 }  // namespace
+
+std::string ExecutionStats::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("seconds", seconds);
+  w.KV("modeled_seconds", ModeledSeconds());
+  w.KV("aux", aux);
+  w.Key("io");
+  w.BeginObject();
+  w.KV("logical_reads", io.logical_reads);
+  w.KV("hits", io.hits);
+  w.KV("disk_reads", io.disk_reads);
+  w.KV("seq_disk_reads", io.seq_disk_reads);
+  w.KV("rand_disk_reads", io.rand_disk_reads);
+  w.KV("disk_writes", io.disk_writes);
+  w.KV("evictions", io.evictions);
+  w.KV("read_retries", io.read_retries);
+  w.KV("coalesced_reads", io.coalesced_reads);
+  w.KV("prefetched", io.prefetched);
+  w.KV("prefetch_hits", io.prefetch_hits);
+  w.KV("prefetch_wasted", io.prefetch_wasted);
+  w.EndObject();
+  w.Key("phases");
+  w.BeginObject();
+  for (const auto& [phase, micros] : phases.Snapshot()) w.KV(phase, micros);
+  w.EndObject();
+  if (trace != nullptr) {
+    w.Key("trace");
+    w.Raw(trace->ToJson());
+  }
+  w.EndObject();
+  return w.Take();
+}
 
 Result<Execution> RunQuery(Database* db, EngineKind kind,
                            const query::ConsolidationQuery& q, bool cold) {

@@ -4,10 +4,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <string_view>
 
 #include "common/result.h"
 #include "common/stopwatch.h"
+#include "common/trace.h"
 #include "query/query.h"
 #include "query/result.h"
 #include "schema/database.h"
@@ -56,9 +59,24 @@ struct ExecutionStats {
   /// Algorithm-specific: array+selection = chunks read; bitmap = set bits in
   /// the final bitmap; left-deep = materialized intermediate rows.
   uint64_t aux = 0;
+  /// Span tree of the query (plan → scan/probe → aggregate → merge), present
+  /// when the query ran with RunQueryOptions::trace. Shared so copies of the
+  /// stats stay cheap.
+  std::shared_ptr<ExecutionTrace> trace;
 
   /// Disk-bound time estimate under the paper's hardware (see IoModel1997).
   double ModeledSeconds() const { return ModeledIoSeconds(io); }
+
+  /// The stats as one JSON object — the schema every observability surface
+  /// (tools/dbstats, the bench BENCH_*.json files) shares:
+  ///   {"seconds":..,"modeled_seconds":..,"aux":..,
+  ///    "io":{"logical_reads":..,"hits":..,"disk_reads":..,
+  ///          "seq_disk_reads":..,"rand_disk_reads":..,"disk_writes":..,
+  ///          "evictions":..,"read_retries":..,"coalesced_reads":..,
+  ///          "prefetched":..,"prefetch_hits":..,"prefetch_wasted":..},
+  ///    "phases":{name:micros,...},
+  ///    "trace":{...}}            ("trace" omitted when not traced)
+  std::string ToJson() const;
 };
 
 struct Execution {
@@ -74,6 +92,10 @@ struct RunQueryOptions {
   /// algorithms. Other engines ignore this and run serially. Parallel runs
   /// produce bit-identical results to serial ones.
   size_t num_threads = 1;
+  /// Collect an ExecutionTrace (span per engine phase) into
+  /// ExecutionStats::trace. Off by default: tracing costs one span
+  /// allocation per ScopedPhase on the coordinator thread.
+  bool trace = false;
 };
 
 /// Runs `q` with engine `kind`. With `cold` (the default, matching the

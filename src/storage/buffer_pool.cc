@@ -60,6 +60,18 @@ BufferPool::BufferPool(Disk* disk, const StorageOptions& options)
       read_retry_limit_(options.read_retry_limit),
       read_retry_backoff_micros_(options.read_retry_backoff_micros),
       eviction_(options.eviction) {
+  if (options.metrics_enabled) {
+    MetricsRegistry& reg = MetricsRegistry::Default();
+    mirror_.hits = reg.GetCounter("bufferpool.hits");
+    mirror_.misses = reg.GetCounter("bufferpool.misses");
+    mirror_.evictions = reg.GetCounter("bufferpool.evictions");
+    mirror_.coalesced_reads = reg.GetCounter("bufferpool.coalesced_reads");
+    mirror_.disk_writes = reg.GetCounter("bufferpool.disk_writes");
+    mirror_.read_retries = reg.GetCounter("bufferpool.read_retries");
+    mirror_.prefetched = reg.GetCounter("prefetch.issued");
+    mirror_.prefetch_hits = reg.GetCounter("prefetch.hits");
+    mirror_.prefetch_wasted = reg.GetCounter("prefetch.wasted");
+  }
   const size_t num_shards = EffectiveShards(options);
   shards_.reserve(num_shards);
   for (size_t s = 0; s < num_shards; ++s) {
@@ -147,11 +159,13 @@ Result<size_t> BufferPool::AcquireFrame(Shard& s) {
     // OLAP read path evicts clean pages almost exclusively.
     PARADISE_RETURN_IF_ERROR(disk_->WritePage(f.page_id, f.data.data()));
     ++s.stats.disk_writes;
+    if (mirror_.disk_writes != nullptr) mirror_.disk_writes->Increment();
     f.dirty = false;
   }
   s.page_table.erase(f.page_id);
   f.page_id = kInvalidPageId;
   ++s.stats.evictions;
+  if (mirror_.evictions != nullptr) mirror_.evictions->Increment();
   return idx;
 }
 
@@ -171,6 +185,7 @@ Result<PageGuard> BufferPool::FetchPage(PageId id) {
   Shard& s = *shards_[shard_index];
   std::unique_lock<std::mutex> lock(s.mu);
   ++s.stats.logical_reads;
+  bool counted_coalesced = false;
   for (;;) {
     auto it = s.page_table.find(id);
     if (it == s.page_table.end()) break;
@@ -178,11 +193,20 @@ Result<PageGuard> BufferPool::FetchPage(PageId id) {
     if (f.io_in_progress) {
       // Another thread is reading this page right now; wait instead of
       // issuing a duplicate disk read. On wake the frame may have been
-      // reclaimed (failed read), so re-run the lookup from scratch.
+      // reclaimed (failed read), so re-run the lookup from scratch. Count
+      // the coalescing once per fetch, not once per (spurious) wakeup.
+      if (!counted_coalesced) {
+        counted_coalesced = true;
+        ++s.stats.coalesced_reads;
+        if (mirror_.coalesced_reads != nullptr) {
+          mirror_.coalesced_reads->Increment();
+        }
+      }
       s.io_cv.wait(lock);
       continue;
     }
     ++s.stats.hits;
+    if (mirror_.hits != nullptr) mirror_.hits->Increment();
     ++f.pin_count;
     f.referenced = true;
     f.last_used = ++s.tick;
@@ -208,6 +232,10 @@ Result<PageGuard> BufferPool::FetchPage(PageId id) {
   lock.lock();
   f.io_in_progress = false;
   s.stats.read_retries += retries;
+  if (mirror_.read_retries != nullptr && retries > 0) {
+    mirror_.read_retries->Increment(retries);
+  }
+  if (mirror_.misses != nullptr) mirror_.misses->Increment();
   if (!st.ok()) {
     s.page_table.erase(id);
     f.page_id = kInvalidPageId;
@@ -268,6 +296,7 @@ Status BufferPool::FlushPage(PageId id) {
   if (f.dirty) {
     PARADISE_RETURN_IF_ERROR(disk_->WritePage(f.page_id, f.data.data()));
     ++s.stats.disk_writes;
+    if (mirror_.disk_writes != nullptr) mirror_.disk_writes->Increment();
     f.dirty = false;
   }
   return Status::OK();
@@ -281,6 +310,7 @@ Status BufferPool::FlushAll() {
       if (f.page_id != kInvalidPageId && f.dirty) {
         PARADISE_RETURN_IF_ERROR(disk_->WritePage(f.page_id, f.data.data()));
         ++s.stats.disk_writes;
+        if (mirror_.disk_writes != nullptr) mirror_.disk_writes->Increment();
         f.dirty = false;
       }
     }
@@ -336,9 +366,11 @@ BufferPoolStats BufferPool::stats() const {
     total.disk_writes += s.stats.disk_writes;
     total.evictions += s.stats.evictions;
     total.read_retries += s.stats.read_retries;
+    total.coalesced_reads += s.stats.coalesced_reads;
   }
   total.prefetched = prefetched_.load(std::memory_order_relaxed);
   total.prefetch_hits = prefetch_hits_.load(std::memory_order_relaxed);
+  total.prefetch_wasted = prefetch_wasted_.load(std::memory_order_relaxed);
   return total;
 }
 
@@ -350,6 +382,23 @@ void BufferPool::ResetStats() {
   }
   prefetched_.store(0, std::memory_order_relaxed);
   prefetch_hits_.store(0, std::memory_order_relaxed);
+  prefetch_wasted_.store(0, std::memory_order_relaxed);
+}
+
+void BufferPool::RecordPrefetch() {
+  prefetched_.fetch_add(1, std::memory_order_relaxed);
+  if (mirror_.prefetched != nullptr) mirror_.prefetched->Increment();
+}
+
+void BufferPool::RecordPrefetchHit() {
+  prefetch_hits_.fetch_add(1, std::memory_order_relaxed);
+  if (mirror_.prefetch_hits != nullptr) mirror_.prefetch_hits->Increment();
+}
+
+void BufferPool::RecordPrefetchWasted(uint64_t n) {
+  if (n == 0) return;
+  prefetch_wasted_.fetch_add(n, std::memory_order_relaxed);
+  if (mirror_.prefetch_wasted != nullptr) mirror_.prefetch_wasted->Increment(n);
 }
 
 size_t BufferPool::pinned_frames() const {

@@ -24,6 +24,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/options.h"
 #include "common/result.h"
 #include "common/status.h"
@@ -49,23 +50,35 @@ struct BufferPoolStats {
   uint64_t evictions = 0;
   /// Disk reads re-issued after a transient (kIOError) failure.
   uint64_t read_retries = 0;
-  /// Chunk blobs read ahead of consumers by the background I/O pool, and the
-  /// subset a consumer later took without waiting (see ChunkReadAhead).
+  /// Fetches that found another thread's read of the same page already in
+  /// flight and waited on it instead of duplicating the I/O.
+  uint64_t coalesced_reads = 0;
+  /// Chunk blobs read ahead of consumers by the background I/O pool, the
+  /// subset a consumer later took without waiting, and the subset that was
+  /// read ahead but never consumed (see ChunkReadAhead).
   uint64_t prefetched = 0;
   uint64_t prefetch_hits = 0;
+  uint64_t prefetch_wasted = 0;
 
+  /// Counter-wise `*this - earlier`, saturating at 0: if ResetStats() ran
+  /// between the two snapshots (as the bench harness does between warm-up
+  /// and measured runs) the later counters can be smaller, and a raw
+  /// unsigned subtract would report ~2^64 events.
   BufferPoolStats Delta(const BufferPoolStats& earlier) const {
+    auto sat = [](uint64_t a, uint64_t b) { return a >= b ? a - b : 0; };
     BufferPoolStats d;
-    d.logical_reads = logical_reads - earlier.logical_reads;
-    d.hits = hits - earlier.hits;
-    d.disk_reads = disk_reads - earlier.disk_reads;
-    d.seq_disk_reads = seq_disk_reads - earlier.seq_disk_reads;
-    d.rand_disk_reads = rand_disk_reads - earlier.rand_disk_reads;
-    d.disk_writes = disk_writes - earlier.disk_writes;
-    d.evictions = evictions - earlier.evictions;
-    d.read_retries = read_retries - earlier.read_retries;
-    d.prefetched = prefetched - earlier.prefetched;
-    d.prefetch_hits = prefetch_hits - earlier.prefetch_hits;
+    d.logical_reads = sat(logical_reads, earlier.logical_reads);
+    d.hits = sat(hits, earlier.hits);
+    d.disk_reads = sat(disk_reads, earlier.disk_reads);
+    d.seq_disk_reads = sat(seq_disk_reads, earlier.seq_disk_reads);
+    d.rand_disk_reads = sat(rand_disk_reads, earlier.rand_disk_reads);
+    d.disk_writes = sat(disk_writes, earlier.disk_writes);
+    d.evictions = sat(evictions, earlier.evictions);
+    d.read_retries = sat(read_retries, earlier.read_retries);
+    d.coalesced_reads = sat(coalesced_reads, earlier.coalesced_reads);
+    d.prefetched = sat(prefetched, earlier.prefetched);
+    d.prefetch_hits = sat(prefetch_hits, earlier.prefetch_hits);
+    d.prefetch_wasted = sat(prefetch_wasted, earlier.prefetch_wasted);
     return d;
   }
 };
@@ -146,10 +159,9 @@ class BufferPool {
   void ResetStats();
 
   /// Read-ahead accounting hooks used by ChunkReadAhead.
-  void RecordPrefetch() { prefetched_.fetch_add(1, std::memory_order_relaxed); }
-  void RecordPrefetchHit() {
-    prefetch_hits_.fetch_add(1, std::memory_order_relaxed);
-  }
+  void RecordPrefetch();
+  void RecordPrefetchHit();
+  void RecordPrefetchWasted(uint64_t n);
 
   /// Number of currently pinned frames (for tests / leak detection).
   size_t pinned_frames() const;
@@ -224,6 +236,23 @@ class BufferPool {
   std::atomic<PageId> last_disk_read_{kInvalidPageId};
   std::atomic<uint64_t> prefetched_{0};
   std::atomic<uint64_t> prefetch_hits_{0};
+  std::atomic<uint64_t> prefetch_wasted_{0};
+
+  /// Process-wide registry mirrors ("bufferpool.*" / "prefetch.*"), resolved
+  /// once at construction when StorageOptions::metrics_enabled is set and
+  /// null otherwise — the disabled hot-path cost is one pointer test.
+  struct Mirror {
+    Counter* hits = nullptr;
+    Counter* misses = nullptr;
+    Counter* evictions = nullptr;
+    Counter* coalesced_reads = nullptr;
+    Counter* disk_writes = nullptr;
+    Counter* read_retries = nullptr;
+    Counter* prefetched = nullptr;
+    Counter* prefetch_hits = nullptr;
+    Counter* prefetch_wasted = nullptr;
+  };
+  Mirror mirror_;
 };
 
 }  // namespace paradise

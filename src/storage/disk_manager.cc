@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <vector>
 
@@ -19,6 +20,12 @@ std::string ErrnoMessage(const std::string& what, const std::string& path) {
 
 bool AllZero(const char* buf, size_t n) {
   return std::all_of(buf, buf + n, [](char c) { return c == 0; });
+}
+
+int64_t MicrosNow() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
 }  // namespace
 
@@ -58,6 +65,12 @@ Status DiskManager::Create(const std::string& path,
   path_ = path;
   page_size_ = options.page_size;
   format_version_ = options.format_version;
+  if (options.metrics_enabled) {
+    MetricsRegistry& reg = MetricsRegistry::Default();
+    h_read_micros_ = reg.GetHistogram("disk.read_micros");
+    h_write_micros_ = reg.GetHistogram("disk.write_micros");
+    h_sync_micros_ = reg.GetHistogram("disk.sync_micros");
+  }
   stride_ = page_header::PhysicalStride(format_version_, page_size_);
   free_list_head_ = kInvalidPageId;
   catalog_oid_ = kInvalidObjectId;
@@ -97,6 +110,12 @@ Status DiskManager::Open(const std::string& path,
   }
   path_ = path;
   page_size_ = options.page_size;
+  if (options.metrics_enabled) {
+    MetricsRegistry& reg = MetricsRegistry::Default();
+    h_read_micros_ = reg.GetHistogram("disk.read_micros");
+    h_write_micros_ = reg.GetHistogram("disk.write_micros");
+    h_sync_micros_ = reg.GetHistogram("disk.sync_micros");
+  }
   load_state_ = page_header::kLoadCommitted;
   epoch_ = 0;
   dirty_since_commit_ = false;
@@ -178,6 +197,7 @@ Status DiskManager::ReadPage(PageId id, char* buf) {
   std::lock_guard<std::recursive_mutex> lock(mu_);
   if (file_ == nullptr) return Status::InvalidArgument("DiskManager not open");
   PARADISE_RETURN_IF_ERROR(CheckPageId(id));
+  const int64_t t0 = h_read_micros_ != nullptr ? MicrosNow() : 0;
   const uint64_t offset = id * stride_;
   if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
     return Status::IOError(ErrnoMessage("seek failed", path_));
@@ -213,6 +233,9 @@ Status DiskManager::ReadPage(PageId id, char* buf) {
     }
   }
   ++reads_;
+  if (h_read_micros_ != nullptr) {
+    h_read_micros_->Record(static_cast<uint64_t>(MicrosNow() - t0));
+  }
   return Status::OK();
 }
 
@@ -220,6 +243,7 @@ Status DiskManager::WritePage(PageId id, const char* buf) {
   std::lock_guard<std::recursive_mutex> lock(mu_);
   PARADISE_RETURN_IF_ERROR(CheckWritable());
   PARADISE_RETURN_IF_ERROR(CheckPageId(id));
+  const int64_t t0 = h_write_micros_ != nullptr ? MicrosNow() : 0;
   const uint64_t offset = id * stride_;
   if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
     return Status::IOError(ErrnoMessage("seek failed", path_));
@@ -238,6 +262,9 @@ Status DiskManager::WritePage(PageId id, const char* buf) {
   }
   ++writes_;
   dirty_since_commit_ = true;
+  if (h_write_micros_ != nullptr) {
+    h_write_micros_->Record(static_cast<uint64_t>(MicrosNow() - t0));
+  }
   return Status::OK();
 }
 
@@ -502,11 +529,15 @@ Status DiskManager::CommitManifest() {
 }
 
 Status DiskManager::SyncFile() {
+  const int64_t t0 = h_sync_micros_ != nullptr ? MicrosNow() : 0;
   if (std::fflush(file_) != 0) {
     return Status::IOError(ErrnoMessage("flush failed", path_));
   }
   if (::fsync(fileno(file_)) != 0) {
     return Status::IOError(ErrnoMessage("fsync failed", path_));
+  }
+  if (h_sync_micros_ != nullptr) {
+    h_sync_micros_->Record(static_cast<uint64_t>(MicrosNow() - t0));
   }
   return Status::OK();
 }

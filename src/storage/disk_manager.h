@@ -17,6 +17,7 @@
 #include <string>
 #include <unordered_set>
 
+#include "common/metrics.h"
 #include "common/options.h"
 #include "common/result.h"
 #include "common/status.h"
@@ -238,6 +239,14 @@ class DiskManager final : public Disk {
   std::unordered_set<PageId> session_freed_;
   uint64_t reads_ = 0;
   uint64_t writes_ = 0;
+
+  /// Registry latency histograms ("disk.read_micros" / "disk.write_micros" /
+  /// "disk.sync_micros"), resolved at Create/Open when
+  /// StorageOptions::metrics_enabled is set; null (one test per I/O) when
+  /// metrics are off.
+  Histogram* h_read_micros_ = nullptr;
+  Histogram* h_write_micros_ = nullptr;
+  Histogram* h_sync_micros_ = nullptr;
 };
 
 /// Reads the raw file header of `path` and returns StorageOptions matching

@@ -43,10 +43,18 @@ void FaultInjectingDiskManager::RecordOp(std::string op) {
   if (faults_.record_ops) op_log_.push_back(std::move(op));
 }
 
+void FaultInjectingDiskManager::CountInjected() {
+  ++injected_;
+  if (m_injected_ != nullptr) m_injected_->Increment();
+}
+
 Status FaultInjectingDiskManager::Create(const std::string& path,
                                          const StorageOptions& options) {
   std::lock_guard<std::recursive_mutex> lock(mu_);
   if (power_lost_) return PowerLossError();
+  if (options.metrics_enabled) {
+    m_injected_ = MetricsRegistry::Default().GetCounter("faults.injected");
+  }
   return inner_->Create(path, options);
 }
 
@@ -54,6 +62,9 @@ Status FaultInjectingDiskManager::Open(const std::string& path,
                                        const StorageOptions& options) {
   std::lock_guard<std::recursive_mutex> lock(mu_);
   if (power_lost_) return PowerLossError();
+  if (options.metrics_enabled) {
+    m_injected_ = MetricsRegistry::Default().GetCounter("faults.injected");
+  }
   return inner_->Open(path, options);
 }
 
@@ -68,7 +79,7 @@ Status FaultInjectingDiskManager::Close() {
   const bool inject = faults_.fail_on_close && Armed();
   Status st = inner_->Close();
   if (st.ok() && inject) {
-    ++injected_;
+    CountInjected();
     return Status::IOError("injected write failure flushing header of " +
                            (path().empty() ? std::string("database file")
                                            : path()));
@@ -100,7 +111,7 @@ Status FaultInjectingDiskManager::Sync() {
   RecordOp("sync");
   if (faults_.fail_nth_sync != 0 && syncs_seen_ == faults_.fail_nth_sync &&
       Armed()) {
-    ++injected_;
+    CountInjected();
     return Status::IOError("injected fsync failure on " + path());
   }
   Status st = inner_->Sync();
@@ -116,7 +127,7 @@ Status FaultInjectingDiskManager::Commit() {
   RecordOp("commit");
   if (faults_.fail_nth_sync != 0 && syncs_seen_ == faults_.fail_nth_sync &&
       Armed()) {
-    ++injected_;
+    CountInjected();
     return Status::IOError("injected fsync failure on " + path());
   }
   Status st = inner_->Commit();
@@ -130,26 +141,26 @@ Status FaultInjectingDiskManager::ReadPage(PageId id, char* buf) {
   ++reads_seen_;
   if (faults_.fail_nth_read != 0 && reads_seen_ == faults_.fail_nth_read &&
       Armed()) {
-    ++injected_;
+    CountInjected();
     return Status::IOError("injected read fault on page " +
                            std::to_string(id));
   }
   if (faults_.flip_bit_on_nth_read != 0 &&
       reads_seen_ == faults_.flip_bit_on_nth_read && Armed()) {
-    ++injected_;
+    CountInjected();
     PARADISE_RETURN_IF_ERROR(
         FlipBitOnDisk(id, rng_.Uniform(8 * inner_->page_size())));
   }
   if (Armed() && InRange(id)) {
     if (faults_.read_error_probability > 0.0 &&
         rng_.Bernoulli(faults_.read_error_probability)) {
-      ++injected_;
+      CountInjected();
       return Status::IOError("injected read fault on page " +
                              std::to_string(id));
     }
     if (faults_.read_bit_flip_probability > 0.0 &&
         rng_.Bernoulli(faults_.read_bit_flip_probability)) {
-      ++injected_;
+      CountInjected();
       PARADISE_RETURN_IF_ERROR(
           FlipBitOnDisk(id, rng_.Uniform(8 * inner_->page_size())));
     }
@@ -166,18 +177,18 @@ Status FaultInjectingDiskManager::WritePage(PageId id, const char* buf) {
   PARADISE_RETURN_IF_ERROR(CapturePreimage(id));
   if (faults_.fail_nth_write != 0 && writes_seen_ == faults_.fail_nth_write &&
       Armed()) {
-    ++injected_;
+    CountInjected();
     return Status::IOError("injected write fault on page " +
                            std::to_string(id));
   }
   if (faults_.torn_write_on_nth_write != 0 &&
       writes_seen_ == faults_.torn_write_on_nth_write && Armed()) {
-    ++injected_;
+    CountInjected();
     return TornWrite(id, buf);
   }
   if (Armed() && InRange(id) && faults_.write_error_probability > 0.0 &&
       rng_.Bernoulli(faults_.write_error_probability)) {
-    ++injected_;
+    CountInjected();
     return Status::IOError("injected write fault on page " +
                            std::to_string(id));
   }
@@ -238,7 +249,7 @@ void FaultInjectingDiskManager::SimulatePowerLoss() {
   std::lock_guard<std::recursive_mutex> lock(mu_);
   if (power_lost_) return;
   power_lost_ = true;
-  ++injected_;
+  CountInjected();
   RecordOp("power_loss");
   if (inner_->is_open() && !preimages_.empty()) {
     // Flush the inner manager's stdio buffers first so none of its pending

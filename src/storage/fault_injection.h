@@ -189,6 +189,9 @@ class FaultInjectingDiskManager final : public Disk {
   /// Gate shared by every operation: fails once the power-loss countdown has
   /// expired (triggering the crash on first expiry).
   Status GateOp();
+
+  /// Bumps the local injected-fault count and its registry mirror.
+  void CountInjected();
   void RecordOp(std::string op);
   Status PowerLossError() const;
 
@@ -222,6 +225,9 @@ class FaultInjectingDiskManager final : public Disk {
   // by page id; restored verbatim on power loss.
   std::map<PageId, std::string> preimages_;
   std::vector<std::string> op_log_;
+  /// "faults.injected" registry mirror, resolved at Create/Open when
+  /// StorageOptions::metrics_enabled is set.
+  Counter* m_injected_ = nullptr;
 };
 
 }  // namespace paradise

@@ -48,6 +48,38 @@ TEST(ChunkLayoutTest, RejectsBadArguments) {
                   .IsInvalidArgument());
 }
 
+TEST(ChunkLayoutTest, RejectsChunkCellCountThatWrapsUint64) {
+  // Three 2^22 extents give 2^66 cells per chunk; the old validation's own
+  // uint64 product wrapped to 4 and the layout was accepted, so every
+  // CoordsToOffset/ChunkOffsetToCoords stored colliding uint32 offsets.
+  EXPECT_TRUE(ChunkLayout::Make({1u << 22, 1u << 22, 1u << 22},
+                                {1u << 22, 1u << 22, 1u << 22})
+                  .status()
+                  .IsInvalidArgument());
+  // Even nastier: 2^16 * 2^16 * 2^32-shaped products. Five 2^13 extents are
+  // 2^65 cells — wraps uint64 to 2, previously accepted.
+  EXPECT_TRUE(ChunkLayout::Make({1u << 13, 1u << 13, 1u << 13, 1u << 13,
+                                 1u << 13},
+                                {1u << 13, 1u << 13, 1u << 13, 1u << 13,
+                                 1u << 13})
+                  .status()
+                  .IsInvalidArgument());
+  // A large-but-legal chunk (just under 2^32 cells) must stay accepted.
+  ASSERT_OK_AND_ASSIGN(
+      ChunkLayout layout,
+      ChunkLayout::Make({1u << 16, 1u << 15}, {1u << 16, 1u << 15}));
+  EXPECT_EQ(layout.num_chunks(), 1u);
+  // Huge total arrays with small chunks are fine as long as the uint64 cell
+  // index space holds: 2^63 total cells, 32^3-cell chunks.
+  EXPECT_OK(ChunkLayout::Make({1u << 21, 1u << 21, 1u << 21}, {32, 32, 32})
+                .status());
+  // A total cell count past 2^64 cannot be indexed by uint64 globals and is
+  // rejected even when each chunk is small.
+  EXPECT_TRUE(ChunkLayout::Make({1u << 22, 1u << 22, 1u << 22}, {32, 32, 32})
+                  .status()
+                  .IsInvalidArgument());
+}
+
 TEST(ChunkLayoutTest, GlobalRoundTrip) {
   ASSERT_OK_AND_ASSIGN(ChunkLayout layout,
                        ChunkLayout::Make({3, 5, 7}, {2, 2, 3}));

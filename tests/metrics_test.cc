@@ -1,0 +1,347 @@
+// Observability-layer tests: histogram bucketing known-answers, registry
+// concurrency, trace span nesting, JSON golden output, the PhaseTimer trace
+// sink, and the disabled-mode zero-allocation guarantee.
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/json_writer.h"
+#include "common/metrics.h"
+#include "common/stopwatch.h"
+#include "common/trace.h"
+#include "query/engine.h"
+
+// Global allocation counter backing the zero-allocation test. Replacing
+// operator new in this TU affects the whole binary, so the override only
+// counts — behavior is unchanged.
+static std::atomic<uint64_t> g_alloc_count{0};
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
+namespace paradise {
+namespace {
+
+// ---------------------------------------------------------------- histogram
+
+TEST(HistogramTest, BucketIndexKnownAnswers) {
+  // Bucket 0 holds exactly 0; bucket i holds [2^(i-1), 2^i).
+  EXPECT_EQ(Histogram::BucketIndex(0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(7), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(8), 4u);
+  EXPECT_EQ(Histogram::BucketIndex(1023), 10u);
+  EXPECT_EQ(Histogram::BucketIndex(1024), 11u);
+  EXPECT_EQ(Histogram::BucketIndex(UINT64_MAX), 64u);
+}
+
+TEST(HistogramTest, BucketBoundsKnownAnswers) {
+  EXPECT_EQ(Histogram::BucketLowerBound(0), 0u);
+  EXPECT_EQ(Histogram::BucketUpperBound(0), 0u);
+  EXPECT_EQ(Histogram::BucketLowerBound(1), 0u);
+  EXPECT_EQ(Histogram::BucketUpperBound(1), 1u);
+  EXPECT_EQ(Histogram::BucketLowerBound(4), 8u);
+  EXPECT_EQ(Histogram::BucketUpperBound(4), 15u);
+  EXPECT_EQ(Histogram::BucketLowerBound(64), uint64_t{1} << 63);
+  EXPECT_EQ(Histogram::BucketUpperBound(64), UINT64_MAX);
+  // Every value lands inside its own bucket's bounds.
+  const uint64_t probes[] = {0, 1, 2, 100, 4096, UINT64_MAX};
+  for (uint64_t v : probes) {
+    const size_t i = Histogram::BucketIndex(v);
+    EXPECT_GE(v, Histogram::BucketLowerBound(i)) << v;
+    EXPECT_LE(v, Histogram::BucketUpperBound(i)) << v;
+  }
+}
+
+TEST(HistogramTest, RecordAggregates) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+  for (uint64_t v : {10ull, 20ull, 30ull, 40ull}) h.Record(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 100u);
+  EXPECT_EQ(h.min(), 10u);
+  EXPECT_EQ(h.max(), 40u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 25.0);
+  // 10 → bucket 4 ([8,16)); 20, 30 → bucket 5 ([16,32)); 40 → bucket 6.
+  EXPECT_EQ(h.bucket_count(4), 1u);
+  EXPECT_EQ(h.bucket_count(5), 2u);
+  EXPECT_EQ(h.bucket_count(6), 1u);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(HistogramTest, PercentileUpperBoundClampsToObservedMax) {
+  Histogram h;
+  for (int i = 0; i < 99; ++i) h.Record(10);
+  h.Record(1000);
+  // p50 falls in the [8,16) bucket → upper edge 15.
+  EXPECT_EQ(h.PercentileUpperBound(0.50), 15u);
+  // p99+ falls in 1000's bucket ([512,1024), edge 1023) but is clamped to
+  // the observed max.
+  EXPECT_EQ(h.PercentileUpperBound(1.0), 1000u);
+  EXPECT_EQ(h.PercentileUpperBound(0.0), 15u);
+  Histogram empty;
+  EXPECT_EQ(empty.PercentileUpperBound(0.5), 0u);
+}
+
+// ----------------------------------------------------------------- registry
+
+TEST(MetricsRegistryTest, HandlesAreStableAndNamespaced) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("x");
+  EXPECT_EQ(reg.GetCounter("x"), c);
+  // Same name, different kind → distinct metric.
+  Gauge* g = reg.GetGauge("x");
+  Histogram* h = reg.GetHistogram("x");
+  EXPECT_NE(static_cast<void*>(c), static_cast<void*>(g));
+  c->Increment(3);
+  g->Set(-7);
+  h->Record(5);
+  EXPECT_EQ(reg.FindCounter("x")->value(), 3u);
+  EXPECT_EQ(reg.FindGauge("x")->value(), -7);
+  EXPECT_EQ(reg.FindHistogram("x")->count(), 1u);
+  EXPECT_EQ(reg.FindCounter("absent"), nullptr);
+  reg.ResetAll();
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_EQ(g->value(), 0);
+  EXPECT_EQ(h->count(), 0u);
+  EXPECT_EQ(reg.CounterNames(), std::vector<std::string>{"x"});
+}
+
+TEST(MetricsRegistryTest, ConcurrentRegistrationAndRecording) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, t] {
+      for (int i = 0; i < kIters; ++i) {
+        // Mix of shared and per-thread names so registration races with
+        // lookup and with recording on already-registered metrics.
+        reg.GetCounter("shared")->Increment();
+        reg.GetCounter("thread." + std::to_string(t))->Increment();
+        reg.GetHistogram("lat")->Record(static_cast<uint64_t>(i));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(reg.FindCounter("shared")->value(),
+            static_cast<uint64_t>(kThreads) * kIters);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(reg.FindCounter("thread." + std::to_string(t))->value(),
+              static_cast<uint64_t>(kIters));
+  }
+  EXPECT_EQ(reg.FindHistogram("lat")->count(),
+            static_cast<uint64_t>(kThreads) * kIters);
+}
+
+TEST(MetricsRegistryTest, DefaultIsProcessWide) {
+  Counter* a = MetricsRegistry::Default().GetCounter("metrics_test.default");
+  Counter* b = MetricsRegistry::Default().GetCounter("metrics_test.default");
+  EXPECT_EQ(a, b);
+}
+
+TEST(MetricsRegistryTest, ToJsonGolden) {
+  MetricsRegistry reg;
+  reg.GetCounter("b.count")->Increment(2);
+  reg.GetCounter("a.count")->Increment(1);
+  reg.GetGauge("pool.pages")->Set(-5);
+  Histogram* h = reg.GetHistogram("io.micros");
+  h->Record(0);
+  h->Record(3);
+  h->Record(3);
+  // Deterministic byte-for-byte: maps iterate sorted, histogram stats are
+  // exact functions of the recorded values.
+  EXPECT_EQ(reg.ToJson(),
+            "{\"counters\":{\"a.count\":1,\"b.count\":2},"
+            "\"gauges\":{\"pool.pages\":-5},"
+            "\"histograms\":{\"io.micros\":{"
+            "\"count\":3,\"sum\":6,\"min\":0,\"max\":3,\"mean\":2.000000,"
+            "\"p50\":3,\"p95\":3,\"p99\":3,"
+            "\"buckets\":[[0,1],[2,2]]}}}");
+}
+
+// -------------------------------------------------------------- json writer
+
+TEST(JsonWriterTest, EscapesAndNesting) {
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("s", std::string_view("a\"b\\c\nd"));
+  w.Key("arr");
+  w.BeginArray();
+  w.Uint(1);
+  w.Int(-2);
+  w.Bool(true);
+  w.Null();
+  w.EndArray();
+  w.Key("nested");
+  w.BeginObject();
+  w.EndObject();
+  w.EndObject();
+  EXPECT_EQ(w.str(),
+            "{\"s\":\"a\\\"b\\\\c\\nd\",\"arr\":[1,-2,true,null],"
+            "\"nested\":{}}");
+}
+
+// -------------------------------------------------------------------- trace
+
+TEST(ExecutionTraceTest, SpansNestUnderInnermostOpen) {
+  ExecutionTrace t("query");
+  const uint64_t plan = t.BeginSpan("plan");
+  t.EndSpan(plan);
+  const uint64_t scan = t.BeginSpan("scan");
+  const uint64_t chunk = t.BeginSpan("chunk");
+  t.EndSpan(chunk);
+  t.EndSpan(scan);
+  t.Finish();
+
+  TraceSpan root = t.Snapshot();
+  EXPECT_EQ(root.name, "query");
+  EXPECT_GE(root.duration_micros, 0);
+  ASSERT_EQ(root.children.size(), 2u);
+  EXPECT_EQ(root.children[0]->name, "plan");
+  EXPECT_EQ(root.children[1]->name, "scan");
+  ASSERT_EQ(root.children[1]->children.size(), 1u);
+  EXPECT_EQ(root.children[1]->children[0]->name, "chunk");
+
+  TraceSpan found;
+  EXPECT_TRUE(t.FindSpan("chunk", &found));
+  EXPECT_GE(found.duration_micros, 0);
+  EXPECT_FALSE(t.FindSpan("no-such-span", nullptr));
+}
+
+TEST(ExecutionTraceTest, EndSpanClosesForgottenDescendants) {
+  ExecutionTrace t;
+  const uint64_t outer = t.BeginSpan("outer");
+  (void)t.BeginSpan("inner-forgotten");
+  t.EndSpan(outer);  // must close "inner-forgotten" too
+  TraceSpan inner;
+  ASSERT_TRUE(t.FindSpan("inner-forgotten", &inner));
+  EXPECT_GE(inner.duration_micros, 0);
+  // Double-close and unknown ids are ignored.
+  t.EndSpan(outer);
+  t.EndSpan(12345);
+  t.Finish();
+  t.Finish();
+  TraceSpan root = t.Snapshot();
+  EXPECT_GE(root.duration_micros, 0);
+}
+
+TEST(ExecutionTraceTest, CompleteSpansAndJsonShape) {
+  ExecutionTrace t("q");
+  const uint64_t scan = t.BeginSpan("scan");
+  t.AddCompleteSpan("precomputed", 5, 17);
+  t.EndSpan(scan);
+  t.Finish();
+  const std::string json = t.ToJson();
+  EXPECT_NE(json.find("\"name\":\"q\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"scan\""), std::string::npos);
+  EXPECT_NE(
+      json.find("{\"name\":\"precomputed\",\"start_micros\":5,"
+                "\"duration_micros\":17}"),
+      std::string::npos);
+  // Exactly one "children" array under root, one under scan.
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(PhaseTimerTest, TraceSinkRecordsSpansAndIsNotCopied) {
+  ExecutionTrace trace("q");
+  PhaseTimer timer;
+  timer.set_trace(&trace);
+  {
+    ScopedPhase outer(&timer, "scan");
+    ScopedPhase inner(&timer, "aggregate");
+  }
+  PhaseTimer copy(timer);
+  EXPECT_EQ(copy.trace(), nullptr);  // copies must not keep feeding spans
+  EXPECT_EQ(copy.Micros("scan"), timer.Micros("scan"));
+  PhaseTimer assigned;
+  assigned = timer;
+  EXPECT_EQ(assigned.trace(), nullptr);
+  timer.set_trace(nullptr);
+  { ScopedPhase after(&timer, "untraced"); }
+  trace.Finish();
+
+  TraceSpan root = trace.Snapshot();
+  ASSERT_EQ(root.children.size(), 1u);
+  EXPECT_EQ(root.children[0]->name, "scan");
+  ASSERT_EQ(root.children[0]->children.size(), 1u);
+  EXPECT_EQ(root.children[0]->children[0]->name, "aggregate");
+  EXPECT_FALSE(trace.FindSpan("untraced", nullptr));
+  // Flat totals still recorded for all three phases.
+  EXPECT_GE(timer.Micros("scan"), 0);
+  EXPECT_GE(timer.Micros("untraced"), 0);
+}
+
+// ---------------------------------------------------- ExecutionStats schema
+
+TEST(ExecutionStatsTest, ToJsonCarriesDocumentedSchema) {
+  ExecutionStats stats;
+  stats.seconds = 1.5;
+  stats.aux = 42;
+  stats.io.logical_reads = 10;
+  stats.io.hits = 7;
+  stats.io.disk_reads = 3;
+  stats.io.seq_disk_reads = 2;
+  stats.io.rand_disk_reads = 1;
+  stats.phases.Add("scan", 1000);
+  const std::string json = stats.ToJson();
+  for (const char* key :
+       {"\"seconds\":", "\"modeled_seconds\":", "\"aux\":42", "\"io\":",
+        "\"logical_reads\":10", "\"hits\":7", "\"disk_reads\":3",
+        "\"seq_disk_reads\":2", "\"rand_disk_reads\":1", "\"disk_writes\":0",
+        "\"evictions\":0", "\"read_retries\":0", "\"coalesced_reads\":0",
+        "\"prefetched\":0", "\"prefetch_hits\":0", "\"prefetch_wasted\":0",
+        "\"phases\":", "\"scan\":1000"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
+  }
+  // No trace attached → no trace key.
+  EXPECT_EQ(json.find("\"trace\":"), std::string::npos);
+
+  stats.trace = std::make_shared<ExecutionTrace>("query:array");
+  stats.trace->Finish();
+  const std::string traced = stats.ToJson();
+  EXPECT_NE(traced.find("\"trace\":{\"name\":\"query:array\""),
+            std::string::npos);
+}
+
+// ----------------------------------------------------- disabled-mode cost
+
+TEST(DisabledModeTest, RecordingPathsDoNotAllocate) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("hot.counter");
+  Gauge* g = reg.GetGauge("hot.gauge");
+  Histogram* h = reg.GetHistogram("hot.histogram");
+  const uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  for (uint64_t i = 0; i < 10000; ++i) {
+    c->Increment();
+    g->Add(1);
+    h->Record(i);
+  }
+  // A null trace makes TraceScope a no-op — the disabled-tracing hot path.
+  for (int i = 0; i < 1000; ++i) {
+    TraceScope scope(nullptr, "not-traced");
+  }
+  const uint64_t after = g_alloc_count.load(std::memory_order_relaxed);
+  EXPECT_EQ(after, before) << "metric recording must never allocate";
+}
+
+}  // namespace
+}  // namespace paradise

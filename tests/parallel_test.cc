@@ -93,6 +93,47 @@ TEST_P(ParallelConsolidateTest, SelectionMatchesSerialResult) {
   }
 }
 
+TEST_P(ParallelConsolidateTest, EmptySelectionShortCircuits) {
+  const size_t threads = GetParam();
+  // A predicate matching no attribute value must produce an empty result
+  // WITHOUT enumerating chunk order: the §4.2 early return fires before any
+  // chunk I/O, on the serial and the parallel path alike.
+  query::ConsolidationQuery q = gen::Query1(3);
+  query::Selection s;
+  s.attr_col = 1;
+  s.values = {query::Literal{"ZZNOSUCHVALUE"}};
+  q.dims[0].selections.push_back(std::move(s));
+
+  ArraySelectStats serial_stats;
+  ASSERT_OK_AND_ASSIGN(
+      query::GroupedResult serial,
+      ArrayConsolidateWithSelection(*db_->olap(), q, nullptr, &serial_stats));
+  EXPECT_EQ(serial.num_groups(), 0u);
+  EXPECT_EQ(serial_stats.chunks_read, 0u);
+  EXPECT_EQ(serial_stats.candidates, 0u);
+
+  ArraySelectStats par_select_stats;
+  ParallelConsolidateStats par_stats;
+  ASSERT_OK_AND_ASSIGN(
+      query::GroupedResult parallel,
+      ParallelArrayConsolidateWithSelection(*db_->olap(), q, threads, nullptr,
+                                            &par_select_stats, &par_stats));
+  EXPECT_EQ(parallel.num_groups(), 0u);
+  EXPECT_EQ(par_select_stats.chunks_read, 0u);
+  EXPECT_EQ(par_select_stats.candidates, 0u);
+  EXPECT_TRUE(parallel.SameAs(serial));
+
+  // The same shape through the engine entry point (cold, both thread modes).
+  for (size_t engine_threads : {size_t{1}, threads}) {
+    RunQueryOptions options;
+    options.num_threads = engine_threads;
+    ASSERT_OK_AND_ASSIGN(Execution exec,
+                         RunQuery(db_.get(), EngineKind::kArray, q, options));
+    EXPECT_EQ(exec.result.num_groups(), 0u);
+    EXPECT_EQ(exec.stats.aux, 0u);  // chunks_read
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Threads, ParallelConsolidateTest,
                          ::testing::Values(1, 2, 3, 4, 8));
 

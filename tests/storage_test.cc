@@ -248,6 +248,71 @@ TEST_F(BufferPoolTest, FlushAndEvictEmptiesPool) {
   EXPECT_EQ(pool_->stats().disk_reads, 1u);  // cold again
 }
 
+TEST(BufferPoolStatsTest, DeltaSaturatesInsteadOfUnderflowing) {
+  // The bench harness snapshots stats, runs a warm-up, calls ResetStats(),
+  // then snapshots again: the later counters are SMALLER than the earlier
+  // ones. A raw unsigned subtract turned every delta into ~2^64.
+  BufferPoolStats earlier;
+  earlier.logical_reads = 100;
+  earlier.hits = 80;
+  earlier.disk_reads = 20;
+  earlier.seq_disk_reads = 12;
+  earlier.rand_disk_reads = 8;
+  earlier.disk_writes = 5;
+  earlier.evictions = 3;
+  earlier.read_retries = 2;
+  earlier.coalesced_reads = 4;
+  earlier.prefetched = 6;
+  earlier.prefetch_hits = 5;
+  earlier.prefetch_wasted = 1;
+  BufferPoolStats later;  // all zero, as right after ResetStats()
+  later.logical_reads = 10;
+  later.hits = 4;
+  const BufferPoolStats d = later.Delta(earlier);
+  EXPECT_EQ(d.logical_reads, 0u);
+  EXPECT_EQ(d.hits, 0u);
+  EXPECT_EQ(d.disk_reads, 0u);
+  EXPECT_EQ(d.seq_disk_reads, 0u);
+  EXPECT_EQ(d.rand_disk_reads, 0u);
+  EXPECT_EQ(d.disk_writes, 0u);
+  EXPECT_EQ(d.evictions, 0u);
+  EXPECT_EQ(d.read_retries, 0u);
+  EXPECT_EQ(d.coalesced_reads, 0u);
+  EXPECT_EQ(d.prefetched, 0u);
+  EXPECT_EQ(d.prefetch_hits, 0u);
+  EXPECT_EQ(d.prefetch_wasted, 0u);
+  // The normal monotonic direction still subtracts exactly.
+  const BufferPoolStats forward = earlier.Delta(later);
+  EXPECT_EQ(forward.logical_reads, 90u);
+  EXPECT_EQ(forward.hits, 76u);
+  EXPECT_EQ(forward.disk_reads, 20u);
+}
+
+TEST(BufferPoolStatsTest, DeltaAcrossResetStatsStaysSane) {
+  TempFile file("pool_delta_reset");
+  StorageOptions options = SmallOptions();
+  DiskManager disk;
+  ASSERT_OK(disk.Create(file.path(), options));
+  BufferPool pool(&disk, options);
+  std::vector<PageId> ids;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_OK_AND_ASSIGN(PageGuard g, pool.NewPage());
+    ids.push_back(g.page_id());
+  }
+  for (PageId id : ids) {
+    ASSERT_OK_AND_ASSIGN(PageGuard g, pool.FetchPage(id));
+  }
+  const BufferPoolStats before = pool.stats();
+  ASSERT_GT(before.logical_reads, 0u);
+  pool.ResetStats();
+  ASSERT_OK_AND_ASSIGN(PageGuard g, pool.FetchPage(ids[0]));
+  const BufferPoolStats delta = pool.stats().Delta(before);
+  // One fetch happened since the reset; every field must be small, not 2^64.
+  EXPECT_LE(delta.logical_reads, 1u);
+  EXPECT_LE(delta.hits, 1u);
+  EXPECT_LE(delta.disk_reads, 1u);
+}
+
 TEST(BufferPoolLruTest, EvictsLeastRecentlyUsed) {
   TempFile file("pool_lru");
   StorageOptions options = SmallOptions();

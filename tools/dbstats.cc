@@ -1,0 +1,221 @@
+// dbstats: observability snapshot for a paradise database file.
+//
+//   dbstats [flags] <database-file>
+//
+// Opens the database with metrics enabled, runs one consolidation query
+// under tracing, and prints a single JSON document to stdout:
+//
+//   {"file": {...},             // path, page size, format, page count
+//    "storage": {...},          // Database::ReportStorage footprints
+//    "array": {...},            // layout summary (when the cube has one)
+//    "query": {"engine":..,"threads":..,"groups":..,
+//              "stats": <ExecutionStats::ToJson>},   // incl. "trace"
+//    "registry": <MetricsRegistry::ToJson>}          // process-wide metrics
+//
+// The "stats" object is the same schema the bench binaries write into their
+// BENCH_*.json files, and the recipe in EXPERIMENTS.md uses the trace spans
+// to reproduce the paper's §5.5.1 phase breakdown.
+//
+// Flags:
+//   --make-demo      build a small synthetic demo cube at <database-file>
+//                    first (overwrites; used by the CI smoke test)
+//   --engine NAME    array|starjoin|bitmap|leftdeep (default array)
+//   --threads N      array-engine worker threads (default 1)
+//   --warm           skip the cold-buffer protocol before the query
+//   --no-trace       disable the per-query ExecutionTrace
+//   --no-query       snapshot file/storage/registry state only
+//
+// Exit codes: 0 = ok, 2 = could not run.
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "common/json_writer.h"
+#include "common/metrics.h"
+#include "gen/datasets.h"
+#include "gen/generator.h"
+#include "query/engine.h"
+#include "schema/database.h"
+#include "schema/loader.h"
+
+namespace paradise {
+namespace {
+
+struct Args {
+  std::string path;
+  std::string engine = "array";
+  size_t threads = 1;
+  bool make_demo = false;
+  bool warm = false;
+  bool trace = true;
+  bool run_query = true;
+};
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--make-demo] [--engine array|starjoin|bitmap|"
+               "leftdeep] [--threads N] [--warm] [--no-trace] [--no-query] "
+               "<database-file>\n",
+               argv0);
+  return 2;
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--make-demo") {
+      args->make_demo = true;
+    } else if (arg == "--warm") {
+      args->warm = true;
+    } else if (arg == "--no-trace") {
+      args->trace = false;
+    } else if (arg == "--no-query") {
+      args->run_query = false;
+    } else if (arg == "--engine" && i + 1 < argc) {
+      args->engine = argv[++i];
+    } else if (arg == "--threads" && i + 1 < argc) {
+      args->threads = static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (!arg.empty() && arg[0] == '-') {
+      return false;
+    } else if (args->path.empty()) {
+      args->path = arg;
+    } else {
+      return false;
+    }
+  }
+  return !args->path.empty() && args->threads > 0;
+}
+
+Result<EngineKind> ParseEngine(const std::string& name) {
+  if (name == "array") return EngineKind::kArray;
+  if (name == "starjoin") return EngineKind::kStarJoin;
+  if (name == "bitmap") return EngineKind::kBitmap;
+  if (name == "leftdeep") return EngineKind::kLeftDeep;
+  if (name == "btreeselect") return EngineKind::kBTreeSelect;
+  return Status::InvalidArgument("unknown engine: " + name);
+}
+
+/// A deliberately small cube (3 dims, ~2000 valid cells) so the CI smoke
+/// step builds, queries and traces in well under a second.
+gen::GenConfig DemoConfig() {
+  gen::GenConfig config;
+  config.dims.resize(3);
+  const uint32_t sizes[3] = {16, 12, 20};
+  for (size_t d = 0; d < 3; ++d) {
+    config.dims[d].name = "dim" + std::to_string(d);
+    config.dims[d].size = sizes[d];
+    config.dims[d].level_cardinalities = {8, 4};
+  }
+  config.num_valid_cells = 2000;
+  config.seed = 1998;  // the paper's year
+  config.chunk_extents = {4, 4, 5};
+  return config;
+}
+
+Status MakeDemo(const std::string& path) {
+  DatabaseOptions options;
+  options.storage.page_size = 4096;
+  options.storage.buffer_pool_pages = 256;
+  options.storage.pages_per_extent = 8;
+  options.storage.allow_overwrite = true;
+  std::remove(path.c_str());
+  PARADISE_ASSIGN_OR_RETURN(std::unique_ptr<Database> db,
+                            BuildDatabaseFromConfig(path, DemoConfig(),
+                                                    options));
+  return db->DropCaches();  // flush everything before the reopen below
+}
+
+Status Run(const Args& args) {
+  if (args.make_demo) {
+    PARADISE_RETURN_IF_ERROR(MakeDemo(args.path));
+  }
+  PARADISE_ASSIGN_OR_RETURN(StorageOptions storage,
+                            ProbeStorageOptions(args.path));
+  DatabaseOptions options;
+  options.storage = storage;
+  options.storage.metrics_enabled = true;
+  PARADISE_ASSIGN_OR_RETURN(std::unique_ptr<Database> db,
+                            Database::Open(args.path, options));
+
+  JsonWriter w;
+  w.BeginObject();
+
+  w.Key("file");
+  w.BeginObject();
+  w.KV("path", args.path);
+  w.KV("page_size",
+       static_cast<uint64_t>(db->storage()->disk()->page_size()));
+  w.KV("format_version",
+       static_cast<uint64_t>(db->storage()->disk()->format_version()));
+  w.KV("page_count", db->storage()->disk()->page_count());
+  w.EndObject();
+
+  PARADISE_ASSIGN_OR_RETURN(Database::StorageReport report,
+                            db->ReportStorage());
+  w.Key("storage");
+  w.BeginObject();
+  w.KV("fact_file_bytes", report.fact_file_bytes);
+  w.KV("array_data_bytes", report.array_data_bytes);
+  w.KV("array_pages_bytes", report.array_pages_bytes);
+  w.KV("bitmap_bytes", report.bitmap_bytes);
+  w.KV("file_bytes", report.file_bytes);
+  w.EndObject();
+
+  if (db->has_olap()) {
+    const ChunkLayout& layout = db->olap()->layout();
+    w.Key("array");
+    w.BeginObject();
+    w.KV("layout", layout.ToString());
+    w.KV("num_chunks", layout.num_chunks());
+    w.KV("total_cells", layout.total_cells());
+    w.EndObject();
+  }
+
+  if (args.run_query) {
+    PARADISE_ASSIGN_OR_RETURN(EngineKind kind, ParseEngine(args.engine));
+    // The standard template: group by attribute column 1 of every dimension
+    // (the paper's Query 1), which exercises plan, scan and aggregate spans
+    // on every engine.
+    query::ConsolidationQuery q =
+        gen::Query1(db->schema().num_dims());
+    RunQueryOptions run_options;
+    run_options.cold = !args.warm;
+    run_options.num_threads = args.threads;
+    run_options.trace = args.trace;
+    PARADISE_ASSIGN_OR_RETURN(Execution exec,
+                              RunQuery(db.get(), kind, q, run_options));
+    w.Key("query");
+    w.BeginObject();
+    w.KV("engine", args.engine);
+    w.KV("threads", static_cast<uint64_t>(args.threads));
+    w.KV("cold", run_options.cold);
+    w.KV("groups", static_cast<uint64_t>(exec.result.num_groups()));
+    w.Key("stats");
+    w.Raw(exec.stats.ToJson());
+    w.EndObject();
+  }
+
+  w.Key("registry");
+  w.Raw(MetricsRegistry::Default().ToJson());
+  w.EndObject();
+
+  std::printf("%s\n", w.str().c_str());
+  return Status::OK();
+}
+
+int Main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) return Usage(argv[0]);
+  const Status st = Run(args);
+  if (!st.ok()) {
+    std::fprintf(stderr, "dbstats: %s\n", st.ToString().c_str());
+    return 2;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace paradise
+
+int main(int argc, char** argv) { return paradise::Main(argc, argv); }
