@@ -22,6 +22,26 @@ Result<IndexToIndexArray> IndexToIndexArray::FromDimension(
   return out;
 }
 
+std::optional<std::vector<int32_t>> IndexToIndexArray::FunctionalRollUp(
+    size_t from_level, size_t to_level) const {
+  if (from_level >= num_levels() || to_level >= num_levels()) {
+    return std::nullopt;
+  }
+  std::vector<int32_t> out(static_cast<size_t>(cardinalities_[from_level]),
+                           -1);
+  for (uint32_t b = 0; b < num_members_; ++b) {
+    const int32_t f = Map(from_level, b);
+    const int32_t c = Map(to_level, b);
+    if (f < 0 || static_cast<size_t>(f) >= out.size()) return std::nullopt;
+    if (out[f] == -1) {
+      out[f] = c;
+    } else if (out[f] != c) {
+      return std::nullopt;  // one fine code spans two coarse codes
+    }
+  }
+  return out;
+}
+
 std::string IndexToIndexArray::Serialize() const {
   std::string out;
   char scratch[4];

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -43,6 +44,17 @@ class IndexToIndexArray {
   const std::vector<int32_t>& MapColumn(size_t level) const {
     return maps_[level];
   }
+
+  /// The code→code roll-up from `from_level` to `to_level`, when the data
+  /// satisfies the functional dependency from→to: out[f] == c iff every base
+  /// member whose `from_level` code is f has `to_level` code c. Because
+  /// dictionary codes are assigned from actual members, every code in
+  /// [0, Cardinality(from_level)) is covered. Returns nullopt when the
+  /// dependency does not hold (some from-code spans two to-codes), which is
+  /// how the result cache decides a cached finer-level consolidation can be
+  /// re-aggregated to answer a coarser group-by exactly.
+  std::optional<std::vector<int32_t>> FunctionalRollUp(size_t from_level,
+                                                       size_t to_level) const;
 
   std::string Serialize() const;
   static Result<IndexToIndexArray> Deserialize(std::string_view data,

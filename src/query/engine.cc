@@ -1,9 +1,12 @@
 #include "query/engine.h"
 
 #include "common/json_writer.h"
+#include "core/aggregate.h"
 #include "core/consolidate.h"
 #include "core/consolidate_select.h"
 #include "core/parallel.h"
+#include "query/planner.h"
+#include "query/result_cache.h"
 #include "relational/bitmap_select.h"
 #include "relational/btree_select.h"
 #include "relational/hash_join.h"
@@ -27,7 +30,86 @@ std::string_view EngineKindToString(EngineKind kind) {
   return "unknown";
 }
 
+std::string_view CacheOutcomeToString(CacheOutcome outcome) {
+  switch (outcome) {
+    case CacheOutcome::kOff:
+      return "off";
+    case CacheOutcome::kMiss:
+      return "miss";
+    case CacheOutcome::kHit:
+      return "hit";
+    case CacheOutcome::kDerived:
+      return "derived";
+  }
+  return "unknown";
+}
+
 namespace {
+
+/// Whether the uncached `kind` run would accept this query at all. A cached
+/// answer must never mask the error an engine run would have reported —
+/// e.g. the bitmap plan rejects selection-free queries and queries on
+/// unindexed columns even though the cached result would be correct.
+Status CachedQueryServable(Database* db, EngineKind kind,
+                           const query::ConsolidationQuery& q) {
+  std::vector<size_t> dim_cols;
+  dim_cols.reserve(db->schema().dims.size());
+  for (const DimensionSpec& d : db->schema().dims) {
+    dim_cols.push_back(d.attrs.size());
+  }
+  PARADISE_RETURN_IF_ERROR(q.Validate(dim_cols));
+  const size_t measure_col = q.dims.size() + q.measure;
+  if (measure_col >= db->fact_schema().num_columns()) {
+    return Status::InvalidArgument("measure index out of range");
+  }
+  switch (kind) {
+    case EngineKind::kArray:
+      if (!db->has_olap()) {
+        return Status::InvalidArgument("database has no OLAP array");
+      }
+      break;
+    case EngineKind::kBitmap: {
+      if (!q.HasSelection()) {
+        return Status::InvalidArgument(
+            "bitmap algorithm requires at least one selection");
+      }
+      for (size_t d = 0; d < q.dims.size(); ++d) {
+        for (const query::Selection& s : q.dims[d].selections) {
+          if (d >= db->bitmap_indexes().size() ||
+              s.attr_col >= db->bitmap_indexes()[d].size() ||
+              db->bitmap_indexes()[d][s.attr_col] == nullptr) {
+            return Status::InvalidArgument(
+                "no bitmap index on dimension " + db->dim(d).name() +
+                " column " + std::to_string(s.attr_col));
+          }
+        }
+      }
+      break;
+    }
+    case EngineKind::kBTreeSelect: {
+      if (!q.HasSelection()) {
+        return Status::InvalidArgument(
+            "B-tree selection plan requires at least one selection");
+      }
+      for (size_t d = 0; d < q.dims.size(); ++d) {
+        for (const query::Selection& s : q.dims[d].selections) {
+          if (d >= db->btree_join_roots().size() ||
+              s.attr_col >= db->btree_join_roots()[d].size() ||
+              db->btree_join_roots()[d][s.attr_col] == kInvalidPageId) {
+            return Status::InvalidArgument(
+                "no B-tree join index on dimension " + db->dim(d).name() +
+                " column " + std::to_string(s.attr_col));
+          }
+        }
+      }
+      break;
+    }
+    case EngineKind::kStarJoin:
+    case EngineKind::kLeftDeep:
+      break;
+  }
+  return Status::OK();
+}
 
 Result<Execution> RunQueryImpl(Database* db, EngineKind kind,
                                const query::ConsolidationQuery& q,
@@ -42,6 +124,69 @@ Result<Execution> RunQueryImpl(Database* db, EngineKind kind,
     // Every ScopedPhase the engines open on the coordinator thread now also
     // records a trace span; worker threads use sink-less scratch timers.
     exec.stats.phases.set_trace(exec.stats.trace.get());
+  }
+  query::ConsolidationResultCache* const cache = options.cache;
+  std::string cache_scope;
+  uint64_t cache_epoch = 0;
+  query::CanonicalQuery canon;
+  if (cache != nullptr) {
+    PARADISE_RETURN_IF_ERROR(CachedQueryServable(db, kind, q));
+    cache_scope = db->CacheScope();
+    cache_epoch = db->commit_epoch();
+    canon = query::CanonicalQuery::From(q);
+    Stopwatch cache_watch;
+    exec.stats.cache_outcome = CacheOutcome::kMiss;
+    std::shared_ptr<const query::GroupedResult> hit;
+    {
+      ScopedPhase phase(&exec.stats.phases, "cache-lookup");
+      hit = cache->Lookup(cache_scope, cache_epoch, canon);
+    }
+    if (hit == nullptr && db->has_olap()) {
+      // Roll-up derivation: re-aggregate a cached finer-level result of the
+      // same selection family through the IndexToIndex maps. Candidates come
+      // cheapest-first, so the first one past the cost gate that proves
+      // functional wins; a too-expensive candidate ends the scan.
+      ScopedPhase phase(&exec.stats.phases, "cache-derive");
+      std::vector<const IndexToIndexArray*> i2i;
+      for (size_t d = 0; d < db->olap()->num_dims(); ++d) {
+        i2i.push_back(&db->olap()->i2i(d));
+      }
+      for (const query::ConsolidationResultCache::Candidate& cand :
+           cache->DerivationCandidates(cache_scope, cache_epoch, canon)) {
+        const DeriveDecision decision = ChooseDeriveOrScan(
+            *db, cand.result->num_groups(), cache->options().derive_row_cost);
+        if (!decision.derive) break;
+        Result<GroupSpec> spec = GroupSpec::Make(*db->olap(), q);
+        if (!spec.ok()) break;
+        std::optional<query::GroupedResult> derived =
+            query::RollUpCachedResult(canon, cand, i2i,
+                                      spec->GroupColumnNames(*db->olap()));
+        if (!derived.has_value()) continue;  // not functional at this level
+        cache->NoteDerivedHit();
+        auto shared = std::make_shared<const query::GroupedResult>(
+            std::move(*derived));
+        cache->Insert(cache_scope, cache_epoch, canon, shared);
+        hit = std::move(shared);
+        exec.stats.cache_outcome = CacheOutcome::kDerived;
+        exec.stats.cache_source_rows = cand.result->num_groups();
+        break;
+      }
+    }
+    if (hit != nullptr) {
+      exec.result = *hit;
+      if (exec.stats.cache_outcome != CacheOutcome::kDerived) {
+        exec.stats.cache_outcome = CacheOutcome::kHit;
+        exec.stats.cache_source_rows = hit->num_groups();
+      }
+      // A cache hit never touches the storage layer: no cold drop, zero
+      // buffer-pool delta.
+      exec.stats.seconds = cache_watch.ElapsedSeconds();
+      if (exec.stats.trace != nullptr) {
+        exec.stats.phases.set_trace(nullptr);
+        exec.stats.trace->Finish();
+      }
+      return exec;
+    }
   }
   if (options.cold) {
     TraceScope drop_span(exec.stats.trace.get(), "drop-caches");
@@ -134,6 +279,10 @@ Result<Execution> RunQueryImpl(Database* db, EngineKind kind,
 
   exec.stats.seconds = watch.ElapsedSeconds();
   exec.stats.io = db->storage()->pool()->stats().Delta(before);
+  if (cache != nullptr) {
+    cache->Insert(cache_scope, cache_epoch, canon,
+                  std::make_shared<const query::GroupedResult>(exec.result));
+  }
   if (exec.stats.trace != nullptr) {
     exec.stats.phases.set_trace(nullptr);
     exec.stats.trace->Finish();
@@ -167,6 +316,11 @@ std::string ExecutionStats::ToJson() const {
   w.Key("phases");
   w.BeginObject();
   for (const auto& [phase, micros] : phases.Snapshot()) w.KV(phase, micros);
+  w.EndObject();
+  w.Key("cache");
+  w.BeginObject();
+  w.KV("outcome", CacheOutcomeToString(cache_outcome));
+  w.KV("source_rows", cache_source_rows);
   w.EndObject();
   if (trace != nullptr) {
     w.Key("trace");

@@ -18,6 +18,10 @@
 
 namespace paradise {
 
+namespace query {
+class ConsolidationResultCache;
+}  // namespace query
+
 enum class EngineKind : uint8_t {
   /// OLAP Array ADT algorithms (§4.1 / §4.2, chosen by HasSelection()).
   kArray = 0,
@@ -52,6 +56,14 @@ inline double ModeledIoSeconds(const BufferPoolStats& io,
          static_cast<double>(io.rand_disk_reads) * model.rand_read_seconds;
 }
 
+/// How the result cache participated in one execution. kOff when no cache
+/// was attached; kHit = exact-signature hit, kDerived = answered by rolling
+/// up a cached finer-level result (query/result_cache.h), kMiss = cache was
+/// consulted but the engine ran.
+enum class CacheOutcome : uint8_t { kOff = 0, kMiss, kHit, kDerived };
+
+std::string_view CacheOutcomeToString(CacheOutcome outcome);
+
 struct ExecutionStats {
   double seconds = 0.0;
   BufferPoolStats io;   // delta over the query
@@ -64,6 +76,11 @@ struct ExecutionStats {
   /// stats stay cheap.
   std::shared_ptr<ExecutionTrace> trace;
 
+  /// Result-cache participation (kOff unless RunQueryOptions::cache is set).
+  CacheOutcome cache_outcome = CacheOutcome::kOff;
+  /// Rows of the cached source result a hit or derivation was served from.
+  uint64_t cache_source_rows = 0;
+
   /// Disk-bound time estimate under the paper's hardware (see IoModel1997).
   double ModeledSeconds() const { return ModeledIoSeconds(io); }
 
@@ -75,6 +92,7 @@ struct ExecutionStats {
   ///          "evictions":..,"read_retries":..,"coalesced_reads":..,
   ///          "prefetched":..,"prefetch_hits":..,"prefetch_wasted":..},
   ///    "phases":{name:micros,...},
+  ///    "cache":{"outcome":"off|miss|hit|derived","source_rows":..},
   ///    "trace":{...}}            ("trace" omitted when not traced)
   std::string ToJson() const;
 };
@@ -96,6 +114,13 @@ struct RunQueryOptions {
   /// ExecutionStats::trace. Off by default: tracing costs one span
   /// allocation per ScopedPhase on the coordinator thread.
   bool trace = false;
+  /// Consolidation result cache (borrowed; may be shared across databases
+  /// and threads). When set, RunQuery tries an exact-signature hit, then a
+  /// roll-up derivation from a cached finer-level result, and only then runs
+  /// the engine — inserting the fresh result afterwards. A hit skips the
+  /// cold-buffer drop: the whole point of a result cache is not touching the
+  /// storage layer. Cached answers are bit-identical to engine runs.
+  query::ConsolidationResultCache* cache = nullptr;
 };
 
 /// Runs `q` with engine `kind`. With `cold` (the default, matching the

@@ -87,6 +87,20 @@ Result<PlanChoice> ChoosePlan(const Database& db,
   return choice;
 }
 
+DeriveDecision ChooseDeriveOrScan(const Database& db, uint64_t candidate_rows,
+                                  uint64_t derive_row_cost) {
+  DeriveDecision d;
+  d.derive_cost = candidate_rows * derive_row_cost;
+  d.scan_cost = db.has_olap() ? db.olap()->layout().total_cells()
+                              : db.fact()->num_tuples();
+  d.derive = d.derive_cost < d.scan_cost;
+  d.reason = "derive=" + std::to_string(d.derive_cost) +
+             " vs scan=" + std::to_string(d.scan_cost) +
+             (d.derive ? ": roll up the cached result"
+                       : ": cached result too wide, rescan");
+  return d;
+}
+
 Result<SqlExecution> RunSql(Database* db, std::string_view sql, bool cold,
                             const PlannerOptions& options) {
   PARADISE_ASSIGN_OR_RETURN(query::ConsolidationQuery q,
@@ -122,6 +136,7 @@ Result<SqlExecution> RunSql(Database* db, std::string_view sql, bool cold,
   RunQueryOptions run_options;
   run_options.cold = cold;
   run_options.num_threads = options.num_threads;
+  run_options.cache = options.cache;
   PARADISE_ASSIGN_OR_RETURN(out.execution,
                             RunQuery(db, out.plan.engine, q, run_options));
   return out;

@@ -42,7 +42,28 @@ struct PlannerOptions {
   /// RunQueryOptions::num_threads); 1 = serial. Parallel plans return
   /// bit-identical results.
   size_t num_threads = 1;
+
+  /// Result cache forwarded to RunQueryOptions::cache (borrowed; nullptr =
+  /// uncached, the default).
+  query::ConsolidationResultCache* cache = nullptr;
 };
+
+/// The derive-vs-scan decision for the result cache: answer a query by
+/// re-aggregating a cached finer-level result of `candidate_rows` rows, or
+/// re-scan the base data. Deriving touches only the cached rows (each
+/// costing ~`derive_row_cost` cell-scan units: map lookups plus an ordered
+/// re-group); scanning touches every array cell (or fact tuple when no
+/// array was built). derive_row_cost == 0 forces derivation whenever it is
+/// structurally possible — the equivalence tests use that to pin the path.
+struct DeriveDecision {
+  bool derive = false;
+  uint64_t derive_cost = 0;
+  uint64_t scan_cost = 0;
+  /// Human-readable rule trace, same spirit as PlanChoice::reason.
+  std::string reason;
+};
+DeriveDecision ChooseDeriveOrScan(const Database& db, uint64_t candidate_rows,
+                                  uint64_t derive_row_cost);
 
 /// Picks an engine for `q` over `db`. Fails if the query is invalid for the
 /// database's schema.

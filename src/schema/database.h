@@ -109,6 +109,16 @@ class Database {
   /// Cold-run protocol: flush and drop every buffered page.
   Status DropCaches() { return storage_->FlushAndEvictAll(); }
 
+  /// Commit epoch of the backing file — the version number cached query
+  /// results are keyed on (query/result_cache.h). Stale after a durable
+  /// commit, never after a clean reload.
+  uint64_t commit_epoch() const { return storage_->commit_epoch(); }
+
+  /// Identity string scoping result-cache entries to this file + cube.
+  std::string CacheScope() const {
+    return storage_->disk()->path() + "#" + schema_.cube_name;
+  }
+
   /// Storage accounting for the benches.
   struct StorageReport {
     uint64_t fact_file_bytes = 0;    // used data pages * page size

@@ -41,8 +41,15 @@ class StorageManager {
 
   BufferPool* pool() { return pool_.get(); }
   Disk* disk() { return disk_.get(); }
+  const Disk* disk() const { return disk_.get(); }
   LargeObjectStore* objects() { return objects_.get(); }
   const StorageOptions& options() const { return options_; }
+
+  /// Commit epoch of the manifest slot currently on disk. Advances on every
+  /// durable commit (Checkpoint/Close of a dirtied file) and versions
+  /// anything derived from the file's contents — notably cached query
+  /// results (query/result_cache.h).
+  uint64_t commit_epoch() const { return disk_->commit_epoch(); }
 
   /// Background I/O pool serving chunk read-ahead, or nullptr when
   /// options().io_pool_threads == 0.

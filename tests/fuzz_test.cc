@@ -3,10 +3,21 @@
 // not divide the sizes, density) and a random query (grouping levels,
 // selections with random value lists), then assert that every applicable
 // engine matches the brute-force reference exactly.
+//
+// Reproducing a failure: every test logs its effective seed; re-run the
+// whole binary with `--rng-seed=<seed>` (or PARADISE_FUZZ_SEED=<seed>) to
+// pin every instance to that one seed regardless of which gtest parameter
+// it runs under.
 #include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string_view>
 
 #include "common/random.h"
 #include "query/engine.h"
+#include "query/result_cache.h"
 #include "storage/fault_injection.h"
 #include "test_util.h"
 
@@ -16,6 +27,20 @@ namespace {
 using paradise::testing::BruteForce;
 using paradise::testing::SmallDbOptions;
 using paradise::testing::TempFile;
+
+/// Set by --rng-seed / PARADISE_FUZZ_SEED in main(); overrides every
+/// parameterized instance's seed for reproduction runs.
+std::optional<uint64_t> g_seed_override;
+
+uint64_t EffectiveSeed(uint64_t param) {
+  return g_seed_override.value_or(param);
+}
+
+std::string SeedTrace(uint64_t seed) {
+  return "fuzz seed " + std::to_string(seed) + " (reproduce with --rng-seed=" +
+         std::to_string(seed) + " or PARADISE_FUZZ_SEED=" +
+         std::to_string(seed) + ")";
+}
 
 gen::GenConfig RandomConfig(Random* rng) {
   gen::GenConfig config;
@@ -88,7 +113,9 @@ query::ConsolidationQuery RandomQuery(const gen::GenConfig& config,
 class FuzzTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(FuzzTest, AllEnginesMatchBruteForceOnRandomWorkloads) {
-  Random rng(GetParam());
+  const uint64_t seed = EffectiveSeed(GetParam());
+  SCOPED_TRACE(SeedTrace(seed));
+  Random rng(seed);
   TempFile file("fuzz" + std::to_string(GetParam()));
   const gen::GenConfig config = RandomConfig(&rng);
   ASSERT_OK_AND_ASSIGN(gen::SyntheticDataset data, gen::Generate(config));
@@ -116,7 +143,7 @@ TEST_P(FuzzTest, AllEnginesMatchBruteForceOnRandomWorkloads) {
       ASSERT_OK_AND_ASSIGN(Execution exec,
                            RunQuery(db.get(), kind, q, /*cold=*/round == 0));
       ASSERT_TRUE(exec.result.SameAs(expected))
-          << "seed " << GetParam() << " round " << round << " engine "
+          << "seed " << seed << " round " << round << " engine "
           << EngineKindToString(kind) << "\ngot:\n"
           << exec.result.ToString(q.agg) << "expected:\n"
           << expected.ToString(q.agg);
@@ -136,7 +163,9 @@ INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest,
 class FaultFuzzTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(FaultFuzzTest, ResultMatchesBruteForceOrStatusIsNonOk) {
-  Random rng(GetParam() * 7919 + 13);
+  const uint64_t seed = EffectiveSeed(GetParam());
+  SCOPED_TRACE(SeedTrace(seed));
+  Random rng(seed * 7919 + 13);
   TempFile file("faultfuzz" + std::to_string(GetParam()));
   const gen::GenConfig config = RandomConfig(&rng);
   ASSERT_OK_AND_ASSIGN(gen::SyntheticDataset data, gen::Generate(config));
@@ -178,7 +207,7 @@ TEST_P(FaultFuzzTest, ResultMatchesBruteForceOrStatusIsNonOk) {
       auto r = RunQuery(db.get(), kind, q, /*cold=*/true);
       if (r.ok()) {
         ASSERT_TRUE(r.value().result.SameAs(expected))
-            << "seed " << GetParam() << " round " << round << " engine "
+            << "seed " << seed << " round " << round << " engine "
             << EngineKindToString(kind)
             << " silently diverged under faults\ngot:\n"
             << r.value().result.ToString(q.agg) << "expected:\n"
@@ -195,5 +224,163 @@ TEST_P(FaultFuzzTest, ResultMatchesBruteForceOrStatusIsNonOk) {
 INSTANTIATE_TEST_SUITE_P(Seeds, FaultFuzzTest,
                          ::testing::Range(uint64_t{1}, uint64_t{13}));
 
+/// Cached-mode fuzzing: the same random query sequences run uncached and
+/// through a shared ConsolidationResultCache, asserting bit-identical
+/// results on every engine — misses, exact hits, roll-up derivations, and
+/// epoch invalidation across a mid-sequence reload all included.
+///
+/// Random hierarchies are rarely functional (a level-1 block usually
+/// straddles level-2 blocks), so to actually exercise the derivation path
+/// about half the dimensions are re-dealt with divisibility-aligned
+/// hierarchies where level-1 blocks nest exactly into level-2 blocks.
+gen::GenConfig CachedRandomConfig(Random* rng) {
+  gen::GenConfig config = RandomConfig(rng);
+  uint64_t total = 1;
+  for (size_t d = 0; d < config.dims.size(); ++d) {
+    if (rng->Bernoulli(0.5)) {
+      const uint32_t size = 4u * static_cast<uint32_t>(1 + rng->Uniform(3));
+      config.dims[d].size = size;
+      config.dims[d].level_cardinalities = {size / 2, size / 4};
+      config.chunk_extents[d] =
+          static_cast<uint32_t>(1 + rng->Uniform(size + 2));
+    }
+    total *= config.dims[d].size;
+  }
+  config.num_valid_cells = 1 + rng->Uniform(total);
+  return config;
+}
+
+class CachedFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CachedFuzzTest, CachedAndUncachedRunsAreBitIdentical) {
+  const uint64_t seed = EffectiveSeed(GetParam());
+  SCOPED_TRACE(SeedTrace(seed));
+  Random rng(seed * 104729 + 17);
+  TempFile file("cachedfuzz" + std::to_string(GetParam()));
+  const gen::GenConfig config = CachedRandomConfig(&rng);
+  ASSERT_OK_AND_ASSIGN(gen::SyntheticDataset data, gen::Generate(config));
+  DatabaseOptions options = SmallDbOptions();
+  options.build_btree_join_indexes = true;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Database> db,
+                       BuildDatabaseFromDataset(file.path(), data, options));
+
+  query::ConsolidationResultCache::Options cache_opts;
+  cache_opts.derive_row_cost = 0;  // derive whenever structurally possible
+  query::ConsolidationResultCache cache(cache_opts);
+  RunQueryOptions cached;
+  cached.cold = false;
+  cached.cache = &cache;
+  const RunQueryOptions uncached{.cold = false};
+
+  for (int round = 0; round < 4; ++round) {
+    const query::ConsolidationQuery q = RandomQuery(config, &rng);
+    const query::GroupedResult expected = BruteForce(data, q);
+    std::vector<EngineKind> engines = {EngineKind::kArray,
+                                       EngineKind::kStarJoin,
+                                       EngineKind::kLeftDeep};
+    if (q.HasSelection()) {
+      engines.push_back(EngineKind::kBitmap);
+      engines.push_back(EngineKind::kBTreeSelect);
+    }
+    for (EngineKind kind : engines) {
+      ASSERT_OK_AND_ASSIGN(Execution plain,
+                           RunQuery(db.get(), kind, q, uncached));
+      ASSERT_TRUE(plain.result.SameAs(expected))
+          << "uncached, seed " << seed << " round " << round << " engine "
+          << EngineKindToString(kind);
+      ASSERT_OK_AND_ASSIGN(Execution first, RunQuery(db.get(), kind, q, cached));
+      ASSERT_TRUE(first.result.SameAs(expected))
+          << "cached (" << CacheOutcomeToString(first.stats.cache_outcome)
+          << "), seed " << seed << " round " << round << " engine "
+          << EngineKindToString(kind);
+      ASSERT_OK_AND_ASSIGN(Execution again, RunQuery(db.get(), kind, q, cached));
+      EXPECT_EQ(again.stats.cache_outcome, CacheOutcome::kHit);
+      ASSERT_TRUE(again.result.SameAs(expected));
+    }
+
+    // Coarser follow-up: every level-1 grouping rolled up to level 2. On
+    // dimensions with aligned hierarchies this derives from the entry the
+    // loop above just cached; on the others it falls back to a scan. Either
+    // way it must match brute force and the uncached engine exactly.
+    query::ConsolidationQuery coarse = q;
+    bool coarsened = false;
+    for (query::DimensionQuery& dq : coarse.dims) {
+      if (dq.group_by_col == 1u) {
+        dq.group_by_col = 2;
+        coarsened = true;
+      }
+    }
+    if (coarsened) {
+      const query::GroupedResult coarse_expected = BruteForce(data, coarse);
+      ASSERT_OK_AND_ASSIGN(
+          Execution derived,
+          RunQuery(db.get(), EngineKind::kArray, coarse, cached));
+      ASSERT_TRUE(derived.result.SameAs(coarse_expected))
+          << "coarse cached ("
+          << CacheOutcomeToString(derived.stats.cache_outcome) << "), seed "
+          << seed << " round " << round;
+      ASSERT_OK_AND_ASSIGN(
+          Execution plain,
+          RunQuery(db.get(), EngineKind::kArray, coarse, uncached));
+      ASSERT_TRUE(plain.result.SameAs(coarse_expected));
+    }
+
+    if (round == 1) {
+      // Mid-sequence reload with epoch churn: rewrite one existing cell with
+      // its own value (dirties the file, changes nothing semantically), then
+      // close and reopen — the close commits, the manifest epoch advances,
+      // and every cached entry must be invalidated, not served.
+      const uint64_t epoch_before = db->commit_epoch();
+      const std::vector<int32_t> keys =
+          data.CellKeys(data.cell_global_indices[0]);
+      ASSERT_OK_AND_ASSIGN(std::optional<int64_t> value,
+                           db->olap()->ReadCellByKeys(keys));
+      ASSERT_TRUE(value.has_value());
+      ASSERT_OK(db->olap()->WriteCellByKeys(keys, *value));
+      db.reset();
+      ASSERT_OK_AND_ASSIGN(db, Database::Open(file.path(), options));
+      ASSERT_GT(db->commit_epoch(), epoch_before)
+          << "dirtying write + close should advance the commit epoch";
+      ASSERT_OK_AND_ASSIGN(Execution after,
+                           RunQuery(db.get(), EngineKind::kArray, q, cached));
+      EXPECT_EQ(after.stats.cache_outcome, CacheOutcome::kMiss)
+          << "stale pre-reload entry served after epoch churn";
+      ASSERT_TRUE(after.result.SameAs(expected));
+      EXPECT_GT(cache.stats().invalidations, 0u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CachedFuzzTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{13}));
+
 }  // namespace
 }  // namespace paradise
+
+/// Custom main so the fuzz binary accepts --rng-seed=<n> (and the
+/// PARADISE_FUZZ_SEED environment variable) to replay one seed across every
+/// parameterized instance. gtest flags are consumed by InitGoogleTest first;
+/// anything left over is ours.
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    constexpr std::string_view kFlag = "--rng-seed=";
+    if (arg.substr(0, kFlag.size()) == kFlag) {
+      paradise::g_seed_override =
+          std::strtoull(arg.substr(kFlag.size()).data(), nullptr, 10);
+    } else if (arg == "--rng-seed" && i + 1 < argc) {
+      paradise::g_seed_override = std::strtoull(argv[++i], nullptr, 10);
+    }
+  }
+  if (!paradise::g_seed_override.has_value()) {
+    if (const char* env = std::getenv("PARADISE_FUZZ_SEED")) {
+      paradise::g_seed_override = std::strtoull(env, nullptr, 10);
+    }
+  }
+  if (paradise::g_seed_override.has_value()) {
+    std::printf("fuzz_test: overriding every instance seed with %llu\n",
+                static_cast<unsigned long long>(*paradise::g_seed_override));
+  }
+  return RUN_ALL_TESTS();
+}

@@ -111,6 +111,79 @@ TEST(SqlParserTest, SyntaxErrors) {
                   .IsInvalidArgument());
 }
 
+TEST(SqlParserTest, MalformedSelectionLists) {
+  // Every truncation or mangling of an IN list / aggregate argument is a
+  // clean InvalidArgument, never a crash or an accepted query.
+  const char* bad[] = {
+      "select sum(v) from f where a in",
+      "select sum(v) from f where a in (",
+      "select sum(v) from f where a in (1,",
+      "select sum(v) from f where a in (1, 2",
+      "select sum(v) from f where a in (1 2)",
+      "select sum(v) from f where a in (1,,2)",
+      "select sum(v) from f where a in 1, 2",
+      "select sum(v) from f where a = 1 and",
+      "select sum(v) from f where and a = 1",
+      "select sum(v) from f where a in (sum)",
+      "select sum() from f",
+      "select sum(v q) from f",
+      "select sum from f",
+  };
+  for (const char* sql : bad) {
+    const Status st = ParseSql(sql).status();
+    EXPECT_TRUE(st.IsInvalidArgument()) << sql << " -> " << st.ToString();
+    EXPECT_FALSE(st.ToString().empty()) << sql;
+  }
+}
+
+TEST(SqlParserTest, EmptyGroupByIsAnError) {
+  EXPECT_TRUE(
+      ParseSql("select sum(v) from f group by").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseSql("select sum(v) from f group by ;")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ParseSql("select sum(v) from f where a = 1 group by")
+                  .status()
+                  .IsInvalidArgument());
+  // A trailing comma leaves the list dangling.
+  EXPECT_TRUE(ParseSql("select sum(v) from f group by a,")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(SqlBinderTest, UnknownDimensionAndAttributeNames) {
+  const StarSchema schema = RetailSchema();
+  // Unknown dimension qualifier in a selection.
+  EXPECT_TRUE(
+      CompileSql("select sum(volume) from sales where warehouse.city = 'x'",
+                 schema)
+          .status()
+          .IsNotFound());
+  // Known dimension, unknown attribute.
+  EXPECT_TRUE(
+      CompileSql("select sum(volume) from sales where product.color = 'red'",
+                 schema)
+          .status()
+          .IsNotFound());
+  // Unknown dimension in GROUP BY (select list repeats it, as required).
+  EXPECT_TRUE(CompileSql("select sum(volume), warehouse.city from sales "
+                         "group by warehouse.city",
+                         schema)
+                  .status()
+                  .IsNotFound());
+  // Known dimension, unknown attribute in GROUP BY.
+  EXPECT_TRUE(CompileSql("select sum(volume), product.color from sales "
+                         "group by product.color",
+                         schema)
+                  .status()
+                  .IsNotFound());
+  // Unqualified name that matches nothing anywhere.
+  EXPECT_TRUE(CompileSql("select sum(volume) from sales where nothing = 1",
+                         schema)
+                  .status()
+                  .IsNotFound());
+}
+
 TEST(SqlBinderTest, BindsGroupBySelectionsAndJoins) {
   ASSERT_OK_AND_ASSIGN(
       query::ConsolidationQuery q,

@@ -9,7 +9,10 @@
 //    "storage": {...},          // Database::ReportStorage footprints
 //    "array": {...},            // layout summary (when the cube has one)
 //    "query": {"engine":..,"threads":..,"groups":..,
-//              "stats": <ExecutionStats::ToJson>},   // incl. "trace"
+//              "stats": <ExecutionStats::ToJson>},   // incl. "trace","cache"
+//    "cached_query": {...},     // same query re-run warm through the result
+//                               // cache (a hit; resultcache.* counters land
+//                               // in the registry below)
 //    "registry": <MetricsRegistry::ToJson>}          // process-wide metrics
 //
 // The "stats" object is the same schema the bench binaries write into their
@@ -36,6 +39,7 @@
 #include "gen/datasets.h"
 #include "gen/generator.h"
 #include "query/engine.h"
+#include "query/result_cache.h"
 #include "schema/database.h"
 #include "schema/loader.h"
 
@@ -193,6 +197,30 @@ Status Run(const Args& args) {
     w.KV("groups", static_cast<uint64_t>(exec.result.num_groups()));
     w.Key("stats");
     w.Raw(exec.stats.ToJson());
+    w.EndObject();
+
+    // Run the same query twice through a fresh result cache (miss, then
+    // hit) so the snapshot shows the cached-path stats and populates the
+    // resultcache.* registry metrics the CI smoke test asserts on.
+    query::ConsolidationResultCache::Options cache_options;
+    cache_options.metrics_enabled = true;
+    query::ConsolidationResultCache cache(cache_options);
+    run_options.cache = &cache;
+    run_options.cold = false;
+    PARADISE_RETURN_IF_ERROR(
+        RunQuery(db.get(), kind, q, run_options).status());
+    PARADISE_ASSIGN_OR_RETURN(Execution warm,
+                              RunQuery(db.get(), kind, q, run_options));
+    const query::ResultCacheStats cache_stats = cache.stats();
+    w.Key("cached_query");
+    w.BeginObject();
+    w.KV("engine", args.engine);
+    w.KV("groups", static_cast<uint64_t>(warm.result.num_groups()));
+    w.KV("hits", cache_stats.hits);
+    w.KV("misses", cache_stats.misses);
+    w.KV("bytes_in_use", cache_stats.bytes_in_use);
+    w.Key("stats");
+    w.Raw(warm.stats.ToJson());
     w.EndObject();
   }
 
