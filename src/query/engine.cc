@@ -132,7 +132,7 @@ Result<Execution> RunQueryImpl(Database* db, EngineKind kind,
   if (cache != nullptr) {
     PARADISE_RETURN_IF_ERROR(CachedQueryServable(db, kind, q));
     cache_scope = db->CacheScope();
-    cache_epoch = db->commit_epoch();
+    cache_epoch = options.cache_pin_epoch.value_or(db->commit_epoch());
     canon = query::CanonicalQuery::From(q);
     Stopwatch cache_watch;
     exec.stats.cache_outcome = CacheOutcome::kMiss;

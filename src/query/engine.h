@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 
@@ -121,6 +122,14 @@ struct RunQueryOptions {
   /// cold-buffer drop: the whole point of a result cache is not touching the
   /// storage layer. Cached answers are bit-identical to engine runs.
   query::ConsolidationResultCache* cache = nullptr;
+
+  /// Pin result-cache lookups and inserts to this commit epoch instead of
+  /// the database's current one. Used by epoch-pinned server sessions
+  /// (server/session.h): if a checkpoint advances the epoch mid-query, the
+  /// fresh result is still filed under the epoch the session connected at,
+  /// so it can never poison the newer epoch's cache. No effect without
+  /// `cache`; nullopt (the default) uses Database::commit_epoch().
+  std::optional<uint64_t> cache_pin_epoch;
 };
 
 /// Runs `q` with engine `kind`. With `cold` (the default, matching the

@@ -133,6 +133,30 @@ std::shared_ptr<const GroupedResult> ConsolidationResultCache::Lookup(
   return result;
 }
 
+std::shared_ptr<const GroupedResult> ConsolidationResultCache::Peek(
+    const std::string& scope, uint64_t epoch, const CanonicalQuery& canon) {
+  const std::string key = scope + "\n" + canon.Signature();
+  std::shared_ptr<const GroupedResult> result;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.lookups;
+    auto it = index_.find(key);
+    if (it != index_.end() && it->second->epoch == epoch) {
+      lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+      result = it->second->result;
+      ++stats_.hits;
+    } else {
+      ++stats_.misses;
+    }
+  }
+  if (result != nullptr) {
+    if (m_hits_ != nullptr) m_hits_->Increment();
+  } else {
+    if (m_misses_ != nullptr) m_misses_->Increment();
+  }
+  return result;
+}
+
 void ConsolidationResultCache::Insert(
     const std::string& scope, uint64_t epoch, const CanonicalQuery& canon,
     std::shared_ptr<const GroupedResult> result) {

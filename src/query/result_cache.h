@@ -130,6 +130,15 @@ class ConsolidationResultCache {
                                               uint64_t epoch,
                                               const CanonicalQuery& canon);
 
+  /// Like Lookup, but an epoch mismatch leaves the entry in place instead of
+  /// dropping it. For readers pinned to a historical epoch (olapd's
+  /// epoch-pinned sessions, server/session.h): a pinned reader must never
+  /// invalidate the entry current-epoch traffic is using, and its own
+  /// entries are reclaimed by normal Lookup invalidation or LRU pressure.
+  std::shared_ptr<const GroupedResult> Peek(const std::string& scope,
+                                            uint64_t epoch,
+                                            const CanonicalQuery& canon);
+
   /// Inserts (or replaces) the result for a canonical query. Entries larger
   /// than the whole budget are rejected silently; otherwise LRU entries are
   /// evicted until the new entry fits.

@@ -1,0 +1,45 @@
+#include "schema/demo_cube.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "schema/loader.h"
+
+namespace paradise {
+
+gen::GenConfig DemoCubeConfig() {
+  gen::GenConfig config;
+  config.dims.resize(3);
+  const uint32_t sizes[3] = {16, 12, 20};
+  for (size_t d = 0; d < 3; ++d) {
+    config.dims[d].name = "dim" + std::to_string(d);
+    config.dims[d].size = sizes[d];
+    config.dims[d].level_cardinalities = {8, 4};
+  }
+  config.num_valid_cells = 2000;
+  config.seed = 1998;  // the paper's year
+  config.chunk_extents = {4, 4, 5};
+  return config;
+}
+
+DatabaseOptions DemoCubeOptions() {
+  DatabaseOptions options;
+  options.storage.page_size = 4096;
+  options.storage.buffer_pool_pages = 256;
+  options.storage.pages_per_extent = 8;
+  options.storage.allow_overwrite = true;
+  return options;
+}
+
+Result<std::unique_ptr<Database>> BuildDemoCube(const std::string& path) {
+  std::remove(path.c_str());
+  PARADISE_ASSIGN_OR_RETURN(
+      std::unique_ptr<Database> db,
+      BuildDatabaseFromConfig(path, DemoCubeConfig(), DemoCubeOptions()));
+  // Flush everything so callers may immediately reopen the file with
+  // independent options.
+  PARADISE_RETURN_IF_ERROR(db->DropCaches());
+  return db;
+}
+
+}  // namespace paradise

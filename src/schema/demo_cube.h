@@ -1,0 +1,30 @@
+// The demo cube: one small synthetic database shared by every tool that
+// needs a ready-made cube (`dbstats --make-demo`, `olapd --make-demo`, the
+// CI smoke steps and bench_server's default dataset), so they all build the
+// exact same file instead of each carrying its own copy of the config.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "gen/generator.h"
+#include "schema/database.h"
+
+namespace paradise {
+
+/// A deliberately small cube (3 dims of 16x12x20, two hierarchy levels
+/// each, ~2000 valid cells) so a CI smoke step builds, queries and traces
+/// it in well under a second.
+gen::GenConfig DemoCubeConfig();
+
+/// The storage options the demo cube is built with (4 KiB pages, small
+/// pool/extents).
+DatabaseOptions DemoCubeOptions();
+
+/// Builds (overwriting) the demo cube at `path` and returns it open with
+/// every page flushed, so callers may immediately reopen the file with
+/// independent options. Removes any existing file first.
+Result<std::unique_ptr<Database>> BuildDemoCube(const std::string& path);
+
+}  // namespace paradise

@@ -1,0 +1,95 @@
+#include "server/admission.h"
+
+#include <algorithm>
+
+#include "common/metrics.h"
+
+namespace paradise::server {
+
+namespace {
+AdmissionOptions Sanitize(AdmissionOptions options) {
+  options.max_inflight = std::max<size_t>(1, options.max_inflight);
+  return options;
+}
+}  // namespace
+
+AdmissionController::AdmissionController(AdmissionOptions options)
+    : options_(Sanitize(options)) {
+  if (options_.metrics_enabled) {
+    MetricsRegistry& registry = MetricsRegistry::Default();
+    m_admitted_ = registry.GetCounter("server.admitted");
+    m_busy_ = registry.GetCounter("server.busy_rejections");
+    m_inflight_ = registry.GetGauge("server.inflight");
+    m_queued_ = registry.GetGauge("server.queued");
+  }
+}
+
+AdmissionController::Outcome AdmissionController::Acquire() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (shutdown_) return Outcome::kShutdown;
+  // Fast path only when nobody is queued ahead of us — a freed slot goes to
+  // the oldest waiter, not to whoever races in next.
+  if (queued_ == 0 && inflight_ < options_.max_inflight) {
+    ++inflight_;
+    ++admitted_;
+    if (m_inflight_ != nullptr) m_inflight_->Set(static_cast<int64_t>(inflight_));
+    if (m_admitted_ != nullptr) m_admitted_->Increment();
+    return Outcome::kAdmitted;
+  }
+  if (queued_ >= options_.max_queued) {
+    ++busy_rejections_;
+    if (m_busy_ != nullptr) m_busy_->Increment();
+    return Outcome::kBusy;
+  }
+  ++queued_;
+  if (m_queued_ != nullptr) m_queued_->Set(static_cast<int64_t>(queued_));
+  cv_.wait(lock, [&] {
+    return shutdown_ || inflight_ < options_.max_inflight;
+  });
+  --queued_;
+  if (m_queued_ != nullptr) m_queued_->Set(static_cast<int64_t>(queued_));
+  if (shutdown_) return Outcome::kShutdown;
+  ++inflight_;
+  ++admitted_;
+  if (m_inflight_ != nullptr) m_inflight_->Set(static_cast<int64_t>(inflight_));
+  if (m_admitted_ != nullptr) m_admitted_->Increment();
+  return Outcome::kAdmitted;
+}
+
+void AdmissionController::Release() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --inflight_;
+    if (m_inflight_ != nullptr) m_inflight_->Set(static_cast<int64_t>(inflight_));
+  }
+  cv_.notify_one();
+}
+
+void AdmissionController::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+}
+
+AdmissionController::Snapshot AdmissionController::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot s;
+  s.admitted = admitted_;
+  s.busy_rejections = busy_rejections_;
+  s.inflight = inflight_;
+  s.queued = queued_;
+  return s;
+}
+
+AdmissionOptions AdmissionController::SizedForStorage(
+    const StorageOptions& storage) {
+  AdmissionOptions options;
+  options.max_inflight =
+      std::max<size_t>(2, 2 * std::max<size_t>(1, storage.io_pool_threads));
+  options.max_queued = 4 * options.max_inflight;
+  return options;
+}
+
+}  // namespace paradise::server

@@ -1,0 +1,94 @@
+// AdmissionController: bounds the number of queries olapd executes at once.
+// Up to max_inflight queries run; up to max_queued more wait on a condition
+// variable; anything beyond that is rejected immediately with kBusy, which
+// the session turns into a typed SERVER_BUSY reply instead of stalling the
+// connection (DESIGN.md choice 12). The limits default to a multiple of
+// StorageOptions::io_pool_threads — the width of the background I/O pool
+// that ultimately serves the queries' chunk reads — via SizedForStorage.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+#include "common/options.h"
+
+namespace paradise {
+class Counter;
+class Gauge;
+}  // namespace paradise
+
+namespace paradise::server {
+
+struct AdmissionOptions {
+  /// Queries executing concurrently. Clamped to >= 1.
+  size_t max_inflight = 4;
+
+  /// Queries waiting for a slot beyond max_inflight. 0 = reject as soon as
+  /// every slot is taken.
+  size_t max_queued = 16;
+
+  /// Mirror admission events into MetricsRegistry::Default() under
+  /// "server.*" (handles resolved once, at construction).
+  bool metrics_enabled = false;
+};
+
+class AdmissionController {
+ public:
+  enum class Outcome : uint8_t {
+    kAdmitted = 0,  // a slot is held; caller must Release()
+    kBusy,          // both the slots and the wait queue are full
+    kShutdown,      // controller shut down while acquiring
+  };
+
+  explicit AdmissionController(AdmissionOptions options);
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Takes an execution slot, waiting in the bounded queue if none is free.
+  /// Queued waiters are served before newly arriving requests (no barging),
+  /// so the queue drains once load subsides.
+  Outcome Acquire();
+
+  /// Returns a slot taken by a successful Acquire().
+  void Release();
+
+  /// Wakes every waiter with kShutdown; subsequent Acquire()s fail fast.
+  void Shutdown();
+
+  struct Snapshot {
+    uint64_t admitted = 0;
+    uint64_t busy_rejections = 0;
+    size_t inflight = 0;
+    size_t queued = 0;
+  };
+  Snapshot snapshot() const;
+
+  const AdmissionOptions& options() const { return options_; }
+
+  /// The default sizing rule: 2 execution slots per background I/O thread
+  /// (minimum 2 — queries also do CPU work while others wait on I/O), and a
+  /// wait queue 4x the slot count.
+  static AdmissionOptions SizedForStorage(const StorageOptions& storage);
+
+ private:
+  const AdmissionOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool shutdown_ = false;
+  size_t inflight_ = 0;
+  size_t queued_ = 0;
+  uint64_t admitted_ = 0;
+  uint64_t busy_rejections_ = 0;
+
+  // Registry handles, null unless options_.metrics_enabled.
+  Counter* m_admitted_ = nullptr;
+  Counter* m_busy_ = nullptr;
+  Gauge* m_inflight_ = nullptr;
+  Gauge* m_queued_ = nullptr;
+};
+
+}  // namespace paradise::server

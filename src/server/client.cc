@@ -1,0 +1,124 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+#include "server/net_util.h"
+
+namespace paradise::server {
+
+Result<std::unique_ptr<OlapClient>> OlapClient::Connect(
+    const std::string& host, uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return ErrnoStatus("socket");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad server address: " + host);
+  }
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    const Status st = ErrnoStatus("connect " + host + ":" +
+                                  std::to_string(port));
+    ::close(fd);
+    return st;
+  }
+  SetTcpNoDelay(fd);
+
+  std::unique_ptr<OlapClient> client(new OlapClient(fd));
+  PARADISE_ASSIGN_OR_RETURN(Frame frame, client->ReadFrame());
+  if (frame.type != FrameType::kHello) {
+    return Status::IOError("expected Hello frame, got type " +
+                           std::to_string(static_cast<int>(frame.type)));
+  }
+  PARADISE_ASSIGN_OR_RETURN(client->hello_, DecodeHello(frame.payload));
+  if (client->hello_.protocol_version != kProtocolVersion) {
+    return Status::NotSupported(
+        "server speaks protocol version " +
+        std::to_string(client->hello_.protocol_version) + ", client speaks " +
+        std::to_string(kProtocolVersion));
+  }
+  return client;
+}
+
+OlapClient::~OlapClient() { Close(); }
+
+void OlapClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status OlapClient::SendRaw(std::string_view bytes) {
+  if (fd_ < 0) return Status::InvalidArgument("client is closed");
+  return SendAll(fd_, bytes);
+}
+
+Status OlapClient::SendFrame(FrameType type, std::string_view payload) {
+  return SendRaw(EncodeFrame(type, payload));
+}
+
+Result<Frame> OlapClient::ReadFrame() {
+  if (fd_ < 0) return Status::InvalidArgument("client is closed");
+  char buf[64 * 1024];
+  for (;;) {
+    PARADISE_ASSIGN_OR_RETURN(std::optional<Frame> frame, decoder_.Next());
+    if (frame.has_value()) return std::move(*frame);
+    const ssize_t n = RecvSome(fd_, buf, sizeof(buf));
+    if (n == 0) return Status::IOError("server closed the connection");
+    if (n < 0) return ErrnoStatus("recv");
+    decoder_.Append(buf, static_cast<size_t>(n));
+  }
+}
+
+Result<OlapClient::Reply> OlapClient::Query(const QueryRequest& request) {
+  PARADISE_RETURN_IF_ERROR(
+      SendFrame(FrameType::kQuery, EncodeQueryRequest(request)));
+  PARADISE_ASSIGN_OR_RETURN(Frame frame, ReadFrame());
+  Reply reply;
+  switch (frame.type) {
+    case FrameType::kResult: {
+      PARADISE_ASSIGN_OR_RETURN(reply.result,
+                                DecodeResultReply(frame.payload));
+      reply.ok = true;
+      return reply;
+    }
+    case FrameType::kError: {
+      PARADISE_ASSIGN_OR_RETURN(reply.error, DecodeErrorReply(frame.payload));
+      reply.ok = false;
+      return reply;
+    }
+    default:
+      return Status::IOError("unexpected reply frame type " +
+                             std::to_string(static_cast<int>(frame.type)));
+  }
+}
+
+Result<OlapClient::Reply> OlapClient::Query(const std::string& sql) {
+  QueryRequest request;
+  request.sql = sql;
+  return Query(request);
+}
+
+Status OlapClient::Ping() {
+  PARADISE_RETURN_IF_ERROR(SendFrame(FrameType::kPing, ""));
+  PARADISE_ASSIGN_OR_RETURN(Frame frame, ReadFrame());
+  if (frame.type != FrameType::kPong || !frame.payload.empty()) {
+    return Status::IOError("unexpected Ping reply");
+  }
+  return Status::OK();
+}
+
+}  // namespace paradise::server

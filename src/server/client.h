@@ -1,0 +1,73 @@
+// OlapClient: a small blocking client for the olapd wire protocol — the
+// library behind tools/olapq, bench/bench_server and the server tests. One
+// connection, one request in flight at a time; replies are fully decoded
+// into typed structs. Transport problems (socket errors, malformed frames,
+// unexpected disconnects) surface as a non-OK Status; server-side
+// conditions (engine errors, SERVER_BUSY, SNAPSHOT_GONE) arrive as a
+// decoded ErrorReply inside an OK Reply, so callers can distinguish "the
+// wire broke" from "the server answered no".
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "server/wire.h"
+
+namespace paradise::server {
+
+class OlapClient {
+ public:
+  /// Connects and consumes the Hello frame (pinned epoch, cube name).
+  static Result<std::unique_ptr<OlapClient>> Connect(const std::string& host,
+                                                     uint16_t port);
+
+  ~OlapClient();
+
+  OlapClient(const OlapClient&) = delete;
+  OlapClient& operator=(const OlapClient&) = delete;
+
+  /// One server answer: exactly one of `result` / `error` is meaningful.
+  struct Reply {
+    bool ok = false;      // true = kResult, false = kError
+    ResultReply result;   // valid when ok
+    ErrorReply error;     // valid when !ok
+  };
+
+  /// Sends one query and blocks for the reply. Status is non-OK only for
+  /// transport failures; typed server errors come back in Reply::error.
+  Result<Reply> Query(const QueryRequest& request);
+
+  /// Convenience: SQL with default request options.
+  Result<Reply> Query(const std::string& sql);
+
+  /// Round-trips a Ping frame.
+  Status Ping();
+
+  /// The server's Hello: protocol version, this session's pinned commit
+  /// epoch, and the cube name.
+  const HelloReply& hello() const { return hello_; }
+
+  /// Sends raw bytes on the socket — for protocol tests that need to speak
+  /// malformed frames. Normal callers never need this.
+  Status SendRaw(std::string_view bytes);
+
+  /// Reads the next frame (for tests paired with SendRaw). Fails with
+  /// IOError on disconnect.
+  Result<Frame> ReadFrame();
+
+  void Close();
+
+ private:
+  explicit OlapClient(int fd) : fd_(fd) {}
+
+  Status SendFrame(FrameType type, std::string_view payload);
+
+  int fd_;
+  FrameDecoder decoder_;
+  HelloReply hello_;
+};
+
+}  // namespace paradise::server

@@ -1,0 +1,57 @@
+// Small POSIX socket helpers shared by the server loop, sessions and the
+// blocking client. Everything retries EINTR and uses MSG_NOSIGNAL so a peer
+// that vanished mid-write surfaces as a Status, never a SIGPIPE.
+#pragma once
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace paradise::server {
+
+inline Status ErrnoStatus(std::string_view what) {
+  return Status::IOError(std::string(what) + ": " +
+                         std::strerror(errno));
+}
+
+/// Disables Nagle batching — request/reply protocols want the frame on the
+/// wire immediately. Best-effort: failure is ignored.
+inline void SetTcpNoDelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+/// Writes all of `data`, retrying short writes and EINTR.
+inline Status SendAll(int fd, std::string_view data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("send");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+/// One recv(), retrying EINTR. Returns bytes read, 0 on orderly shutdown,
+/// -1 on error (errno set).
+inline ssize_t RecvSome(int fd, char* buf, size_t n) {
+  for (;;) {
+    const ssize_t got = ::recv(fd, buf, n, 0);
+    if (got < 0 && errno == EINTR) continue;
+    return got;
+  }
+}
+
+}  // namespace paradise::server

@@ -1,0 +1,132 @@
+// OlapServer: the multi-client serving loop behind tools/olapd. Listens on
+// TCP, accepts connections, and runs one Session (server/session.h) per
+// connection on its own thread — the thread-per-connection model of the
+// WeaselDB exemplar, which is simple, debuggable, and plenty for the
+// hundreds of concurrent clients bench_server drives (DESIGN.md choice 12).
+//
+// The server borrows an open Database; all sessions share its sharded
+// buffer pool and I/O pool (PR 3 made that path concurrent), one
+// AdmissionController bounding in-flight queries, and one epoch-scoped
+// ConsolidationResultCache. Stop() (also run by the destructor) shuts down
+// the listener, wakes every blocked session, joins all threads and closes
+// all sockets — tests assert the shutdown is clean under TSan.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "server/admission.h"
+#include "server/session.h"
+
+namespace paradise {
+class Database;
+namespace query {
+class ConsolidationResultCache;
+}  // namespace query
+}  // namespace paradise
+
+namespace paradise::server {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+
+  /// 0 = let the OS pick an ephemeral port; read it back via port().
+  uint16_t port = 0;
+
+  /// Admission limits; 0 = derive both from the database's
+  /// StorageOptions::io_pool_threads (AdmissionController::SizedForStorage).
+  size_t max_inflight = 0;
+  size_t max_queued = 0;
+
+  /// Upper bound on per-request array-engine worker threads.
+  size_t max_query_threads = 8;
+
+  /// Shared consolidation result cache across all sessions (epoch-pinned
+  /// lookups keep session snapshots stable; see server/session.h).
+  bool enable_result_cache = true;
+  size_t cache_byte_budget = 64u << 20;
+
+  /// Mirror server.* counters/gauges/histograms into
+  /// MetricsRegistry::Default().
+  bool metrics_enabled = false;
+
+  /// Test-only: per-query execution delay (server/session.h).
+  uint32_t artificial_query_delay_ms = 0;
+
+  int listen_backlog = 128;
+};
+
+class OlapServer {
+ public:
+  /// `db` is borrowed and must outlive the server. It must be fully loaded
+  /// (FinishLoad or Open).
+  OlapServer(Database* db, ServerOptions options);
+  ~OlapServer();
+
+  OlapServer(const OlapServer&) = delete;
+  OlapServer& operator=(const OlapServer&) = delete;
+
+  /// Binds, listens and starts the accept thread. Fails with IOError when
+  /// the address cannot be bound.
+  Status Start();
+
+  /// Stops accepting, wakes and joins every session, closes all sockets.
+  /// Idempotent.
+  void Stop();
+
+  /// The bound port (useful with options.port == 0). Valid after Start().
+  uint16_t port() const { return port_; }
+  const std::string& host() const { return options_.host; }
+
+  AdmissionController& admission() { return *admission_; }
+  /// Null when options.enable_result_cache is false.
+  query::ConsolidationResultCache* cache() { return cache_.get(); }
+
+  struct Stats {
+    uint64_t connections = 0;
+    uint64_t queries_ok = 0;
+    uint64_t queries_failed = 0;
+    uint64_t busy_replies = 0;
+    uint64_t protocol_errors = 0;
+  };
+  Stats stats() const;
+
+ private:
+  /// One accepted connection: its socket, session thread, and a done flag
+  /// the reaper polls. fd transitions to -1 exactly once, under mu_.
+  struct Connection {
+    explicit Connection(int fd_in) : fd(fd_in) {}
+    int fd;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void AcceptLoop();
+  void RunSession(Connection* conn);
+  /// Joins and erases finished connections (called from the accept loop).
+  void ReapFinishedLocked();
+
+  Database* const db_;
+  const ServerOptions options_;
+  SessionOptions session_options_;
+  std::unique_ptr<AdmissionController> admission_;
+  std::unique_ptr<query::ConsolidationResultCache> cache_;
+  ServerCounters counters_;
+
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+
+  std::mutex mu_;  // guards connections_ and every Connection::fd close
+  std::vector<std::unique_ptr<Connection>> connections_;
+};
+
+}  // namespace paradise::server

@@ -1,0 +1,274 @@
+#include "server/session.h"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "common/metrics.h"
+#include "common/stopwatch.h"
+#include "query/planner.h"
+#include "query/result_cache.h"
+#include "query/sql.h"
+#include "schema/database.h"
+#include "server/net_util.h"
+
+namespace paradise::server {
+
+namespace {
+
+/// A slot from the admission controller, released on scope exit.
+class AdmissionSlot {
+ public:
+  explicit AdmissionSlot(AdmissionController* admission)
+      : admission_(admission), outcome_(admission->Acquire()) {}
+  ~AdmissionSlot() {
+    if (outcome_ == AdmissionController::Outcome::kAdmitted) {
+      admission_->Release();
+    }
+  }
+  AdmissionController::Outcome outcome() const { return outcome_; }
+
+ private:
+  AdmissionController* const admission_;
+  const AdmissionController::Outcome outcome_;
+};
+
+}  // namespace
+
+Session::Session(int fd, Database* db,
+                 query::ConsolidationResultCache* cache,
+                 AdmissionController* admission, SessionOptions options,
+                 ServerCounters* counters)
+    : fd_(fd),
+      db_(db),
+      cache_(cache),
+      admission_(admission),
+      options_(options),
+      counters_(counters) {
+  if (options_.metrics_enabled) {
+    MetricsRegistry& registry = MetricsRegistry::Default();
+    m_queries_ = registry.GetCounter("server.queries");
+    m_errors_ = registry.GetCounter("server.query_errors");
+    m_query_micros_ = registry.GetHistogram("server.query_micros");
+  }
+}
+
+void Session::Run() {
+  SetTcpNoDelay(fd_);
+  pinned_epoch_ = db_->commit_epoch();
+  HelloReply hello;
+  hello.protocol_version = kProtocolVersion;
+  hello.pinned_epoch = pinned_epoch_;
+  hello.cube_name = db_->schema().cube_name;
+  if (!SendFrame(FrameType::kHello, EncodeHello(hello))) return;
+
+  FrameDecoder decoder;
+  char buf[64 * 1024];
+  for (;;) {
+    for (;;) {
+      Result<std::optional<Frame>> next = decoder.Next();
+      if (!next.ok()) {
+        // Malformed stream (bad magic / flipped header / oversized length):
+        // one typed reply, best effort, then a clean close.
+        counters_->protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        SendError(WireError::kBadRequest, StatusCode::kOk,
+                  next.status().message());
+        return;
+      }
+      if (!next->has_value()) break;
+      if (!HandleFrame(**next)) return;
+    }
+    const ssize_t n = RecvSome(fd_, buf, sizeof(buf));
+    if (n <= 0) return;  // disconnect (0) or socket error/shutdown (<0)
+    decoder.Append(buf, static_cast<size_t>(n));
+  }
+}
+
+bool Session::HandleFrame(const Frame& frame) {
+  switch (frame.type) {
+    case FrameType::kPing:
+      return SendFrame(FrameType::kPong, "");
+    case FrameType::kQuery: {
+      Result<QueryRequest> request = DecodeQueryRequest(frame.payload);
+      if (!request.ok()) {
+        counters_->protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        SendError(WireError::kBadRequest, request.status().code(),
+                  request.status().message());
+        return false;
+      }
+      return HandleQuery(*request);
+    }
+    case FrameType::kHello:
+    case FrameType::kResult:
+    case FrameType::kError:
+    case FrameType::kPong:
+      // Server-to-client frame types are never valid requests.
+      counters_->protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      SendError(WireError::kBadRequest, StatusCode::kOk,
+                "unexpected frame type from client");
+      return false;
+  }
+  return false;
+}
+
+bool Session::HandleQuery(const QueryRequest& request) {
+  AdmissionSlot slot(admission_);
+  switch (slot.outcome()) {
+    case AdmissionController::Outcome::kBusy:
+      counters_->busy_replies.fetch_add(1, std::memory_order_relaxed);
+      // The connection stays open: busy is a retryable condition.
+      return SendError(WireError::kServerBusy, StatusCode::kOk,
+                       "admission queue full; retry");
+    case AdmissionController::Outcome::kShutdown:
+      SendError(WireError::kShuttingDown, StatusCode::kOk,
+                "server shutting down");
+      return false;
+    case AdmissionController::Outcome::kAdmitted:
+      break;
+  }
+  if (m_queries_ != nullptr) m_queries_->Increment();
+  Stopwatch watch;
+  if (options_.artificial_query_delay_ms > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(options_.artificial_query_delay_ms));
+  }
+
+  Result<query::ConsolidationQuery> compiled =
+      query::CompileSql(request.sql, db_->schema());
+  if (!compiled.ok()) {
+    return SendError(WireError::kQueryFailed, compiled.status().code(),
+                     compiled.status().message());
+  }
+  const query::ConsolidationQuery& q = *compiled;
+
+  EngineKind kind = EngineKind::kArray;
+  std::string plan_reason;
+  if (request.engine != 0) {
+    const uint8_t raw = static_cast<uint8_t>(request.engine - 1);
+    if (raw > static_cast<uint8_t>(EngineKind::kBTreeSelect)) {
+      return SendError(WireError::kBadRequest, StatusCode::kInvalidArgument,
+                       "unknown engine id " + std::to_string(request.engine));
+    }
+    kind = static_cast<EngineKind>(raw);
+  } else {
+    Result<PlanChoice> plan = ChoosePlan(*db_, q);
+    if (!plan.ok()) {
+      return SendError(WireError::kQueryFailed, plan.status().code(),
+                       plan.status().message());
+    }
+    kind = plan->engine;
+    plan_reason = std::move(plan->reason);
+  }
+
+  RunQueryOptions run_options;
+  // The cold-buffer drop is a single-client benchmarking protocol; a server
+  // evicting shared pages under concurrent readers would be pathological,
+  // so every server-side query runs warm.
+  run_options.cold = false;
+  run_options.num_threads = std::clamp<size_t>(
+      request.num_threads, 1, std::max<size_t>(1, options_.max_query_threads));
+  run_options.trace = request.trace;
+
+  const uint64_t current_epoch = db_->commit_epoch();
+  if (current_epoch != pinned_epoch_) {
+    return ServeFromPinnedSnapshot(q, current_epoch);
+  }
+  if (cache_ != nullptr && !request.no_cache) {
+    run_options.cache = cache_;
+    // Pin cache reads/inserts to the connect-time epoch: if a checkpoint
+    // lands mid-query, the result is filed under the epoch it was computed
+    // against instead of poisoning the new one.
+    run_options.cache_pin_epoch = pinned_epoch_;
+  }
+
+  Result<Execution> exec = RunQuery(db_, kind, q, run_options);
+  if (!exec.ok()) {
+    return SendError(WireError::kQueryFailed, exec.status().code(),
+                     exec.status().message());
+  }
+  if (m_query_micros_ != nullptr) {
+    m_query_micros_->Record(
+        static_cast<uint64_t>(watch.ElapsedSeconds() * 1e6));
+  }
+
+  ResultReply reply;
+  reply.engine = std::string(EngineKindToString(kind));
+  reply.plan_reason = std::move(plan_reason);
+  reply.stats_json = exec->stats.ToJson();
+  reply.agg = static_cast<uint8_t>(q.agg);
+  reply.result = std::move(exec->result);
+  return SendResult(std::move(reply));
+}
+
+bool Session::ServeFromPinnedSnapshot(const query::ConsolidationQuery& q,
+                                      uint64_t current_epoch) {
+  const std::string gone =
+      "snapshot epoch " + std::to_string(pinned_epoch_) +
+      " superseded by " + std::to_string(current_epoch) +
+      "; reconnect for current data";
+  if (cache_ == nullptr) {
+    return SendError(WireError::kSnapshotGone, StatusCode::kOk, gone);
+  }
+  Stopwatch watch;
+  const query::CanonicalQuery canon = query::CanonicalQuery::From(q);
+  // Peek, not Lookup: a pinned reader must never invalidate the entry
+  // current-epoch sessions are serving from.
+  std::shared_ptr<const query::GroupedResult> hit =
+      cache_->Peek(db_->CacheScope(), pinned_epoch_, canon);
+  if (hit == nullptr) {
+    return SendError(WireError::kSnapshotGone, StatusCode::kOk,
+                     gone + " (not in the pinned result cache)");
+  }
+  ExecutionStats stats;
+  stats.seconds = watch.ElapsedSeconds();
+  stats.cache_outcome = CacheOutcome::kHit;
+  stats.cache_source_rows = hit->num_groups();
+  if (m_query_micros_ != nullptr) {
+    m_query_micros_->Record(static_cast<uint64_t>(stats.seconds * 1e6));
+  }
+  ResultReply reply;
+  reply.engine = "cache";
+  reply.plan_reason = "pinned-epoch snapshot served from result cache";
+  reply.stats_json = stats.ToJson();
+  reply.agg = static_cast<uint8_t>(q.agg);
+  reply.result = *hit;
+  return SendResult(std::move(reply));
+}
+
+bool Session::SendFrame(FrameType type, std::string_view payload) {
+  return SendAll(fd_, EncodeFrame(type, payload)).ok();
+}
+
+bool Session::SendError(WireError error, StatusCode code,
+                        std::string message) {
+  // Only query-level failures count as failed queries; protocol errors and
+  // busy/shutdown replies have their own counters.
+  if (error == WireError::kQueryFailed || error == WireError::kSnapshotGone ||
+      error == WireError::kResultTooLarge) {
+    counters_->queries_failed.fetch_add(1, std::memory_order_relaxed);
+    if (m_errors_ != nullptr) m_errors_->Increment();
+  }
+  ErrorReply reply;
+  reply.error = error;
+  reply.status_code = code;
+  reply.message = std::move(message);
+  return SendFrame(FrameType::kError, EncodeErrorReply(reply));
+}
+
+bool Session::SendResult(ResultReply reply) {
+  // Replies are canonically sorted so the same query yields byte-identical
+  // frames regardless of engine, thread count or cache outcome.
+  reply.result.SortCanonical();
+  const std::string payload = EncodeResultReply(reply);
+  if (payload.size() > kMaxFramePayload) {
+    return SendError(WireError::kResultTooLarge, StatusCode::kOk,
+                     "result payload of " + std::to_string(payload.size()) +
+                         " bytes exceeds the frame limit");
+  }
+  counters_->queries_ok.fetch_add(1, std::memory_order_relaxed);
+  return SendFrame(FrameType::kResult, payload);
+}
+
+}  // namespace paradise::server

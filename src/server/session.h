@@ -1,0 +1,113 @@
+// Session: one connected client, driven by a dedicated thread (the
+// WeaselDB-style thread-per-connection model the ROADMAP names). The
+// session speaks the framed protocol of server/wire.h over a borrowed
+// socket, runs queries through the shared engine entry points, and owns the
+// connection's snapshot semantics:
+//
+//   * Epoch pinning. At connect time the session records the database's
+//     commit epoch and sends it in the Hello frame. While the database
+//     stays at that epoch, queries run normally (result-cache reads and
+//     inserts pinned to it via RunQueryOptions::cache_pin_epoch, so a
+//     concurrent checkpoint can never poison a newer epoch's cache). Once
+//     the epoch moves on, the session serves only answers still present in
+//     the epoch-pinned result cache — results stay stable across cache
+//     invalidation — and reports SNAPSHOT_GONE for anything else, telling
+//     the client to reconnect for current data.
+//   * Admission. Every query passes the shared AdmissionController first;
+//     overflow becomes a typed SERVER_BUSY reply on a connection that stays
+//     open, never a stalled or dropped request.
+//   * Robustness. A malformed frame or payload yields one typed BAD_REQUEST
+//     reply (best effort) followed by a clean close; engine errors cross
+//     the wire with their StatusCode and message verbatim and leave the
+//     connection usable.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "query/engine.h"
+#include "server/admission.h"
+#include "server/wire.h"
+
+namespace paradise {
+class Counter;
+class Histogram;
+class Database;
+namespace query {
+class ConsolidationResultCache;
+}  // namespace query
+}  // namespace paradise
+
+namespace paradise::server {
+
+/// Shared whole-server tallies every session reports into (atomics; the
+/// server snapshots them for OlapServer::stats()).
+struct ServerCounters {
+  std::atomic<uint64_t> connections{0};
+  std::atomic<uint64_t> queries_ok{0};
+  std::atomic<uint64_t> queries_failed{0};
+  std::atomic<uint64_t> busy_replies{0};
+  std::atomic<uint64_t> protocol_errors{0};
+};
+
+struct SessionOptions {
+  /// Upper bound on per-request array-engine worker threads.
+  size_t max_query_threads = 8;
+
+  /// Test-only: sleep this long inside each admitted query, so admission
+  /// overflow and queue draining can be exercised deterministically.
+  uint32_t artificial_query_delay_ms = 0;
+
+  /// Mirror per-query events into MetricsRegistry::Default() ("server.*").
+  bool metrics_enabled = false;
+};
+
+class Session {
+ public:
+  /// `fd` is borrowed — the server shuts it down to interrupt Run() and
+  /// closes it after the session thread is joined.
+  Session(int fd, Database* db, query::ConsolidationResultCache* cache,
+          AdmissionController* admission, SessionOptions options,
+          ServerCounters* counters);
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Serves the connection until the peer disconnects, the stream turns
+  /// malformed, or the server shuts the socket down.
+  void Run();
+
+  uint64_t pinned_epoch() const { return pinned_epoch_; }
+
+ private:
+  /// False = close the connection after this frame.
+  bool HandleFrame(const Frame& frame);
+  bool HandleQuery(const QueryRequest& request);
+
+  /// Serves a query whose session epoch was superseded: only the pinned
+  /// result-cache snapshot may answer; anything else is SNAPSHOT_GONE.
+  bool ServeFromPinnedSnapshot(const query::ConsolidationQuery& q,
+                               uint64_t current_epoch);
+
+  bool SendFrame(FrameType type, std::string_view payload);
+  bool SendError(WireError error, StatusCode code, std::string message);
+  bool SendResult(ResultReply reply);
+
+  const int fd_;
+  Database* const db_;
+  query::ConsolidationResultCache* const cache_;  // null = caching off
+  AdmissionController* const admission_;
+  const SessionOptions options_;
+  ServerCounters* const counters_;
+
+  uint64_t pinned_epoch_ = 0;
+
+  // Registry handles, null unless options_.metrics_enabled.
+  Counter* m_queries_ = nullptr;
+  Counter* m_errors_ = nullptr;
+  Histogram* m_query_micros_ = nullptr;
+};
+
+}  // namespace paradise::server

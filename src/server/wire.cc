@@ -1,0 +1,340 @@
+#include "server/wire.h"
+
+#include <vector>
+
+#include "common/coding.h"
+
+namespace paradise::server {
+
+namespace {
+
+// --- bounds-checked little-endian payload reader/writer --------------------
+
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  char buf[4];
+  EncodeFixed32(buf, v);
+  out->append(buf, 4);
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  char buf[8];
+  EncodeFixed64(buf, v);
+  out->append(buf, 8);
+}
+
+void PutI64(std::string* out, int64_t v) {
+  PutU64(out, static_cast<uint64_t>(v));
+}
+
+void PutString(std::string* out, std::string_view s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+/// Cursor over a payload; every Get* fails cleanly at the end instead of
+/// over-reading, and Done() rejects trailing garbage.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  bool GetU8(uint8_t* v) {
+    if (data_.size() - pos_ < 1) return false;
+    *v = static_cast<uint8_t>(data_[pos_]);
+    pos_ += 1;
+    return true;
+  }
+
+  bool GetU32(uint32_t* v) {
+    if (data_.size() - pos_ < 4) return false;
+    *v = DecodeFixed32(data_.data() + pos_);
+    pos_ += 4;
+    return true;
+  }
+
+  bool GetU64(uint64_t* v) {
+    if (data_.size() - pos_ < 8) return false;
+    *v = DecodeFixed64(data_.data() + pos_);
+    pos_ += 8;
+    return true;
+  }
+
+  bool GetI64(int64_t* v) {
+    uint64_t u;
+    if (!GetU64(&u)) return false;
+    *v = static_cast<int64_t>(u);
+    return true;
+  }
+
+  bool GetString(std::string* s) {
+    uint32_t len;
+    if (!GetU32(&len)) return false;
+    if (data_.size() - pos_ < len) return false;
+    s->assign(data_.data() + pos_, len);
+    pos_ += len;
+    return true;
+  }
+
+  bool Done() const { return pos_ == data_.size(); }
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+Status Malformed(std::string_view what) {
+  return Status::InvalidArgument("malformed " + std::string(what) +
+                                 " payload");
+}
+
+}  // namespace
+
+bool IsKnownFrameType(uint8_t type) {
+  return type >= static_cast<uint8_t>(FrameType::kHello) &&
+         type <= static_cast<uint8_t>(FrameType::kPong);
+}
+
+std::string_view WireErrorToString(WireError e) {
+  switch (e) {
+    case WireError::kBadRequest:
+      return "BAD_REQUEST";
+    case WireError::kQueryFailed:
+      return "QUERY_FAILED";
+    case WireError::kServerBusy:
+      return "SERVER_BUSY";
+    case WireError::kSnapshotGone:
+      return "SNAPSHOT_GONE";
+    case WireError::kShuttingDown:
+      return "SHUTTING_DOWN";
+    case WireError::kResultTooLarge:
+      return "RESULT_TOO_LARGE";
+  }
+  return "UNKNOWN";
+}
+
+std::string EncodeFrame(FrameType type, std::string_view payload) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  PutU32(&out, kWireMagic);
+  PutU32(&out, static_cast<uint32_t>(payload.size()));
+  PutU8(&out, static_cast<uint8_t>(type));
+  out.append(3, '\0');  // pad — must stay zero on the wire
+  out.append(payload);
+  return out;
+}
+
+Result<std::optional<Frame>> FrameDecoder::Next() {
+  // Compact lazily so repeated small frames don't re-copy the buffer.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  const char* base = buffer_.data() + consumed_;
+  const size_t available = buffer_.size() - consumed_;
+  if (available < kFrameHeaderBytes) return std::optional<Frame>{};
+
+  const uint32_t magic = DecodeFixed32(base);
+  if (magic != kWireMagic) {
+    return Status::Corruption("bad frame magic");
+  }
+  const uint32_t payload_len = DecodeFixed32(base + 4);
+  if (payload_len > max_payload_) {
+    return Status::Corruption("oversized frame: " +
+                              std::to_string(payload_len) + " bytes");
+  }
+  const uint8_t type = static_cast<uint8_t>(base[8]);
+  if (!IsKnownFrameType(type)) {
+    return Status::Corruption("unknown frame type " + std::to_string(type));
+  }
+  if (base[9] != 0 || base[10] != 0 || base[11] != 0) {
+    return Status::Corruption("nonzero frame pad bytes");
+  }
+  if (available < kFrameHeaderBytes + payload_len) {
+    return std::optional<Frame>{};  // wait for the rest of the payload
+  }
+  Frame frame;
+  frame.type = static_cast<FrameType>(type);
+  frame.payload.assign(base + kFrameHeaderBytes, payload_len);
+  consumed_ += kFrameHeaderBytes + payload_len;
+  return std::optional<Frame>{std::move(frame)};
+}
+
+// --- typed payloads --------------------------------------------------------
+
+Status ErrorReplyToStatus(const ErrorReply& e) {
+  if (e.status_code != StatusCode::kOk) {
+    return Status(e.status_code, e.message);
+  }
+  return Status::Internal(std::string(WireErrorToString(e.error)) +
+                          (e.message.empty() ? "" : ": " + e.message));
+}
+
+std::string EncodeHello(const HelloReply& hello) {
+  std::string out;
+  PutU32(&out, hello.protocol_version);
+  PutU64(&out, hello.pinned_epoch);
+  PutString(&out, hello.cube_name);
+  return out;
+}
+
+Result<HelloReply> DecodeHello(std::string_view payload) {
+  Reader r(payload);
+  HelloReply hello;
+  if (!r.GetU32(&hello.protocol_version) || !r.GetU64(&hello.pinned_epoch) ||
+      !r.GetString(&hello.cube_name) || !r.Done()) {
+    return Malformed("hello");
+  }
+  return hello;
+}
+
+namespace {
+constexpr uint8_t kQueryFlagTrace = 1u << 0;
+constexpr uint8_t kQueryFlagNoCache = 1u << 1;
+}  // namespace
+
+std::string EncodeQueryRequest(const QueryRequest& request) {
+  std::string out;
+  PutU8(&out, request.engine);
+  uint8_t flags = 0;
+  if (request.trace) flags |= kQueryFlagTrace;
+  if (request.no_cache) flags |= kQueryFlagNoCache;
+  PutU8(&out, flags);
+  PutU8(&out, 0);  // pad
+  PutU8(&out, 0);  // pad
+  PutU32(&out, request.num_threads);
+  PutString(&out, request.sql);
+  return out;
+}
+
+Result<QueryRequest> DecodeQueryRequest(std::string_view payload) {
+  Reader r(payload);
+  QueryRequest request;
+  uint8_t flags = 0, pad0 = 0, pad1 = 0;
+  if (!r.GetU8(&request.engine) || !r.GetU8(&flags) || !r.GetU8(&pad0) ||
+      !r.GetU8(&pad1) || !r.GetU32(&request.num_threads) ||
+      !r.GetString(&request.sql) || !r.Done()) {
+    return Malformed("query request");
+  }
+  if (pad0 != 0 || pad1 != 0 ||
+      (flags & ~(kQueryFlagTrace | kQueryFlagNoCache)) != 0) {
+    return Malformed("query request");
+  }
+  if (request.num_threads == 0) {
+    return Status::InvalidArgument("query request: num_threads must be >= 1");
+  }
+  if (request.sql.empty()) {
+    return Status::InvalidArgument("query request: empty SQL");
+  }
+  request.trace = (flags & kQueryFlagTrace) != 0;
+  request.no_cache = (flags & kQueryFlagNoCache) != 0;
+  return request;
+}
+
+std::string EncodeErrorReply(const ErrorReply& error) {
+  std::string out;
+  PutU8(&out, static_cast<uint8_t>(error.error));
+  PutU8(&out, static_cast<uint8_t>(error.status_code));
+  PutU8(&out, 0);  // pad
+  PutU8(&out, 0);  // pad
+  PutString(&out, error.message);
+  return out;
+}
+
+Result<ErrorReply> DecodeErrorReply(std::string_view payload) {
+  Reader r(payload);
+  uint8_t error = 0, code = 0, pad0 = 0, pad1 = 0;
+  ErrorReply reply;
+  if (!r.GetU8(&error) || !r.GetU8(&code) || !r.GetU8(&pad0) ||
+      !r.GetU8(&pad1) || !r.GetString(&reply.message) || !r.Done()) {
+    return Malformed("error reply");
+  }
+  if (pad0 != 0 || pad1 != 0 || error < 1 ||
+      error > static_cast<uint8_t>(WireError::kResultTooLarge) ||
+      code > static_cast<uint8_t>(StatusCode::kInternal)) {
+    return Malformed("error reply");
+  }
+  reply.error = static_cast<WireError>(error);
+  reply.status_code = static_cast<StatusCode>(code);
+  return reply;
+}
+
+void AppendGroupedResult(const query::GroupedResult& result,
+                         std::string* out) {
+  const auto& columns = result.group_columns();
+  PutU32(out, static_cast<uint32_t>(columns.size()));
+  for (const std::string& name : columns) PutString(out, name);
+  PutU64(out, result.num_groups());
+  for (const query::ResultRow& row : result.rows()) {
+    for (int32_t code : row.group) {
+      PutU32(out, static_cast<uint32_t>(code));
+    }
+    PutI64(out, row.agg.sum);
+    PutU64(out, row.agg.count);
+    PutI64(out, row.agg.min);
+    PutI64(out, row.agg.max);
+  }
+}
+
+namespace {
+
+Result<query::GroupedResult> ReadGroupedResult(Reader* r) {
+  uint32_t num_columns = 0;
+  if (!r->GetU32(&num_columns)) return Malformed("result");
+  // Cheap sanity bound: a row costs at least 4*num_columns + 32 bytes, so a
+  // huge declared column count on a short payload fails fast.
+  if (num_columns > 1024) return Malformed("result");
+  std::vector<std::string> columns(num_columns);
+  for (std::string& name : columns) {
+    if (!r->GetString(&name)) return Malformed("result");
+  }
+  query::GroupedResult result(std::move(columns));
+  uint64_t num_rows = 0;
+  if (!r->GetU64(&num_rows)) return Malformed("result");
+  const uint64_t row_bytes = 4ull * num_columns + 32;
+  if (num_rows > r->remaining() / row_bytes + 1) return Malformed("result");
+  for (uint64_t i = 0; i < num_rows; ++i) {
+    query::ResultRow row;
+    row.group.resize(num_columns);
+    for (uint32_t c = 0; c < num_columns; ++c) {
+      uint32_t code;
+      if (!r->GetU32(&code)) return Malformed("result");
+      row.group[c] = static_cast<int32_t>(code);
+    }
+    if (!r->GetI64(&row.agg.sum) || !r->GetU64(&row.agg.count) ||
+        !r->GetI64(&row.agg.min) || !r->GetI64(&row.agg.max)) {
+      return Malformed("result");
+    }
+    result.Add(std::move(row));
+  }
+  return result;
+}
+
+}  // namespace
+
+std::string EncodeResultReply(const ResultReply& reply) {
+  std::string out;
+  PutString(&out, reply.engine);
+  PutString(&out, reply.plan_reason);
+  PutString(&out, reply.stats_json);
+  PutU8(&out, reply.agg);
+  AppendGroupedResult(reply.result, &out);
+  return out;
+}
+
+Result<ResultReply> DecodeResultReply(std::string_view payload) {
+  Reader r(payload);
+  ResultReply reply;
+  if (!r.GetString(&reply.engine) || !r.GetString(&reply.plan_reason) ||
+      !r.GetString(&reply.stats_json) || !r.GetU8(&reply.agg)) {
+    return Malformed("result reply");
+  }
+  PARADISE_ASSIGN_OR_RETURN(reply.result, ReadGroupedResult(&r));
+  if (!r.Done()) return Malformed("result reply");
+  return reply;
+}
+
+}  // namespace paradise::server

@@ -270,7 +270,8 @@ TEST_P(CachedFuzzTest, CachedAndUncachedRunsAreBitIdentical) {
   RunQueryOptions cached;
   cached.cold = false;
   cached.cache = &cache;
-  const RunQueryOptions uncached{.cold = false};
+  RunQueryOptions uncached;
+  uncached.cold = false;
 
   for (int round = 0; round < 4; ++round) {
     const query::ConsolidationQuery q = RandomQuery(config, &rng);

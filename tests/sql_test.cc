@@ -1,10 +1,13 @@
 // SQL front-end tests: lexer/parser shapes and errors, binder resolution
 // against a star schema, planner rules, and RunSql end to end against the
-// typed-query path.
+// typed-query path — plus a round-trip through olapd's wire protocol
+// asserting engine error strings survive the wire intact.
 #include <gtest/gtest.h>
 
 #include "query/planner.h"
 #include "query/sql.h"
+#include "server/client.h"
+#include "server/server.h"
 #include "test_util.h"
 
 namespace paradise {
@@ -334,6 +337,65 @@ TEST_F(SqlEndToEndTest, SqlErrorsSurface) {
   EXPECT_TRUE(RunSql(db_.get(), "select sum(volume) from nowhere")
                   .status()
                   .IsNotFound());
+}
+
+TEST_F(SqlEndToEndTest, ErrorStringsSurviveTheWire) {
+  // Parse, bind and execution errors crossing olapd's wire protocol must
+  // reconstruct to the exact Status (code AND message) a local call returns.
+  server::OlapServer olapd(db_.get(), server::ServerOptions{});
+  ASSERT_OK(olapd.Start());
+  ASSERT_OK_AND_ASSIGN(auto client,
+                       server::OlapClient::Connect("127.0.0.1", olapd.port()));
+
+  auto wire_status = [&](const std::string& sql,
+                         uint8_t engine = 0) -> Status {
+    server::QueryRequest request;
+    request.sql = sql;
+    request.engine = engine;
+    Result<server::OlapClient::Reply> reply = client->Query(request);
+    if (!reply.ok()) return reply.status();
+    if (reply->ok) return Status::OK();
+    EXPECT_EQ(reply->error.error, server::WireError::kQueryFailed);
+    return server::ErrorReplyToStatus(reply->error);
+  };
+
+  // Parse error.
+  {
+    const Status local = CompileSql("select nonsense", db_->schema()).status();
+    const Status wire = wire_status("select nonsense");
+    ASSERT_FALSE(local.ok());
+    EXPECT_EQ(wire.code(), local.code());
+    EXPECT_EQ(wire.message(), local.message());
+  }
+  // Bind error (unknown table).
+  {
+    const std::string sql = "select sum(volume) from nowhere";
+    const Status local = CompileSql(sql, db_->schema()).status();
+    const Status wire = wire_status(sql);
+    ASSERT_TRUE(local.IsNotFound());
+    EXPECT_EQ(wire.code(), local.code());
+    EXPECT_EQ(wire.message(), local.message());
+  }
+  // Execution error: the bitmap engine rejects selection-free queries, so
+  // forcing it reproduces a RunQuery-stage failure. The server runs warm,
+  // so the local reference must too.
+  {
+    const std::string sql =
+        "select sum(volume), dim0.h01 from cube group by dim0.h01";
+    ASSERT_OK_AND_ASSIGN(query::ConsolidationQuery q,
+                         CompileSql(sql, db_->schema()));
+    RunQueryOptions warm;
+    warm.cold = false;
+    const Status local =
+        RunQuery(db_.get(), EngineKind::kBitmap, q, warm).status();
+    const Status wire = wire_status(
+        sql, static_cast<uint8_t>(EngineKind::kBitmap) + 1);
+    ASSERT_FALSE(local.ok());
+    EXPECT_EQ(wire.code(), local.code());
+    EXPECT_EQ(wire.message(), local.message());
+  }
+
+  olapd.Stop();
 }
 
 }  // namespace

@@ -41,7 +41,7 @@
 #include "query/engine.h"
 #include "query/result_cache.h"
 #include "schema/database.h"
-#include "schema/loader.h"
+#include "schema/demo_cube.h"
 
 namespace paradise {
 namespace {
@@ -100,39 +100,10 @@ Result<EngineKind> ParseEngine(const std::string& name) {
   return Status::InvalidArgument("unknown engine: " + name);
 }
 
-/// A deliberately small cube (3 dims, ~2000 valid cells) so the CI smoke
-/// step builds, queries and traces in well under a second.
-gen::GenConfig DemoConfig() {
-  gen::GenConfig config;
-  config.dims.resize(3);
-  const uint32_t sizes[3] = {16, 12, 20};
-  for (size_t d = 0; d < 3; ++d) {
-    config.dims[d].name = "dim" + std::to_string(d);
-    config.dims[d].size = sizes[d];
-    config.dims[d].level_cardinalities = {8, 4};
-  }
-  config.num_valid_cells = 2000;
-  config.seed = 1998;  // the paper's year
-  config.chunk_extents = {4, 4, 5};
-  return config;
-}
-
-Status MakeDemo(const std::string& path) {
-  DatabaseOptions options;
-  options.storage.page_size = 4096;
-  options.storage.buffer_pool_pages = 256;
-  options.storage.pages_per_extent = 8;
-  options.storage.allow_overwrite = true;
-  std::remove(path.c_str());
-  PARADISE_ASSIGN_OR_RETURN(std::unique_ptr<Database> db,
-                            BuildDatabaseFromConfig(path, DemoConfig(),
-                                                    options));
-  return db->DropCaches();  // flush everything before the reopen below
-}
-
 Status Run(const Args& args) {
   if (args.make_demo) {
-    PARADISE_RETURN_IF_ERROR(MakeDemo(args.path));
+    // The demo cube is shared with olapd --make-demo (schema/demo_cube.h).
+    PARADISE_RETURN_IF_ERROR(BuildDemoCube(args.path).status());
   }
   PARADISE_ASSIGN_OR_RETURN(StorageOptions storage,
                             ProbeStorageOptions(args.path));

@@ -1,0 +1,172 @@
+// olapd: the multi-client OLAP server (ROADMAP item 1).
+//
+//   olapd [flags] <database-file>
+//
+// Opens the database, binds a TCP listener, and serves the framed wire
+// protocol (server/wire.h): SQL in, serialized GroupedResult + execution
+// stats out. One thread per connection; an admission controller sized
+// against the storage I/O pool bounds in-flight queries, and every session
+// reads a snapshot pinned to the commit epoch at connect time. Prints one
+// line to stdout when ready:
+//
+//   olapd: listening on 127.0.0.1:PORT
+//
+// and exits 0 on SIGINT/SIGTERM after a clean shutdown (all sessions
+// joined, all sockets closed).
+//
+// Flags:
+//   --make-demo        build the shared demo cube (schema/demo_cube.h) at
+//                      <database-file> first (overwrites; CI smoke test)
+//   --host ADDR        bind address (default 127.0.0.1)
+//   --port N           TCP port (default 0 = OS-assigned; see --port-file)
+//   --port-file PATH   write the bound port to PATH once listening, so
+//                      scripts using --port 0 can find the server
+//   --max-inflight N   admission slots (default 0 = derived from the
+//                      storage I/O pool)
+//   --max-queued N     admission wait-queue depth (default 0 = derived)
+//   --threads N        max array-engine worker threads per query (default 8)
+//   --cache-mb N       result-cache budget in MiB (default 64)
+//   --no-cache         disable the shared result cache (epoch-pinned
+//                      sessions then fail with SNAPSHOT_GONE once the epoch
+//                      moves)
+//
+// Exit codes: 0 = clean shutdown, 2 = could not start.
+#include <signal.h>
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "schema/database.h"
+#include "schema/demo_cube.h"
+#include "server/server.h"
+#include "storage/disk_manager.h"
+
+namespace paradise {
+namespace {
+
+struct Args {
+  std::string path;
+  std::string port_file;
+  server::ServerOptions server;
+  bool make_demo = false;
+};
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--make-demo] [--host ADDR] [--port N] "
+               "[--port-file PATH] [--max-inflight N] [--max-queued N] "
+               "[--threads N] [--cache-mb N] [--no-cache] <database-file>\n",
+               argv0);
+  return 2;
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--make-demo") {
+      args->make_demo = true;
+    } else if (arg == "--no-cache") {
+      args->server.enable_result_cache = false;
+    } else if (arg == "--host" && i + 1 < argc) {
+      args->server.host = argv[++i];
+    } else if (arg == "--port" && i + 1 < argc) {
+      args->server.port =
+          static_cast<uint16_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--port-file" && i + 1 < argc) {
+      args->port_file = argv[++i];
+    } else if (arg == "--max-inflight" && i + 1 < argc) {
+      args->server.max_inflight =
+          static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--max-queued" && i + 1 < argc) {
+      args->server.max_queued =
+          static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--threads" && i + 1 < argc) {
+      args->server.max_query_threads =
+          static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--cache-mb" && i + 1 < argc) {
+      args->server.cache_byte_budget =
+          static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10)) << 20;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return false;
+    } else if (args->path.empty()) {
+      args->path = arg;
+    } else {
+      return false;
+    }
+  }
+  return !args->path.empty() && args->server.max_query_threads > 0;
+}
+
+Status Run(const Args& args) {
+  if (args.make_demo) {
+    PARADISE_RETURN_IF_ERROR(BuildDemoCube(args.path).status());
+  }
+  PARADISE_ASSIGN_OR_RETURN(StorageOptions storage,
+                            ProbeStorageOptions(args.path));
+  DatabaseOptions options;
+  options.storage = storage;
+  options.storage.metrics_enabled = true;
+  PARADISE_ASSIGN_OR_RETURN(std::unique_ptr<Database> db,
+                            Database::Open(args.path, options));
+
+  // Block SIGINT/SIGTERM before spawning server threads so every thread
+  // inherits the mask and sigwait below is the only consumer.
+  sigset_t mask;
+  sigemptyset(&mask);
+  sigaddset(&mask, SIGINT);
+  sigaddset(&mask, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &mask, nullptr);
+
+  server::ServerOptions server_options = args.server;
+  server_options.metrics_enabled = true;
+  server::OlapServer olapd(db.get(), server_options);
+  PARADISE_RETURN_IF_ERROR(olapd.Start());
+
+  std::printf("olapd: listening on %s:%u\n", olapd.host().c_str(),
+              static_cast<unsigned>(olapd.port()));
+  std::fflush(stdout);
+  if (!args.port_file.empty()) {
+    std::FILE* f = std::fopen(args.port_file.c_str(), "w");
+    if (f == nullptr) {
+      olapd.Stop();
+      return Status::IOError("cannot write port file: " + args.port_file);
+    }
+    std::fprintf(f, "%u\n", static_cast<unsigned>(olapd.port()));
+    std::fclose(f);
+  }
+
+  int sig = 0;
+  while (sigwait(&mask, &sig) != 0) {
+  }
+  std::fprintf(stderr, "olapd: caught %s, shutting down\n", strsignal(sig));
+  olapd.Stop();
+
+  const server::OlapServer::Stats stats = olapd.stats();
+  std::fprintf(stderr,
+               "olapd: served %llu connections, %llu ok / %llu failed "
+               "queries, %llu busy, %llu protocol errors\n",
+               static_cast<unsigned long long>(stats.connections),
+               static_cast<unsigned long long>(stats.queries_ok),
+               static_cast<unsigned long long>(stats.queries_failed),
+               static_cast<unsigned long long>(stats.busy_replies),
+               static_cast<unsigned long long>(stats.protocol_errors));
+  return Status::OK();
+}
+
+int Main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) return Usage(argv[0]);
+  const Status st = Run(args);
+  if (!st.ok()) {
+    std::fprintf(stderr, "olapd: %s\n", st.ToString().c_str());
+    return 2;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace paradise
+
+int main(int argc, char** argv) { return paradise::Main(argc, argv); }

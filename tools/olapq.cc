@@ -1,0 +1,160 @@
+// olapq: command-line client for olapd (server/client.h).
+//
+//   olapq [flags] "<sql>"
+//   olapq [flags] --ping
+//
+// Connects, sends one query (or a ping), prints the result table plus the
+// server's execution stats JSON, and exits. Typed server errors (engine
+// failures, SERVER_BUSY, SNAPSHOT_GONE) print the wire-error class and the
+// engine's message verbatim.
+//
+// Flags:
+//   --host ADDR    server address (default 127.0.0.1)
+//   --port N       server port (required)
+//   --engine NAME  force array|starjoin|bitmap|leftdeep|btreeselect
+//                  (default: let the server's planner choose)
+//   --threads N    array-engine worker threads (default 1)
+//   --trace        request an ExecutionTrace in the stats JSON
+//   --no-cache     bypass the server's result cache
+//   --ping         round-trip a Ping frame instead of a query
+//   --quiet        print only the stats JSON, not the result table
+//
+// Exit codes: 0 = result received (or pong), 2 = transport/usage error,
+// 3 = typed server error.
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "query/engine.h"
+#include "query/query.h"
+#include "server/client.h"
+
+namespace paradise {
+namespace {
+
+struct Args {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  std::string sql;
+  server::QueryRequest request;
+  bool ping = false;
+  bool quiet = false;
+};
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--host ADDR] --port N [--engine NAME] "
+               "[--threads N] [--trace] [--no-cache] [--quiet] "
+               "(\"<sql>\" | --ping)\n",
+               argv0);
+  return 2;
+}
+
+bool ParseEngine(const std::string& name, uint8_t* out) {
+  if (name == "array") *out = static_cast<uint8_t>(EngineKind::kArray) + 1;
+  else if (name == "starjoin")
+    *out = static_cast<uint8_t>(EngineKind::kStarJoin) + 1;
+  else if (name == "bitmap")
+    *out = static_cast<uint8_t>(EngineKind::kBitmap) + 1;
+  else if (name == "leftdeep")
+    *out = static_cast<uint8_t>(EngineKind::kLeftDeep) + 1;
+  else if (name == "btreeselect")
+    *out = static_cast<uint8_t>(EngineKind::kBTreeSelect) + 1;
+  else
+    return false;
+  return true;
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--ping") {
+      args->ping = true;
+    } else if (arg == "--trace") {
+      args->request.trace = true;
+    } else if (arg == "--no-cache") {
+      args->request.no_cache = true;
+    } else if (arg == "--quiet") {
+      args->quiet = true;
+    } else if (arg == "--host" && i + 1 < argc) {
+      args->host = argv[++i];
+    } else if (arg == "--port" && i + 1 < argc) {
+      args->port = static_cast<uint16_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--engine" && i + 1 < argc) {
+      if (!ParseEngine(argv[++i], &args->request.engine)) return false;
+    } else if (arg == "--threads" && i + 1 < argc) {
+      args->request.num_threads =
+          static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (!arg.empty() && arg[0] == '-') {
+      return false;
+    } else if (args->sql.empty()) {
+      args->sql = arg;
+    } else {
+      return false;
+    }
+  }
+  if (args->port == 0) return false;
+  if (args->request.num_threads == 0) return false;
+  // Exactly one of --ping / SQL.
+  return args->ping == args->sql.empty();
+}
+
+int Run(const Args& args) {
+  Result<std::unique_ptr<server::OlapClient>> client_or =
+      server::OlapClient::Connect(args.host, args.port);
+  if (!client_or.ok()) {
+    std::fprintf(stderr, "olapq: %s\n", client_or.status().ToString().c_str());
+    return 2;
+  }
+  std::unique_ptr<server::OlapClient> client = std::move(client_or).value();
+
+  if (args.ping) {
+    const Status st = client->Ping();
+    if (!st.ok()) {
+      std::fprintf(stderr, "olapq: %s\n", st.ToString().c_str());
+      return 2;
+    }
+    std::printf("pong (cube %s, epoch %llu)\n", client->hello().cube_name.c_str(),
+                static_cast<unsigned long long>(client->hello().pinned_epoch));
+    return 0;
+  }
+
+  server::QueryRequest request = args.request;
+  request.sql = args.sql;
+  Result<server::OlapClient::Reply> reply_or = client->Query(request);
+  if (!reply_or.ok()) {
+    std::fprintf(stderr, "olapq: %s\n", reply_or.status().ToString().c_str());
+    return 2;
+  }
+  const server::OlapClient::Reply& reply = reply_or.value();
+  if (!reply.ok) {
+    std::fprintf(stderr, "olapq: %s: %s\n",
+                 std::string(server::WireErrorToString(reply.error.error))
+                     .c_str(),
+                 server::ErrorReplyToStatus(reply.error).ToString().c_str());
+    return 3;
+  }
+
+  const server::ResultReply& result = reply.result;
+  if (!args.quiet) {
+    std::printf("engine: %s", result.engine.c_str());
+    if (!result.plan_reason.empty()) {
+      std::printf(" (%s)", result.plan_reason.c_str());
+    }
+    std::printf("\n%s", result.result
+                            .ToString(static_cast<query::AggFunc>(result.agg))
+                            .c_str());
+  }
+  std::printf("%s\n", result.stats_json.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace paradise
+
+int main(int argc, char** argv) {
+  paradise::Args args;
+  if (!paradise::ParseArgs(argc, argv, &args)) return paradise::Usage(argv[0]);
+  return paradise::Run(args);
+}
