@@ -77,6 +77,9 @@ struct ClientTally {
   std::vector<uint64_t> latency_micros;
   uint64_t busy_retries = 0;
   uint64_t divergences = 0;
+  uint64_t err_timeout = 0;
+  uint64_t err_cancelled = 0;
+  uint64_t err_other = 0;
 };
 
 /// One client: its own connection, `queries` requests round-robin over the
@@ -112,7 +115,17 @@ ClientTally RunClient(const std::string& host, uint16_t port,
       backoff_us = std::min<uint32_t>(backoff_us * 2, 5000);
     }
     const auto end = std::chrono::steady_clock::now();
-    if (!reply.ok) Die(server::ErrorReplyToStatus(reply.error));
+    if (!reply.ok) {
+      // Typed errors are tallied per code rather than fatal: with deadlines
+      // and cancellation in the protocol they are expected outcomes, and the
+      // bench's job is to report their frequency, not crash on them.
+      switch (reply.error.error) {
+        case server::WireError::kQueryTimeout: ++tally.err_timeout; break;
+        case server::WireError::kCancelled: ++tally.err_cancelled; break;
+        default: ++tally.err_other; break;
+      }
+      continue;
+    }
 
     std::string bytes;
     server::AppendGroupedResult(reply.result.result, &bytes);
@@ -138,7 +151,8 @@ uint64_t Percentile(std::vector<uint64_t>* sorted_micros, double p) {
 int main() {
   std::printf("# bench_server — concurrent clients vs olapd serving stack "
               "(demo cube, loopback TCP)\n");
-  std::printf("clients,queries,seconds,qps,p50_ms,p99_ms,busy_retries,"
+  std::printf("clients,queries,seconds,qps,p50_ms,p99_ms,p999_ms,"
+              "busy_retries,err_timeout,err_cancelled,err_other,"
               "divergences\n");
 
   BenchFile file("server");
@@ -185,24 +199,36 @@ int main() {
     std::vector<uint64_t> latencies;
     uint64_t busy_retries = 0;
     uint64_t divergences = 0;
+    uint64_t err_timeout = 0;
+    uint64_t err_cancelled = 0;
+    uint64_t err_other = 0;
     for (const ClientTally& tally : tallies) {
       latencies.insert(latencies.end(), tally.latency_micros.begin(),
                        tally.latency_micros.end());
       busy_retries += tally.busy_retries;
       divergences += tally.divergences;
+      err_timeout += tally.err_timeout;
+      err_cancelled += tally.err_cancelled;
+      err_other += tally.err_other;
     }
     std::sort(latencies.begin(), latencies.end());
     const uint64_t p50 = Percentile(&latencies, 0.50);
     const uint64_t p99 = Percentile(&latencies, 0.99);
+    const uint64_t p999 = Percentile(&latencies, 0.999);
     const double qps =
         seconds > 0 ? static_cast<double>(latencies.size()) / seconds : 0;
     total_divergences += divergences;
 
-    std::printf("%zu,%zu,%.3f,%.0f,%.3f,%.3f,%llu,%llu\n", clients,
-                latencies.size(), seconds, qps,
+    std::printf("%zu,%zu,%.3f,%.0f,%.3f,%.3f,%.3f,%llu,%llu,%llu,%llu,"
+                "%llu\n",
+                clients, latencies.size(), seconds, qps,
                 static_cast<double>(p50) / 1000.0,
                 static_cast<double>(p99) / 1000.0,
+                static_cast<double>(p999) / 1000.0,
                 static_cast<unsigned long long>(busy_retries),
+                static_cast<unsigned long long>(err_timeout),
+                static_cast<unsigned long long>(err_cancelled),
+                static_cast<unsigned long long>(err_other),
                 static_cast<unsigned long long>(divergences));
     std::fflush(stdout);
 
@@ -213,7 +239,11 @@ int main() {
                {{"qps", qps},
                 {"p50_ms", static_cast<double>(p50) / 1000.0},
                 {"p99_ms", static_cast<double>(p99) / 1000.0},
+                {"p999_ms", static_cast<double>(p999) / 1000.0},
                 {"busy_retries", static_cast<double>(busy_retries)},
+                {"err_timeout", static_cast<double>(err_timeout)},
+                {"err_cancelled", static_cast<double>(err_cancelled)},
+                {"err_other", static_cast<double>(err_other)},
                 {"divergences", static_cast<double>(divergences)}});
   }
 

@@ -60,7 +60,8 @@ ChunkGroupTables BuildChunkTables(const OlapArray& array,
 Result<query::GroupedResult> ArrayConsolidate(const OlapArray& array,
                                               const query::ConsolidationQuery& q,
                                               PhaseTimer* timer,
-                                              ArrayConsolidateStats* stats) {
+                                              ArrayConsolidateStats* stats,
+                                              const CancellationToken* cancel) {
   if (q.HasSelection()) {
     return Status::InvalidArgument(
         "ArrayConsolidate handles no-selection queries; use "
@@ -77,6 +78,9 @@ Result<query::GroupedResult> ArrayConsolidate(const OlapArray& array,
     ScopedPhase phase(timer, "scan+aggregate");
     PARADISE_RETURN_IF_ERROR(array.array(q.measure).ScanChunkViews(
         [&](uint64_t chunk_no, const ChunkView& view) -> Status {
+          if (cancel != nullptr) {
+            PARADISE_RETURN_IF_ERROR(cancel->Check());
+          }
           const ChunkGroupTables tables =
               BuildChunkTables(array, spec, chunk_no);
           const size_t groups = tables.contribution.size();

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 
+#include "common/cancellation.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "common/stopwatch.h"
@@ -23,10 +24,13 @@ struct ArrayConsolidateStats {
 
 /// Runs a no-selection consolidation. The result array (of AggStates) must
 /// fit in memory — the paper makes the same assumption and notes the
-/// chunk-by-chunk extension is straightforward (§4.1).
+/// chunk-by-chunk extension is straightforward (§4.1). `cancel`, when
+/// given, is polled at every chunk boundary: the scan stops within one
+/// chunk's work and returns the token's typed Status.
 Result<query::GroupedResult> ArrayConsolidate(
     const OlapArray& array, const query::ConsolidationQuery& q,
-    PhaseTimer* timer = nullptr, ArrayConsolidateStats* stats = nullptr);
+    PhaseTimer* timer = nullptr, ArrayConsolidateStats* stats = nullptr,
+    const CancellationToken* cancel = nullptr);
 
 /// Materializes a consolidation's output as a new persistent OlapArray-style
 /// chunked array. Grouped dimensions become the result dimensions at their

@@ -225,6 +225,9 @@ Result<query::GroupedResult> ArrayConsolidateWithSelection(
     const std::vector<SelectionChunkWork> chunks =
         PlanSelectionChunks(array, q, plan, options, stats);
     for (const SelectionChunkWork& work : chunks) {
+      if (options.cancel != nullptr) {
+        PARADISE_RETURN_IF_ERROR(options.cancel->Check());
+      }
       PARADISE_ASSIGN_OR_RETURN(
           std::string blob, array.array(q.measure).ReadChunkBlob(work.chunk_no));
       PARADISE_RETURN_IF_ERROR(

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "common/stopwatch.h"
@@ -36,6 +37,10 @@ struct ArraySelectOptions {
   /// §4.2 optimization 1: do not read chunks that overlap no cross-product
   /// element. Off = read every non-empty chunk (ablation).
   bool skip_non_overlapping_chunks = true;
+  /// Polled at every chunk boundary of the probe loop (serial and parallel);
+  /// when it fires, the query stops within one chunk's work and returns the
+  /// token's typed Status. Not owned; may be nullptr.
+  const CancellationToken* cancel = nullptr;
 };
 
 /// Runs a consolidation with at least one selection.

@@ -97,7 +97,8 @@ std::vector<query::AggState> MergePartials(
 
 Result<query::GroupedResult> ParallelArrayConsolidate(
     const OlapArray& array, const query::ConsolidationQuery& q,
-    size_t num_threads, PhaseTimer* timer, ParallelConsolidateStats* stats) {
+    size_t num_threads, PhaseTimer* timer, ParallelConsolidateStats* stats,
+    const CancellationToken* cancel) {
   if (q.HasSelection()) {
     return Status::InvalidArgument(
         "ParallelArrayConsolidate handles no-selection queries; use "
@@ -126,6 +127,9 @@ Result<query::GroupedResult> ParallelArrayConsolidate(
       uint64_t chunk_no = 0;
       std::string blob;
       for (;;) {
+        if (cancel != nullptr) {
+          PARADISE_RETURN_IF_ERROR(cancel->Check());
+        }
         PARADISE_ASSIGN_OR_RETURN(bool more, cursor.Next(&chunk_no, &blob));
         if (!more) return Status::OK();
         chunks_read.fetch_add(1, std::memory_order_relaxed);
@@ -199,6 +203,9 @@ Result<query::GroupedResult> ParallelArrayConsolidateWithSelection(
       uint64_t chunk_no = 0;
       std::string blob;
       for (;;) {
+        if (options.cancel != nullptr) {
+          PARADISE_RETURN_IF_ERROR(options.cancel->Check());
+        }
         PARADISE_ASSIGN_OR_RETURN(bool more, cursor.Next(&chunk_no, &blob));
         if (!more) return Status::OK();
         // work_items is sorted by chunk_no (PlanSelectionChunks scans in

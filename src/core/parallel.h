@@ -34,11 +34,15 @@ struct ParallelConsolidateStats {
 
 /// Runs a no-selection consolidation with `num_threads` worker threads
 /// (>= 1; 1 degenerates to the serial algorithm's behaviour). Produces
-/// exactly the same GroupedResult as ArrayConsolidate.
+/// exactly the same GroupedResult as ArrayConsolidate. `cancel`, when
+/// given, is polled by every worker at each chunk boundary; the first
+/// worker to observe it returns the typed Status, the others drain, and
+/// every thread is joined before the call returns — no leaked workers.
 Result<query::GroupedResult> ParallelArrayConsolidate(
     const OlapArray& array, const query::ConsolidationQuery& q,
     size_t num_threads, PhaseTimer* timer = nullptr,
-    ParallelConsolidateStats* stats = nullptr);
+    ParallelConsolidateStats* stats = nullptr,
+    const CancellationToken* cancel = nullptr);
 
 /// Runs a consolidation with at least one selection (paper §4.2) with
 /// `num_threads` worker threads. Phase 1 (B-tree index lookups) and the

@@ -117,6 +117,11 @@ Result<Execution> RunQueryImpl(Database* db, EngineKind kind,
   if (options.num_threads == 0) {
     return Status::InvalidArgument("num_threads must be >= 1");
   }
+  if (options.cancel != nullptr) {
+    // A query that is already cancelled or expired must not touch the
+    // storage layer at all (not even the cold-buffer drop).
+    PARADISE_RETURN_IF_ERROR(options.cancel->Check());
+  }
   Execution exec;
   if (options.trace) {
     exec.stats.trace = std::make_shared<ExecutionTrace>(
@@ -203,28 +208,33 @@ Result<Execution> RunQueryImpl(Database* db, EngineKind kind,
       const size_t threads = options.num_threads;
       if (q.HasSelection()) {
         ArraySelectStats stats;
+        ArraySelectOptions select_options;
+        select_options.cancel = options.cancel;
         if (threads > 1) {
           PARADISE_ASSIGN_OR_RETURN(
               exec.result, ParallelArrayConsolidateWithSelection(
                                *db->olap(), q, threads, &exec.stats.phases,
-                               &stats));
+                               &stats, nullptr, select_options));
         } else {
           PARADISE_ASSIGN_OR_RETURN(
               exec.result, ArrayConsolidateWithSelection(
-                               *db->olap(), q, &exec.stats.phases, &stats));
+                               *db->olap(), q, &exec.stats.phases, &stats,
+                               select_options));
         }
         exec.stats.aux = stats.chunks_read;
       } else if (threads > 1) {
         ParallelConsolidateStats stats;
         PARADISE_ASSIGN_OR_RETURN(
             exec.result, ParallelArrayConsolidate(*db->olap(), q, threads,
-                                                  &exec.stats.phases, &stats));
+                                                  &exec.stats.phases, &stats,
+                                                  options.cancel));
         exec.stats.aux = stats.chunks_read;
       } else {
         ArrayConsolidateStats stats;
         PARADISE_ASSIGN_OR_RETURN(
             exec.result,
-            ArrayConsolidate(*db->olap(), q, &exec.stats.phases, &stats));
+            ArrayConsolidate(*db->olap(), q, &exec.stats.phases, &stats,
+                             options.cancel));
         exec.stats.aux = stats.chunks_read;
       }
       break;

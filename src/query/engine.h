@@ -9,6 +9,7 @@
 #include <string>
 #include <string_view>
 
+#include "common/cancellation.h"
 #include "common/result.h"
 #include "common/stopwatch.h"
 #include "common/trace.h"
@@ -130,6 +131,16 @@ struct RunQueryOptions {
   /// so it can never poison the newer epoch's cache. No effect without
   /// `cache`; nullopt (the default) uses Database::commit_epoch().
   std::optional<uint64_t> cache_pin_epoch;
+
+  /// Deadline/cancellation token (borrowed; may be flipped from another
+  /// thread). Checked once before dispatch and then at every chunk boundary
+  /// of the array engine's scan/probe loops (serial and parallel), so a
+  /// fired token stops the query within one chunk's work and RunQuery
+  /// returns the token's typed Status (kDeadlineExceeded / kCancelled) with
+  /// no torn result and no leaked worker. The non-array engines check only
+  /// at dispatch — they exist as paper baselines, not serving paths
+  /// (DESIGN.md choice 13).
+  const CancellationToken* cancel = nullptr;
 };
 
 /// Runs `q` with engine `kind`. With `cold` (the default, matching the

@@ -19,14 +19,23 @@ AdmissionController::AdmissionController(AdmissionOptions options)
     MetricsRegistry& registry = MetricsRegistry::Default();
     m_admitted_ = registry.GetCounter("server.admitted");
     m_busy_ = registry.GetCounter("server.busy_rejections");
+    m_shed_expired_ = registry.GetCounter("admission.shed_expired");
     m_inflight_ = registry.GetGauge("server.inflight");
     m_queued_ = registry.GetGauge("server.queued");
   }
 }
 
-AdmissionController::Outcome AdmissionController::Acquire() {
+AdmissionController::Outcome AdmissionController::Acquire(
+    const CancellationToken* token) {
   std::unique_lock<std::mutex> lock(mu_);
   if (shutdown_) return Outcome::kShutdown;
+  if (token != nullptr && token->cancel_requested()) return Outcome::kCancelled;
+  if (token != nullptr && token->expired()) {
+    // Already dead on arrival — shed before taking a slot or queue spot.
+    ++shed_expired_;
+    if (m_shed_expired_ != nullptr) m_shed_expired_->Increment();
+    return Outcome::kExpired;
+  }
   // Fast path only when nobody is queued ahead of us — a freed slot goes to
   // the oldest waiter, not to whoever races in next.
   if (queued_ == 0 && inflight_ < options_.max_inflight) {
@@ -43,18 +52,39 @@ AdmissionController::Outcome AdmissionController::Acquire() {
   }
   ++queued_;
   if (m_queued_ != nullptr) m_queued_->Set(static_cast<int64_t>(queued_));
-  cv_.wait(lock, [&] {
-    return shutdown_ || inflight_ < options_.max_inflight;
-  });
+  const auto pred = [&] {
+    return shutdown_ || inflight_ < options_.max_inflight ||
+           (token != nullptr && token->cancel_requested());
+  };
+  if (token != nullptr && token->has_deadline()) {
+    // Wait at most until the deadline; on timeout the query is shed below.
+    cv_.wait_until(lock, token->deadline(), pred);
+  } else {
+    cv_.wait(lock, pred);
+  }
   --queued_;
   if (m_queued_ != nullptr) m_queued_->Set(static_cast<int64_t>(queued_));
   if (shutdown_) return Outcome::kShutdown;
+  if (token != nullptr &&
+      (token->cancel_requested() || token->expired())) {
+    const bool was_cancelled = token->cancel_requested();
+    if (!was_cancelled) {
+      ++shed_expired_;
+      if (m_shed_expired_ != nullptr) m_shed_expired_->Increment();
+    }
+    // Release() wakes exactly one waiter; if that wake landed on us and we
+    // are bowing out, pass it along so the free slot is not orphaned.
+    if (queued_ > 0 && inflight_ < options_.max_inflight) cv_.notify_one();
+    return was_cancelled ? Outcome::kCancelled : Outcome::kExpired;
+  }
   ++inflight_;
   ++admitted_;
   if (m_inflight_ != nullptr) m_inflight_->Set(static_cast<int64_t>(inflight_));
   if (m_admitted_ != nullptr) m_admitted_->Increment();
   return Outcome::kAdmitted;
 }
+
+void AdmissionController::Poke() { cv_.notify_all(); }
 
 void AdmissionController::Release() {
   {
@@ -78,6 +108,7 @@ AdmissionController::Snapshot AdmissionController::snapshot() const {
   Snapshot s;
   s.admitted = admitted_;
   s.busy_rejections = busy_rejections_;
+  s.shed_expired = shed_expired_;
   s.inflight = inflight_;
   s.queued = queued_;
   return s;

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <mutex>
 
+#include "common/cancellation.h"
 #include "common/options.h"
 
 namespace paradise {
@@ -40,6 +41,8 @@ class AdmissionController {
     kAdmitted = 0,  // a slot is held; caller must Release()
     kBusy,          // both the slots and the wait queue are full
     kShutdown,      // controller shut down while acquiring
+    kExpired,       // the token's deadline passed before a slot freed up
+    kCancelled,     // the token was cancelled while queued
   };
 
   explicit AdmissionController(AdmissionOptions options);
@@ -50,7 +53,17 @@ class AdmissionController {
   /// Takes an execution slot, waiting in the bounded queue if none is free.
   /// Queued waiters are served before newly arriving requests (no barging),
   /// so the queue drains once load subsides.
-  Outcome Acquire();
+  ///
+  /// With a token, admission is deadline-aware: a query whose deadline has
+  /// already passed (or passes while queued) is shed with kExpired — the
+  /// slot goes to work someone is still waiting for — and a token cancelled
+  /// while queued returns kCancelled (the canceller must Poke() to wake the
+  /// waiter). Neither outcome holds a slot.
+  Outcome Acquire(const CancellationToken* token = nullptr);
+
+  /// Wakes every queued waiter to re-check its token. Called after flipping
+  /// a token's cancel flag from another thread.
+  void Poke();
 
   /// Returns a slot taken by a successful Acquire().
   void Release();
@@ -61,6 +74,7 @@ class AdmissionController {
   struct Snapshot {
     uint64_t admitted = 0;
     uint64_t busy_rejections = 0;
+    uint64_t shed_expired = 0;
     size_t inflight = 0;
     size_t queued = 0;
   };
@@ -83,10 +97,12 @@ class AdmissionController {
   size_t queued_ = 0;
   uint64_t admitted_ = 0;
   uint64_t busy_rejections_ = 0;
+  uint64_t shed_expired_ = 0;
 
   // Registry handles, null unless options_.metrics_enabled.
   Counter* m_admitted_ = nullptr;
   Counter* m_busy_ = nullptr;
+  Counter* m_shed_expired_ = nullptr;
   Gauge* m_inflight_ = nullptr;
   Gauge* m_queued_ = nullptr;
 };

@@ -5,15 +5,20 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <thread>
 #include <utility>
 
 #include "server/net_util.h"
 
 namespace paradise::server {
 
-Result<std::unique_ptr<OlapClient>> OlapClient::Connect(
-    const std::string& host, uint16_t port) {
+namespace {
+
+/// One connect() attempt; returns the connected fd or a Status.
+Result<int> DialOnce(const std::string& host, uint16_t port) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return ErrnoStatus("socket");
 
@@ -35,8 +40,33 @@ Result<std::unique_ptr<OlapClient>> OlapClient::Connect(
     return st;
   }
   SetTcpNoDelay(fd);
+  return fd;
+}
 
-  std::unique_ptr<OlapClient> client(new OlapClient(fd));
+}  // namespace
+
+Result<std::unique_ptr<OlapClient>> OlapClient::Connect(
+    const std::string& host, uint16_t port, ClientOptions options) {
+  std::unique_ptr<OlapClient> client;
+  for (uint32_t attempt = 0;; ++attempt) {
+    Result<int> fd = DialOnce(host, port);
+    if (fd.ok()) {
+      client.reset(new OlapClient(*fd, options));
+      break;
+    }
+    // An invalid address never becomes valid; only retry refused /
+    // unreachable dials.
+    if (fd.status().IsInvalidArgument() || attempt >= options.connect_retries) {
+      return fd.status();
+    }
+    Random rng(options.retry_seed + attempt);
+    const uint64_t shift = std::min<uint32_t>(attempt, 32);
+    uint64_t backoff_us = options.backoff_initial_us << shift;
+    backoff_us = std::min(std::max<uint64_t>(backoff_us, 1),
+                          std::max<uint64_t>(options.backoff_max_us, 1));
+    const uint64_t sleep_us = backoff_us / 2 + rng.Uniform(backoff_us / 2 + 1);
+    std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
+  }
   PARADISE_ASSIGN_OR_RETURN(Frame frame, client->ReadFrame());
   if (frame.type != FrameType::kHello) {
     return Status::IOError("expected Hello frame, got type " +
@@ -72,10 +102,31 @@ Status OlapClient::SendFrame(FrameType type, std::string_view payload) {
 
 Result<Frame> OlapClient::ReadFrame() {
   if (fd_ < 0) return Status::InvalidArgument("client is closed");
+  const bool bounded = options_.call_timeout_ms > 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(options_.call_timeout_ms);
   char buf[64 * 1024];
   for (;;) {
     PARADISE_ASSIGN_OR_RETURN(std::optional<Frame> frame, decoder_.Next());
     if (frame.has_value()) return std::move(*frame);
+    if (bounded) {
+      const auto remaining_ms =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              deadline - std::chrono::steady_clock::now())
+              .count();
+      const PollWait wait = WaitReadable(
+          fd_, static_cast<int>(std::max<int64_t>(0, remaining_ms)));
+      if (wait == PollWait::kError) return ErrnoStatus("poll");
+      if (wait == PollWait::kTimedOut) {
+        // The reply may still arrive later and would desynchronize the next
+        // call's framing — poison the connection rather than risk it.
+        Close();
+        return Status::DeadlineExceeded(
+            "no reply within " + std::to_string(options_.call_timeout_ms) +
+            " ms; connection closed");
+      }
+    }
     const ssize_t n = RecvSome(fd_, buf, sizeof(buf));
     if (n == 0) return Status::IOError("server closed the connection");
     if (n < 0) return ErrnoStatus("recv");
@@ -110,6 +161,35 @@ Result<OlapClient::Reply> OlapClient::Query(const std::string& sql) {
   QueryRequest request;
   request.sql = sql;
   return Query(request);
+}
+
+Result<OlapClient::Reply> OlapClient::QueryWithRetry(
+    const QueryRequest& request) {
+  for (uint32_t attempt = 0;; ++attempt) {
+    Result<Reply> reply = Query(request);
+    // Transport failures and non-busy typed errors return as-is: the server
+    // may already have executed the query, so re-sending is not safe.
+    if (!reply.ok() || reply->ok ||
+        reply->error.error != WireError::kServerBusy ||
+        attempt >= options_.busy_retries) {
+      return reply;
+    }
+    BackoffSleep(attempt);
+  }
+}
+
+Status OlapClient::Cancel() {
+  return SendFrame(FrameType::kCancel, "");
+}
+
+void OlapClient::BackoffSleep(uint32_t attempt) {
+  const uint64_t shift = std::min<uint32_t>(attempt, 32);
+  uint64_t backoff_us = options_.backoff_initial_us << shift;
+  backoff_us = std::min(std::max<uint64_t>(backoff_us, 1),
+                        std::max<uint64_t>(options_.backoff_max_us, 1));
+  // ±50% jitter keeps a fleet of rejected clients from re-arriving at once.
+  const uint64_t sleep_us = backoff_us / 2 + rng_.Uniform(backoff_us / 2 + 1);
+  std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
 }
 
 Status OlapClient::Ping() {

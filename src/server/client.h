@@ -6,23 +6,56 @@
 // conditions (engine errors, SERVER_BUSY, SNAPSHOT_GONE) arrive as a
 // decoded ErrorReply inside an OK Reply, so callers can distinguish "the
 // wire broke" from "the server answered no".
+//
+// Resilience (DESIGN.md choice 13): ClientOptions adds a per-call reply
+// timeout, connect retries, and QueryWithRetry — exponential backoff with
+// jitter on the two failures known to be safe to retry (typed SERVER_BUSY,
+// connect refusal). A transport error mid-reply is never retried: the
+// server may have executed the query, and this client cannot tell.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <string>
 
+#include "common/random.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "server/wire.h"
 
 namespace paradise::server {
 
+struct ClientOptions {
+  /// Per-call budget (ms) for each blocking reply read (Query/Ping/Hello);
+  /// 0 = wait forever. On expiry the call fails with kDeadlineExceeded and
+  /// the connection is closed — the server's reply may still be in flight,
+  /// so the stream can no longer be trusted for a next request.
+  uint32_t call_timeout_ms = 0;
+
+  /// Extra connect() attempts after the first fails (connection refused /
+  /// unreachable), each preceded by a backoff sleep. 0 = fail fast.
+  uint32_t connect_retries = 0;
+
+  /// Extra attempts QueryWithRetry makes after a typed SERVER_BUSY reply.
+  /// 0 = QueryWithRetry behaves exactly like Query.
+  uint32_t busy_retries = 0;
+
+  /// Exponential backoff between retries: attempt k sleeps around
+  /// backoff_initial_us << k, capped at backoff_max_us, with ±50% jitter so
+  /// a fleet of busy-looped clients does not retry in lockstep.
+  uint64_t backoff_initial_us = 200;
+  uint64_t backoff_max_us = 50'000;
+
+  /// Seed for the jitter PRNG (common/random.h) — deterministic tests.
+  uint64_t retry_seed = 42;
+};
+
 class OlapClient {
  public:
   /// Connects and consumes the Hello frame (pinned epoch, cube name).
-  static Result<std::unique_ptr<OlapClient>> Connect(const std::string& host,
-                                                     uint16_t port);
+  /// Retries refused connections options.connect_retries times.
+  static Result<std::unique_ptr<OlapClient>> Connect(
+      const std::string& host, uint16_t port, ClientOptions options = {});
 
   ~OlapClient();
 
@@ -43,6 +76,18 @@ class OlapClient {
   /// Convenience: SQL with default request options.
   Result<Reply> Query(const std::string& sql);
 
+  /// Query, retrying typed SERVER_BUSY replies up to options.busy_retries
+  /// times with exponential backoff + jitter. Anything else — success, a
+  /// different typed error, or a transport failure — returns immediately:
+  /// after a transport failure mid-reply the query may already have run,
+  /// and blind re-submission is not idempotent-safe.
+  Result<Reply> QueryWithRetry(const QueryRequest& request);
+
+  /// Sends a kCancel frame for the in-flight query (best effort; fire and
+  /// forget — the cancelled query still gets its one reply, either a typed
+  /// CANCELLED or its result if it won the race).
+  Status Cancel();
+
   /// Round-trips a Ping frame.
   Status Ping();
 
@@ -61,11 +106,17 @@ class OlapClient {
   void Close();
 
  private:
-  explicit OlapClient(int fd) : fd_(fd) {}
+  OlapClient(int fd, const ClientOptions& options)
+      : fd_(fd), options_(options), rng_(options.retry_seed) {}
 
   Status SendFrame(FrameType type, std::string_view payload);
+  /// Sleeps the backoff for retry attempt `attempt` (0-based): exponential
+  /// from backoff_initial_us, capped, with ±50% jitter.
+  void BackoffSleep(uint32_t attempt);
 
   int fd_;
+  ClientOptions options_;
+  Random rng_;
   FrameDecoder decoder_;
   HelloReply hello_;
 };

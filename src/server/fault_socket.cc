@@ -1,0 +1,133 @@
+#include "server/fault_socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <thread>
+
+#include "server/net_util.h"
+
+namespace paradise::server {
+
+Result<std::unique_ptr<FaultSocket>> FaultSocket::Dial(
+    const std::string& host, uint16_t port, SocketFaultOptions faults) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return ErrnoStatus("socket");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad server address: " + host);
+  }
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    const Status st =
+        ErrnoStatus("connect " + host + ":" + std::to_string(port));
+    ::close(fd);
+    return st;
+  }
+  SetTcpNoDelay(fd);
+  return std::unique_ptr<FaultSocket>(new FaultSocket(fd, faults));
+}
+
+FaultSocket::~FaultSocket() { Close(); }
+
+void FaultSocket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void FaultSocket::Arm(const SocketFaultOptions& faults) {
+  faults_ = faults;
+  rng_ = Random(faults.seed);
+  injected_ = 0;
+  short_reads_ = 0;
+  short_writes_ = 0;
+  stalls_ = 0;
+  disconnects_ = 0;
+  truncations_ = 0;
+}
+
+bool FaultSocket::Draw(double probability) {
+  if (probability <= 0.0 || !Armed()) return false;
+  return rng_.Bernoulli(probability);
+}
+
+void FaultSocket::MaybeStall() {
+  if (!Draw(faults_.stall_probability)) return;
+  ++injected_;
+  ++stalls_;
+  std::this_thread::sleep_for(std::chrono::milliseconds(faults_.stall_ms));
+}
+
+Status FaultSocket::Send(std::string_view data) {
+  if (fd_ < 0) return Status::IOError("fault socket is closed");
+  size_t sent = 0;
+  while (sent < data.size()) {
+    MaybeStall();
+    if (Draw(faults_.disconnect_probability)) {
+      ++injected_;
+      ++disconnects_;
+      Close();
+      return Status::IOError("injected disconnect");
+    }
+    size_t chunk = data.size() - sent;
+    if (Draw(faults_.truncate_write_probability)) {
+      // Put a strict prefix on the wire, then EOF: the peer sees a frame cut
+      // off mid-payload — the torn write of the network world.
+      ++injected_;
+      ++truncations_;
+      const size_t keep = rng_.Uniform(chunk);  // 0..chunk-1 extra bytes
+      Status st = SendAll(fd_, data.substr(sent, keep));
+      ::shutdown(fd_, SHUT_WR);
+      if (!st.ok()) return st;
+      return Status::IOError("injected truncation");
+    }
+    if (chunk > 1 && Draw(faults_.short_write_probability)) {
+      ++injected_;
+      ++short_writes_;
+      chunk = 1 + rng_.Uniform(chunk - 1);  // 1..chunk-1
+    }
+    const Status st = SendAll(fd_, data.substr(sent, chunk));
+    if (!st.ok()) return st;
+    sent += chunk;
+  }
+  return Status::OK();
+}
+
+Result<size_t> FaultSocket::Recv(char* buf, size_t n) {
+  if (fd_ < 0) return Status::IOError("fault socket is closed");
+  if (n == 0) return static_cast<size_t>(0);
+  MaybeStall();
+  if (Draw(faults_.disconnect_probability)) {
+    ++injected_;
+    ++disconnects_;
+    Close();
+    return Status::IOError("injected disconnect");
+  }
+  size_t want = n;
+  if (n > 1 && Draw(faults_.short_read_probability)) {
+    // The unread tail stays in the kernel buffer for the next call, so a
+    // short read only fragments the stream — it never loses bytes.
+    ++injected_;
+    ++short_reads_;
+    want = 1 + rng_.Uniform(n - 1);  // 1..n-1
+  }
+  const ssize_t got = RecvSome(fd_, buf, want);
+  if (got < 0) return ErrnoStatus("recv");
+  return static_cast<size_t>(got);
+}
+
+}  // namespace paradise::server

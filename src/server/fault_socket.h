@@ -1,0 +1,115 @@
+// FaultSocket: a client-side socket decorator that injects network faults —
+// short reads, short writes, stalls, mid-frame disconnects and truncated
+// writes — deterministically (seeded PRNG plus a total injection budget),
+// mirroring the storage layer's FaultInjectingDiskManager idiom. The chaos
+// harness (tests/server_chaos_test.cc, bench/bench_resilience.cc) drives
+// olapd through these sockets to prove the server survives a hostile
+// network: every fault ends in a typed error or a clean close on the server
+// side, never a hung session thread, a leaked worker, or a wrong reply to a
+// healthy client.
+//
+// One FaultSocket serves one client thread; it is not thread-safe.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace paradise::server {
+
+/// Fault schedule: probabilistic fields draw from the seeded PRNG per
+/// send/recv call; every injection counts against `max_injected_faults`,
+/// which makes faults transient — a bounded retry loop eventually gets a
+/// clean connection.
+struct SocketFaultOptions {
+  uint64_t seed = 42;
+
+  /// Deliver only a 1..n prefix of what recv() returned (the rest stays
+  /// buffered for the next call). Exercises the caller's frame reassembly.
+  double short_read_probability = 0.0;
+
+  /// Transmit only a 1..n-1 prefix of the requested bytes and report the
+  /// short count; the caller's send loop continues, so the peer sees the
+  /// frame arrive fragmented (mid-frame progress, never corruption).
+  double short_write_probability = 0.0;
+
+  /// Sleep stall_ms before the operation — a network hiccup; long stalls
+  /// exercise the server's read_timeout_ms slow-loris reaping.
+  double stall_probability = 0.0;
+  uint32_t stall_ms = 20;
+
+  /// Hard-close the socket instead of performing the operation; the peer
+  /// sees EOF (mid-frame when a write was in progress). The call fails with
+  /// kIOError("injected disconnect").
+  double disconnect_probability = 0.0;
+
+  /// Transmit a strict prefix of the bytes, then shut down the write side:
+  /// the peer sees a truncated frame followed by EOF. The call fails with
+  /// kIOError("injected truncation").
+  double truncate_write_probability = 0.0;
+
+  /// Total injected-fault budget across all kinds.
+  uint64_t max_injected_faults = UINT64_MAX;
+};
+
+class FaultSocket {
+ public:
+  /// Connects to the server; the connection itself is never faulted (dial
+  /// failures are the environment's business, not this injector's).
+  static Result<std::unique_ptr<FaultSocket>> Dial(const std::string& host,
+                                                   uint16_t port,
+                                                   SocketFaultOptions faults);
+
+  ~FaultSocket();
+
+  FaultSocket(const FaultSocket&) = delete;
+  FaultSocket& operator=(const FaultSocket&) = delete;
+
+  /// Writes all of `data` (retrying short writes), subject to the fault
+  /// schedule. A disconnect/truncation injection fails with kIOError and
+  /// leaves the socket unusable.
+  Status Send(std::string_view data);
+
+  /// One bounded read. Returns bytes delivered, 0 on EOF; kIOError on a
+  /// socket error or an injected disconnect.
+  Result<size_t> Recv(char* buf, size_t n);
+
+  void Close();
+  bool closed() const { return fd_ < 0; }
+
+  /// Replaces the schedule, reseeds the PRNG and zeroes the fault counters.
+  void Arm(const SocketFaultOptions& faults);
+
+  uint64_t injected_faults() const { return injected_; }
+  uint64_t injected_short_reads() const { return short_reads_; }
+  uint64_t injected_short_writes() const { return short_writes_; }
+  uint64_t injected_stalls() const { return stalls_; }
+  uint64_t injected_disconnects() const { return disconnects_; }
+  uint64_t injected_truncations() const { return truncations_; }
+
+ private:
+  FaultSocket(int fd, const SocketFaultOptions& faults)
+      : fd_(fd), faults_(faults), rng_(faults.seed) {}
+
+  bool Armed() const { return injected_ < faults_.max_injected_faults; }
+  /// Draws once against `probability` while the budget lasts.
+  bool Draw(double probability);
+  void MaybeStall();
+
+  int fd_;
+  SocketFaultOptions faults_;
+  Random rng_;
+  uint64_t injected_ = 0;
+  uint64_t short_reads_ = 0;
+  uint64_t short_writes_ = 0;
+  uint64_t stalls_ = 0;
+  uint64_t disconnects_ = 0;
+  uint64_t truncations_ = 0;
+};
+
+}  // namespace paradise::server

@@ -5,10 +5,12 @@
 
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <string>
 #include <string_view>
@@ -51,6 +53,40 @@ inline ssize_t RecvSome(int fd, char* buf, size_t n) {
     const ssize_t got = ::recv(fd, buf, n, 0);
     if (got < 0 && errno == EINTR) continue;
     return got;
+  }
+}
+
+/// What a bounded wait for readability observed.
+enum class PollWait : uint8_t {
+  kReadable = 0,  // data (or EOF/HUP) is pending; recv() will not block
+  kTimedOut,      // the timeout elapsed with nothing to read
+  kError,         // poll() itself failed (errno set)
+};
+
+/// Waits up to `timeout_ms` for `fd` to become readable, retrying EINTR
+/// with the remaining budget. timeout_ms < 0 waits forever. A peer close or
+/// a shutdown() on the fd counts as readable — the caller's recv() then
+/// returns 0/-1, so blocked readers are interruptible (the Server::Stop()
+/// wake-up path).
+inline PollWait WaitReadable(int fd, int timeout_ms) {
+  const auto start = std::chrono::steady_clock::now();
+  for (;;) {
+    struct pollfd p;
+    p.fd = fd;
+    p.events = POLLIN;
+    p.revents = 0;
+    const int rc = ::poll(&p, 1, timeout_ms);
+    if (rc > 0) return PollWait::kReadable;
+    if (rc == 0) return PollWait::kTimedOut;
+    if (errno != EINTR) return PollWait::kError;
+    if (timeout_ms >= 0) {
+      const auto elapsed_ms =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count();
+      if (elapsed_ms >= timeout_ms) return PollWait::kTimedOut;
+      timeout_ms -= static_cast<int>(elapsed_ms);
+    }
   }
 }
 

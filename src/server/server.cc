@@ -37,6 +37,9 @@ OlapServer::OlapServer(Database* db, ServerOptions options)
   }
 
   session_options_.max_query_threads = options_.max_query_threads;
+  session_options_.default_deadline_ms = options_.default_deadline_ms;
+  session_options_.read_timeout_ms = options_.read_timeout_ms;
+  session_options_.idle_timeout_ms = options_.idle_timeout_ms;
   session_options_.artificial_query_delay_ms =
       options_.artificial_query_delay_ms;
   session_options_.metrics_enabled = options_.metrics_enabled;
@@ -167,9 +170,13 @@ void OlapServer::Stop() {
     listen_fd_ = -1;
   }
 
-  // Wake every session blocked in recv/send, then join. Sockets are closed
-  // by the session threads themselves (under mu_); anything left (a thread
-  // that never reached its close) is closed here after the join.
+  // Wake every session wherever it blocks, then join: shutdown() makes the
+  // socket readable, which unblocks the main loop's poll/recv (first byte
+  // or mid-frame alike) and the per-query cancel watcher — whose failed
+  // recv flips the query's token, so even a session deep in a chunk loop
+  // unwinds within one chunk's work. Sockets are closed by the session
+  // threads themselves (under mu_); anything left (a thread that never
+  // reached its close) is closed here after the join.
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (const std::unique_ptr<Connection>& conn : connections_) {
@@ -201,6 +208,10 @@ OlapServer::Stats OlapServer::stats() const {
   s.busy_replies = counters_.busy_replies.load(std::memory_order_relaxed);
   s.protocol_errors =
       counters_.protocol_errors.load(std::memory_order_relaxed);
+  s.timeouts = counters_.timeouts.load(std::memory_order_relaxed);
+  s.cancelled = counters_.cancelled.load(std::memory_order_relaxed);
+  s.shed_expired = counters_.shed_expired.load(std::memory_order_relaxed);
+  s.read_timeouts = counters_.read_timeouts.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -56,6 +56,14 @@ struct ServerOptions {
   /// MetricsRegistry::Default().
   bool metrics_enabled = false;
 
+  /// Server-wide query deadline cap in ms; 0 = none (server/session.h).
+  uint32_t default_deadline_ms = 0;
+
+  /// Socket read timeouts (server/session.h): mid-frame progress budget and
+  /// idle budget, both in ms, 0 = unbounded.
+  uint32_t read_timeout_ms = 30'000;
+  uint32_t idle_timeout_ms = 0;
+
   /// Test-only: per-query execution delay (server/session.h).
   uint32_t artificial_query_delay_ms = 0;
 
@@ -94,6 +102,10 @@ class OlapServer {
     uint64_t queries_failed = 0;
     uint64_t busy_replies = 0;
     uint64_t protocol_errors = 0;
+    uint64_t timeouts = 0;
+    uint64_t cancelled = 0;
+    uint64_t shed_expired = 0;
+    uint64_t read_timeouts = 0;
   };
   Stats stats() const;
 

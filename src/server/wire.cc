@@ -95,7 +95,7 @@ Status Malformed(std::string_view what) {
 
 bool IsKnownFrameType(uint8_t type) {
   return type >= static_cast<uint8_t>(FrameType::kHello) &&
-         type <= static_cast<uint8_t>(FrameType::kPong);
+         type <= static_cast<uint8_t>(FrameType::kCancel);
 }
 
 std::string_view WireErrorToString(WireError e) {
@@ -112,6 +112,10 @@ std::string_view WireErrorToString(WireError e) {
       return "SHUTTING_DOWN";
     case WireError::kResultTooLarge:
       return "RESULT_TOO_LARGE";
+    case WireError::kQueryTimeout:
+      return "QUERY_TIMEOUT";
+    case WireError::kCancelled:
+      return "CANCELLED";
   }
   return "UNKNOWN";
 }
@@ -206,6 +210,7 @@ std::string EncodeQueryRequest(const QueryRequest& request) {
   PutU8(&out, 0);  // pad
   PutU8(&out, 0);  // pad
   PutU32(&out, request.num_threads);
+  PutU32(&out, request.deadline_ms);
   PutString(&out, request.sql);
   return out;
 }
@@ -216,7 +221,8 @@ Result<QueryRequest> DecodeQueryRequest(std::string_view payload) {
   uint8_t flags = 0, pad0 = 0, pad1 = 0;
   if (!r.GetU8(&request.engine) || !r.GetU8(&flags) || !r.GetU8(&pad0) ||
       !r.GetU8(&pad1) || !r.GetU32(&request.num_threads) ||
-      !r.GetString(&request.sql) || !r.Done()) {
+      !r.GetU32(&request.deadline_ms) || !r.GetString(&request.sql) ||
+      !r.Done()) {
     return Malformed("query request");
   }
   if (pad0 != 0 || pad1 != 0 ||
@@ -253,8 +259,8 @@ Result<ErrorReply> DecodeErrorReply(std::string_view payload) {
     return Malformed("error reply");
   }
   if (pad0 != 0 || pad1 != 0 || error < 1 ||
-      error > static_cast<uint8_t>(WireError::kResultTooLarge) ||
-      code > static_cast<uint8_t>(StatusCode::kInternal)) {
+      error > static_cast<uint8_t>(WireError::kCancelled) ||
+      code > static_cast<uint8_t>(StatusCode::kCancelled)) {
     return Malformed("error reply");
   }
   reply.error = static_cast<WireError>(error);

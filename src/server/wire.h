@@ -24,6 +24,12 @@
 //   server → client   kHello                    (once, on accept)
 //   client → server   kQuery | kPing
 //   server → client   kResult | kError | kPong  (one reply per request)
+//   client → server   kCancel                   (anytime; no reply of its own)
+//
+// kCancel asks the server to abandon the in-flight query: the pending
+// kQuery still gets exactly one reply — either kResult (the query won the
+// race) or kError CANCELLED. A kCancel with no query in flight is ignored,
+// so a cancel that loses the race is harmless.
 //
 // Engine errors cross the wire typed: ErrorReply carries the WireError
 // class, the engine's StatusCode, and the engine's message verbatim, so a
@@ -58,6 +64,7 @@ enum class FrameType : uint8_t {
   kError = 4,   // server → client: typed error
   kPing = 5,    // client → server: empty payload
   kPong = 6,    // server → client: empty payload
+  kCancel = 7,  // client → server: empty payload; abandon the in-flight query
 };
 
 /// True for frame-type byte values defined above.
@@ -81,6 +88,13 @@ enum class WireError : uint8_t {
   kShuttingDown = 5,
   /// The result exceeds the maximum frame payload.
   kResultTooLarge = 6,
+  /// The query's deadline (client deadline_ms, capped by the server-wide
+  /// default) expired — while queued or mid-execution. The connection stays
+  /// open; status_code is kDeadlineExceeded.
+  kQueryTimeout = 7,
+  /// The client sent kCancel (or disconnected) and the query was abandoned
+  /// at a chunk boundary. status_code is kCancelled.
+  kCancelled = 8,
 };
 
 std::string_view WireErrorToString(WireError e);
@@ -138,6 +152,10 @@ struct QueryRequest {
   bool no_cache = false;
   /// Array-engine worker threads (clamped by the server). Must be >= 1.
   uint32_t num_threads = 1;
+  /// Query deadline in milliseconds from receipt; 0 = none. The server caps
+  /// it with its own default_deadline_ms and sheds the query with
+  /// QUERY_TIMEOUT once the effective deadline passes.
+  uint32_t deadline_ms = 0;
   std::string sql;
 };
 

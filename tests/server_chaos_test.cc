@@ -1,0 +1,669 @@
+// Chaos battery for the olapd resilience stack (DESIGN.md choice 13):
+// deadlines, cooperative cancellation, admission shedding, socket read
+// timeouts, Stop() interrupts, and the headline ChaosMixedLoad — thousands
+// of queries from healthy clients (mixed deadlines and cancels) interleaved
+// with clients whose sockets inject short reads/writes, stalls, mid-frame
+// disconnects and truncations (server/fault_socket.h). The invariants under
+// fire: no hang, no leaked session or worker, every successful reply
+// bit-identical to the single-threaded golden, and every abandoned query a
+// typed QUERY_TIMEOUT / CANCELLED on a connection that stays open. CI runs
+// this suite under ASan and TSan with a fixed seed matrix.
+//
+// Environment knobs (CI seed matrix / quick local runs):
+//   PARADISE_CHAOS_QUERIES  queries per client in ChaosMixedLoad
+//   PARADISE_CHAOS_SEED     base PRNG seed for the chaos schedule
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/cancellation.h"
+#include "common/random.h"
+#include "query/planner.h"
+#include "query/sql.h"
+#include "server/client.h"
+#include "server/fault_socket.h"
+#include "server/server.h"
+#include "server/wire.h"
+#include "test_util.h"
+
+namespace paradise::server {
+namespace {
+
+using paradise::testing::SmallDbOptions;
+using paradise::testing::TempFile;
+using paradise::testing::TinyConfig;
+
+uint64_t EnvOr(const char* name, uint64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::strtoull(value, nullptr, 10);
+}
+
+std::string ResultBytes(const query::GroupedResult& result) {
+  std::string bytes;
+  AppendGroupedResult(result, &bytes);
+  return bytes;
+}
+
+class ServerChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    file_ = std::make_unique<TempFile>("server_chaos");
+    ASSERT_OK_AND_ASSIGN(data_, gen::Generate(TinyConfig(300, 41)));
+    ASSERT_OK_AND_ASSIGN(
+        db_, BuildDatabaseFromDataset(file_->path(), data_, SmallDbOptions()));
+  }
+
+  void StartServer(ServerOptions options) {
+    server_ = std::make_unique<OlapServer>(db_.get(), options);
+    ASSERT_OK(server_->Start());
+  }
+
+  std::unique_ptr<OlapClient> MustConnect(ClientOptions options = {}) {
+    Result<std::unique_ptr<OlapClient>> client =
+        OlapClient::Connect("127.0.0.1", server_->port(), options);
+    EXPECT_TRUE(client.ok()) << client.status().ToString();
+    return client.ok() ? std::move(client).value() : nullptr;
+  }
+
+  static std::vector<std::string> Workload() {
+    return {
+        "select sum(volume), dim0.h01, dim1.h11, dim2.h21 from cube "
+        "group by dim0.h01, dim1.h11, dim2.h21",
+        "select sum(volume), dim1.h12, dim2.h22 from cube "
+        "group by dim1.h12, dim2.h22",
+        "select sum(volume), dim0.h01 from cube "
+        "where dim1.h12 = '" + gen::AttrValue(1, 2, 0) + "' "
+        "group by dim0.h01",
+        "select avg(volume), dim2.h21 from cube "
+        "where dim0.h02 = '" + gen::AttrValue(0, 2, 1) + "' "
+        "group by dim2.h21",
+    };
+  }
+
+  std::vector<std::string> Goldens(const std::vector<std::string>& workload) {
+    std::vector<std::string> goldens;
+    for (const std::string& sql : workload) {
+      Result<SqlExecution> exec = RunSql(db_.get(), sql);
+      EXPECT_TRUE(exec.ok()) << sql << ": " << exec.status().ToString();
+      if (!exec.ok()) return {};
+      exec->execution.result.SortCanonical();
+      goldens.push_back(ResultBytes(exec->execution.result));
+    }
+    return goldens;
+  }
+
+  std::unique_ptr<TempFile> file_;
+  gen::SyntheticDataset data_;
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<OlapServer> server_;
+};
+
+// --- engine-level token semantics ------------------------------------------
+
+TEST_F(ServerChaosTest, PreFiredTokensReturnTypedStatusesWithoutRunning) {
+  ASSERT_OK_AND_ASSIGN(
+      query::ConsolidationQuery q,
+      query::CompileSql(Workload()[0], db_->schema()));
+
+  CancellationToken cancelled;
+  cancelled.RequestCancel();
+  RunQueryOptions options;
+  options.cold = false;
+  options.cancel = &cancelled;
+  Result<Execution> exec = RunQuery(db_.get(), EngineKind::kArray, q, options);
+  ASSERT_FALSE(exec.ok());
+  EXPECT_TRUE(exec.status().IsCancelled()) << exec.status().ToString();
+
+  CancellationToken expired;
+  expired.set_deadline(std::chrono::steady_clock::now() -
+                       std::chrono::milliseconds(1));
+  options.cancel = &expired;
+  exec = RunQuery(db_.get(), EngineKind::kArray, q, options);
+  ASSERT_FALSE(exec.ok());
+  EXPECT_TRUE(exec.status().IsDeadlineExceeded()) << exec.status().ToString();
+
+  // A token armed with a generous deadline does not perturb the result.
+  CancellationToken healthy;
+  healthy.SetDeadlineAfterMs(60'000);
+  options.cancel = &healthy;
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    options.num_threads = threads;
+    ASSERT_OK_AND_ASSIGN(Execution clean,
+                         RunQuery(db_.get(), EngineKind::kArray, q, options));
+    clean.result.SortCanonical();
+    EXPECT_EQ(ResultBytes(clean.result), Goldens(Workload())[0])
+        << "threads=" << threads;
+  }
+}
+
+// --- wire-level deadline / cancel behavior ---------------------------------
+
+TEST_F(ServerChaosTest, CancelStopsInFlightQuery) {
+  ServerOptions options;
+  options.artificial_query_delay_ms = 1000;
+  StartServer(options);
+
+  auto client = MustConnect();
+  ASSERT_NE(client, nullptr);
+  QueryRequest request;
+  request.sql = Workload()[0];
+
+  const auto start = std::chrono::steady_clock::now();
+  ASSERT_OK(client->SendRaw(
+      EncodeFrame(FrameType::kQuery, EncodeQueryRequest(request))));
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  ASSERT_OK(client->Cancel());
+
+  ASSERT_OK_AND_ASSIGN(Frame frame, client->ReadFrame());
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  ASSERT_EQ(frame.type, FrameType::kError);
+  ASSERT_OK_AND_ASSIGN(ErrorReply error, DecodeErrorReply(frame.payload));
+  EXPECT_EQ(error.error, WireError::kCancelled);
+  EXPECT_EQ(error.status_code, StatusCode::kCancelled);
+  // The 1000 ms artificial delay was abandoned shortly after the cancel.
+  EXPECT_LT(elapsed_ms, 900.0);
+
+  // The connection survives a cancelled query.
+  ASSERT_OK(client->Ping());
+  EXPECT_GE(server_->stats().cancelled, 1u);
+  EXPECT_EQ(server_->stats().queries_failed, 0u);
+  server_->Stop();
+}
+
+TEST_F(ServerChaosTest, DeadlineExpiresInFlightQuery) {
+  ServerOptions options;
+  options.artificial_query_delay_ms = 500;
+  StartServer(options);
+
+  auto client = MustConnect();
+  ASSERT_NE(client, nullptr);
+  QueryRequest request;
+  request.sql = Workload()[0];
+  request.deadline_ms = 50;
+
+  const auto start = std::chrono::steady_clock::now();
+  ASSERT_OK_AND_ASSIGN(OlapClient::Reply reply, client->Query(request));
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  ASSERT_FALSE(reply.ok);
+  EXPECT_EQ(reply.error.error, WireError::kQueryTimeout);
+  EXPECT_EQ(reply.error.status_code, StatusCode::kDeadlineExceeded);
+  // Within the deadline plus one slice's grace — nowhere near the 500 ms
+  // the query wanted to run for.
+  EXPECT_LT(elapsed_ms, 400.0);
+
+  ASSERT_OK(client->Ping());
+  EXPECT_GE(server_->stats().timeouts, 1u);
+  EXPECT_EQ(server_->stats().queries_failed, 0u);
+  server_->Stop();
+}
+
+TEST_F(ServerChaosTest, ServerDefaultDeadlineCapsRequests) {
+  ServerOptions options;
+  options.artificial_query_delay_ms = 500;
+  options.default_deadline_ms = 50;
+  StartServer(options);
+
+  auto client = MustConnect();
+  ASSERT_NE(client, nullptr);
+  // The request asks for no deadline at all; the server-wide cap applies.
+  ASSERT_OK_AND_ASSIGN(OlapClient::Reply reply,
+                       client->Query(Workload()[0]));
+  ASSERT_FALSE(reply.ok);
+  EXPECT_EQ(reply.error.error, WireError::kQueryTimeout);
+  server_->Stop();
+}
+
+TEST_F(ServerChaosTest, ExpiredWhileQueuedIsShedWithoutASlot) {
+  ServerOptions options;
+  options.max_inflight = 1;
+  options.max_queued = 4;
+  options.artificial_query_delay_ms = 400;
+  StartServer(options);
+
+  auto holder = MustConnect();
+  auto queued = MustConnect();
+  ASSERT_NE(holder, nullptr);
+  ASSERT_NE(queued, nullptr);
+
+  std::thread holder_thread([&] {
+    Result<OlapClient::Reply> reply = holder->Query(Workload()[0]);
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    EXPECT_TRUE(reply->ok);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  // The slot is held for ~400 ms but this deadline expires after 50: the
+  // query must be shed from the wait queue, well before a slot frees up.
+  QueryRequest request;
+  request.sql = Workload()[1];
+  request.deadline_ms = 50;
+  const auto start = std::chrono::steady_clock::now();
+  ASSERT_OK_AND_ASSIGN(OlapClient::Reply reply, queued->Query(request));
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  ASSERT_FALSE(reply.ok);
+  EXPECT_EQ(reply.error.error, WireError::kQueryTimeout);
+  EXPECT_LT(elapsed_ms, 300.0);
+
+  holder_thread.join();
+  EXPECT_GE(server_->stats().shed_expired, 1u);
+  EXPECT_GE(server_->admission().snapshot().shed_expired, 1u);
+  EXPECT_EQ(server_->admission().snapshot().queued, 0u);
+  server_->Stop();
+}
+
+// --- socket timeouts and Stop() interrupts ---------------------------------
+
+TEST_F(ServerChaosTest, SlowLorisReadTimeoutClosesConnection) {
+  ServerOptions options;
+  options.read_timeout_ms = 100;
+  StartServer(options);
+
+  auto client = MustConnect();
+  ASSERT_NE(client, nullptr);
+  // Send only a prefix of a Ping frame's header, then stall forever. The
+  // session must reap the connection after read_timeout_ms instead of
+  // letting the half-frame pin its thread.
+  const std::string frame = EncodeFrame(FrameType::kPing, "");
+  ASSERT_OK(client->SendRaw(std::string_view(frame).substr(0, 5)));
+  const auto start = std::chrono::steady_clock::now();
+  Result<Frame> reply = client->ReadFrame();
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  ASSERT_FALSE(reply.ok());  // closed without a reply
+  EXPECT_LT(elapsed_ms, 5'000.0);
+  EXPECT_GE(server_->stats().read_timeouts, 1u);
+
+  // A whole, well-formed frame on a fresh connection still round-trips.
+  auto healthy = MustConnect();
+  ASSERT_NE(healthy, nullptr);
+  ASSERT_OK(healthy->Ping());
+  server_->Stop();
+}
+
+TEST_F(ServerChaosTest, StopInterruptsMidFrameReceive) {
+  StartServer(ServerOptions{});  // default read timeout: 30 s — far longer
+                                 // than this test is willing to wait
+  auto client = MustConnect();
+  ASSERT_NE(client, nullptr);
+  const std::string frame = EncodeFrame(FrameType::kPing, "");
+  ASSERT_OK(client->SendRaw(std::string_view(frame).substr(0, 5)));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  // The session sits mid-frame in a poll-bounded read; Stop() must wake it
+  // through the socket shutdown, not wait out the 30 s budget.
+  const auto start = std::chrono::steady_clock::now();
+  server_->Stop();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_LT(seconds, 5.0) << "Stop() took " << seconds << "s";
+}
+
+TEST_F(ServerChaosTest, StopInterruptsInFlightQuery) {
+  ServerOptions options;
+  options.artificial_query_delay_ms = 5000;
+  StartServer(options);
+
+  auto client = MustConnect();
+  ASSERT_NE(client, nullptr);
+  QueryRequest request;
+  request.sql = Workload()[0];
+  ASSERT_OK(client->SendRaw(
+      EncodeFrame(FrameType::kQuery, EncodeQueryRequest(request))));
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  // The query has ~4.9 s of artificial delay left; Stop() flips its token
+  // via the watcher's failed recv, so the session unwinds within one
+  // slice's work.
+  const auto start = std::chrono::steady_clock::now();
+  server_->Stop();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_LT(seconds, 4.0) << "Stop() took " << seconds << "s";
+}
+
+// --- the chaos harness ------------------------------------------------------
+
+/// What one chaos/healthy client observed; summed across threads and
+/// asserted at the end. Divergences and hangs are the only hard failures.
+struct ChaosTally {
+  uint64_t ok = 0;
+  uint64_t divergences = 0;
+  uint64_t timeouts = 0;
+  uint64_t cancelled = 0;
+  uint64_t busy = 0;
+  uint64_t other_errors = 0;
+  uint64_t transport_errors = 0;
+  uint64_t reconnects = 0;
+  uint64_t faults_injected = 0;
+  uint64_t hangs = 0;
+
+  void Accumulate(const ChaosTally& other) {
+    ok += other.ok;
+    divergences += other.divergences;
+    timeouts += other.timeouts;
+    cancelled += other.cancelled;
+    busy += other.busy;
+    other_errors += other.other_errors;
+    transport_errors += other.transport_errors;
+    reconnects += other.reconnects;
+    faults_injected += other.faults_injected;
+    hangs += other.hangs;
+  }
+};
+
+/// Reads one frame off a FaultSocket with a hard wall-clock budget — the
+/// harness's hang detector. Transport faults (injected or real) surface as
+/// a non-OK status; a budget overrun is recorded as a hang.
+Result<Frame> ReadFrameWithBudget(FaultSocket* sock, FrameDecoder* decoder,
+                                  int budget_ms, bool* hung) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(budget_ms);
+  char buf[16 * 1024];
+  for (;;) {
+    PARADISE_ASSIGN_OR_RETURN(std::optional<Frame> frame, decoder->Next());
+    if (frame.has_value()) return std::move(*frame);
+    if (std::chrono::steady_clock::now() >= deadline) {
+      *hung = true;
+      return Status::DeadlineExceeded("chaos hang detector fired");
+    }
+    PARADISE_ASSIGN_OR_RETURN(size_t n, sock->Recv(buf, sizeof(buf)));
+    if (n == 0) return Status::IOError("server closed the connection");
+    decoder->Append(buf, n);
+  }
+}
+
+TEST_F(ServerChaosTest, ChaosMixedLoad) {
+  const uint64_t queries_per_client = EnvOr("PARADISE_CHAOS_QUERIES", 1000);
+  const uint64_t base_seed = EnvOr("PARADISE_CHAOS_SEED", 1);
+
+  ServerOptions server_options;
+  server_options.max_inflight = 8;
+  server_options.max_queued = 64;
+  server_options.artificial_query_delay_ms = 2;
+  server_options.read_timeout_ms = 2'000;
+  StartServer(server_options);
+
+  const std::vector<std::string> workload = Workload();
+  const std::vector<std::string> goldens = Goldens(workload);
+  ASSERT_EQ(goldens.size(), workload.size());
+
+  constexpr size_t kHealthyClients = 6;
+  constexpr size_t kChaosClients = 6;
+  constexpr int kHangBudgetMs = 20'000;
+
+  std::vector<ChaosTally> tallies(kHealthyClients + kChaosClients);
+  std::vector<std::thread> threads;
+  threads.reserve(tallies.size());
+
+  // Healthy clients: a plain OlapClient mixing normal queries, tight
+  // deadlines (timeout guaranteed by the 2 ms artificial delay) and
+  // immediate cancels. Their per-call timeout is the hang detector.
+  for (size_t c = 0; c < kHealthyClients; ++c) {
+    threads.emplace_back([&, c] {
+      ChaosTally& tally = tallies[c];
+      Random rng(base_seed * 7919 + c);
+      ClientOptions client_options;
+      client_options.call_timeout_ms = kHangBudgetMs;
+      client_options.busy_retries = 5;
+      client_options.retry_seed = base_seed * 31 + c;
+      auto client = MustConnect(client_options);
+      if (client == nullptr) {
+        ++tally.transport_errors;
+        return;
+      }
+      for (uint64_t i = 0; i < queries_per_client; ++i) {
+        const size_t w = rng.Uniform(workload.size());
+        QueryRequest request;
+        request.sql = workload[w];
+        request.num_threads = 1 + static_cast<uint32_t>(rng.Uniform(4));
+        request.no_cache = rng.Bernoulli(0.3);
+        const bool with_deadline = rng.Bernoulli(0.20);
+        const bool with_cancel = !with_deadline && rng.Bernoulli(0.15);
+        if (with_deadline) request.deadline_ms = 1;
+
+        if (with_cancel) {
+          // Split send/cancel/read so the cancel races real execution.
+          Status sent = client->SendRaw(
+              EncodeFrame(FrameType::kQuery, EncodeQueryRequest(request)));
+          if (sent.ok()) sent = client->Cancel();
+          if (!sent.ok()) {
+            ++tally.transport_errors;
+            break;
+          }
+          Result<Frame> frame = client->ReadFrame();
+          if (!frame.ok()) {
+            if (frame.status().IsDeadlineExceeded()) ++tally.hangs;
+            ++tally.transport_errors;
+            break;
+          }
+          if (frame->type == FrameType::kResult) {
+            Result<ResultReply> result = DecodeResultReply(frame->payload);
+            if (!result.ok()) {
+              ++tally.transport_errors;
+              break;
+            }
+            ++tally.ok;
+            if (ResultBytes(result->result) != goldens[w]) ++tally.divergences;
+          } else if (frame->type == FrameType::kError) {
+            Result<ErrorReply> error = DecodeErrorReply(frame->payload);
+            if (!error.ok()) {
+              ++tally.transport_errors;
+              break;
+            }
+            if (error->error == WireError::kCancelled) {
+              ++tally.cancelled;
+            } else {
+              ++tally.other_errors;
+            }
+          }
+          continue;
+        }
+
+        Result<OlapClient::Reply> reply = client->QueryWithRetry(request);
+        if (!reply.ok()) {
+          if (reply.status().IsDeadlineExceeded()) ++tally.hangs;
+          ++tally.transport_errors;
+          break;
+        }
+        if (reply->ok) {
+          ++tally.ok;
+          if (ResultBytes(reply->result.result) != goldens[w]) {
+            ++tally.divergences;
+          }
+        } else if (reply->error.error == WireError::kQueryTimeout) {
+          ++tally.timeouts;
+        } else if (reply->error.error == WireError::kCancelled) {
+          ++tally.cancelled;
+        } else if (reply->error.error == WireError::kServerBusy) {
+          ++tally.busy;
+        } else {
+          ++tally.other_errors;
+        }
+      }
+    });
+  }
+
+  // Chaos clients: the same workload spoken over fault-injecting sockets.
+  // Transport failures reconnect and continue; the invariants are no hangs
+  // and bit-identical successful replies.
+  for (size_t c = 0; c < kChaosClients; ++c) {
+    threads.emplace_back([&, c] {
+      ChaosTally& tally = tallies[kHealthyClients + c];
+      Random rng(base_seed * 104729 + c);
+      SocketFaultOptions faults;
+      faults.seed = base_seed * 1299709 + c;
+      faults.short_read_probability = 0.10;
+      faults.short_write_probability = 0.10;
+      faults.stall_probability = 0.05;
+      faults.stall_ms = 5;
+      faults.disconnect_probability = 0.05;
+      faults.truncate_write_probability = 0.05;
+
+      std::unique_ptr<FaultSocket> sock;
+      std::unique_ptr<FrameDecoder> decoder;
+      bool hello_ok = false;
+      const auto reconnect = [&]() -> bool {
+        if (sock != nullptr) tally.faults_injected += sock->injected_faults();
+        faults.seed += 1;  // a fresh fault stream per connection
+        Result<std::unique_ptr<FaultSocket>> dialed =
+            FaultSocket::Dial("127.0.0.1", server_->port(), faults);
+        if (!dialed.ok()) return false;
+        sock = std::move(dialed).value();
+        decoder = std::make_unique<FrameDecoder>();
+        bool hung = false;
+        Result<Frame> hello =
+            ReadFrameWithBudget(sock.get(), decoder.get(), kHangBudgetMs,
+                                &hung);
+        if (hung) ++tally.hangs;
+        hello_ok = hello.ok() && hello->type == FrameType::kHello;
+        return hello_ok;
+      };
+      if (!reconnect()) {
+        ++tally.transport_errors;
+        return;
+      }
+
+      for (uint64_t i = 0; i < queries_per_client; ++i) {
+        if (sock == nullptr || sock->closed() || !hello_ok) {
+          ++tally.reconnects;
+          if (!reconnect()) {
+            ++tally.transport_errors;
+            break;
+          }
+        }
+        const size_t w = rng.Uniform(workload.size());
+        QueryRequest request;
+        request.sql = workload[w];
+        request.num_threads = 1 + static_cast<uint32_t>(rng.Uniform(4));
+        if (rng.Bernoulli(0.15)) request.deadline_ms = 1;
+
+        Status sent = sock->Send(
+            EncodeFrame(FrameType::kQuery, EncodeQueryRequest(request)));
+        if (sent.ok() && rng.Bernoulli(0.10)) {
+          sent = sock->Send(EncodeFrame(FrameType::kCancel, ""));
+        }
+        if (!sent.ok()) {
+          ++tally.transport_errors;
+          sock->Close();
+          continue;
+        }
+        bool hung = false;
+        Result<Frame> frame = ReadFrameWithBudget(sock.get(), decoder.get(),
+                                                  kHangBudgetMs, &hung);
+        if (hung) {
+          ++tally.hangs;
+          break;
+        }
+        if (!frame.ok()) {
+          ++tally.transport_errors;
+          sock->Close();
+          continue;
+        }
+        if (frame->type == FrameType::kResult) {
+          Result<ResultReply> result = DecodeResultReply(frame->payload);
+          if (!result.ok()) {
+            ++tally.transport_errors;
+            sock->Close();
+            continue;
+          }
+          ++tally.ok;
+          if (ResultBytes(result->result) != goldens[w]) ++tally.divergences;
+        } else if (frame->type == FrameType::kError) {
+          Result<ErrorReply> error = DecodeErrorReply(frame->payload);
+          if (!error.ok()) {
+            ++tally.transport_errors;
+            sock->Close();
+            continue;
+          }
+          switch (error->error) {
+            case WireError::kQueryTimeout:
+              ++tally.timeouts;
+              break;
+            case WireError::kCancelled:
+              ++tally.cancelled;
+              break;
+            case WireError::kServerBusy:
+              ++tally.busy;
+              break;
+            default:
+              ++tally.other_errors;
+              // BAD_REQUEST closes the connection server-side.
+              break;
+          }
+        } else {
+          ++tally.transport_errors;
+          sock->Close();
+        }
+      }
+      if (sock != nullptr) tally.faults_injected += sock->injected_faults();
+    });
+  }
+
+  for (std::thread& t : threads) t.join();
+
+  ChaosTally total;
+  for (const ChaosTally& tally : tallies) total.Accumulate(tally);
+  const uint64_t attempted =
+      queries_per_client * (kHealthyClients + kChaosClients);
+
+  ::testing::Test::RecordProperty("chaos_ok", static_cast<int>(total.ok));
+  ::testing::Test::RecordProperty("chaos_faults",
+                                  static_cast<int>(total.faults_injected));
+
+  // The hard invariants: nothing hung, nothing returned wrong bytes, and
+  // healthy traffic made real progress despite ~30% of chaos operations
+  // carrying injected faults.
+  EXPECT_EQ(total.hangs, 0u);
+  EXPECT_EQ(total.divergences, 0u);
+  EXPECT_GT(total.ok, attempted / 4);
+  EXPECT_GT(total.timeouts + total.cancelled, 0u);
+  if (queries_per_client >= 100) {
+    EXPECT_GT(total.faults_injected, 0u);
+  }
+
+  // Healthy clients never see a transport error — only chaos sockets do.
+  for (size_t c = 0; c < kHealthyClients; ++c) {
+    EXPECT_EQ(tallies[c].transport_errors, 0u) << "healthy client " << c;
+  }
+
+  const OlapServer::Stats stats = server_->stats();
+  EXPECT_GE(stats.queries_ok, total.ok);
+  EXPECT_GE(stats.timeouts, total.timeouts);
+  EXPECT_GE(stats.cancelled, total.cancelled);
+
+  // Stop() after the storm must still be prompt: no session leaked, no
+  // worker wedged.
+  const auto start = std::chrono::steady_clock::now();
+  server_->Stop();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_LT(seconds, 10.0) << "Stop() took " << seconds << "s";
+
+  const AdmissionController::Snapshot snap = server_->admission().snapshot();
+  EXPECT_EQ(snap.inflight, 0u);
+  EXPECT_EQ(snap.queued, 0u);
+}
+
+}  // namespace
+}  // namespace paradise::server

@@ -12,6 +12,7 @@
 #include <cstring>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -49,16 +50,28 @@ TEST(WireFrameTest, QueryFrameGoldenBytes) {
   request.engine = 2;  // kStarJoin + 1
   request.trace = true;
   request.num_threads = 3;
+  request.deadline_ms = 500;
   request.sql = "q";
-  // engine | flags(trace) | 2 pad | u32 num_threads | u32 len | "q".
+  // engine | flags(trace) | 2 pad | u32 num_threads | u32 deadline_ms |
+  // u32 len | "q".
   const std::string payload = EncodeQueryRequest(request);
   EXPECT_EQ(payload, Bytes({0x02, 0x01, 0x00, 0x00, 0x03, 0x00, 0x00, 0x00,
-                            0x01, 0x00, 0x00, 0x00, 'q'}));
+                            0xF4, 0x01, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00,
+                            'q'}));
   const std::string frame = EncodeFrame(FrameType::kQuery, payload);
   EXPECT_EQ(frame.substr(0, kFrameHeaderBytes),
-            Bytes({0x4F, 0x4C, 0x50, 0x51, 0x0D, 0x00, 0x00, 0x00, 0x02, 0x00,
+            Bytes({0x4F, 0x4C, 0x50, 0x51, 0x11, 0x00, 0x00, 0x00, 0x02, 0x00,
                    0x00, 0x00}));
   EXPECT_EQ(frame.substr(kFrameHeaderBytes), payload);
+}
+
+TEST(WireFrameTest, CancelFrameGoldenBytes) {
+  // kCancel carries no payload: magic | len 0 | type 7 | zero pad.
+  EXPECT_EQ(EncodeFrame(FrameType::kCancel, ""),
+            Bytes({0x4F, 0x4C, 0x50, 0x51, 0x00, 0x00, 0x00, 0x00, 0x07, 0x00,
+                   0x00, 0x00}));
+  EXPECT_TRUE(IsKnownFrameType(7));
+  EXPECT_FALSE(IsKnownFrameType(8));
 }
 
 TEST(WireFrameTest, PayloadRoundTrips) {
@@ -77,6 +90,7 @@ TEST(WireFrameTest, PayloadRoundTrips) {
   request.trace = true;
   request.no_cache = true;
   request.num_threads = 5;
+  request.deadline_ms = 0x01020304;
   request.sql = "select sum(v) from f";
   auto request2 = DecodeQueryRequest(EncodeQueryRequest(request));
   ASSERT_TRUE(request2.ok()) << request2.status().ToString();
@@ -84,7 +98,25 @@ TEST(WireFrameTest, PayloadRoundTrips) {
   EXPECT_TRUE(request2->trace);
   EXPECT_TRUE(request2->no_cache);
   EXPECT_EQ(request2->num_threads, 5u);
+  EXPECT_EQ(request2->deadline_ms, 0x01020304u);
   EXPECT_EQ(request2->sql, request.sql);
+
+  // The deadline-bearing error classes round-trip with their status codes.
+  for (const auto& [wire, code] :
+       {std::pair{WireError::kQueryTimeout, StatusCode::kDeadlineExceeded},
+        std::pair{WireError::kCancelled, StatusCode::kCancelled}}) {
+    ErrorReply typed;
+    typed.error = wire;
+    typed.status_code = code;
+    typed.message = "late";
+    auto typed2 = DecodeErrorReply(EncodeErrorReply(typed));
+    ASSERT_TRUE(typed2.ok()) << typed2.status().ToString();
+    EXPECT_EQ(typed2->error, wire);
+    EXPECT_EQ(typed2->status_code, code);
+    const Status st = ErrorReplyToStatus(*typed2);
+    EXPECT_TRUE(wire == WireError::kQueryTimeout ? st.IsDeadlineExceeded()
+                                                 : st.IsCancelled());
+  }
 
   ErrorReply error;
   error.error = WireError::kQueryFailed;
@@ -240,6 +272,7 @@ TEST(WirePayloadTest, TruncationSweep) {
 
   QueryRequest request;
   request.sql = "select sum(v) from f";
+  request.deadline_ms = 250;  // the deadline bytes sweep like any others
   SweepTruncations(EncodeQueryRequest(request), DecodeQueryRequest);
 
   ErrorReply error;
@@ -293,8 +326,10 @@ TEST(WirePayloadTest, ErrorReplyValidation) {
   ErrorReply error;
   error.error = WireError::kBadRequest;
   const std::string good = EncodeErrorReply(error);
-  // Error class 0 and out-of-range classes/status codes are rejected.
-  for (unsigned char byte0 : {0, 7, 200}) {
+  // Error class 0 and out-of-range classes/status codes are rejected
+  // (classes 7 and 8 became QUERY_TIMEOUT / CANCELLED; 9 is the first
+  // unassigned value).
+  for (unsigned char byte0 : {0, 9, 200}) {
     std::string bytes = good;
     bytes[0] = static_cast<char>(byte0);
     EXPECT_FALSE(DecodeErrorReply(bytes).ok());
@@ -549,6 +584,52 @@ TEST_F(ServerMalformedInputTest, UnknownEngineIdIsBadRequest) {
   ASSERT_OK_AND_ASSIGN(auto reply, client->Query(request));
   ASSERT_FALSE(reply.ok);
   EXPECT_EQ(reply.error.error, WireError::kBadRequest);
+  AssertServerHealthy();
+}
+
+TEST_F(ServerMalformedInputTest, IdleCancelIsSilentlyIgnored) {
+  // A kCancel with no query in flight gets no reply of its own — the
+  // one-reply-per-request contract holds — and the connection stays usable.
+  auto conn = RawConn::Open(server_->port());
+  ASSERT_NE(conn, nullptr);
+  ASSERT_TRUE(conn->Send(EncodeFrame(FrameType::kCancel, "")));
+  ASSERT_TRUE(conn->Send(EncodeFrame(FrameType::kPing, "")));
+  auto reply = conn->ReadFrame();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->type, FrameType::kPong);
+  AssertServerHealthy();
+}
+
+TEST_F(ServerMalformedInputTest, CancelWithPayloadIsBadRequest) {
+  auto conn = RawConn::Open(server_->port());
+  ASSERT_NE(conn, nullptr);
+  ASSERT_TRUE(conn->Send(EncodeFrame(FrameType::kCancel, "x")));
+  auto reply = conn->ReadFrame();
+  ASSERT_TRUE(reply.has_value());
+  ASSERT_EQ(reply->type, FrameType::kError);
+  auto error = DecodeErrorReply(reply->payload);
+  ASSERT_TRUE(error.ok());
+  EXPECT_EQ(error->error, WireError::kBadRequest);
+  EXPECT_TRUE(conn->DrainUntilClosed());
+  AssertServerHealthy();
+}
+
+TEST_F(ServerMalformedInputTest, TruncatedCancelAfterQueryStillGetsReply) {
+  // The watcher reads the socket while a query runs; a cancel frame cut off
+  // mid-header must not wedge it — the pending query still gets exactly one
+  // reply.
+  auto conn = RawConn::Open(server_->port());
+  ASSERT_NE(conn, nullptr);
+  QueryRequest request;
+  request.sql = "select sum(volume), dim0.h01 from cube group by dim0.h01";
+  ASSERT_TRUE(
+      conn->Send(EncodeFrame(FrameType::kQuery, EncodeQueryRequest(request))));
+  const std::string cancel = EncodeFrame(FrameType::kCancel, "");
+  ASSERT_TRUE(conn->Send(std::string_view(cancel.data(), 5)));
+  auto reply = conn->ReadFrame();
+  ASSERT_TRUE(reply.has_value()) << "query reply lost to a truncated cancel";
+  EXPECT_TRUE(reply->type == FrameType::kResult ||
+              reply->type == FrameType::kError);
   AssertServerHealthy();
 }
 

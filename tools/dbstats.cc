@@ -27,12 +27,20 @@
 //   --warm           skip the cold-buffer protocol before the query
 //   --no-trace       disable the per-query ExecutionTrace
 //   --no-query       snapshot file/storage/registry state only
+//   --exercise-server
+//                    spin up an in-process olapd on loopback and drive one
+//                    timed-out, one cancelled, and one queue-shed query
+//                    through it, so the server.timeouts / server.cancelled /
+//                    admission.shed_expired resilience counters appear in
+//                    the registry snapshot (used by the CI smoke test)
 //
 // Exit codes: 0 = ok, 2 = could not run.
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "common/json_writer.h"
 #include "common/metrics.h"
@@ -42,6 +50,9 @@
 #include "query/result_cache.h"
 #include "schema/database.h"
 #include "schema/demo_cube.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "server/wire.h"
 
 namespace paradise {
 namespace {
@@ -54,13 +65,14 @@ struct Args {
   bool warm = false;
   bool trace = true;
   bool run_query = true;
+  bool exercise_server = false;
 };
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--make-demo] [--engine array|starjoin|bitmap|"
                "leftdeep] [--threads N] [--warm] [--no-trace] [--no-query] "
-               "<database-file>\n",
+               "[--exercise-server] <database-file>\n",
                argv0);
   return 2;
 }
@@ -76,6 +88,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->trace = false;
     } else if (arg == "--no-query") {
       args->run_query = false;
+    } else if (arg == "--exercise-server") {
+      args->exercise_server = true;
     } else if (arg == "--engine" && i + 1 < argc) {
       args->engine = argv[++i];
     } else if (arg == "--threads" && i + 1 < argc) {
@@ -98,6 +112,88 @@ Result<EngineKind> ParseEngine(const std::string& name) {
   if (name == "leftdeep") return EngineKind::kLeftDeep;
   if (name == "btreeselect") return EngineKind::kBTreeSelect;
   return Status::InvalidArgument("unknown engine: " + name);
+}
+
+/// Starts an in-process olapd on loopback and drives exactly three
+/// resilience outcomes through the wire protocol — a query that outlives
+/// its deadline, a query cancelled mid-flight, and a query shed from the
+/// admission queue after expiring — so the server.timeouts /
+/// server.cancelled / admission.shed_expired counters land in the registry
+/// snapshot below. The artificial per-query delay makes all three outcomes
+/// deterministic regardless of how fast the demo cube evaluates.
+Status ExerciseServer(Database* db) {
+  server::ServerOptions options;
+  options.metrics_enabled = true;
+  options.max_inflight = 1;
+  options.max_queued = 4;
+  options.artificial_query_delay_ms = 200;
+  server::OlapServer olapd(db, options);
+  PARADISE_RETURN_IF_ERROR(olapd.Start());
+
+  const std::string sql =
+      "select sum(volume), dim0.h01 from cube group by dim0.h01";
+  const auto expect = [](const Result<server::OlapClient::Reply>& reply,
+                         server::WireError want) -> Status {
+    PARADISE_RETURN_IF_ERROR(reply.status());
+    if (reply->ok || reply->error.error != want) {
+      return Status::Internal(
+          "exercise-server: expected " +
+          std::string(server::WireErrorToString(want)) + ", got " +
+          (reply->ok
+               ? std::string("a result")
+               : std::string(server::WireErrorToString(reply->error.error))));
+    }
+    return Status::OK();
+  };
+
+  PARADISE_ASSIGN_OR_RETURN(
+      std::unique_ptr<server::OlapClient> client,
+      server::OlapClient::Connect(olapd.host(), olapd.port()));
+
+  // 1. Timeout: a 20 ms deadline against a 200 ms query.
+  server::QueryRequest timed;
+  timed.sql = sql;
+  timed.deadline_ms = 20;
+  PARADISE_RETURN_IF_ERROR(
+      expect(client->Query(timed), server::WireError::kQueryTimeout));
+
+  // 2. Cancel: fire the query, then race a CANCEL frame into its delay.
+  server::QueryRequest plain;
+  plain.sql = sql;
+  PARADISE_RETURN_IF_ERROR(client->SendRaw(server::EncodeFrame(
+      server::FrameType::kQuery, server::EncodeQueryRequest(plain))));
+  PARADISE_RETURN_IF_ERROR(client->Cancel());
+  {
+    PARADISE_ASSIGN_OR_RETURN(server::Frame frame, client->ReadFrame());
+    if (frame.type != server::FrameType::kError) {
+      return Status::Internal("exercise-server: cancel raced a result");
+    }
+    PARADISE_ASSIGN_OR_RETURN(server::ErrorReply error,
+                              server::DecodeErrorReply(frame.payload));
+    if (error.error != server::WireError::kCancelled) {
+      return Status::Internal("exercise-server: expected CANCELLED, got " +
+                              std::string(
+                                  server::WireErrorToString(error.error)));
+    }
+  }
+
+  // 3. Shed: occupy the single admission slot, then queue a query whose
+  // deadline expires while it waits.
+  PARADISE_RETURN_IF_ERROR(client->SendRaw(server::EncodeFrame(
+      server::FrameType::kQuery, server::EncodeQueryRequest(plain))));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  PARADISE_ASSIGN_OR_RETURN(
+      std::unique_ptr<server::OlapClient> second,
+      server::OlapClient::Connect(olapd.host(), olapd.port()));
+  PARADISE_RETURN_IF_ERROR(
+      expect(second->Query(timed), server::WireError::kQueryTimeout));
+  PARADISE_ASSIGN_OR_RETURN(server::Frame held, client->ReadFrame());
+  if (held.type != server::FrameType::kResult) {
+    return Status::Internal("exercise-server: slot-holding query failed");
+  }
+
+  olapd.Stop();
+  return Status::OK();
 }
 
 Status Run(const Args& args) {
@@ -193,6 +289,10 @@ Status Run(const Args& args) {
     w.Key("stats");
     w.Raw(warm.stats.ToJson());
     w.EndObject();
+  }
+
+  if (args.exercise_server) {
+    PARADISE_RETURN_IF_ERROR(ExerciseServer(db.get()));
   }
 
   w.Key("registry");

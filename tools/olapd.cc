@@ -29,6 +29,17 @@
 //   --no-cache         disable the shared result cache (epoch-pinned
 //                      sessions then fail with SNAPSHOT_GONE once the epoch
 //                      moves)
+//   --default-deadline-ms N
+//                      cap every query at N ms even when the client sends
+//                      no deadline; explicit client deadlines still tighten
+//                      (never loosen) the cap (default 0 = unlimited)
+//   --read-timeout-ms N
+//                      close connections that leave a frame unfinished for
+//                      N ms (slow-loris reaping; default 30000)
+//   --delay-ms N       testing aid: hold every query for N ms inside its
+//                      admission slot before executing, so deadlines,
+//                      cancellation and shedding can be exercised from
+//                      scripts (default 0)
 //
 // Exit codes: 0 = clean shutdown, 2 = could not start.
 #include <signal.h>
@@ -57,7 +68,9 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--make-demo] [--host ADDR] [--port N] "
                "[--port-file PATH] [--max-inflight N] [--max-queued N] "
-               "[--threads N] [--cache-mb N] [--no-cache] <database-file>\n",
+               "[--threads N] [--cache-mb N] [--no-cache] "
+               "[--default-deadline-ms N] [--read-timeout-ms N] "
+               "[--delay-ms N] <database-file>\n",
                argv0);
   return 2;
 }
@@ -88,6 +101,15 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     } else if (arg == "--cache-mb" && i + 1 < argc) {
       args->server.cache_byte_budget =
           static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10)) << 20;
+    } else if (arg == "--default-deadline-ms" && i + 1 < argc) {
+      args->server.default_deadline_ms =
+          static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--read-timeout-ms" && i + 1 < argc) {
+      args->server.read_timeout_ms =
+          static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--delay-ms" && i + 1 < argc) {
+      args->server.artificial_query_delay_ms =
+          static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
     } else if (!arg.empty() && arg[0] == '-') {
       return false;
     } else if (args->path.empty()) {
@@ -146,12 +168,18 @@ Status Run(const Args& args) {
   const server::OlapServer::Stats stats = olapd.stats();
   std::fprintf(stderr,
                "olapd: served %llu connections, %llu ok / %llu failed "
-               "queries, %llu busy, %llu protocol errors\n",
+               "queries, %llu busy, %llu protocol errors, %llu timeouts "
+               "(%llu shed while queued), %llu cancelled, %llu read "
+               "timeouts\n",
                static_cast<unsigned long long>(stats.connections),
                static_cast<unsigned long long>(stats.queries_ok),
                static_cast<unsigned long long>(stats.queries_failed),
                static_cast<unsigned long long>(stats.busy_replies),
-               static_cast<unsigned long long>(stats.protocol_errors));
+               static_cast<unsigned long long>(stats.protocol_errors),
+               static_cast<unsigned long long>(stats.timeouts),
+               static_cast<unsigned long long>(stats.shed_expired),
+               static_cast<unsigned long long>(stats.cancelled),
+               static_cast<unsigned long long>(stats.read_timeouts));
   return Status::OK();
 }
 

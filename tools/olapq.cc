@@ -16,11 +16,19 @@
 //   --threads N    array-engine worker threads (default 1)
 //   --trace        request an ExecutionTrace in the stats JSON
 //   --no-cache     bypass the server's result cache
+//   --timeout-ms N query deadline: the server aborts the query and replies
+//                  QUERY_TIMEOUT once N ms elapse; the client also gives up
+//                  (and closes the connection) if no reply arrives within
+//                  4*N ms of wire budget (default 0 = no deadline)
+//   --retries N    retry budget for transient failures: connect refusals
+//                  and SERVER_BUSY replies, with exponential backoff +
+//                  jitter (default 0 = fail fast)
 //   --ping         round-trip a Ping frame instead of a query
 //   --quiet        print only the stats JSON, not the result table
 //
 // Exit codes: 0 = result received (or pong), 2 = transport/usage error,
-// 3 = typed server error.
+// 3 = typed server error, 4 = deadline exceeded or cancelled (the query
+// was aborted, not failed — safe to retry with a larger --timeout-ms).
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -38,6 +46,7 @@ struct Args {
   uint16_t port = 0;
   std::string sql;
   server::QueryRequest request;
+  uint32_t retries = 0;
   bool ping = false;
   bool quiet = false;
 };
@@ -45,8 +54,8 @@ struct Args {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--host ADDR] --port N [--engine NAME] "
-               "[--threads N] [--trace] [--no-cache] [--quiet] "
-               "(\"<sql>\" | --ping)\n",
+               "[--threads N] [--trace] [--no-cache] [--timeout-ms N] "
+               "[--retries N] [--quiet] (\"<sql>\" | --ping)\n",
                argv0);
   return 2;
 }
@@ -86,6 +95,12 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     } else if (arg == "--threads" && i + 1 < argc) {
       args->request.num_threads =
           static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--timeout-ms" && i + 1 < argc) {
+      args->request.deadline_ms =
+          static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--retries" && i + 1 < argc) {
+      args->retries =
+          static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
     } else if (!arg.empty() && arg[0] == '-') {
       return false;
     } else if (args->sql.empty()) {
@@ -101,8 +116,17 @@ bool ParseArgs(int argc, char** argv, Args* args) {
 }
 
 int Run(const Args& args) {
+  server::ClientOptions client_options;
+  client_options.connect_retries = args.retries;
+  client_options.busy_retries = args.retries;
+  if (args.request.deadline_ms > 0) {
+    // Wire budget: generously above the server-side deadline so the typed
+    // QUERY_TIMEOUT reply (which arrives promptly) wins the race, and the
+    // client-side cutoff only fires when the connection itself is dead.
+    client_options.call_timeout_ms = args.request.deadline_ms * 4;
+  }
   Result<std::unique_ptr<server::OlapClient>> client_or =
-      server::OlapClient::Connect(args.host, args.port);
+      server::OlapClient::Connect(args.host, args.port, client_options);
   if (!client_or.ok()) {
     std::fprintf(stderr, "olapq: %s\n", client_or.status().ToString().c_str());
     return 2;
@@ -122,10 +146,10 @@ int Run(const Args& args) {
 
   server::QueryRequest request = args.request;
   request.sql = args.sql;
-  Result<server::OlapClient::Reply> reply_or = client->Query(request);
+  Result<server::OlapClient::Reply> reply_or = client->QueryWithRetry(request);
   if (!reply_or.ok()) {
     std::fprintf(stderr, "olapq: %s\n", reply_or.status().ToString().c_str());
-    return 2;
+    return reply_or.status().IsDeadlineExceeded() ? 4 : 2;
   }
   const server::OlapClient::Reply& reply = reply_or.value();
   if (!reply.ok) {
@@ -133,7 +157,10 @@ int Run(const Args& args) {
                  std::string(server::WireErrorToString(reply.error.error))
                      .c_str(),
                  server::ErrorReplyToStatus(reply.error).ToString().c_str());
-    return 3;
+    return (reply.error.error == server::WireError::kQueryTimeout ||
+            reply.error.error == server::WireError::kCancelled)
+               ? 4
+               : 3;
   }
 
   const server::ResultReply& result = reply.result;
