@@ -132,6 +132,56 @@ int main() {
   });
   PrintCsv("selection", sel);
 
+  // Skewed chunk layout: the same cube tiled into a handful of huge chunks,
+  // the shape whole-chunk scheduling cannot balance — with more workers than
+  // chunks, the extra threads idle. Morsel scheduling (core/morsel.h) splits
+  // each chunk into cell ranges workers steal, so 8 threads stay busy on 2
+  // chunks. min_cells = UINT32_MAX degenerates to the old whole-chunk
+  // cursor; the default splits.
+  std::printf("# skewed layout: 2 chunks of 1.6M cells, 8 workers\n");
+  gen::GenConfig skew_config = gen::DataSet1(50);
+  skew_config.chunk_extents = {40, 40, 40, 25};  // 2 chunks total
+  BenchFile skew_file("abl_parallel_skew");
+  std::unique_ptr<Database> skew_db =
+      MustBuild(skew_file.path(), skew_config, PaperOptions());
+  if (auto r = ParallelArrayConsolidate(*skew_db->olap(), q1, 2); !r.ok()) {
+    Die(r.status());  // warm-up
+  }
+  const size_t skew_threads = 8;
+  MorselOptions chunk_cursor;
+  chunk_cursor.min_cells = UINT32_MAX;
+  std::vector<RunPoint> skew_points;
+  ParallelConsolidateStats last_stats;
+  for (const bool morsels : {false, true}) {
+    const MorselOptions& mo = morsels ? MorselOptions{} : chunk_cursor;
+    RunPoint p;
+    p.threads = skew_threads;
+    p.seconds = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+      Stopwatch watch;
+      ParallelConsolidateStats stats;
+      Result<query::GroupedResult> r = ParallelArrayConsolidate(
+          *skew_db->olap(), q1, skew_threads, nullptr, &stats, nullptr, mo);
+      if (!r.ok()) Die(r.status());
+      const double seconds = watch.ElapsedSeconds();
+      if (seconds < p.seconds) {
+        p.seconds = seconds;
+        last_stats = stats;
+      }
+    }
+    p.speedup = skew_points.empty()
+                    ? 1.0
+                    : skew_points.front().seconds / p.seconds;
+    std::printf("%s,%zu,%.4f,%.2f,%llu,%llu,%llu,%llu\n",
+                morsels ? "skewed_morsel" : "skewed_chunk_cursor",
+                skew_threads, p.seconds, p.speedup,
+                static_cast<unsigned long long>(last_stats.chunks_read),
+                static_cast<unsigned long long>(last_stats.morsels),
+                static_cast<unsigned long long>(last_stats.morsel_splits),
+                static_cast<unsigned long long>(last_stats.morsel_steals));
+    skew_points.push_back(p);
+  }
+
   // Serial §4.2 reference at the same warm pool, for the parallel-vs-serial
   // comparison the JSON carries.
   double serial_select_seconds = 1e300;
@@ -150,6 +200,14 @@ int main() {
                      "pool, hardware_threads=" + std::to_string(hw) + ")");
   Report(&report, "no_selection", no_sel);
   Report(&report, "selection", sel);
+  for (size_t i = 0; i < skew_points.size(); ++i) {
+    ExecutionStats stats;
+    stats.seconds = skew_points[i].seconds;
+    report.Add({{"path", i == 0 ? "skewed_chunk_cursor" : "skewed_morsel"},
+                {"threads", std::to_string(skew_threads)}},
+               "array", 0, stats,
+               {{"speedup_vs_chunk_cursor", skew_points[i].speedup}});
+  }
   {
     ExecutionStats stats;
     stats.seconds = serial_select_seconds;

@@ -109,6 +109,16 @@ class ChunkView {
   /// searching from entry `from` (monotone probes pass their last position).
   uint32_t SparseLowerBound(uint32_t offset, uint32_t from) const;
 
+  /// Raw serialized regions for the batch kernels (core/kernels/), which
+  /// extract whole runs of cells without per-cell accessor calls. Layouts
+  /// are documented at the top of chunk.cc; only valid for the matching
+  /// sparse()/dense state.
+  const char* SparseEntriesData() const { return data_ + 9; }
+  const char* DenseBitmapData() const { return data_ + 5; }
+  const char* DenseValuesData() const {
+    return data_ + 5 + (static_cast<size_t>(capacity_) + 7) / 8;
+  }
+
   /// Invokes `fn(offset, value)` for every valid cell in offset order.
   template <typename Fn>
   void ForEach(Fn&& fn) const {

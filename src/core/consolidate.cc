@@ -2,60 +2,9 @@
 
 #include "core/aggregate.h"
 #include "core/aggregate_registry.h"
+#include "core/kernels/consolidate_kernel.h"
 
 namespace paradise {
-
-namespace {
-
-/// Per-chunk lookup tables: for each grouped dimension, the flat-index
-/// contribution of every local coordinate — the "series of array lookups
-/// (one for each dimension) and a sum" of §5.5.1.
-struct ChunkGroupTables {
-  // contribution[g][local] = i2i(level code at base+local) * result stride
-  std::vector<std::vector<uint64_t>> contribution;
-  // chunk_stride[g] / chunk_dim[g]: decode a chunk offset into the local
-  // coordinate of grouped dimension g.
-  std::vector<uint32_t> chunk_stride;
-  std::vector<uint32_t> chunk_dim;
-};
-
-ChunkGroupTables BuildChunkTables(const OlapArray& array,
-                                  const GroupSpec& spec, uint64_t chunk_no) {
-  const ChunkLayout& layout = array.layout();
-  const CellCoords base = layout.ChunkBase(chunk_no);
-  const CellCoords cdims = layout.ChunkDims(chunk_no);
-  const size_t n = layout.num_dims();
-
-  // Row-major strides of the chunk's local coordinate space.
-  std::vector<uint32_t> strides(n);
-  uint32_t s = 1;
-  for (size_t i = n; i > 0; --i) {
-    strides[i - 1] = s;
-    s *= cdims[i - 1];
-  }
-
-  ChunkGroupTables tables;
-  tables.contribution.resize(spec.grouped_dims.size());
-  tables.chunk_stride.resize(spec.grouped_dims.size());
-  tables.chunk_dim.resize(spec.grouped_dims.size());
-  for (size_t g = 0; g < spec.grouped_dims.size(); ++g) {
-    const size_t d = spec.grouped_dims[g];
-    const IndexToIndexArray& i2i = array.i2i(d);
-    tables.chunk_stride[g] = strides[d];
-    tables.chunk_dim[g] = cdims[d];
-    std::vector<uint64_t>& contrib = tables.contribution[g];
-    contrib.resize(cdims[d]);
-    for (uint32_t local = 0; local < cdims[d]; ++local) {
-      contrib[local] =
-          static_cast<uint64_t>(
-              i2i.Map(spec.group_cols[g], base[d] + local)) *
-          spec.strides[g];
-    }
-  }
-  return tables;
-}
-
-}  // namespace
 
 Result<query::GroupedResult> ArrayConsolidate(const OlapArray& array,
                                               const query::ConsolidationQuery& q,
@@ -76,26 +25,21 @@ Result<query::GroupedResult> ArrayConsolidate(const OlapArray& array,
   std::vector<query::AggState> flat(spec.num_groups);
   {
     ScopedPhase phase(timer, "scan+aggregate");
+    // One reusable table set for the whole scan: Build() refills it per
+    // chunk without reallocating (the old per-chunk BuildChunkTables did
+    // 2-3 heap allocations per chunk).
+    kernels::KernelTables tables;
     PARADISE_RETURN_IF_ERROR(array.array(q.measure).ScanChunkViews(
         [&](uint64_t chunk_no, const ChunkView& view) -> Status {
           if (cancel != nullptr) {
             PARADISE_RETURN_IF_ERROR(cancel->Check());
           }
-          const ChunkGroupTables tables =
-              BuildChunkTables(array, spec, chunk_no);
-          const size_t groups = tables.contribution.size();
-          view.ForEach([&](uint32_t offset, int64_t value) {
-            uint64_t flat_idx = 0;
-            for (size_t g = 0; g < groups; ++g) {
-              const uint32_t local =
-                  (offset / tables.chunk_stride[g]) % tables.chunk_dim[g];
-              flat_idx += tables.contribution[g][local];
-            }
-            flat[flat_idx].Add(value);
-          });
+          tables.Build(array, spec, chunk_no);
+          const uint64_t cells =
+              kernels::AggregateView(view, tables, flat.data());
           if (stats != nullptr) {
             ++stats->chunks_read;
-            stats->cells_scanned += view.num_valid();
+            stats->cells_scanned += cells;
           }
           return Status::OK();
         }));

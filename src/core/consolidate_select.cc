@@ -121,7 +121,15 @@ Status ProbeSelectionChunk(const OlapArray& array, const GroupSpec& spec,
   PARADISE_ASSIGN_OR_RETURN(ChunkView view, ChunkView::Make(blob));
   if (stats != nullptr) ++stats->chunks_read;
   if (!work.overlap) return Status::OK();  // ablation path: nothing to probe
+  return ProbeSelectionRange(array, spec, plan, work, view, flat, stats);
+}
 
+Status ProbeSelectionRange(const OlapArray& array, const GroupSpec& spec,
+                           const SelectionPlan& plan,
+                           const SelectionChunkWork& work,
+                           const ChunkView& view,
+                           std::vector<query::AggState>* flat,
+                           ArraySelectStats* stats) {
   const ChunkLayout& layout = array.layout();
   const size_t n = layout.num_dims();
   const CellCoords base = layout.ChunkBase(work.chunk_no);

@@ -89,10 +89,26 @@ std::vector<SelectionChunkWork> PlanSelectionChunks(
 /// chunk's slices in increasing offset order and aggregates hits into
 /// `flat` (paper §4.2 optimizations 2+3). `flat` and `stats` may be
 /// thread-private; calls for distinct chunks are otherwise independent.
+/// Counts the chunk read into `stats`; the probe itself is
+/// ProbeSelectionRange below.
 Status ProbeSelectionChunk(const OlapArray& array, const GroupSpec& spec,
                            const SelectionPlan& plan,
                            const SelectionChunkWork& work,
                            const std::string& blob,
+                           std::vector<query::AggState>* flat,
+                           ArraySelectStats* stats);
+
+/// The odometer probe over an already-decoded chunk view, without the
+/// chunks_read accounting — the morsel form. `work.overlap` must be true.
+/// Morsels narrow one dimension's slice (core/morsel.h) and call this per
+/// piece: the probed candidate boxes are disjoint and their union is the
+/// whole-chunk call's box, so any morsel schedule aggregates exactly the
+/// same hits. (`candidates` counts can differ from the serial run's: the
+/// sparse early-out stops each piece's odometer independently.)
+Status ProbeSelectionRange(const OlapArray& array, const GroupSpec& spec,
+                           const SelectionPlan& plan,
+                           const SelectionChunkWork& work,
+                           const ChunkView& view,
                            std::vector<query::AggState>* flat,
                            ArraySelectStats* stats);
 

@@ -1,0 +1,46 @@
+// The portable offset-decode template, included (with internal linkage) by
+// every ISA translation unit: kernel_scalar.cc uses it as the whole decode,
+// kernel_avx2.cc for the < 4-lane tail. Keeping it `static` per TU means the
+// copy inside the AVX2 unit may legally pick up AVX2 codegen without that
+// leaking into the baseline objects — each TU owns its own instantiation.
+//
+// Must stay branch-free per cell in a way that cannot depend on the ISA:
+// only integer multiplies, shifts, adds and table gathers, so the scalar and
+// vector paths agree bit-for-bit on every input.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/kernels/consolidate_kernel.h"
+
+namespace paradise::kernels {
+namespace {
+
+inline void DecodeBatchPortable(const uint32_t* offsets, size_t n,
+                                const KernelTables& tables,
+                                uint64_t* flat_idx) {
+  const uint64_t base = tables.flat_base();
+  for (size_t i = 0; i < n; ++i) flat_idx[i] = base;
+  // Group-major: the per-group constants stay in registers across the batch.
+  for (const GroupDecode& g : tables.groups()) {
+    const uint64_t* const contribution = g.contribution;
+    if (g.stride == 1) {
+      for (size_t i = 0; i < n; ++i) {
+        const uint32_t off = offsets[i];
+        const uint32_t local = off - MagicDivide(off, g.magic_span) * g.dim;
+        flat_idx[i] += contribution[local];
+      }
+      continue;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      const uint32_t off = offsets[i];
+      const uint32_t local = MagicDivide(off, g.magic_stride) -
+                             MagicDivide(off, g.magic_span) * g.dim;
+      flat_idx[i] += contribution[local];
+    }
+  }
+}
+
+}  // namespace
+}  // namespace paradise::kernels

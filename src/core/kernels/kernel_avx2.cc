@@ -1,0 +1,111 @@
+// AVX2 decode kernel. This is the only translation unit compiled with
+// -mavx2 (set per-file in src/CMakeLists.txt); kernel_dispatch.cc selects it
+// at run time only when the build defined PARADISE_KERNEL_HAVE_AVX2 *and*
+// CPUID reports the feature, so no AVX2 instruction can execute elsewhere.
+//
+// Group-major like the portable template: for each grouped dimension, sweep
+// the whole offset batch with that group's constants held in registers.
+// Eight offsets per pass (two 4-lane blocks, so two independent VPGATHERQQ
+// are in flight); each u32 offset is zero-extended into a u64 lane, and the
+// 64-bit high-multiply against the magic reciprocal decomposes as
+//   mulhi64(n, m) = (n*hi(m) + ((n*lo(m)) >> 32)) >> 32     (n < 2^32)
+// — two VPMULUDQ, two shifts, one add per division. The arithmetic is the
+// exact expression decode_inl.h evaluates, so results are bit-identical to
+// the scalar kernel.
+#include "core/kernels/consolidate_kernel.h"
+#include "core/kernels/decode_inl.h"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+
+namespace paradise::kernels {
+
+namespace {
+
+/// mulhi64(n, magic) on 4 u64 lanes that each hold a value < 2^32, with the
+/// magic's halves pre-splatted.
+inline __m256i MulHi4(__m256i n, __m256i magic_hi, __m256i magic_lo) {
+  const __m256i nhi = _mm256_mul_epu32(n, magic_hi);
+  const __m256i nlo = _mm256_srli_epi64(_mm256_mul_epu32(n, magic_lo), 32);
+  return _mm256_srli_epi64(_mm256_add_epi64(nhi, nlo), 32);
+}
+
+inline __m256i Load4(const uint32_t* offsets) {
+  return _mm256_cvtepu32_epi64(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(offsets)));
+}
+
+}  // namespace
+
+void DecodeBatchAvx2(const uint32_t* offsets, size_t n,
+                     const KernelTables& tables, uint64_t* flat_idx) {
+  const size_t n4 = n & ~size_t{3};
+  const __m256i base =
+      _mm256_set1_epi64x(static_cast<long long>(tables.flat_base()));
+  for (size_t i = 0; i < n4; i += 4) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(flat_idx + i), base);
+  }
+
+  for (const GroupDecode& g : tables.groups()) {
+    const auto* table = reinterpret_cast<const long long*>(g.contribution);
+    const bool unit_stride = g.stride == 1;
+    const __m256i dim = _mm256_set1_epi64x(static_cast<long long>(g.dim));
+    const __m256i span_hi =
+        _mm256_set1_epi64x(static_cast<long long>(g.magic_span >> 32));
+    const __m256i span_lo = _mm256_set1_epi64x(
+        static_cast<long long>(g.magic_span & 0xffffffffu));
+    const __m256i stride_hi =
+        _mm256_set1_epi64x(static_cast<long long>(g.magic_stride >> 32));
+    const __m256i stride_lo = _mm256_set1_epi64x(
+        static_cast<long long>(g.magic_stride & 0xffffffffu));
+
+    // local = (off / stride) - (off / span) * dim, span = stride * dim.
+    const auto local4 = [&](__m256i off) {
+      const __m256i q_stride =
+          unit_stride ? off : MulHi4(off, stride_hi, stride_lo);
+      const __m256i q_span = MulHi4(off, span_hi, span_lo);
+      return _mm256_sub_epi64(q_stride, _mm256_mul_epu32(q_span, dim));
+    };
+
+    size_t i = 0;
+    for (; i + 8 <= n4; i += 8) {
+      const __m256i c0 =
+          _mm256_i64gather_epi64(table, local4(Load4(offsets + i)), 8);
+      const __m256i c1 =
+          _mm256_i64gather_epi64(table, local4(Load4(offsets + i + 4)), 8);
+      auto* out0 = reinterpret_cast<__m256i*>(flat_idx + i);
+      auto* out1 = reinterpret_cast<__m256i*>(flat_idx + i + 4);
+      _mm256_storeu_si256(out0,
+                          _mm256_add_epi64(_mm256_loadu_si256(out0), c0));
+      _mm256_storeu_si256(out1,
+                          _mm256_add_epi64(_mm256_loadu_si256(out1), c1));
+    }
+    for (; i + 4 <= n4; i += 4) {
+      const __m256i c =
+          _mm256_i64gather_epi64(table, local4(Load4(offsets + i)), 8);
+      auto* out = reinterpret_cast<__m256i*>(flat_idx + i);
+      _mm256_storeu_si256(out, _mm256_add_epi64(_mm256_loadu_si256(out), c));
+    }
+  }
+
+  if (n4 < n) {
+    DecodeBatchPortable(offsets + n4, n - n4, tables, flat_idx + n4);
+  }
+}
+
+}  // namespace paradise::kernels
+
+#else  // !defined(__AVX2__)
+
+namespace paradise::kernels {
+
+// Non-x86 / non-AVX2 build: the symbol must exist for the dispatch table,
+// but ActiveIsa() never selects it (PARADISE_KERNEL_HAVE_AVX2 is unset).
+void DecodeBatchAvx2(const uint32_t* offsets, size_t n,
+                     const KernelTables& tables, uint64_t* flat_idx) {
+  DecodeBatchPortable(offsets, n, tables, flat_idx);
+}
+
+}  // namespace paradise::kernels
+
+#endif  // defined(__AVX2__)

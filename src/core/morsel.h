@@ -1,0 +1,135 @@
+// Morsel-driven scheduling for the parallel consolidation engines. The old
+// scheme handed whole chunks to workers from the read-ahead cursor, so one
+// skewed chunk (a few dense chunks holding most of the cells) serialized the
+// tail of the query on a single worker. A MorselPool still claims chunks
+// from the shared ChunkReadAhead cursor — preserving the announced I/O order
+// — but the worker that fetches a large chunk splits it into cell-range
+// morsels (~min_cells positions each), keeps the first and publishes the
+// rest on a shared queue that any idle worker drains first. Small chunks
+// (below 2*min_cells positions) stay whole: zero extra synchronization on
+// the balanced path.
+//
+// A morsel never spans chunks, so per-chunk decode tables are built at most
+// once per (worker, chunk) and cancellation polled at morsel boundaries is
+// at least as prompt as the old per-chunk poll.
+//
+// Stealing is counted when a worker pops a morsel another worker produced;
+// splits count the extra pieces published. Both surface through
+// ParallelConsolidateStats and the morsel.steals / morsel.splits registry
+// counters (core/parallel.cc).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <condition_variable>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "array/chunk.h"
+#include "array/chunk_prefetcher.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "core/consolidate_select.h"
+
+namespace paradise {
+
+struct MorselOptions {
+  /// Target positions (sparse entries / dense offsets, or selection
+  /// cross-product candidates) per morsel. A chunk with >= 2*min_cells
+  /// positions is split into ~min_cells-sized pieces; smaller chunks stay
+  /// whole. Clamped to >= 1; UINT32_MAX degenerates to the old whole-chunk
+  /// cursor (the abl_parallel baseline).
+  uint32_t min_cells = 1u << 14;
+};
+
+/// Scheduling counters, summed over the query.
+struct MorselPoolStats {
+  uint64_t morsels = 0;  // total morsels handed out
+  uint64_t splits = 0;   // extra pieces published beyond the first
+  uint64_t steals = 0;   // morsels popped by a worker that did not fetch them
+};
+
+/// One unit of work for the no-selection engine: a position range of one
+/// chunk ([begin, end) entry indexes when sparse, chunk offsets when dense —
+/// see kernels::AggregateRange).
+struct Morsel {
+  uint64_t chunk_no = 0;
+  std::shared_ptr<const std::string> blob;  // owns the bytes `view` reads
+  std::optional<ChunkView> view;
+  uint32_t begin = 0;
+  uint32_t end = 0;
+  bool first = false;  // first morsel of its chunk (counts the chunk read)
+  size_t producer = 0;
+};
+
+class MorselPool {
+ public:
+  /// `cursor` must outlive the pool and be drained only through it.
+  MorselPool(ChunkReadAhead* cursor, const MorselOptions& options);
+
+  /// Claims the next morsel for worker `worker`: shared queue first, then a
+  /// fresh chunk from the cursor (splitting it if large). Returns false when
+  /// all chunks are claimed and the queue is drained; blocks briefly only
+  /// when another worker is mid-fetch and may still publish pieces.
+  Result<bool> Next(size_t worker, Morsel* out);
+
+  MorselPoolStats stats() const;
+
+ private:
+  ChunkReadAhead* cursor_;
+  const uint32_t min_cells_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Morsel> queue_;
+  bool exhausted_ = false;  // cursor returned "no more chunks" (or an error)
+  size_t fetching_ = 0;     // workers currently inside cursor_->Next()
+  MorselPoolStats stats_;
+};
+
+/// Selection-engine unit of work: a sub-box of one chunk's odometer, made by
+/// narrowing one dimension's index-list slice. ProbeSelectionRange
+/// (core/consolidate_select.h) runs unchanged on the narrowed work item.
+struct SelectionMorsel {
+  const select_detail::SelectionChunkWork* work = nullptr;  // planned item
+  std::shared_ptr<const std::string> blob;
+  std::optional<ChunkView> view;
+  /// When set, overrides work->slice_begin/end for dimension `split_dim`.
+  size_t split_dim = 0;
+  uint32_t split_begin = 0;
+  uint32_t split_end = 0;
+  bool split = false;
+  bool first = false;
+  size_t producer = 0;
+};
+
+class SelectionMorselPool {
+ public:
+  /// `work_items` is sorted by chunk_no and must outlive the pool; `cursor`
+  /// iterates exactly the chunk numbers of `work_items`.
+  SelectionMorselPool(ChunkReadAhead* cursor,
+                      const std::vector<select_detail::SelectionChunkWork>*
+                          work_items,
+                      const MorselOptions& options);
+
+  Result<bool> Next(size_t worker, SelectionMorsel* out);
+
+  MorselPoolStats stats() const;
+
+ private:
+  ChunkReadAhead* cursor_;
+  const std::vector<select_detail::SelectionChunkWork>* work_items_;
+  const uint32_t min_cells_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<SelectionMorsel> queue_;
+  bool exhausted_ = false;
+  size_t fetching_ = 0;
+  MorselPoolStats stats_;
+};
+
+}  // namespace paradise

@@ -6,55 +6,16 @@
 #include <utility>
 
 #include "array/chunk_prefetcher.h"
+#include "common/metrics.h"
 #include "core/aggregate.h"
+#include "core/kernels/consolidate_kernel.h"
+#include "core/morsel.h"
 #include "storage/io_pool.h"
 #include "storage/storage_manager.h"
 
 namespace paradise {
 
 namespace {
-
-/// Aggregates one chunk blob into `flat` (the per-worker result array).
-Status AggregateChunk(const OlapArray& array, const GroupSpec& spec,
-                      uint64_t chunk_no, const std::string& blob,
-                      std::vector<query::AggState>* flat) {
-  PARADISE_ASSIGN_OR_RETURN(ChunkView view, ChunkView::Make(blob));
-  const ChunkLayout& layout = array.layout();
-  const CellCoords base = layout.ChunkBase(chunk_no);
-  const CellCoords cdims = layout.ChunkDims(chunk_no);
-  const size_t n = layout.num_dims();
-
-  std::vector<uint32_t> strides(n);
-  uint32_t s = 1;
-  for (size_t i = n; i > 0; --i) {
-    strides[i - 1] = s;
-    s *= cdims[i - 1];
-  }
-  const size_t groups = spec.grouped_dims.size();
-  // Per-dimension flat-index contribution tables (see consolidate.cc).
-  std::vector<std::vector<uint64_t>> contribution(groups);
-  std::vector<uint32_t> chunk_stride(groups), chunk_dim(groups);
-  for (size_t g = 0; g < groups; ++g) {
-    const size_t d = spec.grouped_dims[g];
-    const IndexToIndexArray& i2i = array.i2i(d);
-    chunk_stride[g] = strides[d];
-    chunk_dim[g] = cdims[d];
-    contribution[g].resize(cdims[d]);
-    for (uint32_t local = 0; local < cdims[d]; ++local) {
-      contribution[g][local] =
-          static_cast<uint64_t>(i2i.Map(spec.group_cols[g], base[d] + local)) *
-          spec.strides[g];
-    }
-  }
-  view.ForEach([&](uint32_t offset, int64_t value) {
-    uint64_t flat_idx = 0;
-    for (size_t g = 0; g < groups; ++g) {
-      flat_idx += contribution[g][(offset / chunk_stride[g]) % chunk_dim[g]];
-    }
-    (*flat)[flat_idx].Add(value);
-  });
-  return Status::OK();
-}
 
 /// Read-ahead wiring shared by both engines: depth and pool come from the
 /// array's storage manager.
@@ -93,12 +54,28 @@ std::vector<query::AggState> MergePartials(
   return flat;
 }
 
+/// Folds a pool's scheduling counters into the query stats and (when the
+/// storage manager records metrics) the global registry.
+void RecordMorselStats(const OlapArray& array, const MorselPoolStats& pstats,
+                       ParallelConsolidateStats* stats) {
+  if (stats != nullptr) {
+    stats->morsels = pstats.morsels;
+    stats->morsel_splits = pstats.splits;
+    stats->morsel_steals = pstats.steals;
+  }
+  if (array.storage()->options().metrics_enabled) {
+    MetricsRegistry& reg = MetricsRegistry::Default();
+    reg.GetCounter("morsel.splits")->Increment(pstats.splits);
+    reg.GetCounter("morsel.steals")->Increment(pstats.steals);
+  }
+}
+
 }  // namespace
 
 Result<query::GroupedResult> ParallelArrayConsolidate(
     const OlapArray& array, const query::ConsolidationQuery& q,
     size_t num_threads, PhaseTimer* timer, ParallelConsolidateStats* stats,
-    const CancellationToken* cancel) {
+    const CancellationToken* cancel, const MorselOptions& morsel_options) {
   if (q.HasSelection()) {
     return Status::InvalidArgument(
         "ParallelArrayConsolidate handles no-selection queries; use "
@@ -120,23 +97,35 @@ Result<query::GroupedResult> ParallelArrayConsolidate(
   std::vector<std::vector<query::AggState>> partials(
       num_threads, std::vector<query::AggState>(spec.num_groups));
   std::atomic<uint64_t> chunks_read{0};
+  MorselPoolStats pool_stats;
   {
     ScopedPhase phase(timer, "scan+aggregate");
     ChunkReadAhead cursor = MakeCursor(array, q.measure, std::move(chunks));
+    MorselPool pool(&cursor, morsel_options);
     PARADISE_RETURN_IF_ERROR(RunWorkers(num_threads, [&](size_t w) -> Status {
-      uint64_t chunk_no = 0;
-      std::string blob;
+      // Per-worker reusable decode tables; a worker processing several
+      // morsels of one chunk builds them once.
+      kernels::KernelTables tables;
+      bool have_tables = false;
+      uint64_t tables_chunk = 0;
+      Morsel m;
       for (;;) {
         if (cancel != nullptr) {
           PARADISE_RETURN_IF_ERROR(cancel->Check());
         }
-        PARADISE_ASSIGN_OR_RETURN(bool more, cursor.Next(&chunk_no, &blob));
+        PARADISE_ASSIGN_OR_RETURN(bool more, pool.Next(w, &m));
         if (!more) return Status::OK();
-        chunks_read.fetch_add(1, std::memory_order_relaxed);
-        PARADISE_RETURN_IF_ERROR(
-            AggregateChunk(array, spec, chunk_no, blob, &partials[w]));
+        if (m.first) chunks_read.fetch_add(1, std::memory_order_relaxed);
+        if (!have_tables || tables_chunk != m.chunk_no) {
+          tables.Build(array, spec, m.chunk_no);
+          tables_chunk = m.chunk_no;
+          have_tables = true;
+        }
+        kernels::AggregateRange(*m.view, m.begin, m.end, tables,
+                                partials[w].data());
       }
     }));
+    pool_stats = pool.stats();
   }
 
   std::vector<query::AggState> flat;
@@ -148,6 +137,7 @@ Result<query::GroupedResult> ParallelArrayConsolidate(
     stats->chunks_read = chunks_read.load(std::memory_order_relaxed);
     stats->threads_used = num_threads;
   }
+  RecordMorselStats(array, pool_stats, stats);
   ScopedPhase phase(timer, "emit");
   return FlatToGroupedResult(spec, flat, spec.GroupColumnNames(array));
 }
@@ -155,10 +145,11 @@ Result<query::GroupedResult> ParallelArrayConsolidate(
 Result<query::GroupedResult> ParallelArrayConsolidateWithSelection(
     const OlapArray& array, const query::ConsolidationQuery& q,
     size_t num_threads, PhaseTimer* timer, ArraySelectStats* select_stats,
-    ParallelConsolidateStats* stats, const ArraySelectOptions& options) {
+    ParallelConsolidateStats* stats, const ArraySelectOptions& options,
+    const MorselOptions& morsel_options) {
   using select_detail::MakeSelectionPlan;
   using select_detail::PlanSelectionChunks;
-  using select_detail::ProbeSelectionChunk;
+  using select_detail::ProbeSelectionRange;
   using select_detail::SelectionChunkWork;
   using select_detail::SelectionPlan;
 
@@ -193,34 +184,41 @@ Result<query::GroupedResult> ParallelArrayConsolidateWithSelection(
   std::vector<std::vector<query::AggState>> partials(
       num_threads, std::vector<query::AggState>(spec.num_groups));
   std::vector<ArraySelectStats> worker_stats(num_threads);
+  MorselPoolStats pool_stats;
   {
     ScopedPhase phase(timer, "probe+aggregate");
     std::vector<uint64_t> chunks;
     chunks.reserve(work_items.size());
     for (const SelectionChunkWork& w : work_items) chunks.push_back(w.chunk_no);
     ChunkReadAhead cursor = MakeCursor(array, q.measure, std::move(chunks));
+    SelectionMorselPool pool(&cursor, &work_items, morsel_options);
     PARADISE_RETURN_IF_ERROR(RunWorkers(num_threads, [&](size_t w) -> Status {
-      uint64_t chunk_no = 0;
-      std::string blob;
+      SelectionMorsel m;
+      // Narrowed copy of a split morsel's work item; reused so a split costs
+      // no allocation once the slice vectors reach capacity.
+      SelectionChunkWork scratch;
       for (;;) {
         if (options.cancel != nullptr) {
           PARADISE_RETURN_IF_ERROR(options.cancel->Check());
         }
-        PARADISE_ASSIGN_OR_RETURN(bool more, cursor.Next(&chunk_no, &blob));
+        PARADISE_ASSIGN_OR_RETURN(bool more, pool.Next(w, &m));
         if (!more) return Status::OK();
-        // work_items is sorted by chunk_no (PlanSelectionChunks scans in
-        // chunk order), so the claimed chunk's slices are found by binary
-        // search.
-        const auto it = std::lower_bound(
-            work_items.begin(), work_items.end(), chunk_no,
-            [](const SelectionChunkWork& lhs, uint64_t c) {
-              return lhs.chunk_no < c;
-            });
-        PARADISE_RETURN_IF_ERROR(ProbeSelectionChunk(
-            array, spec, plan, *it, blob, &partials[w],
-            select_stats != nullptr ? &worker_stats[w] : nullptr));
+        ArraySelectStats* const ws =
+            select_stats != nullptr ? &worker_stats[w] : nullptr;
+        if (m.first && ws != nullptr) ++ws->chunks_read;
+        if (!m.work->overlap) continue;  // ablation path: nothing to probe
+        const SelectionChunkWork* work = m.work;
+        if (m.split) {
+          scratch = *m.work;
+          scratch.slice_begin[m.split_dim] = m.split_begin;
+          scratch.slice_end[m.split_dim] = m.split_end;
+          work = &scratch;
+        }
+        PARADISE_RETURN_IF_ERROR(ProbeSelectionRange(
+            array, spec, plan, *work, *m.view, &partials[w], ws));
       }
     }));
+    pool_stats = pool.stats();
   }
 
   std::vector<query::AggState> flat;
@@ -239,6 +237,7 @@ Result<query::GroupedResult> ParallelArrayConsolidateWithSelection(
     stats->threads_used = num_threads;
     if (select_stats != nullptr) stats->chunks_read = select_stats->chunks_read;
   }
+  RecordMorselStats(array, pool_stats, stats);
   ScopedPhase phase(timer, "emit");
   return FlatToGroupedResult(spec, flat, spec.GroupColumnNames(array));
 }

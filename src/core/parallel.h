@@ -11,8 +11,14 @@
 //
 // Both engines produce bit-identical GroupedResults to their serial
 // counterparts at every thread count: AggState accumulation over int64
-// measures (sum/count/min/max) is order-independent, and chunk→group
-// assignment does not depend on which worker processes the chunk.
+// measures (sum/count/min/max) is order-independent, and cell→group
+// assignment does not depend on which worker processes which morsel.
+//
+// Work is scheduled morsel-wise (core/morsel.h): a worker that fetches a
+// large chunk splits it into cell ranges other workers steal, so a few
+// skewed chunks no longer serialize the tail of the query. MorselOptions
+// controls the split threshold; min_cells = UINT32_MAX restores the old
+// whole-chunk cursor.
 #pragma once
 
 #include <cstddef>
@@ -21,6 +27,7 @@
 #include "common/status.h"
 #include "common/stopwatch.h"
 #include "core/consolidate_select.h"
+#include "core/morsel.h"
 #include "core/olap_array.h"
 #include "query/query.h"
 #include "query/result.h"
@@ -30,19 +37,27 @@ namespace paradise {
 struct ParallelConsolidateStats {
   uint64_t chunks_read = 0;
   size_t threads_used = 0;
+  /// Morsel scheduling counters (core/morsel.h): total morsels executed,
+  /// extra pieces split off large chunks, and morsels executed by a worker
+  /// other than the one that fetched the chunk.
+  uint64_t morsels = 0;
+  uint64_t morsel_splits = 0;
+  uint64_t morsel_steals = 0;
 };
 
 /// Runs a no-selection consolidation with `num_threads` worker threads
 /// (>= 1; 1 degenerates to the serial algorithm's behaviour). Produces
 /// exactly the same GroupedResult as ArrayConsolidate. `cancel`, when
-/// given, is polled by every worker at each chunk boundary; the first
+/// given, is polled by every worker at each morsel boundary (at least as
+/// often as the old per-chunk poll); the first
 /// worker to observe it returns the typed Status, the others drain, and
 /// every thread is joined before the call returns — no leaked workers.
 Result<query::GroupedResult> ParallelArrayConsolidate(
     const OlapArray& array, const query::ConsolidationQuery& q,
     size_t num_threads, PhaseTimer* timer = nullptr,
     ParallelConsolidateStats* stats = nullptr,
-    const CancellationToken* cancel = nullptr);
+    const CancellationToken* cancel = nullptr,
+    const MorselOptions& morsel_options = {});
 
 /// Runs a consolidation with at least one selection (paper §4.2) with
 /// `num_threads` worker threads. Phase 1 (B-tree index lookups) and the
@@ -54,6 +69,7 @@ Result<query::GroupedResult> ParallelArrayConsolidateWithSelection(
     size_t num_threads, PhaseTimer* timer = nullptr,
     ArraySelectStats* select_stats = nullptr,
     ParallelConsolidateStats* stats = nullptr,
-    const ArraySelectOptions& options = {});
+    const ArraySelectOptions& options = {},
+    const MorselOptions& morsel_options = {});
 
 }  // namespace paradise

@@ -1,9 +1,11 @@
 #include "query/engine.h"
 
 #include "common/json_writer.h"
+#include "common/metrics.h"
 #include "core/aggregate.h"
 #include "core/consolidate.h"
 #include "core/consolidate_select.h"
+#include "core/kernels/consolidate_kernel.h"
 #include "core/parallel.h"
 #include "query/planner.h"
 #include "query/result_cache.h"
@@ -205,6 +207,19 @@ Result<Execution> RunQueryImpl(Database* db, EngineKind kind,
       if (!db->has_olap()) {
         return Status::InvalidArgument("database has no OLAP array");
       }
+      // Record which decode kernel this query's consolidation dispatches —
+      // in the stats, as a zero-length marker span in the trace, and (when
+      // metrics are on) as a kernel.dispatch.<isa> counter — so a speedup
+      // or a regression is attributable to the ISA from any surface.
+      const kernels::Isa isa = kernels::ActiveIsa();
+      exec.stats.kernel_isa = std::string(kernels::IsaName(isa));
+      { TraceScope kernel_span(exec.stats.trace.get(),
+                               "kernel:" + exec.stats.kernel_isa); }
+      if (db->storage()->options().metrics_enabled) {
+        MetricsRegistry::Default()
+            .GetCounter("kernel.dispatch." + exec.stats.kernel_isa)
+            ->Increment();
+      }
       const size_t threads = options.num_threads;
       if (q.HasSelection()) {
         ArraySelectStats stats;
@@ -308,6 +323,7 @@ std::string ExecutionStats::ToJson() const {
   w.KV("seconds", seconds);
   w.KV("modeled_seconds", ModeledSeconds());
   w.KV("aux", aux);
+  w.KV("kernel_isa", kernel_isa);
   w.Key("io");
   w.BeginObject();
   w.KV("logical_reads", io.logical_reads);

@@ -83,12 +83,17 @@ struct ExecutionStats {
   /// Rows of the cached source result a hit or derivation was served from.
   uint64_t cache_source_rows = 0;
 
+  /// Decode kernel the array engine dispatched ("scalar" or "avx2",
+  /// core/kernels/consolidate_kernel.h); "none" for the relational engines
+  /// and cache hits, which never run the consolidation kernels.
+  std::string kernel_isa = "none";
+
   /// Disk-bound time estimate under the paper's hardware (see IoModel1997).
   double ModeledSeconds() const { return ModeledIoSeconds(io); }
 
   /// The stats as one JSON object — the schema every observability surface
   /// (tools/dbstats, the bench BENCH_*.json files) shares:
-  ///   {"seconds":..,"modeled_seconds":..,"aux":..,
+  ///   {"seconds":..,"modeled_seconds":..,"aux":..,"kernel_isa":"..",
   ///    "io":{"logical_reads":..,"hits":..,"disk_reads":..,
   ///          "seq_disk_reads":..,"rand_disk_reads":..,"disk_writes":..,
   ///          "evictions":..,"read_retries":..,"coalesced_reads":..,
