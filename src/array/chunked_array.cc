@@ -1,8 +1,12 @@
 #include "array/chunked_array.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cstring>
+#include <utility>
 
 #include "common/coding.h"
+#include "storage/io_pool.h"
 
 namespace paradise {
 
@@ -20,6 +24,53 @@ constexpr size_t kDataOidOffset = 9;
 constexpr size_t kLayoutOffset = 17;
 constexpr size_t kDirEntryBytes = 20;
 }  // namespace
+
+ChunkedArray::ChunkedArray(StorageManager* storage, ObjectId meta,
+                           ObjectId data, ChunkLayout layout,
+                           ArrayOptions options,
+                           std::vector<ChunkInfo> directory)
+    : storage_(storage), layout_(std::move(layout)), options_(options) {
+  auto v = std::make_shared<Version>();
+  v->meta_oid = meta;
+  v->data_oid = data;
+  v->directory = std::move(directory);
+  v->base_ref = std::make_shared<int>(0);
+  version_ = std::move(v);
+}
+
+ChunkedArray::ChunkedArray(const ChunkedArray& o)
+    : storage_(o.storage_),
+      layout_(o.layout_),
+      options_(o.options_),
+      version_(o.version()) {}
+
+ChunkedArray& ChunkedArray::operator=(const ChunkedArray& o) {
+  if (this == &o) return *this;
+  VersionPtr v = o.version();
+  storage_ = o.storage_;
+  layout_ = o.layout_;
+  options_ = o.options_;
+  StoreVersion(std::move(v));
+  return *this;
+}
+
+ChunkedArray::ChunkedArray(ChunkedArray&& o) noexcept
+    : storage_(o.storage_),
+      layout_(std::move(o.layout_)),
+      options_(o.options_),
+      version_(o.version()) {}
+
+ChunkedArray& ChunkedArray::operator=(ChunkedArray&& o) noexcept {
+  if (this == &o) return *this;
+  VersionPtr v = o.version();
+  storage_ = o.storage_;
+  layout_ = std::move(o.layout_);
+  options_ = o.options_;
+  StoreVersion(std::move(v));
+  return *this;
+}
+
+ObjectId ChunkedArray::meta_oid() const { return version()->meta_oid; }
 
 Status ChunkedArray::Builder::Put(const CellCoords& coords, int64_t value) {
   if (coords.size() != layout_.num_dims()) {
@@ -59,25 +110,29 @@ Result<ChunkedArray> ChunkedArray::Builder::Finish() {
   }
   PARADISE_ASSIGN_OR_RETURN(ObjectId data_oid,
                             storage_->objects()->Create(data));
-  ChunkedArray array(storage_, kInvalidObjectId, data_oid, layout_, options_,
-                     std::move(directory));
+  Version v;
+  v.data_oid = data_oid;
+  v.directory = std::move(directory);
   PARADISE_ASSIGN_OR_RETURN(
-      ObjectId meta, storage_->objects()->Create(array.SerializeMeta()));
-  array.meta_oid_ = meta;
-  return array;
+      ObjectId meta,
+      storage_->objects()->Create(SerializeMeta(v, layout_, options_)));
+  return ChunkedArray(storage_, meta, data_oid, layout_, options_,
+                      std::move(v.directory));
 }
 
-std::string ChunkedArray::SerializeMeta() const {
+std::string ChunkedArray::SerializeMeta(const Version& v,
+                                        const ChunkLayout& layout,
+                                        const ArrayOptions& options) {
   std::string out;
   out.append(kMagic, sizeof(kMagic));
-  out.push_back(static_cast<char>(options_.chunk_format));
+  out.push_back(static_cast<char>(options.chunk_format));
   char scratch[8];
-  EncodeFixed32(scratch, options_.default_chunk_extent);
+  EncodeFixed32(scratch, options.default_chunk_extent);
   out.append(scratch, 4);
-  EncodeFixed64(scratch, data_oid_);
+  EncodeFixed64(scratch, v.data_oid);
   out.append(scratch, 8);
-  out.append(layout_.Serialize());
-  for (const ChunkInfo& info : directory_) {
+  out.append(layout.Serialize());
+  for (const ChunkInfo& info : v.directory) {
     EncodeFixed64(scratch, info.offset);
     out.append(scratch, 8);
     EncodeFixed64(scratch, info.bytes);
@@ -96,8 +151,19 @@ Result<ChunkedArray> ChunkedArray::Open(StorageManager* storage,
     return Status::Corruption("object " + std::to_string(meta) +
                               " is not a chunked array");
   }
+  // A chunk-format byte this build does not know means the file was written
+  // by a newer build (or the byte is corrupt); either way decoding the data
+  // object would misread it, so reject with a typed error instead of
+  // casting blindly.
+  const uint8_t format_byte = static_cast<uint8_t>(blob[4]);
+  if (format_byte > kMaxChunkFormat) {
+    return Status::NotSupported(
+        "chunked array " + std::to_string(meta) + " uses chunk format " +
+        std::to_string(format_byte) + " but this build supports at most " +
+        std::to_string(kMaxChunkFormat));
+  }
   ArrayOptions options;
-  options.chunk_format = static_cast<ChunkFormat>(blob[4]);
+  options.chunk_format = static_cast<ChunkFormat>(format_byte);
   options.default_chunk_extent = DecodeFixed32(blob.data() + 5);
   const ObjectId data_oid = DecodeFixed64(blob.data() + kDataOidOffset);
   size_t consumed = 0;
@@ -122,44 +188,111 @@ Result<ChunkedArray> ChunkedArray::Open(StorageManager* storage,
                       std::move(directory));
 }
 
+Result<std::string> ChunkedArray::ReadBaseChunkBlobAt(
+    const Version& v, uint64_t chunk_no) const {
+  const ChunkInfo& info = v.directory[chunk_no];
+  if (info.num_valid == 0) return std::string();
+  PARADISE_ASSIGN_OR_RETURN(
+      std::string blob,
+      storage_->objects()->ReadRange(v.data_oid, info.offset, info.bytes));
+  // LZW-wrapped chunks decompress here so every caller sees dense/sparse.
+  return UnwrapChunkBlob(std::move(blob));
+}
+
+Result<std::string> ChunkedArray::ReadChunkBlobAt(const Version& v,
+                                                  uint64_t chunk_no) const {
+  const ChunkDelta* delta =
+      v.overlay == nullptr ? nullptr : v.overlay->Find(chunk_no);
+  PARADISE_ASSIGN_OR_RETURN(std::string base,
+                            ReadBaseChunkBlobAt(v, chunk_no));
+  if (delta == nullptr) return base;
+  // Merge through the array's configured format and unwrap again: the bytes
+  // handed out are exactly what a from-scratch load of the merged cells
+  // would produce.
+  uint32_t merged_valid = 0;
+  PARADISE_ASSIGN_OR_RETURN(
+      std::string merged,
+      MergeChunkBlob(base, *delta, layout_.ChunkCellCount(chunk_no),
+                     options_.chunk_format, &merged_valid));
+  return UnwrapChunkBlob(std::move(merged));
+}
+
+Result<Chunk> ChunkedArray::ReadChunkAt(const Version& v,
+                                        uint64_t chunk_no) const {
+  PARADISE_ASSIGN_OR_RETURN(std::string blob, ReadChunkBlobAt(v, chunk_no));
+  if (blob.empty()) return Chunk(layout_.ChunkCellCount(chunk_no));
+  return Chunk::Deserialize(blob);
+}
+
 Result<std::string> ChunkedArray::ReadChunkBlob(uint64_t chunk_no) const {
   if (chunk_no >= layout_.num_chunks()) {
     return Status::OutOfRange("chunk " + std::to_string(chunk_no) +
                               " beyond " +
                               std::to_string(layout_.num_chunks()));
   }
-  const ChunkInfo& info = directory_[chunk_no];
-  if (info.num_valid == 0) return std::string();
-  PARADISE_ASSIGN_OR_RETURN(
-      std::string blob,
-      storage_->objects()->ReadRange(data_oid_, info.offset, info.bytes));
-  // LZW-wrapped chunks decompress here so every caller sees dense/sparse.
-  return UnwrapChunkBlob(std::move(blob));
+  return ReadChunkBlobAt(*version(), chunk_no);
 }
 
 Result<Chunk> ChunkedArray::ReadChunk(uint64_t chunk_no) const {
-  PARADISE_ASSIGN_OR_RETURN(std::string blob, ReadChunkBlob(chunk_no));
-  if (blob.empty()) return Chunk(layout_.ChunkCellCount(chunk_no));
-  return Chunk::Deserialize(blob);
+  if (chunk_no >= layout_.num_chunks()) {
+    return Status::OutOfRange("chunk " + std::to_string(chunk_no) +
+                              " beyond " +
+                              std::to_string(layout_.num_chunks()));
+  }
+  return ReadChunkAt(*version(), chunk_no);
+}
+
+bool ChunkedArray::ChunkIsEmpty(uint64_t chunk_no) const {
+  if (chunk_no >= layout_.num_chunks()) return true;
+  return ChunkIsEmptyAt(*version(), chunk_no);
+}
+
+uint32_t ChunkedArray::ChunkValidCount(uint64_t chunk_no) const {
+  if (chunk_no >= layout_.num_chunks()) return 0;
+  const VersionPtr v = version();
+  uint32_t n = v->directory[chunk_no].num_valid;
+  if (v->overlay != nullptr) {
+    const ChunkDelta* delta = v->overlay->Find(chunk_no);
+    if (delta != nullptr) n += static_cast<uint32_t>(delta->cells.size());
+  }
+  return n;
 }
 
 Result<std::optional<int64_t>> ChunkedArray::GetCell(
     const CellCoords& coords) const {
+  const VersionPtr v = version();
   const uint64_t chunk_no = layout_.CoordsToChunk(coords);
-  if (ChunkIsEmpty(chunk_no)) return std::optional<int64_t>{};
-  PARADISE_ASSIGN_OR_RETURN(std::string blob, ReadChunkBlob(chunk_no));
+  const uint32_t offset = layout_.CoordsToOffset(coords);
+  // Overlay deltas are upserts, so a delta hit answers without touching the
+  // base chunk at all.
+  if (v->overlay != nullptr) {
+    const ChunkDelta* delta = v->overlay->Find(chunk_no);
+    if (delta != nullptr) {
+      auto it = std::lower_bound(
+          delta->cells.begin(), delta->cells.end(), offset,
+          [](const ChunkEntry& e, uint32_t o) { return e.offset < o; });
+      if (it != delta->cells.end() && it->offset == offset) {
+        return std::optional<int64_t>{it->value};
+      }
+    }
+  }
+  PARADISE_ASSIGN_OR_RETURN(std::string blob,
+                            ReadBaseChunkBlobAt(*v, chunk_no));
+  if (blob.empty()) return std::optional<int64_t>{};
   PARADISE_ASSIGN_OR_RETURN(ChunkView view, ChunkView::Make(blob));
-  return view.Get(layout_.CoordsToOffset(coords));
+  return view.Get(offset);
 }
 
 Status ChunkedArray::RewriteChunk(uint64_t chunk_no, const std::string& blob,
                                   uint32_t new_valid) {
+  const VersionPtr v = version();
   PARADISE_ASSIGN_OR_RETURN(std::string old_data,
-                            storage_->objects()->Read(data_oid_));
+                            storage_->objects()->Read(v->data_oid));
+  auto nv = std::make_shared<Version>(*v);
   std::string new_data;
   new_data.reserve(old_data.size() + blob.size());
-  for (uint64_t c = 0; c < directory_.size(); ++c) {
-    ChunkInfo& info = directory_[c];
+  for (uint64_t c = 0; c < nv->directory.size(); ++c) {
+    ChunkInfo& info = nv->directory[c];
     if (c == chunk_no) {
       info = ChunkInfo{new_data.size(), blob.size(), new_valid};
       new_data.append(blob);
@@ -170,21 +303,38 @@ Status ChunkedArray::RewriteChunk(uint64_t chunk_no, const std::string& blob,
     new_data.append(old_data, info.offset, info.bytes);
     info.offset = offset;
   }
-  return storage_->objects()->Overwrite(data_oid_, new_data);
+  PARADISE_RETURN_IF_ERROR(
+      storage_->objects()->Overwrite(v->data_oid, new_data));
+  StoreVersion(std::move(nv));
+  return Status::OK();
 }
 
 Status ChunkedArray::PutCell(const CellCoords& coords, int64_t value) {
+  const VersionPtr v = version();
   const uint64_t chunk_no = layout_.CoordsToChunk(coords);
-  PARADISE_ASSIGN_OR_RETURN(Chunk chunk, ReadChunk(chunk_no));
+  // Point updates edit the BASE chunk (never the overlay — mixing the two
+  // write paths would fold overlay cells into the base silently).
+  PARADISE_ASSIGN_OR_RETURN(std::string blob,
+                            ReadBaseChunkBlobAt(*v, chunk_no));
+  Chunk chunk(layout_.ChunkCellCount(chunk_no));
+  if (!blob.empty()) {
+    PARADISE_ASSIGN_OR_RETURN(chunk, Chunk::Deserialize(blob));
+  }
   PARADISE_RETURN_IF_ERROR(chunk.Put(layout_.CoordsToOffset(coords), value));
   return RewriteChunk(chunk_no, chunk.Serialize(options_.chunk_format),
                       chunk.num_valid());
 }
 
 Status ChunkedArray::EraseCell(const CellCoords& coords) {
+  const VersionPtr v = version();
   const uint64_t chunk_no = layout_.CoordsToChunk(coords);
-  if (ChunkIsEmpty(chunk_no)) return Status::OK();
-  PARADISE_ASSIGN_OR_RETURN(Chunk chunk, ReadChunk(chunk_no));
+  if (v->directory[chunk_no].num_valid == 0) return Status::OK();
+  PARADISE_ASSIGN_OR_RETURN(std::string blob,
+                            ReadBaseChunkBlobAt(*v, chunk_no));
+  Chunk chunk(layout_.ChunkCellCount(chunk_no));
+  if (!blob.empty()) {
+    PARADISE_ASSIGN_OR_RETURN(chunk, Chunk::Deserialize(blob));
+  }
   chunk.Erase(layout_.CoordsToOffset(coords));
   if (chunk.empty()) return RewriteChunk(chunk_no, std::string(), 0);
   return RewriteChunk(chunk_no, chunk.Serialize(options_.chunk_format),
@@ -192,29 +342,173 @@ Status ChunkedArray::EraseCell(const CellCoords& coords) {
 }
 
 uint64_t ChunkedArray::num_valid_cells() const {
+  const VersionPtr v = version();
   uint64_t n = 0;
-  for (const ChunkInfo& info : directory_) n += info.num_valid;
+  for (const ChunkInfo& info : v->directory) n += info.num_valid;
   return n;
 }
 
 uint64_t ChunkedArray::TotalDataBytes() const {
+  const VersionPtr v = version();
   uint64_t n = 0;
-  for (const ChunkInfo& info : directory_) {
+  for (const ChunkInfo& info : v->directory) {
     if (info.num_valid > 0) n += info.bytes;
   }
   return n;
 }
 
 Result<uint64_t> ChunkedArray::TotalPages() const {
+  const VersionPtr v = version();
   PARADISE_ASSIGN_OR_RETURN(uint64_t meta_pages,
-                            storage_->objects()->PageFootprint(meta_oid_));
+                            storage_->objects()->PageFootprint(v->meta_oid));
   PARADISE_ASSIGN_OR_RETURN(uint64_t data_pages,
-                            storage_->objects()->PageFootprint(data_oid_));
+                            storage_->objects()->PageFootprint(v->data_oid));
   return meta_pages + data_pages;
 }
 
 Status ChunkedArray::Sync() {
-  return storage_->objects()->Overwrite(meta_oid_, SerializeMeta());
+  const VersionPtr v = version();
+  return storage_->objects()->Overwrite(v->meta_oid,
+                                        SerializeMeta(*v, layout_, options_));
+}
+
+void ChunkedArray::PublishOverlay(
+    std::shared_ptr<const DeltaOverlay> overlay) {
+  const VersionPtr v = version();
+  auto nv = std::make_shared<Version>(*v);
+  nv->overlay = std::move(overlay);
+  StoreVersion(std::move(nv));
+}
+
+Result<ChunkedArray::Compaction> ChunkedArray::PrepareCompaction(
+    const DeltaOverlay& overlay, IoPool* io_pool,
+    const CancellationToken* cancel) {
+  const VersionPtr v = version();
+  const uint64_t num_chunks = layout_.num_chunks();
+  for (const auto& [chunk_no, delta] : overlay.chunks()) {
+    if (chunk_no >= num_chunks) {
+      return Status::Corruption("delta targets chunk " +
+                                std::to_string(chunk_no) + " beyond " +
+                                std::to_string(num_chunks));
+    }
+  }
+  if (cancel != nullptr) PARADISE_RETURN_IF_ERROR(cancel->Check());
+  // One sequential read of the packed object; untouched chunks are copied
+  // from this buffer byte-identically, delta chunks merge against it.
+  PARADISE_ASSIGN_OR_RETURN(std::string old_data,
+                            storage_->objects()->Read(v->data_oid));
+
+  struct MergeSlot {
+    std::string blob;
+    uint32_t valid = 0;
+    Status status;
+    bool done = false;
+  };
+  std::vector<MergeSlot> merged(num_chunks);
+  std::atomic<bool> abort{false};
+  auto merge_one = [&](uint64_t c, const ChunkDelta* delta) {
+    if (abort.load(std::memory_order_relaxed)) return;
+    if (cancel != nullptr && cancel->ShouldStop()) {
+      abort.store(true, std::memory_order_relaxed);
+      return;
+    }
+    MergeSlot& slot = merged[c];
+    std::string base;
+    const ChunkInfo& info = v->directory[c];
+    if (info.num_valid > 0) {
+      Result<std::string> base_or =
+          UnwrapChunkBlob(old_data.substr(info.offset, info.bytes));
+      if (!base_or.ok()) {
+        slot.status = base_or.status();
+        abort.store(true, std::memory_order_relaxed);
+        return;
+      }
+      base = std::move(base_or).value();
+    }
+    Result<std::string> blob_or =
+        MergeChunkBlob(base, *delta, layout_.ChunkCellCount(c),
+                       options_.chunk_format, &slot.valid);
+    if (!blob_or.ok()) {
+      slot.status = blob_or.status();
+      abort.store(true, std::memory_order_relaxed);
+      return;
+    }
+    slot.blob = std::move(blob_or).value();
+    slot.done = true;
+  };
+  // The merge work (decode + upsert + re-encode, LZW included) is the CPU
+  // cost of compaction; fan it across the IoPool and Drain as the barrier.
+  // A refused Submit (pool shutting down) just runs the merge inline.
+  if (io_pool != nullptr) {
+    for (const auto& [chunk_no, delta] : overlay.chunks()) {
+      const uint64_t c = chunk_no;
+      const ChunkDelta* d = &delta;
+      if (!io_pool->Submit([&merge_one, c, d] { merge_one(c, d); })) {
+        merge_one(c, d);
+      }
+    }
+    io_pool->Drain();
+  } else {
+    for (const auto& [chunk_no, delta] : overlay.chunks()) {
+      merge_one(chunk_no, &delta);
+    }
+  }
+  if (cancel != nullptr) PARADISE_RETURN_IF_ERROR(cancel->Check());
+  for (const auto& [chunk_no, delta] : overlay.chunks()) {
+    if (!merged[chunk_no].status.ok()) return merged[chunk_no].status;
+    if (!merged[chunk_no].done) {
+      return Status::Internal("chunk merge did not run");
+    }
+  }
+
+  // Assemble the replacement packed object + directory. Nothing has been
+  // allocated yet, so every earlier failure path leaves storage untouched.
+  auto nv = std::make_shared<Version>();
+  nv->directory.resize(num_chunks);
+  nv->base_ref = std::make_shared<int>(0);  // fresh storage generation
+  std::string data;
+  uint64_t merged_chunks = 0;
+  uint64_t merged_cells = 0;
+  for (uint64_t c = 0; c < num_chunks; ++c) {
+    if (overlay.Find(c) != nullptr) {
+      MergeSlot& slot = merged[c];
+      if (slot.valid == 0) continue;
+      nv->directory[c] = ChunkInfo{data.size(), slot.blob.size(), slot.valid};
+      data.append(slot.blob);
+      ++merged_chunks;
+      merged_cells += slot.valid;
+      continue;
+    }
+    const ChunkInfo& info = v->directory[c];
+    if (info.num_valid == 0) continue;
+    nv->directory[c] = ChunkInfo{data.size(), info.bytes, info.num_valid};
+    data.append(old_data, info.offset, info.bytes);
+  }
+  PARADISE_ASSIGN_OR_RETURN(ObjectId new_data,
+                            storage_->objects()->Create(data));
+  nv->data_oid = new_data;
+  Result<ObjectId> meta_or =
+      storage_->objects()->Create(SerializeMeta(*nv, layout_, options_));
+  if (!meta_or.ok()) {
+    (void)storage_->objects()->Free(new_data);
+    return meta_or.status();
+  }
+  nv->meta_oid = meta_or.value();
+
+  Compaction out;
+  out.old_data_oid = v->data_oid;
+  out.old_meta_oid = v->meta_oid;
+  out.new_data_oid = nv->data_oid;
+  out.new_meta_oid = nv->meta_oid;
+  out.merged_chunks = merged_chunks;
+  out.merged_cells = merged_cells;
+  out.pending = nv;
+  out.replaced = v->base_ref;
+  return out;
+}
+
+void ChunkedArray::PublishCompaction(const Compaction& c) {
+  StoreVersion(std::static_pointer_cast<const Version>(c.pending));
 }
 
 }  // namespace paradise

@@ -1,0 +1,39 @@
+#include "array/delta_overlay.h"
+
+#include <algorithm>
+
+namespace paradise {
+
+void DeltaOverlay::Apply(uint64_t chunk_no,
+                         const std::vector<ChunkEntry>& cells) {
+  if (cells.empty()) return;
+  ChunkDelta& delta = chunks_[chunk_no];
+  // Merge into the sorted vector via a temporary offset map: generations are
+  // applied once per commit, never per read, so simplicity beats constant
+  // factors here.
+  std::map<uint32_t, int64_t> merged;
+  for (const ChunkEntry& e : delta.cells) merged[e.offset] = e.value;
+  for (const ChunkEntry& e : cells) merged[e.offset] = e.value;
+  delta.cells.clear();
+  delta.cells.reserve(merged.size());
+  for (const auto& [offset, value] : merged) {
+    delta.cells.push_back(ChunkEntry{offset, value});
+  }
+}
+
+Result<std::string> MergeChunkBlob(const std::string& base_blob,
+                                   const ChunkDelta& delta, uint32_t capacity,
+                                   ChunkFormat format,
+                                   uint32_t* merged_valid) {
+  Chunk chunk(capacity);
+  if (!base_blob.empty()) {
+    PARADISE_ASSIGN_OR_RETURN(chunk, Chunk::Deserialize(base_blob));
+  }
+  for (const ChunkEntry& e : delta.cells) {
+    PARADISE_RETURN_IF_ERROR(chunk.Put(e.offset, e.value));
+  }
+  if (merged_valid != nullptr) *merged_valid = chunk.num_valid();
+  return chunk.Serialize(format);
+}
+
+}  // namespace paradise

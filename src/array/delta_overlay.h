@@ -1,0 +1,69 @@
+// DeltaOverlay: the in-memory read-side of incremental ingest. Committed
+// ingest generations (src/ingest/) fold down to one immutable per-measure
+// overlay — for each chunk, the sorted (offsetInChunk, value) upserts that
+// supersede the packed base chunk. ChunkedArray consults the overlay in its
+// chunk decode path: a read of a chunk with deltas materializes the base
+// chunk, applies the upserts last-write-wins, and re-serializes, so every
+// consumer (serial scan, read-ahead cursor, morsel pools, GetCell probes)
+// sees exactly the bytes a from-scratch load of the merged data would have
+// produced. Overlays are immutable and shared by shared_ptr: publishing a
+// new one never blocks or tears in-flight readers, which keep the overlay
+// (and base version) they pinned at query start.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "array/chunk.h"
+#include "common/options.h"
+#include "common/result.h"
+
+namespace paradise {
+
+/// Upserts for one chunk, sorted by offset (unique offsets; later ingest
+/// generations already folded in, last write wins).
+struct ChunkDelta {
+  std::vector<ChunkEntry> cells;
+};
+
+/// One measure's merged view of every committed-but-uncompacted delta.
+class DeltaOverlay {
+ public:
+  /// The delta for `chunk_no`, or nullptr if the chunk has none.
+  const ChunkDelta* Find(uint64_t chunk_no) const {
+    auto it = chunks_.find(chunk_no);
+    return it == chunks_.end() ? nullptr : &it->second;
+  }
+
+  bool empty() const { return chunks_.empty(); }
+  size_t num_chunks() const { return chunks_.size(); }
+
+  uint64_t total_cells() const {
+    uint64_t n = 0;
+    for (const auto& [chunk, delta] : chunks_) n += delta.cells.size();
+    return n;
+  }
+
+  /// Folds `cells` (any order, duplicates allowed) into `chunk_no`,
+  /// overwriting earlier values at the same offset — callers apply
+  /// generations in commit order.
+  void Apply(uint64_t chunk_no, const std::vector<ChunkEntry>& cells);
+
+  const std::map<uint64_t, ChunkDelta>& chunks() const { return chunks_; }
+
+ private:
+  std::map<uint64_t, ChunkDelta> chunks_;
+};
+
+/// Serialized merge: base chunk bytes (empty string = empty base chunk) +
+/// delta -> the merged chunk re-serialized in `format`, byte-identical to
+/// what a bulk load of the merged cells would pack. `capacity` is the
+/// chunk's cell count from the layout. Returns the merged blob and writes
+/// the merged valid-cell count to `merged_valid`.
+Result<std::string> MergeChunkBlob(const std::string& base_blob,
+                                   const ChunkDelta& delta, uint32_t capacity,
+                                   ChunkFormat format, uint32_t* merged_valid);
+
+}  // namespace paradise

@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <string>
 
 namespace paradise {
 
@@ -26,6 +27,18 @@ inline uint64_t DecodeFixed64(const char* src) {
   uint64_t value;
   std::memcpy(&value, src, sizeof(value));
   return value;
+}
+
+inline void AppendFixed32(std::string* out, uint32_t value) {
+  char buf[4];
+  EncodeFixed32(buf, value);
+  out->append(buf, sizeof(buf));
+}
+
+inline void AppendFixed64(std::string* out, uint64_t value) {
+  char buf[8];
+  EncodeFixed64(buf, value);
+  out->append(buf, sizeof(buf));
 }
 
 inline void EncodeFixed16(char* dst, uint16_t value) {

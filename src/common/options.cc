@@ -1,5 +1,7 @@
 #include "common/options.h"
 
+#include "storage/page.h"
+
 namespace paradise {
 
 namespace {
@@ -19,9 +21,15 @@ Status StorageOptions::Validate() const {
   if (pages_per_extent == 0) {
     return Status::InvalidArgument("pages_per_extent must be > 0");
   }
-  if (format_version < 1 || format_version > 3) {
-    return Status::InvalidArgument("format_version must be 1, 2 or 3, got " +
-                                   std::to_string(format_version));
+  if (format_version < 1 ||
+      format_version > page_header::kMaxSupportedFormat) {
+    // NotSupported (not InvalidArgument) so tooling can tell a file from a
+    // future format apart from a nonsense option value — the dbverify
+    // forward-compat tripwire keys on this code.
+    return Status::NotSupported(
+        "format_version must be between 1 and " +
+        std::to_string(page_header::kMaxSupportedFormat) + ", got " +
+        std::to_string(format_version));
   }
   if (read_only && allow_overwrite) {
     return Status::InvalidArgument(
@@ -72,6 +80,12 @@ std::string_view ChunkFormatToString(ChunkFormat format) {
 Status ArrayOptions::Validate() const {
   if (default_chunk_extent == 0) {
     return Status::InvalidArgument("default_chunk_extent must be > 0");
+  }
+  if (static_cast<uint8_t>(chunk_format) > kMaxChunkFormat) {
+    return Status::NotSupported(
+        "unknown chunk format " +
+        std::to_string(static_cast<unsigned>(chunk_format)) +
+        " (max supported is " + std::to_string(kMaxChunkFormat) + ")");
   }
   return Status::OK();
 }

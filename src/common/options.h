@@ -61,12 +61,15 @@ struct StorageOptions {
   /// If true, CreateDatabase() truncates an existing file.
   bool allow_overwrite = false;
 
-  /// On-disk page-format version written by Create(). Version 3 (default)
-  /// adds the dual-slot commit manifest used for crash-consistent commits;
-  /// version 2 appends a CRC32C trailer to every physical page; version 1 is
-  /// the legacy checksumless seed format, kept writable for compatibility
+  /// On-disk page-format version written by Create(). Version 4 (default)
+  /// shares version 3's physical layout but marks the file as possibly
+  /// carrying incremental-ingest delta state (src/ingest/), which pre-v4
+  /// readers must reject rather than silently ignore; version 3 adds the
+  /// dual-slot commit manifest used for crash-consistent commits; version 2
+  /// appends a CRC32C trailer to every physical page; version 1 is the
+  /// legacy checksumless seed format, kept writable for compatibility
   /// testing. Open() always auto-detects the file's version.
-  uint32_t format_version = 3;
+  uint32_t format_version = 4;
 
   /// Open the file for reading only: Create() is rejected, all mutating page
   /// operations fail, and Close() releases the handle without committing.
@@ -114,6 +117,12 @@ enum class ChunkFormat : uint8_t {
   /// OLAP ADT replaced (paper §3.1); kept as an ablation.
   kLzwDense = 3,
 };
+
+/// Highest ChunkFormat value a reader of this build understands. A stored
+/// chunk-format byte above it is a corrupt or future-format file and must be
+/// rejected with a typed error, never cast and silently misdecoded.
+inline constexpr uint8_t kMaxChunkFormat =
+    static_cast<uint8_t>(ChunkFormat::kLzwDense);
 
 std::string_view ChunkFormatToString(ChunkFormat format);
 

@@ -1,6 +1,7 @@
 #include "core/morsel.h"
 
 #include <algorithm>
+#include <chrono>
 
 namespace paradise {
 
@@ -10,14 +11,31 @@ uint32_t ClampMinCells(uint32_t min_cells) {
   return std::max<uint32_t>(1, min_cells);
 }
 
+// Upper bound on one parked interval. Normal wakeups still ride the notify;
+// the timeout only bounds how long a missed notify or a cancel fired while
+// every worker is parked can stall the join.
+constexpr std::chrono::milliseconds kParkSlice{5};
+
 }  // namespace
 
 MorselPool::MorselPool(ChunkReadAhead* cursor, const MorselOptions& options)
-    : cursor_(cursor), min_cells_(ClampMinCells(options.min_cells)) {}
+    : cursor_(cursor),
+      min_cells_(ClampMinCells(options.min_cells)),
+      cancel_(options.cancel) {}
 
 Result<bool> MorselPool::Next(size_t worker, Morsel* out) {
   std::unique_lock<std::mutex> lk(mu_);
   for (;;) {
+    if (cancel_ != nullptr) {
+      Status st = cancel_->Check();
+      if (!st.ok()) {
+        // Retire the pool so peers parked on the cv stop waiting for more
+        // pieces instead of sleeping out their timeout one by one.
+        exhausted_ = true;
+        cv_.notify_all();
+        return st;
+      }
+    }
     if (!queue_.empty()) {
       *out = std::move(queue_.front());
       queue_.pop_front();
@@ -28,8 +46,11 @@ Result<bool> MorselPool::Next(size_t worker, Morsel* out) {
     if (exhausted_) {
       // A worker inside cursor_->Next() may still publish pieces of the
       // last chunk; wait for it rather than retiring this worker early.
+      // The wait is bounded: a cancel that fires with every worker parked
+      // here (fetching_ > 0 but the fetcher died without decrementing, or
+      // its notify was consumed) must not hang the join forever.
       if (fetching_ == 0) return false;
-      cv_.wait(lk);
+      cv_.wait_for(lk, kParkSlice);
       continue;
     }
     ++fetching_;
@@ -108,12 +129,21 @@ SelectionMorselPool::SelectionMorselPool(
     const MorselOptions& options)
     : cursor_(cursor),
       work_items_(work_items),
-      min_cells_(ClampMinCells(options.min_cells)) {}
+      min_cells_(ClampMinCells(options.min_cells)),
+      cancel_(options.cancel) {}
 
 Result<bool> SelectionMorselPool::Next(size_t worker, SelectionMorsel* out) {
   using select_detail::SelectionChunkWork;
   std::unique_lock<std::mutex> lk(mu_);
   for (;;) {
+    if (cancel_ != nullptr) {
+      Status st = cancel_->Check();
+      if (!st.ok()) {
+        exhausted_ = true;
+        cv_.notify_all();
+        return st;
+      }
+    }
     if (!queue_.empty()) {
       *out = std::move(queue_.front());
       queue_.pop_front();
@@ -122,8 +152,9 @@ Result<bool> SelectionMorselPool::Next(size_t worker, SelectionMorsel* out) {
       return true;
     }
     if (exhausted_) {
+      // Bounded for the same reason as MorselPool::Next.
       if (fetching_ == 0) return false;
-      cv_.wait(lk);
+      cv_.wait_for(lk, kParkSlice);
       continue;
     }
     ++fetching_;

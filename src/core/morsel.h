@@ -30,6 +30,7 @@
 
 #include "array/chunk.h"
 #include "array/chunk_prefetcher.h"
+#include "common/cancellation.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "core/consolidate_select.h"
@@ -43,6 +44,14 @@ struct MorselOptions {
   /// whole. Clamped to >= 1; UINT32_MAX degenerates to the old whole-chunk
   /// cursor (the abl_parallel baseline).
   uint32_t min_cells = 1u << 14;
+
+  /// Optional cancellation for the pool itself. Workers already poll their
+  /// token between morsels, but a worker parked INSIDE Next() — waiting on
+  /// the condition variable for a late fetcher — would otherwise sleep
+  /// through a cancel and hang the join if the expected notify never comes.
+  /// With a token set, waits are bounded and re-check the token, so every
+  /// worker leaves Next() with the token's typed status promptly.
+  const CancellationToken* cancel = nullptr;
 };
 
 /// Scheduling counters, summed over the query.
@@ -81,6 +90,7 @@ class MorselPool {
  private:
   ChunkReadAhead* cursor_;
   const uint32_t min_cells_;
+  const CancellationToken* cancel_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
@@ -123,6 +133,7 @@ class SelectionMorselPool {
   ChunkReadAhead* cursor_;
   const std::vector<select_detail::SelectionChunkWork>* work_items_;
   const uint32_t min_cells_;
+  const CancellationToken* cancel_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

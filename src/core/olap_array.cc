@@ -20,17 +20,6 @@ namespace {
 //   fixed32 measure count, then per measure a fixed64 chunked-array meta
 //   ObjectId
 constexpr char kMagic[4] = {'O', 'L', 'A', 'P'};
-
-void AppendFixed32(std::string* out, uint32_t v) {
-  char scratch[4];
-  EncodeFixed32(scratch, v);
-  out->append(scratch, 4);
-}
-void AppendFixed64(std::string* out, uint64_t v) {
-  char scratch[8];
-  EncodeFixed64(scratch, v);
-  out->append(scratch, 8);
-}
 }  // namespace
 
 OlapArray::Builder::Builder(StorageManager* storage, std::string name,
@@ -154,29 +143,6 @@ Result<OlapArray> OlapArray::Builder::Finish() {
     arrays.push_back(std::move(array));
   }
 
-  std::string meta;
-  meta.append(kMagic, sizeof(kMagic));
-  AppendFixed32(&meta, static_cast<uint32_t>(dims_.size()));
-  for (size_t d = 0; d < dims_.size(); ++d) {
-    const DimensionTable& dim = *dims_[d];
-    AppendFixed32(&meta, static_cast<uint32_t>(dim.name().size()));
-    meta.append(dim.name());
-    const std::string schema_blob = dim.schema().Serialize();
-    AppendFixed32(&meta, static_cast<uint32_t>(schema_blob.size()));
-    meta.append(schema_blob);
-    AppendFixed64(&meta, key_btrees_[d].root());
-    for (PageId root : attr_btree_roots_[d]) AppendFixed64(&meta, root);
-    meta.append(i2i_[d].Serialize());
-  }
-  AppendFixed32(&meta, static_cast<uint32_t>(arrays.size()));
-  for (const ChunkedArray& array : arrays) {
-    AppendFixed64(&meta, array.meta_oid());
-  }
-
-  PARADISE_ASSIGN_OR_RETURN(ObjectId meta_oid,
-                            storage_->objects()->Create(meta));
-  PARADISE_RETURN_IF_ERROR(storage_->SetRoot("olap_array." + name_, meta_oid));
-
   OlapArray out;
   out.storage_ = storage_;
   out.name_ = name_;
@@ -188,8 +154,47 @@ Result<OlapArray> OlapArray::Builder::Finish() {
   out.attr_btree_roots_ = std::move(attr_btree_roots_);
   out.i2i_ = std::move(i2i_);
   out.arrays_ = std::move(arrays);
+
+  PARADISE_ASSIGN_OR_RETURN(ObjectId meta_oid,
+                            storage_->objects()->Create(out.SerializeMeta()));
+  PARADISE_RETURN_IF_ERROR(storage_->SetRoot("olap_array." + name_, meta_oid));
   initialized_ = false;
   return out;
+}
+
+std::string OlapArray::SerializeMeta() const {
+  std::string meta;
+  meta.append(kMagic, sizeof(kMagic));
+  AppendFixed32(&meta, static_cast<uint32_t>(dim_names_.size()));
+  for (size_t d = 0; d < dim_names_.size(); ++d) {
+    AppendFixed32(&meta, static_cast<uint32_t>(dim_names_[d].size()));
+    meta.append(dim_names_[d]);
+    const std::string schema_blob = dim_schemas_[d].Serialize();
+    AppendFixed32(&meta, static_cast<uint32_t>(schema_blob.size()));
+    meta.append(schema_blob);
+    AppendFixed64(&meta, key_btrees_[d].root());
+    for (PageId root : attr_btree_roots_[d]) AppendFixed64(&meta, root);
+    meta.append(i2i_[d].Serialize());
+  }
+  AppendFixed32(&meta, static_cast<uint32_t>(arrays_.size()));
+  for (const ChunkedArray& array : arrays_) {
+    AppendFixed64(&meta, array.meta_oid());
+  }
+  return meta;
+}
+
+Result<ObjectId> OlapArray::PublishMeta() {
+  // Copy-on-write republication: a compaction gave the measure arrays new
+  // meta objects, so the ADT meta (which embeds their oids) is re-serialized
+  // into a NEW object and the catalog root repointed at it. The previous
+  // meta object stays readable for crash recovery until the caller retires
+  // it after the next checkpoint commits.
+  PARADISE_ASSIGN_OR_RETURN(ObjectId old_meta,
+                            storage_->GetRoot("olap_array." + name_));
+  PARADISE_ASSIGN_OR_RETURN(ObjectId meta_oid,
+                            storage_->objects()->Create(SerializeMeta()));
+  PARADISE_RETURN_IF_ERROR(storage_->SetRoot("olap_array." + name_, meta_oid));
+  return old_meta;
 }
 
 Result<OlapArray> OlapArray::Open(StorageManager* storage,

@@ -117,7 +117,16 @@ class OlapArray {
   /// Mutable access for the write path.
   ChunkedArray* mutable_array(size_t m = 0) { return &arrays_[m]; }
 
+  /// Re-serializes the ADT meta (embedding the measures' CURRENT array meta
+  /// oids) into a new object and repoints the catalog root at it
+  /// copy-on-write. Returns the superseded meta object id; the caller frees
+  /// it once the swap is durable. Used by ingest compaction, which replaces
+  /// the measure arrays' storage objects wholesale.
+  Result<ObjectId> PublishMeta();
+
  private:
+  std::string SerializeMeta() const;
+
   StorageManager* storage_ = nullptr;
   std::string name_;
   std::vector<std::string> dim_names_;

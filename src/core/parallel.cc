@@ -101,7 +101,9 @@ Result<query::GroupedResult> ParallelArrayConsolidate(
   {
     ScopedPhase phase(timer, "scan+aggregate");
     ChunkReadAhead cursor = MakeCursor(array, q.measure, std::move(chunks));
-    MorselPool pool(&cursor, morsel_options);
+    MorselOptions pool_options = morsel_options;
+    if (pool_options.cancel == nullptr) pool_options.cancel = cancel;
+    MorselPool pool(&cursor, pool_options);
     PARADISE_RETURN_IF_ERROR(RunWorkers(num_threads, [&](size_t w) -> Status {
       // Per-worker reusable decode tables; a worker processing several
       // morsels of one chunk builds them once.
@@ -191,7 +193,9 @@ Result<query::GroupedResult> ParallelArrayConsolidateWithSelection(
     chunks.reserve(work_items.size());
     for (const SelectionChunkWork& w : work_items) chunks.push_back(w.chunk_no);
     ChunkReadAhead cursor = MakeCursor(array, q.measure, std::move(chunks));
-    SelectionMorselPool pool(&cursor, &work_items, morsel_options);
+    MorselOptions pool_options = morsel_options;
+    if (pool_options.cancel == nullptr) pool_options.cancel = options.cancel;
+    SelectionMorselPool pool(&cursor, &work_items, pool_options);
     PARADISE_RETURN_IF_ERROR(RunWorkers(num_threads, [&](size_t w) -> Status {
       SelectionMorsel m;
       // Narrowed copy of a split morsel's work item; reused so a split costs

@@ -1,0 +1,54 @@
+// Delta generations: the durable unit of incremental ingest. Each Commit()
+// freezes the writer's buffered cells into one DeltaGeneration, spills it to
+// a single storage object ("PDLT" blob) registered under the
+// "ingest.delta.<seq>" catalog root, and records it in the "ingest.state"
+// object. Readers never touch generations directly: committed generations
+// fold, in sequence order, into one immutable DeltaOverlay per measure
+// (BuildOverlays), which ChunkedArray consults in its decode path.
+//
+// Crash contract: generation and state objects are only ever created fresh
+// and published through new catalog roots (copy-on-write all the way down),
+// so any crash before the next checkpoint recovers to the previous commit
+// epoch with the previous generation set intact.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "array/chunk.h"
+#include "array/delta_overlay.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace paradise {
+
+/// One committed batch of ingest writes. Per measure, per chunk, the
+/// (offsetInChunk, value) upserts in arrival order — later entries at the
+/// same offset win when the generation folds into an overlay.
+struct DeltaGeneration {
+  uint64_t seq = 0;
+  /// measures[m] maps chunk number -> upserts for that chunk.
+  std::vector<std::map<uint64_t, std::vector<ChunkEntry>>> measures;
+
+  explicit DeltaGeneration(size_t num_measures = 0) : measures(num_measures) {}
+
+  uint64_t total_cells() const;
+  bool empty() const { return total_cells() == 0; }
+
+  /// "PDLT" blob: magic, version, seq, measure count, then per measure the
+  /// chunk count and per chunk (chunk_no, cell count, cells).
+  std::string Serialize() const;
+  static Result<DeltaGeneration> Deserialize(std::string_view blob);
+};
+
+/// Folds `generations` (already in commit order) into one immutable overlay
+/// per measure. Entry m is null when measure m has no deltas at all, so
+/// overlay-free measures keep the no-overlay fast path.
+std::vector<std::shared_ptr<const DeltaOverlay>> BuildOverlays(
+    size_t num_measures, const std::vector<const DeltaGeneration*>& generations);
+
+}  // namespace paradise

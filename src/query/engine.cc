@@ -124,6 +124,24 @@ Result<Execution> RunQueryImpl(Database* db, EngineKind kind,
     // storage layer at all (not even the cold-buffer drop).
     PARADISE_RETURN_IF_ERROR(options.cancel->Check());
   }
+  if (kind != EngineKind::kArray && db->ingested()) {
+    // Incremental ingest maintains the OLAP array only; the relational fact
+    // file stopped reflecting the data at the first ingest commit. Refuse
+    // loudly rather than aggregate stale tuples. Placed before the cache
+    // path so a cached pre-ingest answer cannot mask the gate either.
+    return Status::NotSupported(
+        "engine '" + std::string(EngineKindToString(kind)) +
+        "' reads the relational fact file, which is stale after incremental "
+        "ingest; use the array engine");
+  }
+  // Pin the (epoch, array-version) snapshot once per query: everything
+  // below — cache keying, scan planning, chunk decoding — reads this copy,
+  // so concurrent ingest commits and compactions can publish freely without
+  // ever tearing or blocking this query.
+  std::optional<Database::PinnedArray> pin;
+  if (kind == EngineKind::kArray && db->has_olap()) {
+    pin.emplace(db->PinArray());
+  }
   Execution exec;
   if (options.trace) {
     exec.stats.trace = std::make_shared<ExecutionTrace>(
@@ -139,7 +157,14 @@ Result<Execution> RunQueryImpl(Database* db, EngineKind kind,
   if (cache != nullptr) {
     PARADISE_RETURN_IF_ERROR(CachedQueryServable(db, kind, q));
     cache_scope = db->CacheScope();
-    cache_epoch = options.cache_pin_epoch.value_or(db->commit_epoch());
+    // Key cache traffic by the epoch the result is actually computed
+    // against. With a pin that is pin->epoch — even when the caller asked
+    // for cache_pin_epoch: if a commit slipped in between the caller's
+    // epoch check and PinArray(), filing the (new-epoch) result under the
+    // caller's older epoch would poison pinned-snapshot reads.
+    cache_epoch = pin.has_value()
+                      ? pin->epoch
+                      : options.cache_pin_epoch.value_or(db->commit_epoch());
     canon = query::CanonicalQuery::From(q);
     Stopwatch cache_watch;
     exec.stats.cache_outcome = CacheOutcome::kMiss;
@@ -220,6 +245,9 @@ Result<Execution> RunQueryImpl(Database* db, EngineKind kind,
             .GetCounter("kernel.dispatch." + exec.stats.kernel_isa)
             ->Increment();
       }
+      // All array engines run against the pinned snapshot, never the live
+      // Database instance.
+      const OlapArray& olap = pin->array;
       const size_t threads = options.num_threads;
       if (q.HasSelection()) {
         ArraySelectStats stats;
@@ -228,19 +256,19 @@ Result<Execution> RunQueryImpl(Database* db, EngineKind kind,
         if (threads > 1) {
           PARADISE_ASSIGN_OR_RETURN(
               exec.result, ParallelArrayConsolidateWithSelection(
-                               *db->olap(), q, threads, &exec.stats.phases,
+                               olap, q, threads, &exec.stats.phases,
                                &stats, nullptr, select_options));
         } else {
           PARADISE_ASSIGN_OR_RETURN(
               exec.result, ArrayConsolidateWithSelection(
-                               *db->olap(), q, &exec.stats.phases, &stats,
+                               olap, q, &exec.stats.phases, &stats,
                                select_options));
         }
         exec.stats.aux = stats.chunks_read;
       } else if (threads > 1) {
         ParallelConsolidateStats stats;
         PARADISE_ASSIGN_OR_RETURN(
-            exec.result, ParallelArrayConsolidate(*db->olap(), q, threads,
+            exec.result, ParallelArrayConsolidate(olap, q, threads,
                                                   &exec.stats.phases, &stats,
                                                   options.cancel));
         exec.stats.aux = stats.chunks_read;
@@ -248,7 +276,7 @@ Result<Execution> RunQueryImpl(Database* db, EngineKind kind,
         ArrayConsolidateStats stats;
         PARADISE_ASSIGN_OR_RETURN(
             exec.result,
-            ArrayConsolidate(*db->olap(), q, &exec.stats.phases, &stats,
+            ArrayConsolidate(olap, q, &exec.stats.phases, &stats,
                              options.cancel));
         exec.stats.aux = stats.chunks_read;
       }

@@ -37,6 +37,18 @@ Result<PlanChoice> ChoosePlan(const Database& db,
   PARADISE_RETURN_IF_ERROR(q.Validate(dim_cols));
 
   PlanChoice choice;
+  if (db.ingested()) {
+    // After any incremental ingest commit the relational fact file is
+    // stale; only the array sees the merged data, so the crossover logic
+    // below no longer applies.
+    if (!db.has_olap()) {
+      return Status::NotSupported(
+          "database has ingested data but no OLAP array");
+    }
+    choice.engine = EngineKind::kArray;
+    choice.reason = "ingested data: only the array reflects it";
+    return choice;
+  }
   if (!q.HasSelection()) {
     if (db.has_olap()) {
       choice.engine = EngineKind::kArray;

@@ -1,6 +1,10 @@
 #include "schema/database.h"
 
+#include "ingest/ingest.h"
+
 namespace paradise {
+
+Database::~Database() = default;
 
 namespace {
 constexpr char kSchemaRoot[] = "star_schema";
@@ -118,6 +122,10 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& path,
         db->olap_, OlapArray::Open(db->storage_.get(),
                                    db->schema_.cube_name));
     db->has_olap_ = true;
+    db->ingest_ = std::make_unique<IngestManager>(db.get());
+    if (db->storage_->HasRoot(IngestStateRootName())) {
+      PARADISE_RETURN_IF_ERROR(db->ingest_->Recover());
+    }
   }
 
   db->bitmap_indexes_.resize(db->schema_.num_dims());
@@ -231,7 +239,24 @@ Status Database::FinishLoad() {
   // The commit below publishes the fully built database and clears the
   // mid-load mark in the same atomic manifest write.
   storage_->set_load_state(page_header::kLoadCommitted);
-  return storage_->Checkpoint();
+  PARADISE_RETURN_IF_ERROR(storage_->Checkpoint());
+  if (has_olap_) ingest_ = std::make_unique<IngestManager>(this);
+  return Status::OK();
+}
+
+bool Database::ingested() const {
+  return ingest_ != nullptr && ingest_->ingested();
+}
+
+Database::PinnedArray Database::PinArray() const {
+  std::lock_guard<std::mutex> lk(array_pin_mu_);
+  return PinnedArray{olap_, commit_epoch()};
+}
+
+Status Database::PublishIngest(const std::function<Status()>& publish) {
+  std::lock_guard<std::mutex> lk(array_pin_mu_);
+  PARADISE_RETURN_IF_ERROR(storage_->Checkpoint());
+  return publish();
 }
 
 Status Database::BuildBitmapIndexes() {

@@ -15,7 +15,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -30,6 +32,8 @@
 #include "storage/storage_manager.h"
 
 namespace paradise {
+
+class IngestManager;
 
 struct DatabaseOptions {
   StorageOptions storage;
@@ -59,9 +63,13 @@ class Database {
                                                   StarSchema schema,
                                                   DatabaseOptions options);
 
-  /// Opens a previously built database.
+  /// Opens a previously built database. Committed-but-uncompacted ingest
+  /// generations are recovered and republished as overlays, so the newest
+  /// epoch serves the merged data immediately.
   static Result<std::unique_ptr<Database>> Open(const std::string& path,
                                                 DatabaseOptions options);
+
+  ~Database();
 
   /// Appends one row to dimension `d`. Only valid before BeginFacts().
   Status AppendDimensionRow(size_t d, const Tuple& row);
@@ -106,6 +114,30 @@ class Database {
     return btree_join_roots_;
   }
 
+  /// Incremental write path (null until the OLAP array exists — ingest
+  /// targets the array only).
+  IngestManager* ingest() { return ingest_.get(); }
+
+  /// True once any ingest commit ever landed. The relational fact file is
+  /// stale from then on, so the relational engines are gated off with a
+  /// typed error and the planner always picks the array.
+  bool ingested() const;
+
+  /// An (epoch, OLAP-array snapshot) pair captured atomically against
+  /// concurrent ingest publication: the returned array copy keeps reading
+  /// exactly the version set that was current at `epoch`, no matter what
+  /// commits or compactions publish afterwards.
+  struct PinnedArray {
+    OlapArray array;
+    uint64_t epoch = 0;
+  };
+  PinnedArray PinArray() const;
+
+  /// Checkpoint + version publication under the pin lock, so PinArray()
+  /// can never observe the new epoch without the published versions or the
+  /// old epoch with them. IngestManager calls this; nothing else should.
+  Status PublishIngest(const std::function<Status()>& publish);
+
   /// Cold-run protocol: flush and drop every buffered page.
   Status DropCaches() { return storage_->FlushAndEvictAll(); }
 
@@ -145,6 +177,10 @@ class Database {
   bool has_olap_ = false;
   std::vector<std::vector<std::shared_ptr<BitmapJoinIndex>>> bitmap_indexes_;
   std::vector<std::vector<PageId>> btree_join_roots_;
+  std::unique_ptr<IngestManager> ingest_;
+  // Guards the (commit_epoch, published array versions) pairing: PinArray()
+  // reads both under it; PublishIngest() advances both under it.
+  mutable std::mutex array_pin_mu_;
 
   // Load-time state.
   bool facts_begun_ = false;

@@ -4,6 +4,8 @@
 #include <unordered_set>
 #include <utility>
 
+#include "ingest/delta_store.h"
+#include "ingest/ingest.h"
 #include "storage/disk_manager.h"
 #include "storage/storage_manager.h"
 
@@ -112,13 +114,147 @@ Result<VerifyReport> VerifyDatabase(const std::string& path,
     report.issues.push_back("fact scan failed: " + scan.ToString());
   }
   report.fact_tuples = tuples;
+
+  // Stage 3: ingest state. The "ingest.state" object must parse, every
+  // generation it lists must have a matching catalog root and a decodable
+  // delta blob whose cells land inside the array, and no orphan
+  // "ingest.delta.*" root may exist outside the state's list (the commit
+  // protocol publishes both in one checkpoint, so a committed catalog can
+  // never disagree with itself).
+  if (db->storage()->HasRoot(IngestStateRootName())) {
+    do {
+      Result<uint64_t> state_oid = db->storage()->GetRoot(IngestStateRootName());
+      if (!state_oid.ok()) {
+        report.issues.push_back("ingest state root unreadable: " +
+                                state_oid.status().ToString());
+        break;
+      }
+      Result<std::string> blob = db->storage()->objects()->Read(*state_oid);
+      if (!blob.ok()) {
+        report.issues.push_back("ingest state object unreadable: " +
+                                blob.status().ToString());
+        break;
+      }
+      uint64_t applied = 0;
+      uint64_t next_seq = 0;
+      std::vector<std::pair<uint64_t, ObjectId>> gens;
+      Status parsed = ParseIngestState(*blob, &applied, &next_seq, &gens);
+      if (!parsed.ok()) {
+        report.issues.push_back("ingest state rejected: " + parsed.ToString());
+        break;
+      }
+      report.ingest_applied_cells = applied;
+      report.ingest_generations = gens.size();
+      std::unordered_set<uint64_t> listed;
+      for (const auto& [seq, oid] : gens) {
+        listed.insert(seq);
+        if (seq >= next_seq) {
+          report.issues.push_back("ingest generation " + std::to_string(seq) +
+                                  " is at or beyond next sequence " +
+                                  std::to_string(next_seq));
+        }
+        const std::string root = IngestGenerationRootName(seq);
+        Result<uint64_t> root_oid = db->storage()->GetRoot(root);
+        if (!root_oid.ok()) {
+          report.issues.push_back("ingest state lists generation " +
+                                  std::to_string(seq) +
+                                  " but catalog root '" + root +
+                                  "' is missing");
+        } else if (*root_oid != oid) {
+          report.issues.push_back(
+              "ingest generation " + std::to_string(seq) + " root points at " +
+              std::to_string(*root_oid) + " but the state lists " +
+              std::to_string(oid));
+        }
+        Result<std::string> gen_blob = db->storage()->objects()->Read(oid);
+        if (!gen_blob.ok()) {
+          report.issues.push_back("ingest generation " + std::to_string(seq) +
+                                  " object unreadable: " +
+                                  gen_blob.status().ToString());
+          continue;
+        }
+        Result<DeltaGeneration> gen = DeltaGeneration::Deserialize(*gen_blob);
+        if (!gen.ok()) {
+          report.issues.push_back("ingest generation " + std::to_string(seq) +
+                                  " rejected: " + gen.status().ToString());
+          continue;
+        }
+        if (gen->seq != seq) {
+          report.issues.push_back("ingest generation " + std::to_string(seq) +
+                                  " carries sequence " +
+                                  std::to_string(gen->seq));
+        }
+        if (db->has_olap()) {
+          const ChunkLayout& layout = db->olap()->layout();
+          if (gen->measures.size() != db->olap()->num_measures()) {
+            report.issues.push_back(
+                "ingest generation " + std::to_string(seq) + " has " +
+                std::to_string(gen->measures.size()) + " measures, array has " +
+                std::to_string(db->olap()->num_measures()));
+          }
+          for (const auto& chunks : gen->measures) {
+            for (const auto& [chunk_no, cells] : chunks) {
+              if (chunk_no >= layout.num_chunks()) {
+                report.issues.push_back(
+                    "ingest generation " + std::to_string(seq) +
+                    " touches chunk " + std::to_string(chunk_no) +
+                    " beyond the array's " +
+                    std::to_string(layout.num_chunks()) + " chunks");
+                continue;
+              }
+              const uint32_t capacity = layout.ChunkCellCount(chunk_no);
+              for (const ChunkEntry& e : cells) {
+                if (e.offset >= capacity) {
+                  report.issues.push_back(
+                      "ingest generation " + std::to_string(seq) + " chunk " +
+                      std::to_string(chunk_no) + " writes offset " +
+                      std::to_string(e.offset) + " beyond capacity " +
+                      std::to_string(capacity));
+                }
+              }
+              report.ingest_overlay_cells += cells.size();
+            }
+          }
+        }
+      }
+      for (const auto& [name, value] : db->storage()->catalog()) {
+        uint64_t seq = 0;
+        if (IsIngestGenerationRoot(name, &seq) && !listed.contains(seq)) {
+          report.issues.push_back("catalog root '" + name +
+                                  "' is not listed in the ingest state");
+        }
+      }
+    } while (false);
+  } else {
+    // No state root: any generation root is an orphan.
+    for (const auto& [name, value] : db->storage()->catalog()) {
+      if (IsIngestGenerationRoot(name, nullptr)) {
+        report.issues.push_back("catalog root '" + name +
+                                "' has no ingest state");
+      }
+    }
+  }
   return report;
 }
 
 Result<VerifyReport> VerifyDatabaseFile(const std::string& path) {
-  PARADISE_ASSIGN_OR_RETURN(StorageOptions storage, ProbeStorageOptions(path));
+  Result<StorageOptions> storage_or = ProbeStorageOptions(path);
+  if (!storage_or.ok()) {
+    // A recognizable paradise header carrying a page-format version newer
+    // than kMaxSupportedFormat (NotSupported) is itself a finding: dbverify
+    // reports the typed rejection instead of ever opening a file it might
+    // misread. Anything else — missing file, truncation, wrong magic — is
+    // not a paradise database at all, so the tool fails rather than report.
+    if (storage_or.status().IsNotSupported()) {
+      VerifyReport report;
+      report.issues.push_back("file header rejected: " +
+                              storage_or.status().ToString());
+      return report;
+    }
+    return storage_or.status();
+  }
   DatabaseOptions options;
-  options.storage = storage;
+  options.storage = std::move(storage_or).value();
   return VerifyDatabase(path, options);
 }
 

@@ -24,6 +24,10 @@ struct VerifyReport {
   uint64_t page_count = 0;
   uint64_t catalog_entries = 0;
   uint64_t fact_tuples = 0;
+  /// Ingest state (zero when the file has never seen an ingest commit).
+  uint64_t ingest_generations = 0;
+  uint64_t ingest_overlay_cells = 0;
+  uint64_t ingest_applied_cells = 0;
 
   bool clean() const { return issues.empty() && scrub.clean(); }
 

@@ -282,6 +282,16 @@ bool Session::ExecuteQuery(const QueryRequest& request,
     return SendError(WireError::kQueryFailed, exec.status().code(),
                      exec.status().message());
   }
+  // Re-validate the epoch before serving the bytes: a commit landing between
+  // the check above and the engine's atomic PinArray() may have let the
+  // engine pin the newer version set. Epochs only increase, so an unchanged
+  // epoch here proves the pin happened at pinned_epoch_; a moved epoch means
+  // the result may carry new-epoch bytes and must not be served as
+  // pinned-snapshot output — degrade to the cache-only pinned path instead.
+  const uint64_t post_epoch = db_->commit_epoch();
+  if (post_epoch != pinned_epoch_) {
+    return ServeFromPinnedSnapshot(q, post_epoch);
+  }
   if (m_query_micros_ != nullptr) {
     m_query_micros_->Record(
         static_cast<uint64_t>(watch.ElapsedSeconds() * 1e6));

@@ -27,6 +27,11 @@ int64_t MicrosNow() {
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
+
+// How many durable-chain pages one AllocatePage call unlinks for deferred
+// reuse: large enough to amortize the manifest commit that makes them
+// reusable, small enough to bound the page reads inside one allocation.
+constexpr size_t kReuseBatch = 64;
 }  // namespace
 
 DiskManager::~DiskManager() {
@@ -79,6 +84,9 @@ Status DiskManager::Create(const std::string& path,
   read_only_ = false;
   dirty_since_commit_ = true;  // the fresh header must reach a first commit
   session_freed_.clear();
+  fresh_free_pages_ = 0;
+  pending_reuse_.clear();
+  reusable_.clear();
   if (format_version_ >= page_header::kFormatManifest) {
     // Header + the two manifest slot pages. The header is immutable from
     // here on; all mutable metadata lives in the manifest.
@@ -120,6 +128,9 @@ Status DiskManager::Open(const std::string& path,
   epoch_ = 0;
   dirty_since_commit_ = false;
   session_freed_.clear();
+  fresh_free_pages_ = 0;  // the whole recovered chain is durable: frozen
+  pending_reuse_.clear();
+  reusable_.clear();
   Status st = ReadHeader();
   if (!st.ok()) {
     std::fclose(file_);
@@ -153,6 +164,21 @@ Status DiskManager::Close() {
   // release the handle. Every failure mode is propagated, but the handle is
   // released regardless, so Close() stays idempotent.
   Status st = read_only_ ? Status::OK() : Commit();
+  if (st.ok() && !read_only_ && !reusable_.empty()) {
+    // Staged-for-reuse pages are referenced by no durable state: their ids
+    // would be lost with this process. Chain them back into the free list
+    // (safe — writing a link into an unreferenced page cannot break the
+    // committed chain) and commit once more so a clean shutdown leaks
+    // nothing.
+    while (st.ok() && !reusable_.empty()) {
+      st = PushFreeListHead(reusable_.back());
+      if (st.ok()) {
+        reusable_.pop_back();
+        ++fresh_free_pages_;
+      }
+    }
+    if (st.ok()) st = Commit();
+  }
   if (std::fclose(file_) != 0 && st.ok()) {
     st = Status::IOError(ErrnoMessage("close failed", path_));
   }
@@ -268,26 +294,77 @@ Status DiskManager::WritePage(PageId id, const char* buf) {
   return Status::OK();
 }
 
+Result<PageId> DiskManager::PopFreeListHead() {
+  const PageId id = free_list_head_;
+  // The first 8 bytes of a free page hold the next free PageId.
+  std::vector<char> buf(page_size_);
+  PARADISE_RETURN_IF_ERROR(ReadPage(id, buf.data()));
+  const PageId next = DecodeFixed64(buf.data());
+  if (next != kInvalidPageId &&
+      (next == id || next >= page_count_ ||
+       next < page_header::FirstUserPage(format_version_))) {
+    return Status::Corruption(
+        "free list corrupted: free page " + std::to_string(id) +
+        " links to invalid page " + std::to_string(next) + " in " + path_);
+  }
+  free_list_head_ = next;
+  dirty_since_commit_ = true;
+  return id;
+}
+
+Status DiskManager::PushFreeListHead(PageId id) {
+  std::vector<char> buf(page_size_, 0);
+  EncodeFixed64(buf.data(), free_list_head_);
+  PARADISE_RETURN_IF_ERROR(WritePage(id, buf.data()));
+  free_list_head_ = id;
+  dirty_since_commit_ = true;
+  return Status::OK();
+}
+
 Result<PageId> DiskManager::AllocatePage() {
   std::lock_guard<std::recursive_mutex> lock(mu_);
   PARADISE_RETURN_IF_ERROR(CheckWritable());
-  if (free_list_head_ != kInvalidPageId) {
-    const PageId id = free_list_head_;
-    // The first 8 bytes of a free page hold the next free PageId.
-    std::vector<char> buf(page_size_);
-    PARADISE_RETURN_IF_ERROR(ReadPage(id, buf.data()));
-    const PageId next = DecodeFixed64(buf.data());
-    if (next != kInvalidPageId &&
-        (next == id || next >= page_count_ ||
-         next < page_header::FirstUserPage(format_version_))) {
-      return Status::Corruption(
-          "free list corrupted: free page " + std::to_string(id) +
-          " links to invalid page " + std::to_string(next) + " in " + path_);
-    }
-    free_list_head_ = next;
+  const bool manifest = format_version_ >= page_header::kFormatManifest;
+  // Pages freed since the last commit sit at the head of the chain and no
+  // durable manifest references them: reuse them immediately. Legacy
+  // formats have no crash-safe manifest to protect, so they always pop.
+  if (free_list_head_ != kInvalidPageId &&
+      (!manifest || fresh_free_pages_ > 0)) {
+    PARADISE_ASSIGN_OR_RETURN(const PageId id, PopFreeListHead());
+    if (fresh_free_pages_ > 0) --fresh_free_pages_;
     session_freed_.erase(id);
-    dirty_since_commit_ = true;
     return id;
+  }
+  if (!reusable_.empty()) {
+    const PageId id = reusable_.back();
+    reusable_.pop_back();
+    session_freed_.erase(id);
+    return id;
+  }
+  if (free_list_head_ != kInvalidPageId) {
+    // Only pages the DURABLE manifest's chain references remain. Their
+    // bytes are the next-links a post-crash recovery walks, so they must
+    // not be handed out (and overwritten) while that manifest is live.
+    // Unlink a batch without touching the pages themselves; once a commit
+    // records the advanced head they become unreferenced and reusable.
+    // When nothing else is awaiting commit, that commit is pure free-list
+    // maintenance and can happen right here; mid-workload (metadata we
+    // must not commit halfway) the pages stay staged until the caller's
+    // next checkpoint and the file grows instead.
+    const bool quiescent = !dirty_since_commit_ && epoch_ > 0;
+    size_t staged = 0;
+    while (free_list_head_ != kInvalidPageId && staged < kReuseBatch) {
+      PARADISE_ASSIGN_OR_RETURN(const PageId id, PopFreeListHead());
+      pending_reuse_.push_back(id);
+      ++staged;
+    }
+    if (quiescent) {
+      PARADISE_RETURN_IF_ERROR(Commit());  // promotes pending_reuse_
+      const PageId id = reusable_.back();
+      reusable_.pop_back();
+      session_freed_.erase(id);
+      return id;
+    }
   }
   return AllocateContiguous(1);
 }
@@ -324,15 +401,12 @@ Status DiskManager::FreePage(PageId id) {
     return Status::Corruption("double free of page " + std::to_string(id) +
                               " in " + path_);
   }
-  std::vector<char> buf(page_size_, 0);
-  EncodeFixed64(buf.data(), free_list_head_);
-  Status st = WritePage(id, buf.data());
+  Status st = PushFreeListHead(id);
   if (!st.ok()) {
     session_freed_.erase(id);
     return st;
   }
-  free_list_head_ = id;
-  dirty_since_commit_ = true;
+  ++fresh_free_pages_;
   return Status::OK();
 }
 
@@ -557,12 +631,25 @@ Status DiskManager::Commit() {
     // usage pattern (open, query, close) from churning the epoch — and
     // guarantees a refused Open() leaves the file byte-identical.
     if (!dirty_since_commit_ && epoch_ > 0) return Status::OK();
-    PARADISE_RETURN_IF_ERROR(CommitManifest());
-  } else {
-    // Legacy formats have no manifest: the header is rewritten in place,
-    // which is not torn-write-safe (DESIGN.md documents this gap).
-    PARADISE_RETURN_IF_ERROR(WriteHeader());
+    Status st = CommitManifest();
+    if (st.ok()) st = SyncFile();
+    // Every page still on the chain is now (or, on failure, may be)
+    // recorded by a durable manifest: its link bytes are frozen until a
+    // later commit advances past it.
+    fresh_free_pages_ = 0;
+    if (!st.ok()) return st;
+    // Pages staged by AllocatePage fell out of the chain just committed:
+    // no durable state references them any more, so they may be handed
+    // out and overwritten. (A crash from here on merely leaks them.)
+    reusable_.insert(reusable_.end(), pending_reuse_.begin(),
+                     pending_reuse_.end());
+    pending_reuse_.clear();
+    dirty_since_commit_ = false;
+    return Status::OK();
   }
+  // Legacy formats have no manifest: the header is rewritten in place,
+  // which is not torn-write-safe (DESIGN.md documents this gap).
+  PARADISE_RETURN_IF_ERROR(WriteHeader());
   PARADISE_RETURN_IF_ERROR(SyncFile());
   dirty_since_commit_ = false;
   return Status::OK();

@@ -1,7 +1,10 @@
 // Disk: the virtual interface of the lowest storage layer, and DiskManager,
 // its real implementation. The DiskManager owns the database file, allocates
 // and frees pages (free pages form an on-disk linked list threaded through
-// their first 8 bytes), and performs raw page I/O with per-page CRC32C
+// their first 8 bytes; pages the committed manifest's chain references are
+// never handed out until a newer manifest stops referencing them, so a
+// crash can always walk the recovered chain), and performs raw page I/O
+// with per-page CRC32C
 // verification (format v2+; legacy v1 files are read without checksums).
 // Format v3 adds a dual-slot commit manifest (pages 1 and 2) so that commits
 // are atomic under power loss: Commit() writes the alternate slot and
@@ -16,6 +19,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_set>
+#include <vector>
 
 #include "common/metrics.h"
 #include "common/options.h"
@@ -205,6 +209,12 @@ class DiskManager final : public Disk {
   Status CheckPageId(PageId id) const;
   Status CheckWritable() const;
 
+  /// Unlinks and returns the chain head, validating its next-link (a
+  /// clobbered link is reported as kCorruption naming the free list).
+  Result<PageId> PopFreeListHead();
+  /// Writes `id`'s next-link (the current head) and makes it the new head.
+  Status PushFreeListHead(PageId id);
+
   /// CRC32C over a page's data bytes extended with its encoded PageId, so a
   /// page written to the wrong slot also fails verification.
   uint32_t PageCrc(PageId id, const char* buf) const;
@@ -237,6 +247,22 @@ class DiskManager final : public Disk {
   // Pages freed since open and not yet re-allocated; a second FreePage() of
   // any of them would corrupt the free list, so it is rejected instead.
   std::unordered_set<PageId> session_freed_;
+  // Crash safety of the intrusive free list (manifest formats): the chain
+  // the durable manifest records must stay byte-intact until a newer
+  // manifest commits, or post-crash recovery would walk next-links through
+  // pages that were reallocated and overwritten with data. Pages freed
+  // since the last commit form the chain's head prefix and are dead in
+  // every durable manifest, so AllocatePage may hand them out immediately;
+  // `fresh_free_pages_` counts them. The durable suffix may only be popped
+  // into `pending_reuse_` (the on-disk pages untouched) — once a commit
+  // records the advanced head those pages are unreferenced by any durable
+  // state and move to `reusable_` for actual reallocation. A crash loses
+  // staged ids (the pages leak, which verify tolerates; a clean Close
+  // re-chains them so nothing is lost on shutdown) but never corrupts the
+  // committed chain.
+  uint64_t fresh_free_pages_ = 0;
+  std::vector<PageId> pending_reuse_;
+  std::vector<PageId> reusable_;
   uint64_t reads_ = 0;
   uint64_t writes_ = 0;
 

@@ -46,7 +46,13 @@ inline constexpr size_t kHeaderBytes = 40;
 inline constexpr uint32_t kFormatLegacy = 1;
 inline constexpr uint32_t kFormatChecksummed = 2;
 inline constexpr uint32_t kFormatManifest = 3;
-inline constexpr uint32_t kMaxSupportedFormat = kFormatManifest;
+/// v4 keeps v3's physical layout (per-page CRC trailers + dual-slot
+/// manifest) unchanged; the bump marks files that may carry incremental
+/// ingest state ("ingest.*" catalog roots holding spilled delta
+/// generations, src/ingest/). Pre-v4 readers reject them instead of
+/// silently ignoring uncompacted deltas.
+inline constexpr uint32_t kFormatIngest = 4;
+inline constexpr uint32_t kMaxSupportedFormat = kFormatIngest;
 
 // v2 per-page trailer, appended after the page's page_size data bytes:
 //   [0,4)  masked CRC32C over (data bytes || fixed64 PageId)

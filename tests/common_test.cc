@@ -12,6 +12,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "common/stopwatch.h"
+#include "storage/page.h"
 #include "test_util.h"
 
 namespace paradise {
@@ -223,9 +224,11 @@ TEST(OptionsTest, StorageValidation) {
   EXPECT_TRUE(o.Validate().IsInvalidArgument());
   o.pages_per_extent = 32;
   o.format_version = 0;
-  EXPECT_TRUE(o.Validate().IsInvalidArgument());
+  EXPECT_TRUE(o.Validate().IsNotSupported());
+  o.format_version = page_header::kMaxSupportedFormat + 1;
+  EXPECT_TRUE(o.Validate().IsNotSupported());
   o.format_version = 4;
-  EXPECT_TRUE(o.Validate().IsInvalidArgument());
+  EXPECT_OK(o.Validate());
   o.format_version = 3;
   EXPECT_OK(o.Validate());
   o.format_version = 1;

@@ -12,11 +12,16 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <map>
+#include <memory>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "ingest/ingest.h"
 #include "query/engine.h"
 #include "schema/db_verify.h"
 #include "storage/disk_manager.h"
@@ -474,6 +479,218 @@ TEST(CrashRecoveryTest, TornManifestSlotFallsBackToPreviousCommit) {
   EXPECT_TRUE(st.IsCorruption()) << st.ToString();
   EXPECT_NE(st.ToString().find("manifest"), std::string::npos)
       << st.ToString();
+}
+
+/// A fixed, deterministic upsert batch for the ingest crash sweeps: six
+/// updates of occupied cells plus six inserts into empty ones.
+std::map<uint64_t, int64_t> CrashUpserts(const gen::SyntheticDataset& data) {
+  std::map<uint64_t, int64_t> upserts;
+  for (size_t i = 0; i < 6 && i < data.cell_global_indices.size(); ++i) {
+    const uint64_t gi = data.cell_global_indices[i];
+    upserts[gi] = 7000 + static_cast<int64_t>(gi);
+  }
+  const std::set<uint64_t> occupied(data.cell_global_indices.begin(),
+                                    data.cell_global_indices.end());
+  uint64_t total = 1;
+  for (const gen::GenDimension& d : data.config.dims) total *= d.size;
+  size_t inserts = 0;
+  for (uint64_t gi = 0; gi < total && inserts < 6; ++gi) {
+    if (occupied.contains(gi)) continue;
+    upserts[gi] = -static_cast<int64_t>(gi) - 1;
+    ++inserts;
+  }
+  return upserts;
+}
+
+/// The dataset `base` with `upserts` applied — the post-commit epoch's
+/// content, for brute-force comparison.
+gen::SyntheticDataset MergedDataset(const gen::SyntheticDataset& base,
+                                    const std::map<uint64_t, int64_t>& ups) {
+  std::map<uint64_t, int64_t> cells;
+  for (size_t i = 0; i < base.cell_global_indices.size(); ++i) {
+    cells[base.cell_global_indices[i]] = base.measures[i];
+  }
+  for (const auto& [gi, v] : ups) cells[gi] = v;
+  gen::SyntheticDataset out = base;
+  out.cell_global_indices.clear();
+  out.measures.clear();
+  for (const auto& [gi, v] : cells) {
+    out.cell_global_indices.push_back(gi);
+    out.measures.push_back(v);
+  }
+  return out;
+}
+
+struct IngestCrashRig {
+  std::unique_ptr<Database> db;
+  FaultInjectingDiskManager* faults = nullptr;
+};
+
+/// Builds the tiny database cleanly at `path`, then reopens it behind an
+/// un-armed fault-injecting disk so the test can pull the plug mid-ingest.
+IngestCrashRig OpenIngestRig(const std::string& path,
+                             const gen::SyntheticDataset& data) {
+  std::filesystem::remove(path);
+  {
+    auto built = BuildDatabaseFromDataset(path, data, SmallDbOptions());
+    EXPECT_OK(built.status());
+    if (built.ok()) EXPECT_OK((*built)->storage()->Close());
+  }
+  IngestCrashRig rig;
+  DatabaseOptions options = SmallDbOptions();
+  options.storage.read_retry_backoff_micros = 0;
+  options.storage.wrap_disk = [&rig](std::unique_ptr<Disk> inner) {
+    auto wrapped =
+        std::make_unique<FaultInjectingDiskManager>(std::move(inner));
+    rig.faults = wrapped.get();
+    return std::unique_ptr<Disk>(std::move(wrapped));
+  };
+  auto opened = Database::Open(path, options);
+  EXPECT_OK(opened.status());
+  if (opened.ok()) rig.db = std::move(opened).value();
+  return rig;
+}
+
+void WriteCrashUpserts(Database* db, const gen::SyntheticDataset& data,
+                       const std::map<uint64_t, int64_t>& upserts) {
+  for (const auto& [gi, v] : upserts) {
+    ASSERT_OK(db->ingest()->Write(data.CellKeys(gi), {v}));
+  }
+}
+
+/// Ingest-commit crash sweep: cut power after N disk operations inside
+/// IngestManager::Commit() for every sampled N (covering the delta spill,
+/// the state rewrite, and the manifest publication). Reopening must yield
+/// exactly the pre-commit epoch or exactly the post-commit epoch — never a
+/// half-visible generation — and dbverify must stay clean either way.
+TEST(CrashRecoveryTest, IngestCommitCrashRecoversOldOrNewEpoch) {
+  ASSERT_OK_AND_ASSIGN(gen::SyntheticDataset data,
+                       gen::Generate(TinyConfig(50, 21)));
+  const std::map<uint64_t, int64_t> upserts = CrashUpserts(data);
+  const query::ConsolidationQuery q = MixedQuery();
+  const query::GroupedResult expected_old = BruteForce(data, q);
+  const query::GroupedResult expected_new =
+      BruteForce(MergedDataset(data, upserts), q);
+
+  // Trace run: how many disk operations a crash-free commit performs.
+  uint64_t commit_ops = 0;
+  {
+    TempFile file("ingest_commit_trace");
+    IngestCrashRig rig = OpenIngestRig(file.path(), data);
+    ASSERT_NE(rig.db, nullptr);
+    WriteCrashUpserts(rig.db.get(), data, upserts);
+    const uint64_t before = rig.faults->ops_seen();
+    ASSERT_OK(rig.db->ingest()->Commit());
+    commit_ops = rig.faults->ops_seen() - before;
+  }
+  ASSERT_GT(commit_ops, 0u);
+
+  bool saw_old = false;
+  bool saw_new = false;
+  for (const uint64_t halt : SweepPoints(commit_ops, MaxSweepPoints(25))) {
+    TempFile file("ingest_commit_crash");
+    IngestCrashRig rig = OpenIngestRig(file.path(), data);
+    ASSERT_NE(rig.db, nullptr);
+    WriteCrashUpserts(rig.db.get(), data, upserts);
+    FaultInjectionOptions fi;
+    fi.power_loss_after_ops = halt;
+    rig.faults->Arm(fi);
+    const Status commit = rig.db->ingest()->Commit();
+    rig.db.reset();  // the dead disk abandons the handle
+
+    // An interrupted ingest commit must never brick the file: the previous
+    // epoch's manifest is untouched until the new one is durable.
+    ASSERT_OK_AND_ASSIGN(std::unique_ptr<Database> db,
+                         Database::Open(file.path(), SmallDbOptions()));
+    if (db->ingested()) {
+      saw_new = true;
+      EXPECT_EQ(db->ingest()->stats().live_generations, 1u)
+          << "halt " << halt;
+      ASSERT_OK_AND_ASSIGN(Execution exec,
+                           RunQuery(db.get(), EngineKind::kArray, q, true));
+      EXPECT_TRUE(exec.result.SameAs(expected_new)) << "halt " << halt;
+    } else {
+      saw_old = true;
+      // A commit that reported success must never recover without its data.
+      EXPECT_FALSE(commit.ok()) << "halt " << halt;
+      ASSERT_OK_AND_ASSIGN(Execution exec,
+                           RunQuery(db.get(), EngineKind::kArray, q, true));
+      EXPECT_TRUE(exec.result.SameAs(expected_old)) << "halt " << halt;
+    }
+    db.reset();
+    ASSERT_OK_AND_ASSIGN(VerifyReport report, VerifyDatabaseFile(file.path()));
+    EXPECT_TRUE(report.clean())
+        << "halt " << halt << ": "
+        << (report.AllIssues().empty() ? std::string("?")
+                                       : report.AllIssues().front());
+  }
+  EXPECT_TRUE(saw_old) << "no halt point ever interrupted the commit";
+  EXPECT_TRUE(saw_new) << "no halt point ever landed the commit";
+}
+
+/// Compaction crash sweep: compaction rewrites the array copy-on-write and
+/// only then republishes, so a crash at ANY point (mid-merge, after the
+/// manifest slot write, before the old objects are recycled) must recover a
+/// database whose content is STILL the merged data — served from the delta
+/// generations if the new epoch never landed, from the compacted base if it
+/// did — with dbverify clean in both cases.
+TEST(CrashRecoveryTest, IngestCompactionCrashAlwaysRecoversMergedContent) {
+  ASSERT_OK_AND_ASSIGN(gen::SyntheticDataset data,
+                       gen::Generate(TinyConfig(50, 22)));
+  const std::map<uint64_t, int64_t> upserts = CrashUpserts(data);
+  const query::ConsolidationQuery q = MixedQuery();
+  const query::GroupedResult expected =
+      BruteForce(MergedDataset(data, upserts), q);
+
+  // Trace run: disk operations of a crash-free compaction.
+  uint64_t compact_ops = 0;
+  {
+    TempFile file("ingest_compact_trace");
+    IngestCrashRig rig = OpenIngestRig(file.path(), data);
+    ASSERT_NE(rig.db, nullptr);
+    WriteCrashUpserts(rig.db.get(), data, upserts);
+    ASSERT_OK(rig.db->ingest()->Commit());
+    const uint64_t before = rig.faults->ops_seen();
+    ASSERT_OK(rig.db->ingest()->Compact());
+    compact_ops = rig.faults->ops_seen() - before;
+  }
+  ASSERT_GT(compact_ops, 0u);
+
+  bool saw_pending = false;
+  bool saw_compacted = false;
+  for (const uint64_t halt : SweepPoints(compact_ops, MaxSweepPoints(25))) {
+    TempFile file("ingest_compact_crash");
+    IngestCrashRig rig = OpenIngestRig(file.path(), data);
+    ASSERT_NE(rig.db, nullptr);
+    WriteCrashUpserts(rig.db.get(), data, upserts);
+    ASSERT_OK(rig.db->ingest()->Commit());
+    FaultInjectionOptions fi;
+    fi.power_loss_after_ops = halt;
+    rig.faults->Arm(fi);
+    (void)rig.db->ingest()->Compact();
+    rig.db.reset();
+
+    ASSERT_OK_AND_ASSIGN(std::unique_ptr<Database> db,
+                         Database::Open(file.path(), SmallDbOptions()));
+    EXPECT_TRUE(db->ingested()) << "halt " << halt;
+    if (db->ingest()->stats().live_generations > 0) {
+      saw_pending = true;
+    } else {
+      saw_compacted = true;
+    }
+    ASSERT_OK_AND_ASSIGN(Execution exec,
+                         RunQuery(db.get(), EngineKind::kArray, q, true));
+    EXPECT_TRUE(exec.result.SameAs(expected))
+        << "halt " << halt << " lost ingested content";
+    db.reset();
+    ASSERT_OK_AND_ASSIGN(VerifyReport report, VerifyDatabaseFile(file.path()));
+    EXPECT_TRUE(report.clean())
+        << "halt " << halt << ": "
+        << (report.AllIssues().empty() ? std::string("?")
+                                       : report.AllIssues().front());
+  }
+  EXPECT_TRUE(saw_pending) << "no halt point ever interrupted the compaction";
+  EXPECT_TRUE(saw_compacted) << "no halt point ever landed the compaction";
 }
 
 }  // namespace

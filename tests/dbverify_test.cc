@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/coding.h"
 #include "schema/db_verify.h"
 #include "storage/disk_manager.h"
 #include "storage/page.h"
@@ -187,6 +188,80 @@ TEST(DbVerifyTest, ReadOnlyStorageRejectsWritesAndNeverCommits) {
   TempFile fresh("dbverify_ro_create");
   const Status create_st = sm2.Create(fresh.path(), ro);
   EXPECT_TRUE(create_st.IsInvalidArgument()) << create_st.ToString();
+}
+
+/// Forward-compat tripwire: a file whose header carries a page-format
+/// version newer than this build understands must be REJECTED with a typed
+/// NotSupported — both by a direct open and by dbverify, which turns the
+/// rejection into a finding instead of misreading pages it cannot decode.
+TEST(DbVerifyTest, UnknownPageFormatVersionIsATypedRejection) {
+  TempFile file("dbverify_future_version");
+  gen::SyntheticDataset data;
+  BuildTinyDb(file.path(), &data);
+  // The version lives as a fixed32 at a fixed header offset; flipping a high
+  // bit of its low byte fabricates a far-future format.
+  FlipByteInFile(file.path(), page_header::kVersionOffset, 0x40);
+
+  StorageManager sm;
+  const Status open_st = sm.Open(file.path(), SmallDbOptions().storage);
+  EXPECT_TRUE(open_st.IsNotSupported()) << open_st.ToString();
+
+  ASSERT_OK_AND_ASSIGN(VerifyReport report, VerifyDatabaseFile(file.path()));
+  EXPECT_FALSE(report.clean());
+  bool typed = false;
+  for (const std::string& issue : report.AllIssues()) {
+    if (issue.find("file header rejected") != std::string::npos &&
+        issue.find("format_version") != std::string::npos) {
+      typed = true;
+    }
+  }
+  EXPECT_TRUE(typed) << "no finding carries the typed version rejection";
+}
+
+/// Same tripwire one layer down: a chunk-format byte above kMaxChunkFormat
+/// in the array meta must surface as a typed rejection, never be cast into
+/// ChunkFormat and misdecoded. The corruption is planted through the object
+/// store so every page checksum stays valid — only the format byte lies.
+TEST(DbVerifyTest, UnknownChunkFormatIsATypedRejection) {
+  TempFile file("dbverify_chunk_format");
+  gen::SyntheticDataset data;
+  BuildTinyDb(file.path(), &data);
+  {
+    StorageManager sm;
+    ASSERT_OK(sm.Open(file.path(), SmallDbOptions().storage));
+    std::string olap_root;
+    for (const auto& [name, value] : sm.catalog()) {
+      if (name.rfind("olap_array.", 0) == 0) olap_root = name;
+    }
+    ASSERT_FALSE(olap_root.empty());
+    ASSERT_OK_AND_ASSIGN(uint64_t meta_oid, sm.GetRoot(olap_root));
+    ASSERT_OK_AND_ASSIGN(std::string meta, sm.objects()->Read(meta_oid));
+    // The ADT meta ends with fixed32 measure-count + fixed64 per-measure
+    // chunked-array meta oid; the tiny cube has exactly one measure.
+    ASSERT_GE(meta.size(), 12u);
+    ASSERT_EQ(DecodeFixed32(meta.data() + meta.size() - 12), 1u);
+    const uint64_t chunk_meta_oid =
+        DecodeFixed64(meta.data() + meta.size() - 8);
+    ASSERT_OK_AND_ASSIGN(std::string chunk_meta,
+                         sm.objects()->Read(chunk_meta_oid));
+    ASSERT_GE(chunk_meta.size(), 5u);
+    ASSERT_EQ(chunk_meta.substr(0, 4), "CARR");
+    chunk_meta[4] = 0x7f;  // a chunk format this build has never heard of
+    ASSERT_OK(sm.objects()->Overwrite(chunk_meta_oid, chunk_meta));
+    ASSERT_OK(sm.Close());
+  }
+
+  auto opened = Database::Open(file.path(), SmallDbOptions());
+  ASSERT_FALSE(opened.ok());
+  EXPECT_TRUE(opened.status().IsNotSupported()) << opened.status().ToString();
+
+  ASSERT_OK_AND_ASSIGN(VerifyReport report, VerifyDatabaseFile(file.path()));
+  EXPECT_FALSE(report.clean());
+  bool typed = false;
+  for (const std::string& issue : report.AllIssues()) {
+    if (issue.find("chunk format") != std::string::npos) typed = true;
+  }
+  EXPECT_TRUE(typed) << "no finding carries the typed chunk-format rejection";
 }
 
 /// scrub_on_open turns a damaged file into a refused Open for applications

@@ -1,8 +1,13 @@
 // Parallel consolidation tests: exact agreement with the serial algorithms
 // (no-selection §4.1 and selection §4.2) across thread counts
 // (parameterized), selection shapes, error handling, and stats.
+#include <chrono>
+#include <future>
+#include <thread>
+
 #include <gtest/gtest.h>
 
+#include "common/cancellation.h"
 #include "core/consolidate.h"
 #include "core/consolidate_select.h"
 #include "core/parallel.h"
@@ -207,6 +212,56 @@ TEST(ParallelConsolidateErrors, MatchesBruteForceAtScale) {
   ASSERT_OK_AND_ASSIGN(query::GroupedResult result,
                        ParallelArrayConsolidate(*db->olap(), q, 4));
   EXPECT_TRUE(result.SameAs(BruteForce(data, q)));
+}
+
+/// Hang-detector regression for the morsel-pool shutdown bug: a token fired
+/// while workers are parked on the pool's condition variable (waiting for a
+/// late fetcher) must still retire every worker — the bounded wait plus the
+/// cancel poll at the loop top guarantee the join completes. Each run is
+/// raced from a separate thread at staggered fire delays across thread
+/// counts 1–16 and must finish well inside the watchdog window, returning
+/// either a full (correct) result or the token's typed Cancelled status.
+TEST(ParallelCancellation, FiredTokenNeverHangsTheJoin) {
+  TempFile file("parallel_cancel_hang");
+  ASSERT_OK_AND_ASSIGN(gen::SyntheticDataset data,
+                       gen::Generate(TinyConfig(400, 62)));
+  ASSERT_OK_AND_ASSIGN(
+      std::unique_ptr<Database> db,
+      BuildDatabaseFromDataset(file.path(), data, SmallDbOptions()));
+  const query::ConsolidationQuery q = gen::Query1(3);
+  const query::GroupedResult expected = BruteForce(data, q);
+
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{3}, size_t{4},
+                         size_t{8}, size_t{16}}) {
+    for (int trial = 0; trial < 4; ++trial) {
+      CancellationToken token;
+      if (trial == 0) token.RequestCancel();  // fired before the pool starts
+      std::future<Result<query::GroupedResult>> fut =
+          std::async(std::launch::async, [&] {
+            return ParallelArrayConsolidate(*db->olap(), q, threads, nullptr,
+                                            nullptr, &token);
+          });
+      if (trial > 0) {
+        // Stagger the fire point across the query's lifetime so some runs
+        // catch workers mid-fetch and some catch them parked on the cv.
+        std::this_thread::sleep_for(std::chrono::microseconds(trial * 150));
+        token.RequestCancel();
+      }
+      ASSERT_EQ(fut.wait_for(std::chrono::seconds(60)),
+                std::future_status::ready)
+          << "threads " << threads << " trial " << trial
+          << ": cancellation hung the worker join";
+      Result<query::GroupedResult> r = fut.get();
+      if (r.ok()) {
+        EXPECT_TRUE(r.value().SameAs(expected))
+            << "threads " << threads << " trial " << trial;
+      } else {
+        EXPECT_TRUE(r.status().IsCancelled())
+            << "threads " << threads << " trial " << trial << ": "
+            << r.status().ToString();
+      }
+    }
+  }
 }
 
 }  // namespace

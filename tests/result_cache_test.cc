@@ -12,6 +12,7 @@
 
 #include "common/metrics.h"
 #include "core/index_to_index.h"
+#include "ingest/ingest.h"
 #include "query/engine.h"
 #include "query/planner.h"
 #include "query/result_cache.h"
@@ -217,6 +218,19 @@ TEST(ResultCacheTest, OversizedEntryIsRejected) {
   cache.Insert("db", 1, TaggedQuery(0), MakeResult(1000, 0));
   EXPECT_EQ(cache.stats().entries, 0u);
   EXPECT_EQ(cache.Lookup("db", 1, TaggedQuery(0)), nullptr);
+}
+
+TEST(ResultCacheTest, PeekMismatchIsACleanMissThatLeavesTheEntry) {
+  ConsolidationResultCache cache;
+  const CanonicalQuery q0 = TaggedQuery(0);
+  cache.Insert("db", 1, q0, MakeResult(4, 100));
+  // A pinned reader probing a newer (or older) epoch misses cleanly...
+  EXPECT_EQ(cache.Peek("db", 2, q0), nullptr);
+  // ...without dropping the entry current-epoch traffic is serving from.
+  EXPECT_EQ(cache.stats().invalidations, 0u);
+  EXPECT_EQ(cache.stats().entries, 1u);
+  ASSERT_NE(cache.Peek("db", 1, q0), nullptr);
+  ASSERT_NE(cache.Lookup("db", 1, q0), nullptr);
 }
 
 TEST(ResultCacheTest, ClearDropsEverything) {
@@ -502,6 +516,83 @@ TEST(ResultCacheConcurrencyTest, ConcurrentLookupInsertDeriveIsRaceFree) {
   for (std::thread& th : threads) th.join();
   const ResultCacheStats stats = cache.stats();
   EXPECT_EQ(stats.lookups, stats.hits + stats.misses);
+  EXPECT_GT(served.load(), 0u);
+}
+
+/// The epoch-pinned regression for the ingest path (TSan job): readers
+/// pinned to a historical epoch Peek while real ingest commits bump the
+/// commit epoch and current-epoch Lookups storm the cache with
+/// invalidations. A Peek must only ever yield a clean miss (nullptr — the
+/// session layer turns that into SNAPSHOT_GONE) or a hit whose result stays
+/// fully readable after the entry is concurrently dropped — never a dangling
+/// pointer and never an invalidation charged to the pinned reader.
+TEST(ResultCacheConcurrencyTest, PinnedPeekSurvivesIngestInvalidationStorm) {
+  TempFile file("cache_peek_storm");
+  ASSERT_OK_AND_ASSIGN(gen::SyntheticDataset data,
+                       gen::Generate(TinyConfig(40, 31)));
+  ASSERT_OK_AND_ASSIGN(
+      std::unique_ptr<Database> db,
+      BuildDatabaseFromDataset(file.path(), data, SmallDbOptions()));
+  constexpr size_t kQueries = 4;
+  ConsolidationResultCache cache;
+  const std::string scope = "db";
+  const uint64_t pinned = db->commit_epoch();
+  for (size_t m = 0; m < kQueries; ++m) {
+    cache.Insert(scope, pinned, TaggedQuery(m),
+                 MakeResult(4, static_cast<int32_t>(m)));
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> pinned_hits{0};
+  std::atomic<uint64_t> clean_misses{0};
+  std::atomic<uint64_t> served{0};
+
+  // The storm: each ingest commit advances the epoch; current-epoch lookups
+  // then drop every stale entry (including the pinned readers') and refile
+  // fresh results under the new epoch.
+  std::thread ingester([&] {
+    for (int round = 0; round < 24; ++round) {
+      const uint64_t gi = data.cell_global_indices[static_cast<size_t>(round) %
+                                                   data.cell_global_indices
+                                                       .size()];
+      ASSERT_OK(db->ingest()->Write(data.CellKeys(gi), {round}));
+      ASSERT_OK(db->ingest()->Commit());
+      const uint64_t epoch = db->commit_epoch();
+      for (size_t m = 0; m < kQueries; ++m) {
+        cache.Lookup(scope, epoch, TaggedQuery(m));
+        cache.Insert(scope, epoch, TaggedQuery(m),
+                     MakeResult(4, static_cast<int32_t>(m)));
+      }
+    }
+    stop.store(true, std::memory_order_relaxed);
+  });
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&, t] {
+      uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const size_t m = (static_cast<size_t>(t) + i++) % kQueries;
+        std::shared_ptr<const GroupedResult> hit =
+            cache.Peek(scope, pinned, TaggedQuery(m));
+        if (hit != nullptr) {
+          // Keep reading through the shared result while the storm drops
+          // and replaces the entry underneath us.
+          served.fetch_add(hit->num_groups(), std::memory_order_relaxed);
+          pinned_hits.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          clean_misses.fetch_add(1, std::memory_order_relaxed);
+          // A pinned session refiling its own freshly computed result.
+          cache.Insert(scope, pinned, TaggedQuery(m),
+                       MakeResult(4, static_cast<int32_t>(m)));
+        }
+      }
+    });
+  }
+  ingester.join();
+  for (std::thread& th : readers) th.join();
+  EXPECT_GT(pinned_hits.load(), 0u);
+  EXPECT_GT(clean_misses.load(), 0u);
   EXPECT_GT(served.load(), 0u);
 }
 

@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include "ingest/ingest.h"
 #include "query/planner.h"
 #include "server/client.h"
 #include "server/server.h"
@@ -281,6 +282,83 @@ TEST_F(ServerConcurrencyTest, EpochPinnedSessionSurvivesEpochBump) {
   // session's snapshot of this query is now genuinely gone — it degrades to
   // a typed SNAPSHOT_GONE, never a stale/fresh mix.
   ASSERT_OK_AND_ASSIGN(OlapClient::Reply displaced, pinned->Query(cached_sql));
+  ASSERT_FALSE(displaced.ok);
+  EXPECT_EQ(displaced.error.error, WireError::kSnapshotGone);
+  server_->Stop();
+}
+
+/// The ingest-path version of the pinned-snapshot guarantee: while the
+/// incremental write path commits and compacts underneath a connected
+/// session, every reply on that session is either the EXACT bytes of its
+/// pinned epoch or a typed SNAPSHOT_GONE — never a stale/fresh mix, never a
+/// torn read from a half-published version set.
+TEST_F(ServerConcurrencyTest, PinnedSessionDuringIngestServesOldBytesOrGone) {
+  StartServer(ServerOptions{});
+  const std::string sql =
+      "select sum(volume), dim0.h01, dim1.h11, dim2.h21 from cube "
+      "group by dim0.h01, dim1.h11, dim2.h21";
+
+  auto pinned = MustConnect();
+  ASSERT_NE(pinned, nullptr);
+  const uint64_t old_epoch = pinned->hello().pinned_epoch;
+  ASSERT_OK_AND_ASSIGN(OlapClient::Reply first, pinned->Query(sql));
+  ASSERT_TRUE(first.ok) << first.error.message;
+  const std::string pinned_bytes = ResultBytes(first.result.result);
+
+  // Each ingest round upserts a distinct occupied cell to old+1000, so the
+  // final total is exactly first_total + kRounds*1000.
+  constexpr int kRounds = 8;
+  std::vector<std::vector<int32_t>> keys;
+  std::vector<int64_t> targets;
+  for (int i = 0; i < kRounds; ++i) {
+    keys.push_back(data_.CellKeys(data_.cell_global_indices[i]));
+    ASSERT_OK_AND_ASSIGN(std::optional<int64_t> old_value,
+                         db_->olap()->ReadCellByKeys(keys.back()));
+    ASSERT_TRUE(old_value.has_value());
+    targets.push_back(*old_value + 1000);
+  }
+
+  std::atomic<bool> done{false};
+  std::thread ingester([&] {
+    for (int i = 0; i < kRounds; ++i) {
+      ASSERT_OK(db_->ingest()->Write(keys[i], {targets[i]}));
+      ASSERT_OK(db_->ingest()->Commit());
+      // Compaction rewrites the array copy-on-write mid-stream; pinned
+      // readers must not notice.
+      if (i % 4 == 3) ASSERT_OK(db_->ingest()->Compact());
+    }
+    done.store(true, std::memory_order_relaxed);
+  });
+
+  uint64_t old_bytes_served = 0;
+  uint64_t snapshot_gone = 0;
+  while (!done.load(std::memory_order_relaxed)) {
+    ASSERT_OK_AND_ASSIGN(OlapClient::Reply reply, pinned->Query(sql));
+    if (reply.ok) {
+      EXPECT_EQ(ResultBytes(reply.result.result), pinned_bytes)
+          << "pinned session observed bytes from a different epoch";
+      ++old_bytes_served;
+    } else {
+      EXPECT_EQ(reply.error.error, WireError::kSnapshotGone)
+          << reply.error.message;
+      ++snapshot_gone;
+    }
+  }
+  ingester.join();
+  EXPECT_GT(old_bytes_served, 0u);
+
+  // A fresh connection pins the newest epoch and sees every ingested cell.
+  auto fresh = MustConnect();
+  ASSERT_NE(fresh, nullptr);
+  EXPECT_GT(fresh->hello().pinned_epoch, old_epoch);
+  ASSERT_OK_AND_ASSIGN(OlapClient::Reply updated, fresh->Query(sql));
+  ASSERT_TRUE(updated.ok) << updated.error.message;
+  EXPECT_EQ(updated.result.result.TotalSum(),
+            first.result.result.TotalSum() + kRounds * 1000);
+
+  // The fresh run displaced the old-epoch cache entry, so the pinned
+  // session now degrades to the typed SNAPSHOT_GONE.
+  ASSERT_OK_AND_ASSIGN(OlapClient::Reply displaced, pinned->Query(sql));
   ASSERT_FALSE(displaced.ok);
   EXPECT_EQ(displaced.error.error, WireError::kSnapshotGone);
   server_->Stop();

@@ -40,15 +40,25 @@
 //                      admission slot before executing, so deadlines,
 //                      cancellation and shedding can be exercised from
 //                      scripts (default 0)
+//   --ingest-loop-ms N testing aid: run a background thread that ingests a
+//                      small batch through the incremental write path every
+//                      N ms (commit each batch, compact every 4th), so
+//                      scripts can race epoch-pinned sessions against epoch
+//                      churn (default 0 = off; requires the OLAP array)
 //
 // Exit codes: 0 = clean shutdown, 2 = could not start.
 #include <signal.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
+#include "ingest/ingest.h"
 #include "schema/database.h"
 #include "schema/demo_cube.h"
 #include "server/server.h"
@@ -62,6 +72,74 @@ struct Args {
   std::string port_file;
   server::ServerOptions server;
   bool make_demo = false;
+  uint32_t ingest_loop_ms = 0;
+};
+
+/// Background epoch churn for the CI smoke test: every `interval_ms`, write
+/// a small batch of cells to existing dimension keys and commit it; every
+/// 4th tick also compact. Any error stops the loop (reported at shutdown) —
+/// the server itself keeps serving its pinned snapshots regardless.
+class IngestLoop {
+ public:
+  IngestLoop(Database* db, uint32_t interval_ms)
+      : db_(db), interval_ms_(interval_ms) {
+    thread_ = std::thread([this] { Run(); });
+  }
+
+  ~IngestLoop() { Stop(); }
+
+  void Stop() {
+    stop_.store(true, std::memory_order_relaxed);
+    if (thread_.joinable()) thread_.join();
+  }
+
+  Status status() const { return status_; }
+  uint64_t ticks() const { return ticks_.load(std::memory_order_relaxed); }
+
+ private:
+  void Run() {
+    uint64_t tick = 0;
+    while (!stop_.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms_));
+      if (stop_.load(std::memory_order_relaxed)) break;
+      Status st = Tick(tick++);
+      if (!st.ok()) {
+        status_ = st;
+        return;
+      }
+      ticks_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  Status Tick(uint64_t tick) {
+    const size_t num_dims = db_->schema().num_dims();
+    const size_t num_measures = db_->olap()->num_measures();
+    for (int i = 0; i < 4; ++i) {
+      std::vector<int32_t> keys(num_dims);
+      for (size_t d = 0; d < num_dims; ++d) {
+        const auto& rows = db_->dim(d).rows();
+        keys[d] = rows[(tick + static_cast<uint64_t>(i)) % rows.size()]
+                      .GetInt32(0);
+      }
+      std::vector<int64_t> measures(num_measures);
+      for (size_t m = 0; m < num_measures; ++m) {
+        measures[m] = static_cast<int64_t>(tick * 10 + i);
+      }
+      PARADISE_RETURN_IF_ERROR(db_->ingest()->Write(keys, measures));
+    }
+    PARADISE_RETURN_IF_ERROR(db_->ingest()->Commit());
+    if (tick % 4 == 3) {
+      PARADISE_RETURN_IF_ERROR(db_->ingest()->Compact());
+    }
+    return Status::OK();
+  }
+
+  Database* db_;
+  const uint32_t interval_ms_;
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> ticks_{0};
+  std::thread thread_;
+  Status status_;
 };
 
 int Usage(const char* argv0) {
@@ -70,7 +148,7 @@ int Usage(const char* argv0) {
                "[--port-file PATH] [--max-inflight N] [--max-queued N] "
                "[--threads N] [--cache-mb N] [--no-cache] "
                "[--default-deadline-ms N] [--read-timeout-ms N] "
-               "[--delay-ms N] <database-file>\n",
+               "[--delay-ms N] [--ingest-loop-ms N] <database-file>\n",
                argv0);
   return 2;
 }
@@ -110,6 +188,9 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     } else if (arg == "--delay-ms" && i + 1 < argc) {
       args->server.artificial_query_delay_ms =
           static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--ingest-loop-ms" && i + 1 < argc) {
+      args->ingest_loop_ms =
+          static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
     } else if (!arg.empty() && arg[0] == '-') {
       return false;
     } else if (args->path.empty()) {
@@ -146,6 +227,15 @@ Status Run(const Args& args) {
   server::OlapServer olapd(db.get(), server_options);
   PARADISE_RETURN_IF_ERROR(olapd.Start());
 
+  std::unique_ptr<IngestLoop> ingest_loop;
+  if (args.ingest_loop_ms > 0) {
+    if (!db->has_olap() || db->ingest() == nullptr) {
+      olapd.Stop();
+      return Status::NotSupported("--ingest-loop-ms requires the OLAP array");
+    }
+    ingest_loop = std::make_unique<IngestLoop>(db.get(), args.ingest_loop_ms);
+  }
+
   std::printf("olapd: listening on %s:%u\n", olapd.host().c_str(),
               static_cast<unsigned>(olapd.port()));
   std::fflush(stdout);
@@ -163,6 +253,19 @@ Status Run(const Args& args) {
   while (sigwait(&mask, &sig) != 0) {
   }
   std::fprintf(stderr, "olapd: caught %s, shutting down\n", strsignal(sig));
+  if (ingest_loop != nullptr) {
+    ingest_loop->Stop();
+    std::fprintf(stderr, "olapd: ingest loop ran %llu ticks%s%s\n",
+                 static_cast<unsigned long long>(ingest_loop->ticks()),
+                 ingest_loop->status().ok() ? "" : ", stopped on error: ",
+                 ingest_loop->status().ok()
+                     ? ""
+                     : ingest_loop->status().ToString().c_str());
+    if (!ingest_loop->status().ok()) {
+      olapd.Stop();
+      return ingest_loop->status();
+    }
+  }
   olapd.Stop();
 
   const server::OlapServer::Stats stats = olapd.stats();

@@ -25,14 +25,25 @@
 //                  jitter (default 0 = fail fast)
 //   --ping         round-trip a Ping frame instead of a query
 //   --quiet        print only the stats JSON, not the result table
+//   --repeat N     send the query N times over the SAME connection (same
+//                  epoch-pinned session), printing each reply; used by the
+//                  CI smoke test to hold a pinned snapshot across server-side
+//                  ingest churn (default 1)
+//   --sleep-ms N   sleep N ms between --repeat iterations (default 0)
+//   --expect-snapshot-gone
+//                  with --repeat: also treat SNAPSHOT_GONE as success — the
+//                  typed reply IS the correct outcome for an epoch-pinned
+//                  session whose snapshot was evicted by ingest churn
 //
 // Exit codes: 0 = result received (or pong), 2 = transport/usage error,
 // 3 = typed server error, 4 = deadline exceeded or cancelled (the query
 // was aborted, not failed — safe to retry with a larger --timeout-ms).
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "query/engine.h"
 #include "query/query.h"
@@ -47,15 +58,19 @@ struct Args {
   std::string sql;
   server::QueryRequest request;
   uint32_t retries = 0;
+  uint32_t repeat = 1;
+  uint32_t sleep_ms = 0;
   bool ping = false;
   bool quiet = false;
+  bool expect_snapshot_gone = false;
 };
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--host ADDR] --port N [--engine NAME] "
                "[--threads N] [--trace] [--no-cache] [--timeout-ms N] "
-               "[--retries N] [--quiet] (\"<sql>\" | --ping)\n",
+               "[--retries N] [--quiet] [--repeat N] [--sleep-ms N] "
+               "[--expect-snapshot-gone] (\"<sql>\" | --ping)\n",
                argv0);
   return 2;
 }
@@ -101,6 +116,14 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     } else if (arg == "--retries" && i + 1 < argc) {
       args->retries =
           static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--repeat" && i + 1 < argc) {
+      args->repeat =
+          static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--sleep-ms" && i + 1 < argc) {
+      args->sleep_ms =
+          static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--expect-snapshot-gone") {
+      args->expect_snapshot_gone = true;
     } else if (!arg.empty() && arg[0] == '-') {
       return false;
     } else if (args->sql.empty()) {
@@ -110,7 +133,7 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     }
   }
   if (args->port == 0) return false;
-  if (args->request.num_threads == 0) return false;
+  if (args->request.num_threads == 0 || args->repeat == 0) return false;
   // Exactly one of --ping / SQL.
   return args->ping == args->sql.empty();
 }
@@ -146,34 +169,51 @@ int Run(const Args& args) {
 
   server::QueryRequest request = args.request;
   request.sql = args.sql;
-  Result<server::OlapClient::Reply> reply_or = client->QueryWithRetry(request);
-  if (!reply_or.ok()) {
-    std::fprintf(stderr, "olapq: %s\n", reply_or.status().ToString().c_str());
-    return reply_or.status().IsDeadlineExceeded() ? 4 : 2;
-  }
-  const server::OlapClient::Reply& reply = reply_or.value();
-  if (!reply.ok) {
-    std::fprintf(stderr, "olapq: %s: %s\n",
-                 std::string(server::WireErrorToString(reply.error.error))
-                     .c_str(),
-                 server::ErrorReplyToStatus(reply.error).ToString().c_str());
-    return (reply.error.error == server::WireError::kQueryTimeout ||
-            reply.error.error == server::WireError::kCancelled)
-               ? 4
-               : 3;
-  }
-
-  const server::ResultReply& result = reply.result;
-  if (!args.quiet) {
-    std::printf("engine: %s", result.engine.c_str());
-    if (!result.plan_reason.empty()) {
-      std::printf(" (%s)", result.plan_reason.c_str());
+  for (uint32_t iteration = 0; iteration < args.repeat; ++iteration) {
+    if (iteration > 0 && args.sleep_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(args.sleep_ms));
     }
-    std::printf("\n%s", result.result
-                            .ToString(static_cast<query::AggFunc>(result.agg))
-                            .c_str());
+    Result<server::OlapClient::Reply> reply_or =
+        client->QueryWithRetry(request);
+    if (!reply_or.ok()) {
+      std::fprintf(stderr, "olapq: %s\n",
+                   reply_or.status().ToString().c_str());
+      return reply_or.status().IsDeadlineExceeded() ? 4 : 2;
+    }
+    const server::OlapClient::Reply& reply = reply_or.value();
+    if (!reply.ok) {
+      if (args.expect_snapshot_gone &&
+          reply.error.error == server::WireError::kSnapshotGone) {
+        // The session outlived its pinned epoch's cached snapshot; the
+        // typed reply is this smoke mode's other acceptable outcome.
+        std::printf("snapshot_gone (epoch %llu)\n",
+                    static_cast<unsigned long long>(
+                        client->hello().pinned_epoch));
+        continue;
+      }
+      std::fprintf(stderr, "olapq: %s: %s\n",
+                   std::string(server::WireErrorToString(reply.error.error))
+                       .c_str(),
+                   server::ErrorReplyToStatus(reply.error).ToString().c_str());
+      return (reply.error.error == server::WireError::kQueryTimeout ||
+              reply.error.error == server::WireError::kCancelled)
+                 ? 4
+                 : 3;
+    }
+
+    const server::ResultReply& result = reply.result;
+    if (!args.quiet) {
+      std::printf("engine: %s", result.engine.c_str());
+      if (!result.plan_reason.empty()) {
+        std::printf(" (%s)", result.plan_reason.c_str());
+      }
+      std::printf("\n%s", result.result
+                              .ToString(static_cast<query::AggFunc>(result.agg))
+                              .c_str());
+    }
+    std::printf("%s\n", result.stats_json.c_str());
+    std::fflush(stdout);
   }
-  std::printf("%s\n", result.stats_json.c_str());
   return 0;
 }
 
