@@ -3,14 +3,16 @@
 #include <algorithm>
 #include <bit>
 
+#include "array/bitpack.h"
 #include "common/coding.h"
 #include "common/lzw.h"
 
 namespace paradise {
 
 namespace {
-// Serialized layouts. Both start with:
-//   [0]     format byte: 0 = dense, 1 = offset-compressed
+// Serialized layouts. Every unwrapped blob starts with:
+//   [0]     tag byte: 0 = dense, 1 = offset-compressed, 3 = diff-sequence,
+//           4 = bit-packed
 //   [1,5)   capacity (cell count of the chunk)
 // Offset-compressed (§3.3): fixed32 valid count, then per valid cell
 // fixed32 offset + fixed64 value, in increasing offset order.
@@ -18,9 +20,111 @@ namespace {
 // values (invalid cells hold zero).
 // LZW-wrapped (kLzwDense): tag byte 2 followed by the LZW stream of the
 // dense serialization. Unwrapped by UnwrapChunkBlob before any view/parse.
+//
+// The two packed codecs share a 19-byte header:
+//   [5,9)   valid count (fixed32)
+//   [9]     width1: gap bits (diff-sequence) / offset bits (bit-packed)
+//   [10]    value bits (0..64)
+//   [11,19) value minimum (fixed64, two's complement int64)
+// then nb = ceil(count / kPackedChunkBlock) fixed32 block-first offsets
+// (the anchors / skip directory), then the codec's offset stream
+// (byte-aligned), then the value stream (byte-aligned): count fields of
+// val_bits holding (value - val_min) as unsigned.
+//
+// Diff-sequence (Szépkúti): each block's first entry is its anchor; the
+// remaining count - nb entries store (offset[i] - offset[i-1] - 1) in
+// gap_bits bits each. The gap slot of the j-th entry of block b (j >= 1) is
+// b*(kPackedChunkBlock-1) + j - 1. A run of adjacent cells has all-zero
+// gaps, so gap_bits is 0 and clustered chunks pay nothing per offset.
+//
+// Bit-packed: count absolute offsets of off_bits = bit_width(max offset)
+// bits each — O(1) random access per entry, so probes binary-search the
+// stream directly after a skip-directory lookup.
 constexpr uint8_t kDenseTag = 0;
 constexpr uint8_t kSparseTag = 1;
 constexpr uint8_t kLzwTag = 2;
+constexpr uint8_t kDiffSeqTag = 3;
+constexpr uint8_t kBitPackedTag = 4;
+
+constexpr size_t kPackedHeaderBytes = 19;
+
+/// Measured bit widths of one chunk's entries, shared by the packed
+/// serializers and the closed-form size arithmetic.
+struct PackedStats {
+  uint32_t num_blocks = 0;
+  unsigned gap_bits = 0;  // max width of (in-block delta - 1)
+  unsigned off_bits = 0;  // width of the largest (= last) offset
+  unsigned val_bits = 0;  // width of (max value - min value)
+  int64_t val_min = 0;
+};
+
+PackedStats ComputePackedStats(const std::vector<ChunkEntry>& entries) {
+  PackedStats s;
+  if (entries.empty()) return s;
+  const size_t n = entries.size();
+  s.num_blocks =
+      static_cast<uint32_t>((n + kPackedChunkBlock - 1) / kPackedChunkBlock);
+  s.off_bits = BitWidth(entries.back().offset);
+  int64_t lo = entries[0].value;
+  int64_t hi = entries[0].value;
+  for (size_t i = 0; i < n; ++i) {
+    lo = std::min(lo, entries[i].value);
+    hi = std::max(hi, entries[i].value);
+    if (i % kPackedChunkBlock != 0) {
+      // Offsets are strictly increasing, so delta >= 1 and delta - 1 packs.
+      const uint32_t delta = entries[i].offset - entries[i - 1].offset;
+      s.gap_bits = std::max(s.gap_bits, BitWidth(delta - 1));
+    }
+  }
+  s.val_min = lo;
+  // Two's-complement subtraction in uint64 is exact for any int64 range.
+  s.val_bits =
+      BitWidth(static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo));
+  return s;
+}
+
+uint64_t PackedSerializedBytes(uint8_t tag, const PackedStats& s, size_t n) {
+  const uint64_t fields1 = tag == kDiffSeqTag ? n - s.num_blocks : n;
+  const unsigned w1 = tag == kDiffSeqTag ? s.gap_bits : s.off_bits;
+  return kPackedHeaderBytes + uint64_t{4} * s.num_blocks +
+         (fields1 * w1 + 7) / 8 +
+         (static_cast<uint64_t>(n) * s.val_bits + 7) / 8;
+}
+
+std::string SerializePacked(uint8_t tag, uint32_t capacity,
+                            const std::vector<ChunkEntry>& entries) {
+  const PackedStats s = ComputePackedStats(entries);
+  const size_t n = entries.size();
+  const unsigned w1 = tag == kDiffSeqTag ? s.gap_bits : s.off_bits;
+  std::string out(PackedSerializedBytes(tag, s, n), '\0');
+  out[0] = static_cast<char>(tag);
+  EncodeFixed32(out.data() + 1, capacity);
+  EncodeFixed32(out.data() + 5, static_cast<uint32_t>(n));
+  out[9] = static_cast<char>(w1);
+  out[10] = static_cast<char>(s.val_bits);
+  EncodeFixed64(out.data() + 11, static_cast<uint64_t>(s.val_min));
+  char* anchors = out.data() + kPackedHeaderBytes;
+  char* stream1 = anchors + uint64_t{4} * s.num_blocks;
+  const uint64_t fields1 = tag == kDiffSeqTag ? n - s.num_blocks : n;
+  char* values = stream1 + (fields1 * w1 + 7) / 8;
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t j = static_cast<uint32_t>(i % kPackedChunkBlock);
+    if (j == 0) {
+      EncodeFixed32(anchors + 4 * (i / kPackedChunkBlock), entries[i].offset);
+    } else if (tag == kDiffSeqTag) {
+      const uint64_t slot = i - (i / kPackedChunkBlock + 1);
+      WriteBits(stream1, slot * w1, w1,
+                entries[i].offset - entries[i - 1].offset - 1);
+    }
+    if (tag == kBitPackedTag) {
+      WriteBits(stream1, static_cast<uint64_t>(i) * w1, w1, entries[i].offset);
+    }
+    WriteBits(values, static_cast<uint64_t>(i) * s.val_bits, s.val_bits,
+              static_cast<uint64_t>(entries[i].value) -
+                  static_cast<uint64_t>(s.val_min));
+  }
+  return out;
+}
 }  // namespace
 
 Status Chunk::Put(uint32_t offset, int64_t value) {
@@ -69,20 +173,63 @@ void Chunk::Erase(uint32_t offset) {
   if (it != entries_.end() && it->offset == offset) entries_.erase(it);
 }
 
-ChunkFormat Chunk::ResolveFormat(ChunkFormat format) const {
-  if (format != ChunkFormat::kAuto) return format;
-  return SparseBytes(num_valid()) <= DenseBytes(capacity_)
-             ? ChunkFormat::kOffsetCompressed
-             : ChunkFormat::kDense;
+uint64_t Chunk::SerializedBytes(ChunkFormat format) const {
+  switch (format) {
+    case ChunkFormat::kDense:
+      return DenseBytes(capacity_);
+    case ChunkFormat::kOffsetCompressed:
+      return SparseBytes(num_valid());
+    case ChunkFormat::kDiffSequence:
+      return PackedSerializedBytes(kDiffSeqTag, ComputePackedStats(entries_),
+                                   entries_.size());
+    case ChunkFormat::kBitPacked:
+      return PackedSerializedBytes(kBitPackedTag, ComputePackedStats(entries_),
+                                   entries_.size());
+    case ChunkFormat::kAuto:
+      return SerializedBytes(ResolveFormat(ChunkFormat::kAuto));
+    case ChunkFormat::kLzwDense:
+      // Data-dependent: the only format without a closed form.
+      return Serialize(ChunkFormat::kLzwDense).size();
+  }
+  return 0;
 }
 
-std::string Chunk::Serialize(ChunkFormat format) const {
+ChunkFormat Chunk::ResolveFormat(ChunkFormat format, bool allow_packed) const {
+  if (format != ChunkFormat::kAuto) return format;
+  // Candidates in decode-cost order — a costlier-to-decode format must be
+  // STRICTLY smaller to win. This keeps the legacy sparse-vs-dense tie
+  // resolving to offset-compressed, and prefers bit-packed (O(1) entry
+  // access) over diff-sequence (block decode) at equal size.
+  ChunkFormat best = ChunkFormat::kOffsetCompressed;
+  uint64_t best_bytes = SerializedBytes(best);
+  auto consider = [&](ChunkFormat f) {
+    const uint64_t bytes = SerializedBytes(f);
+    if (bytes < best_bytes) {
+      best = f;
+      best_bytes = bytes;
+    }
+  };
+  consider(ChunkFormat::kDense);
+  if (allow_packed) {
+    consider(ChunkFormat::kBitPacked);
+    consider(ChunkFormat::kDiffSequence);
+  }
+  return best;
+}
+
+std::string Chunk::Serialize(ChunkFormat format, bool allow_packed) const {
   if (format == ChunkFormat::kLzwDense) {
     std::string out(1, static_cast<char>(kLzwTag));
     out.append(LzwCompress(Serialize(ChunkFormat::kDense)));
     return out;
   }
-  const ChunkFormat resolved = ResolveFormat(format);
+  const ChunkFormat resolved = ResolveFormat(format, allow_packed);
+  if (resolved == ChunkFormat::kDiffSequence) {
+    return SerializePacked(kDiffSeqTag, capacity_, entries_);
+  }
+  if (resolved == ChunkFormat::kBitPacked) {
+    return SerializePacked(kBitPackedTag, capacity_, entries_);
+  }
   std::string out;
   if (resolved == ChunkFormat::kOffsetCompressed) {
     out.resize(9 + entries_.size() * 12);
@@ -160,6 +307,19 @@ Result<Chunk> Chunk::Deserialize(std::string_view data) {
     }
     return chunk;
   }
+  if (tag == kDiffSeqTag || tag == kBitPackedTag) {
+    // Decode through the view so there is exactly one reader of the packed
+    // layouts; AppendSorted re-validates strict offset order and capacity
+    // bounds cell by cell, which is the deep check dbverify relies on.
+    PARADISE_ASSIGN_OR_RETURN(ChunkView view, ChunkView::Make(data));
+    chunk.entries_.reserve(view.num_valid());
+    Status st = Status::OK();
+    view.ForEach([&](uint32_t offset, int64_t value) {
+      if (st.ok()) st = chunk.AppendSorted(offset, value);
+    });
+    PARADISE_RETURN_IF_ERROR(st);
+    return chunk;
+  }
   return Status::Corruption("unknown chunk format tag " + std::to_string(tag));
 }
 
@@ -167,13 +327,18 @@ Result<ChunkView> ChunkView::Make(std::string_view blob) {
   if (blob.size() < 5) return Status::Corruption("chunk blob too small");
   const uint8_t tag = static_cast<uint8_t>(blob[0]);
   const uint32_t capacity = DecodeFixed32(blob.data() + 1);
+  ChunkView view;
+  view.data_ = blob.data();
+  view.capacity_ = capacity;
   if (tag == kSparseTag) {
     if (blob.size() < 9) return Status::Corruption("sparse chunk truncated");
     const uint32_t count = DecodeFixed32(blob.data() + 5);
     if (blob.size() != 9 + static_cast<size_t>(count) * 12) {
       return Status::Corruption("sparse chunk size mismatch");
     }
-    return ChunkView(blob, /*sparse=*/true, capacity, count);
+    view.encoding_ = ChunkEncoding::kSparse;
+    view.num_valid_ = count;
+    return view;
   }
   if (tag == kDenseTag) {
     const size_t bitmap_bytes = (static_cast<size_t>(capacity) + 7) / 8;
@@ -186,28 +351,163 @@ Result<ChunkView> ChunkView::Make(std::string_view blob) {
       valid += static_cast<uint32_t>(
           std::popcount(static_cast<unsigned char>(blob[5 + i])));
     }
-    return ChunkView(blob, /*sparse=*/false, capacity, valid);
+    view.encoding_ = ChunkEncoding::kDense;
+    view.num_valid_ = valid;
+    return view;
+  }
+  if (tag == kDiffSeqTag || tag == kBitPackedTag) {
+    const char* name = tag == kDiffSeqTag ? "diff-sequence" : "bit-packed";
+    if (blob.size() < kPackedHeaderBytes) {
+      return Status::Corruption(std::string(name) + " chunk truncated");
+    }
+    const uint32_t count = DecodeFixed32(blob.data() + 5);
+    const unsigned width1 = static_cast<uint8_t>(blob[9]);
+    const unsigned val_bits = static_cast<uint8_t>(blob[10]);
+    if (count > capacity) {
+      return Status::Corruption(std::string(name) + " chunk count " +
+                                std::to_string(count) + " exceeds capacity " +
+                                std::to_string(capacity));
+    }
+    if (width1 > 32 || val_bits > 64) {
+      return Status::Corruption(std::string(name) +
+                                " chunk field width out of range");
+    }
+    const uint64_t nb = (count + kPackedChunkBlock - 1) / kPackedChunkBlock;
+    const uint64_t fields1 = tag == kDiffSeqTag ? count - nb : count;
+    const uint64_t expected = kPackedHeaderBytes + 4 * nb +
+                              (fields1 * width1 + 7) / 8 +
+                              (static_cast<uint64_t>(count) * val_bits + 7) / 8;
+    if (blob.size() != expected) {
+      return Status::Corruption(std::string(name) + " chunk size mismatch");
+    }
+    view.encoding_ = tag == kDiffSeqTag ? ChunkEncoding::kDiffSeq
+                                        : ChunkEncoding::kBitPacked;
+    view.num_valid_ = count;
+    view.num_blocks_ = static_cast<uint32_t>(nb);
+    view.width1_ = width1;
+    view.val_bits_ = val_bits;
+    view.val_min_ = static_cast<int64_t>(DecodeFixed64(blob.data() + 11));
+    view.anchors_ = blob.data() + kPackedHeaderBytes;
+    view.stream1_ = view.anchors_ + 4 * nb;
+    view.values_ = view.stream1_ + (fields1 * width1 + 7) / 8;
+    return view;
   }
   return Status::Corruption("unknown chunk format tag " + std::to_string(tag));
 }
 
+uint32_t ChunkView::BlockFirstOffset(uint32_t b) const {
+  return DecodeFixed32(anchors_ + static_cast<size_t>(b) * 4);
+}
+
+int64_t ChunkView::PackedValue(uint32_t i) const {
+  return static_cast<int64_t>(
+      static_cast<uint64_t>(val_min_) +
+      ReadBits(values_, static_cast<uint64_t>(i) * val_bits_, val_bits_));
+}
+
+uint32_t ChunkView::DecodeBlockOffsets(uint32_t b, uint32_t* offsets) const {
+  const uint32_t start = b * kPackedChunkBlock;
+  const uint32_t n = std::min(kPackedChunkBlock, num_valid_ - start);
+  uint32_t off = BlockFirstOffset(b);
+  offsets[0] = off;
+  if (encoding_ == ChunkEncoding::kBitPacked) {
+    for (uint32_t k = 1; k < n; ++k) {
+      offsets[k] = static_cast<uint32_t>(ReadBits(
+          stream1_, static_cast<uint64_t>(start + k) * width1_, width1_));
+    }
+    return n;
+  }
+  const uint64_t slot0 =
+      static_cast<uint64_t>(b) * (kPackedChunkBlock - 1);
+  for (uint32_t k = 1; k < n; ++k) {
+    off += 1 + static_cast<uint32_t>(
+                   ReadBits(stream1_, (slot0 + k - 1) * width1_, width1_));
+    offsets[k] = off;
+  }
+  return n;
+}
+
+uint32_t ChunkView::DecodeBlock(uint32_t b, uint32_t* offsets,
+                                int64_t* values) const {
+  const uint32_t n = DecodeBlockOffsets(b, offsets);
+  const uint32_t start = b * kPackedChunkBlock;
+  for (uint32_t k = 0; k < n; ++k) values[k] = PackedValue(start + k);
+  return n;
+}
+
 ChunkEntry ChunkView::SparseEntry(uint32_t i) const {
-  const char* p = data_ + 9 + static_cast<size_t>(i) * 12;
-  return ChunkEntry{DecodeFixed32(p),
-                    static_cast<int64_t>(DecodeFixed64(p + 4))};
+  switch (encoding_) {
+    case ChunkEncoding::kSparse: {
+      const char* p = data_ + 9 + static_cast<size_t>(i) * 12;
+      return ChunkEntry{DecodeFixed32(p),
+                        static_cast<int64_t>(DecodeFixed64(p + 4))};
+    }
+    case ChunkEncoding::kBitPacked:
+      return ChunkEntry{
+          static_cast<uint32_t>(ReadBits(
+              stream1_, static_cast<uint64_t>(i) * width1_, width1_)),
+          PackedValue(i)};
+    case ChunkEncoding::kDiffSeq: {
+      const uint32_t b = i / kPackedChunkBlock;
+      const uint32_t j = i % kPackedChunkBlock;
+      uint32_t off = BlockFirstOffset(b);
+      const uint64_t slot0 =
+          static_cast<uint64_t>(b) * (kPackedChunkBlock - 1);
+      for (uint32_t k = 0; k < j; ++k) {
+        off += 1 + static_cast<uint32_t>(
+                       ReadBits(stream1_, (slot0 + k) * width1_, width1_));
+      }
+      return ChunkEntry{off, PackedValue(i)};
+    }
+    case ChunkEncoding::kDense:
+      break;
+  }
+  return ChunkEntry{0, 0};
 }
 
 uint32_t ChunkView::SparseLowerBound(uint32_t offset, uint32_t from) const {
-  uint32_t lo = from, hi = num_valid_;
-  while (lo < hi) {
-    const uint32_t mid = lo + (hi - lo) / 2;
-    if (SparseEntry(mid).offset < offset) {
-      lo = mid + 1;
+  if (encoding_ == ChunkEncoding::kSparse) {
+    uint32_t lo = from, hi = num_valid_;
+    while (lo < hi) {
+      const uint32_t mid = lo + (hi - lo) / 2;
+      if (SparseEntry(mid).offset < offset) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+  // Packed: binary-search the per-block directory for the last block whose
+  // first offset is < `offset`, then search inside that one block. Entries
+  // are globally sorted, so the lower bound over all entries clamped up to
+  // `from` equals the lower bound over [from, num_valid).
+  uint32_t blo = 0, bhi = num_blocks_;
+  while (blo < bhi) {
+    const uint32_t mid = blo + (bhi - blo) / 2;
+    if (BlockFirstOffset(mid) < offset) {
+      blo = mid + 1;
     } else {
-      hi = mid;
+      bhi = mid;
     }
   }
-  return lo;
+  uint32_t result = 0;
+  if (blo > 0) {
+    const uint32_t b = blo - 1;
+    uint32_t offsets[kPackedChunkBlock];
+    const uint32_t n = DecodeBlockOffsets(b, offsets);
+    uint32_t lo = 0, hi = n;
+    while (lo < hi) {
+      const uint32_t mid = lo + (hi - lo) / 2;
+      if (offsets[mid] < offset) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    result = b * kPackedChunkBlock + lo;
+  }
+  return std::max(result, from);
 }
 
 bool ChunkView::DenseValid(uint32_t offset) const {
@@ -222,10 +522,11 @@ int64_t ChunkView::DenseValue(uint32_t offset) const {
 
 std::optional<int64_t> ChunkView::Get(uint32_t offset) const {
   if (offset >= capacity_) return std::nullopt;
-  if (sparse_) {
+  if (sparse()) {
     const uint32_t pos = SparseLowerBound(offset, 0);
-    if (pos < num_valid_ && SparseEntry(pos).offset == offset) {
-      return SparseEntry(pos).value;
+    if (pos < num_valid_) {
+      const ChunkEntry e = SparseEntry(pos);
+      if (e.offset == offset) return e.value;
     }
     return std::nullopt;
   }

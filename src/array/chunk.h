@@ -1,9 +1,13 @@
 // Chunk: the in-memory form of one array tile — the valid cells as
 // (offsetInChunk, value) pairs kept sorted by offset, exactly the order the
 // paper's chunk-offset compression stores and binary-searches (§3.3). A
-// chunk serializes to either the offset-compressed format or a dense format
-// (all cells materialized plus a validity bitmap); kAuto picks whichever is
-// smaller for the chunk's density.
+// chunk serializes to one of several formats: the offset-compressed layout,
+// a dense layout (all cells materialized plus a validity bitmap), an
+// LZW-wrapped dense layout, or the two bit-packed codecs added for storage
+// format v5 — kDiffSequence (delta-encoded sorted offsets with bit-packed
+// gaps, per Szépkúti) and kBitPacked (absolute offsets and values packed to
+// their measured bit widths). kAuto picks per chunk by measured serialized
+// size with a decode-cost tiebreak.
 #pragma once
 
 #include <cstdint>
@@ -26,6 +30,22 @@ struct ChunkEntry {
   friend bool operator==(const ChunkEntry& a, const ChunkEntry& b) {
     return a.offset == b.offset && a.value == b.value;
   }
+};
+
+/// Entries per block of the packed codecs: every block starts at a fixed32
+/// anchor (kDiffSequence) or skip-directory entry (kBitPacked), so a probe
+/// binary-searches the per-block directory and decodes at most one block —
+/// the sub-linear access the §4.2 probe loop needs.
+inline constexpr uint32_t kPackedChunkBlock = 128;
+
+/// Concrete serialized encoding behind a ChunkView (the blob's tag byte, as
+/// distinct from ChunkFormat, which also has the kAuto/kLzwDense policy
+/// values that never appear as a stored tag).
+enum class ChunkEncoding : uint8_t {
+  kDense = 0,
+  kSparse = 1,      // offset-compressed (§3.3)
+  kDiffSeq = 2,     // delta-encoded offsets, bit-packed gaps
+  kBitPacked = 3,   // bit-packed absolute offsets
 };
 
 class Chunk {
@@ -55,15 +75,24 @@ class Chunk {
   /// Marks the cell at `offset` invalid; no-op if it already is.
   void Erase(uint32_t offset);
 
-  /// Serializes in `format` (kAuto picks the smaller encoding).
-  std::string Serialize(ChunkFormat format) const;
+  /// Serializes in `format` (kAuto picks the smallest encoding; with
+  /// `allow_packed` false the kAuto choice is restricted to the legacy
+  /// dense/offset pair, for files at storage format < v5).
+  std::string Serialize(ChunkFormat format, bool allow_packed = true) const;
 
   /// The concrete format Serialize would emit for `format`.
-  ChunkFormat ResolveFormat(ChunkFormat format) const;
+  ChunkFormat ResolveFormat(ChunkFormat format, bool allow_packed = true) const;
 
   static Result<Chunk> Deserialize(std::string_view data);
 
-  /// Serialized byte sizes of each encoding, for the storage benches.
+  /// Exact serialized size of this chunk in `format` — the single estimator
+  /// the storage benches and kAuto selection use. For every format except
+  /// kLzwDense this is computed from closed-form layout arithmetic without
+  /// serializing; kLzwDense compresses (its size is data-dependent).
+  uint64_t SerializedBytes(ChunkFormat format) const;
+
+  /// Closed-form sizes of the two legacy encodings, for callers without a
+  /// materialized chunk (SerializedBytes is the per-chunk API).
   static uint64_t SparseBytes(uint32_t num_valid) {
     return 9 + static_cast<uint64_t>(num_valid) * 12;
   }
@@ -96,23 +125,37 @@ class ChunkView {
 
   uint32_t capacity() const { return capacity_; }
   uint32_t num_valid() const { return num_valid_; }
-  bool sparse() const { return sparse_; }
 
-  /// Value at `offset` if valid (binary search on sparse chunks, direct
-  /// index on dense ones).
+  /// True for every entry-indexed encoding (everything but dense): entries
+  /// are addressed by index in [0, num_valid) and SparseEntry /
+  /// SparseLowerBound apply. The morsel planner and kernels key on this.
+  bool sparse() const { return encoding_ != ChunkEncoding::kDense; }
+
+  /// The concrete serialized encoding behind this view.
+  ChunkEncoding encoding() const { return encoding_; }
+
+  /// Value at `offset` if valid (directory + binary search on sparse
+  /// encodings, direct index on dense ones).
   std::optional<int64_t> Get(uint32_t offset) const;
 
-  /// Sparse chunks: the i-th valid entry (i < num_valid()).
+  /// Sparse encodings: the i-th valid entry (i < num_valid()). O(1) for
+  /// kSparse and kBitPacked; decodes up to one block for kDiffSeq.
   ChunkEntry SparseEntry(uint32_t i) const;
 
-  /// Sparse chunks: index of the first entry with offset >= `offset`,
+  /// Sparse encodings: index of the first entry with offset >= `offset`,
   /// searching from entry `from` (monotone probes pass their last position).
   uint32_t SparseLowerBound(uint32_t offset, uint32_t from) const;
+
+  /// Packed encodings (kDiffSeq/kBitPacked): decodes block `b` — entries
+  /// [b*kPackedChunkBlock, min(num_valid, (b+1)*kPackedChunkBlock)) — into
+  /// `offsets`/`values` (each sized >= kPackedChunkBlock) and returns the
+  /// number of entries decoded. The batch kernels' unpack step.
+  uint32_t DecodeBlock(uint32_t b, uint32_t* offsets, int64_t* values) const;
 
   /// Raw serialized regions for the batch kernels (core/kernels/), which
   /// extract whole runs of cells without per-cell accessor calls. Layouts
   /// are documented at the top of chunk.cc; only valid for the matching
-  /// sparse()/dense state.
+  /// encoding() (packed encodings go through DecodeBlock instead).
   const char* SparseEntriesData() const { return data_ + 9; }
   const char* DenseBitmapData() const { return data_ + 5; }
   const char* DenseValuesData() const {
@@ -122,33 +165,61 @@ class ChunkView {
   /// Invokes `fn(offset, value)` for every valid cell in offset order.
   template <typename Fn>
   void ForEach(Fn&& fn) const {
-    if (sparse_) {
-      for (uint32_t i = 0; i < num_valid_; ++i) {
-        const ChunkEntry e = SparseEntry(i);
-        fn(e.offset, e.value);
+    switch (encoding_) {
+      case ChunkEncoding::kSparse:
+        for (uint32_t i = 0; i < num_valid_; ++i) {
+          const ChunkEntry e = SparseEntry(i);
+          fn(e.offset, e.value);
+        }
+        return;
+      case ChunkEncoding::kDense:
+        for (uint32_t off = 0; off < capacity_; ++off) {
+          if (DenseValid(off)) fn(off, DenseValue(off));
+        }
+        return;
+      case ChunkEncoding::kDiffSeq:
+      case ChunkEncoding::kBitPacked: {
+        uint32_t offsets[kPackedChunkBlock];
+        int64_t values[kPackedChunkBlock];
+        const uint32_t blocks =
+            (num_valid_ + kPackedChunkBlock - 1) / kPackedChunkBlock;
+        for (uint32_t b = 0; b < blocks; ++b) {
+          const uint32_t n = DecodeBlock(b, offsets, values);
+          for (uint32_t k = 0; k < n; ++k) fn(offsets[k], values[k]);
+        }
+        return;
       }
-      return;
-    }
-    for (uint32_t off = 0; off < capacity_; ++off) {
-      if (DenseValid(off)) fn(off, DenseValue(off));
     }
   }
 
  private:
-  ChunkView(std::string_view blob, bool sparse, uint32_t capacity,
-            uint32_t num_valid)
-      : data_(blob.data()),
-        sparse_(sparse),
-        capacity_(capacity),
-        num_valid_(num_valid) {}
+  ChunkView() = default;
 
   bool DenseValid(uint32_t offset) const;
   int64_t DenseValue(uint32_t offset) const;
 
+  /// Packed encodings: block b's entries' offsets only (no value decode) —
+  /// the SparseLowerBound in-block search.
+  uint32_t DecodeBlockOffsets(uint32_t b, uint32_t* offsets) const;
+
+  /// Packed encodings: entry i's value.
+  int64_t PackedValue(uint32_t i) const;
+
+  /// First offset of block b (the anchor / skip-directory entry).
+  uint32_t BlockFirstOffset(uint32_t b) const;
+
   const char* data_ = nullptr;
-  bool sparse_ = true;
+  ChunkEncoding encoding_ = ChunkEncoding::kSparse;
   uint32_t capacity_ = 0;
   uint32_t num_valid_ = 0;
+  // Packed-encoding header fields, cached by Make.
+  uint32_t num_blocks_ = 0;
+  unsigned width1_ = 0;    // gap bits (kDiffSeq) or offset bits (kBitPacked)
+  unsigned val_bits_ = 0;
+  int64_t val_min_ = 0;
+  const char* anchors_ = nullptr;  // num_blocks_ fixed32 block-first offsets
+  const char* stream1_ = nullptr;  // gap stream / absolute-offset stream
+  const char* values_ = nullptr;   // bit-packed (value - val_min) stream
 };
 
 }  // namespace paradise

@@ -23,8 +23,8 @@ void DeltaOverlay::Apply(uint64_t chunk_no,
 
 Result<std::string> MergeChunkBlob(const std::string& base_blob,
                                    const ChunkDelta& delta, uint32_t capacity,
-                                   ChunkFormat format,
-                                   uint32_t* merged_valid) {
+                                   ChunkFormat format, uint32_t* merged_valid,
+                                   bool allow_packed) {
   Chunk chunk(capacity);
   if (!base_blob.empty()) {
     PARADISE_ASSIGN_OR_RETURN(chunk, Chunk::Deserialize(base_blob));
@@ -33,7 +33,7 @@ Result<std::string> MergeChunkBlob(const std::string& base_blob,
     PARADISE_RETURN_IF_ERROR(chunk.Put(e.offset, e.value));
   }
   if (merged_valid != nullptr) *merged_valid = chunk.num_valid();
-  return chunk.Serialize(format);
+  return chunk.Serialize(format, allow_packed);
 }
 
 }  // namespace paradise

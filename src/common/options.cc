@@ -1,5 +1,7 @@
 #include "common/options.h"
 
+#include <cstdlib>
+
 #include "storage/page.h"
 
 namespace paradise {
@@ -73,8 +75,39 @@ std::string_view ChunkFormatToString(ChunkFormat format) {
       return "auto";
     case ChunkFormat::kLzwDense:
       return "lzw-dense";
+    case ChunkFormat::kDiffSequence:
+      return "diff-sequence";
+    case ChunkFormat::kBitPacked:
+      return "bit-packed";
   }
   return "unknown";
+}
+
+bool ChunkFormatFromString(std::string_view name, ChunkFormat* out) {
+  if (name == "dense") {
+    *out = ChunkFormat::kDense;
+  } else if (name == "offset" || name == "offset-compressed") {
+    *out = ChunkFormat::kOffsetCompressed;
+  } else if (name == "auto") {
+    *out = ChunkFormat::kAuto;
+  } else if (name == "lzw" || name == "lzw-dense") {
+    *out = ChunkFormat::kLzwDense;
+  } else if (name == "diffseq" || name == "diff-sequence") {
+    *out = ChunkFormat::kDiffSequence;
+  } else if (name == "bitpacked" || name == "bit-packed") {
+    *out = ChunkFormat::kBitPacked;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::optional<ChunkFormat> ForcedChunkFormatFromEnv() {
+  const char* env = std::getenv("PARADISE_FORCE_CHUNK_FORMAT");
+  if (env == nullptr || env[0] == '\0') return std::nullopt;
+  ChunkFormat format;
+  if (!ChunkFormatFromString(env, &format)) return std::nullopt;
+  return format;
 }
 
 Status ArrayOptions::Validate() const {

@@ -140,7 +140,7 @@ uint64_t AggregateRange(const ChunkView& view, uint32_t begin, uint32_t end,
   uint64_t flat_idx[kBatch];
   uint64_t cells = 0;
 
-  if (view.sparse()) {
+  if (view.encoding() == ChunkEncoding::kSparse) {
     const char* p = view.SparseEntriesData() + static_cast<size_t>(begin) * 12;
     for (uint32_t i = begin; i < end;) {
       const size_t n = std::min<size_t>(kBatch, end - i);
@@ -152,6 +152,29 @@ uint64_t AggregateRange(const ChunkView& view, uint32_t begin, uint32_t end,
       ScatterBatch(flat_idx, values, n, flat);
       i += static_cast<uint32_t>(n);
       cells += n;
+    }
+    return cells;
+  }
+
+  if (view.sparse()) {
+    // Packed codecs (diff-sequence / bit-packed): unpack one block at a
+    // time into the batch scratch (kPackedChunkBlock <= kBatch), then run
+    // the same dispatched decode + scatter. A morsel boundary mid-block
+    // decodes the whole block and aggregates only its [lo, hi) slice, so
+    // every schedule still aggregates identical cell sequences.
+    static_assert(kPackedChunkBlock <= kBatch);
+    for (uint32_t i = begin; i < end;) {
+      const uint32_t b = i / kPackedChunkBlock;
+      const uint32_t block_start = b * kPackedChunkBlock;
+      const uint32_t block_n = view.DecodeBlock(b, offsets, values);
+      const uint32_t lo = i - block_start;
+      const uint32_t hi =
+          std::min<uint32_t>(block_n, end - block_start);
+      const size_t n = hi - lo;
+      decode(offsets + lo, n, tables, flat_idx);
+      ScatterBatch(flat_idx, values + lo, n, flat);
+      cells += n;
+      i = block_start + hi;
     }
     return cells;
   }

@@ -115,6 +115,58 @@ Result<VerifyReport> VerifyDatabase(const std::string& path,
   }
   report.fact_tuples = tuples;
 
+  // Stage 2b: per-chunk codec validation. Database::Open only reads the
+  // array's directory, so a chunk whose serialized codec is damaged —
+  // an unknown tag byte, a truncated diff-sequence stream, out-of-order or
+  // out-of-bounds offsets — would otherwise surface only mid-query. Every
+  // non-empty chunk must parse as a view (header + exact stream sizes) and
+  // deep-decode cleanly (Chunk::Deserialize re-validates strict offset
+  // order and capacity bounds cell by cell). Chunks with overlay deltas are
+  // validated through the same merged-read path queries use.
+  if (db->has_olap()) {
+    const ChunkLayout& layout = db->olap()->layout();
+    for (size_t m = 0; m < db->olap()->num_measures(); ++m) {
+      const ChunkedArray& array = db->olap()->array(m);
+      const auto overlay = array.overlay();
+      for (uint64_t c = 0; c < layout.num_chunks(); ++c) {
+        if (array.ChunkIsEmpty(c)) continue;
+        const std::string where = "measure " + std::to_string(m) + " chunk " +
+                                  std::to_string(c);
+        Result<std::string> blob = array.ReadChunkBlob(c);
+        if (!blob.ok()) {
+          report.issues.push_back(where + " unreadable: " +
+                                  blob.status().ToString());
+          continue;
+        }
+        if (blob->empty()) continue;
+        Result<Chunk> chunk = Chunk::Deserialize(*blob);
+        if (!chunk.ok()) {
+          report.issues.push_back(where + " codec rejected: " +
+                                  chunk.status().ToString());
+          continue;
+        }
+        if (chunk->capacity() != layout.ChunkCellCount(c)) {
+          report.issues.push_back(
+              where + " stores capacity " + std::to_string(chunk->capacity()) +
+              " but the layout says " +
+              std::to_string(layout.ChunkCellCount(c)));
+          continue;
+        }
+        // Directory valid-count cross-check; only exact without deltas.
+        if (overlay == nullptr || overlay->Find(c) == nullptr) {
+          const uint32_t listed = array.ChunkValidCount(c);
+          if (chunk->num_valid() != listed) {
+            report.issues.push_back(
+                where + " decodes " + std::to_string(chunk->num_valid()) +
+                " cells but the directory lists " + std::to_string(listed));
+            continue;
+          }
+        }
+        ++report.chunks_verified;
+      }
+    }
+  }
+
   // Stage 3: ingest state. The "ingest.state" object must parse, every
   // generation it lists must have a matching catalog root and a decodable
   // delta blob whose cells land inside the array, and no orphan

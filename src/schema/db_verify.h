@@ -24,6 +24,9 @@ struct VerifyReport {
   uint64_t page_count = 0;
   uint64_t catalog_entries = 0;
   uint64_t fact_tuples = 0;
+  /// Non-empty OLAP-array chunks whose serialized codec passed validation
+  /// (header parse + per-cell offset order/bounds), summed over measures.
+  uint64_t chunks_verified = 0;
   /// Ingest state (zero when the file has never seen an ingest commit).
   uint64_t ingest_generations = 0;
   uint64_t ingest_overlay_cells = 0;

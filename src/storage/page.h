@@ -52,7 +52,13 @@ inline constexpr uint32_t kFormatManifest = 3;
 /// generations, src/ingest/). Pre-v4 readers reject them instead of
 /// silently ignoring uncompacted deltas.
 inline constexpr uint32_t kFormatIngest = 4;
-inline constexpr uint32_t kMaxSupportedFormat = kFormatIngest;
+/// v5 keeps v4's physical layout unchanged; the bump marks files whose OLAP
+/// arrays may store chunks in the bit-packed codecs (ChunkFormat
+/// kDiffSequence / kBitPacked, array/chunk.cc). Pre-v5 readers reject them
+/// instead of tripping over unknown chunk tags mid-scan; this build never
+/// writes a packed chunk into a file created at version < 5.
+inline constexpr uint32_t kFormatCodecs = 5;
+inline constexpr uint32_t kMaxSupportedFormat = kFormatCodecs;
 
 // v2 per-page trailer, appended after the page's page_size data bytes:
 //   [0,4)  masked CRC32C over (data bytes || fixed64 PageId)

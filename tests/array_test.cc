@@ -6,6 +6,7 @@
 #include "array/chunk.h"
 #include "array/chunk_layout.h"
 #include "array/chunked_array.h"
+#include "common/options.h"
 #include "common/random.h"
 #include "test_util.h"
 
@@ -209,6 +210,8 @@ TEST(ChunkTest, SparseSerializeRoundTrip) {
   }
   const std::string blob = chunk.Serialize(ChunkFormat::kOffsetCompressed);
   EXPECT_EQ(blob.size(), Chunk::SparseBytes(chunk.num_valid()));
+  EXPECT_EQ(blob.size(),
+            chunk.SerializedBytes(ChunkFormat::kOffsetCompressed));
   ASSERT_OK_AND_ASSIGN(Chunk back, Chunk::Deserialize(blob));
   EXPECT_TRUE(back == chunk);
 }
@@ -220,6 +223,7 @@ TEST(ChunkTest, DenseSerializeRoundTrip) {
   ASSERT_OK(chunk.Put(32, 0));  // zero values must stay distinguishable
   const std::string blob = chunk.Serialize(ChunkFormat::kDense);
   EXPECT_EQ(blob.size(), Chunk::DenseBytes(64));
+  EXPECT_EQ(blob.size(), chunk.SerializedBytes(ChunkFormat::kDense));
   ASSERT_OK_AND_ASSIGN(Chunk back, Chunk::Deserialize(blob));
   EXPECT_TRUE(back == chunk);
   EXPECT_EQ(back.Get(32), std::optional<int64_t>(0));
@@ -227,18 +231,56 @@ TEST(ChunkTest, DenseSerializeRoundTrip) {
 }
 
 TEST(ChunkTest, AutoPicksSmallerFormat) {
+  // With the packed codecs off the table (pre-v5 files), kAuto is the
+  // legacy sparse-vs-dense rule, ties to offset-compressed.
   Chunk sparse(1000);
   ASSERT_OK(sparse.Put(3, 1));
-  EXPECT_EQ(sparse.ResolveFormat(ChunkFormat::kAuto),
+  EXPECT_EQ(sparse.ResolveFormat(ChunkFormat::kAuto, /*allow_packed=*/false),
             ChunkFormat::kOffsetCompressed);
 
   Chunk dense(10);
   for (uint32_t i = 0; i < 10; ++i) ASSERT_OK(dense.Put(i, i));
-  EXPECT_EQ(dense.ResolveFormat(ChunkFormat::kAuto), ChunkFormat::kDense);
+  EXPECT_EQ(dense.ResolveFormat(ChunkFormat::kAuto, /*allow_packed=*/false),
+            ChunkFormat::kDense);
   // Auto serialization round-trips either way.
-  ASSERT_OK_AND_ASSIGN(Chunk back,
-                       Chunk::Deserialize(dense.Serialize(ChunkFormat::kAuto)));
+  ASSERT_OK_AND_ASSIGN(
+      Chunk back,
+      Chunk::Deserialize(dense.Serialize(ChunkFormat::kAuto,
+                                         /*allow_packed=*/false)));
   EXPECT_TRUE(back == dense);
+}
+
+TEST(ChunkTest, AutoPrefersPackedFormatsWhenSmaller) {
+  // Both example chunks bit-pack far below the legacy encodings, so the
+  // full kAuto rule picks a packed codec — and never one that is larger
+  // than what the legacy rule would have chosen. (A near-empty chunk is
+  // different: below ~2 cells the packed header + anchor floor of 23 bytes
+  // exceeds the 9+12n sparse layout and kAuto keeps the legacy pick.)
+  Chunk sparse(1000);
+  for (uint32_t off = 3; off < 1000; off += 20) ASSERT_OK(sparse.Put(off, 1));
+  const ChunkFormat picked = sparse.ResolveFormat(ChunkFormat::kAuto);
+  EXPECT_TRUE(picked == ChunkFormat::kBitPacked ||
+              picked == ChunkFormat::kDiffSequence)
+      << ChunkFormatToString(picked);
+  for (ChunkFormat f :
+       {ChunkFormat::kDense, ChunkFormat::kOffsetCompressed,
+        ChunkFormat::kDiffSequence, ChunkFormat::kBitPacked}) {
+    EXPECT_LE(sparse.SerializedBytes(picked), sparse.SerializedBytes(f));
+  }
+  const std::string blob = sparse.Serialize(ChunkFormat::kAuto);
+  EXPECT_EQ(blob.size(), sparse.SerializedBytes(ChunkFormat::kAuto));
+  ASSERT_OK_AND_ASSIGN(Chunk back, Chunk::Deserialize(blob));
+  EXPECT_TRUE(back == sparse);
+
+  Chunk dense(10);
+  for (uint32_t i = 0; i < 10; ++i) ASSERT_OK(dense.Put(i, i));
+  const ChunkFormat dense_pick = dense.ResolveFormat(ChunkFormat::kAuto);
+  EXPECT_LE(dense.SerializedBytes(dense_pick),
+            dense.SerializedBytes(ChunkFormat::kDense));
+  ASSERT_OK_AND_ASSIGN(
+      Chunk dense_back,
+      Chunk::Deserialize(dense.Serialize(ChunkFormat::kAuto)));
+  EXPECT_TRUE(dense_back == dense);
 }
 
 TEST(ChunkTest, DeserializeRejectsGarbage) {
@@ -443,8 +485,12 @@ TEST_F(ChunkedArrayTest, DenseAndSparseFormatsAgree) {
       EXPECT_EQ(a, b) << "(" << i << "," << j << ")";
     }
   }
-  // Dense chunks are bigger for this sparse data.
-  EXPECT_LT(sparse.TotalDataBytes(), dense.TotalDataBytes());
+  // Dense chunks are bigger for this sparse data — unless a forced global
+  // format (the CI codec-matrix job) has collapsed both arrays onto one
+  // codec, in which case the sizes are legitimately equal.
+  if (!ForcedChunkFormatFromEnv().has_value()) {
+    EXPECT_LT(sparse.TotalDataBytes(), dense.TotalDataBytes());
+  }
 }
 
 TEST_F(ChunkedArrayTest, EmptyChunksCostNothing) {

@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include "common/coding.h"
+#include "common/options.h"
 #include "schema/db_verify.h"
 #include "storage/disk_manager.h"
 #include "storage/page.h"
@@ -69,6 +70,7 @@ TEST(DbVerifyTest, CleanDatabaseVerifiesWithoutFindings) {
   EXPECT_GT(report.page_count, 4u);
   EXPECT_GT(report.catalog_entries, 0u);
   EXPECT_EQ(report.fact_tuples, data.cell_global_indices.size());
+  EXPECT_GT(report.chunks_verified, 0u);
   EXPECT_EQ(report.scrub.pages_scanned,
             report.page_count -
                 page_header::FirstUserPage(page_header::kFormatManifest));
@@ -262,6 +264,92 @@ TEST(DbVerifyTest, UnknownChunkFormatIsATypedRejection) {
     if (issue.find("chunk format") != std::string::npos) typed = true;
   }
   EXPECT_TRUE(typed) << "no finding carries the typed chunk-format rejection";
+}
+
+/// Opens the file, walks the catalog to the OLAP array's packed data
+/// object, and applies `mutate` to its byte at `index` through the object
+/// store — every page checksum stays valid; only the chunk bytes lie. The
+/// first non-empty chunk's blob starts at byte 0 of the data object.
+void MutateOlapChunkByte(const std::string& path, size_t index,
+                         char (*mutate)(char)) {
+  StorageManager sm;
+  ASSERT_OK(sm.Open(path, SmallDbOptions().storage));
+  std::string olap_root;
+  for (const auto& [name, value] : sm.catalog()) {
+    if (name.rfind("olap_array.", 0) == 0) olap_root = name;
+  }
+  ASSERT_FALSE(olap_root.empty());
+  ASSERT_OK_AND_ASSIGN(uint64_t meta_oid, sm.GetRoot(olap_root));
+  ASSERT_OK_AND_ASSIGN(std::string meta, sm.objects()->Read(meta_oid));
+  ASSERT_GE(meta.size(), 12u);
+  ASSERT_EQ(DecodeFixed32(meta.data() + meta.size() - 12), 1u);
+  const uint64_t chunk_meta_oid = DecodeFixed64(meta.data() + meta.size() - 8);
+  ASSERT_OK_AND_ASSIGN(std::string chunk_meta,
+                       sm.objects()->Read(chunk_meta_oid));
+  ASSERT_GE(chunk_meta.size(), 17u);
+  ASSERT_EQ(chunk_meta.substr(0, 4), "CARR");
+  // CARR meta: data ObjectId lives at bytes [9, 17).
+  const uint64_t data_oid = DecodeFixed64(chunk_meta.data() + 9);
+  ASSERT_OK_AND_ASSIGN(std::string chunk_data, sm.objects()->Read(data_oid));
+  ASSERT_GT(chunk_data.size(), index);
+  chunk_data[index] = mutate(chunk_data[index]);
+  ASSERT_OK(sm.objects()->Overwrite(data_oid, chunk_data));
+  ASSERT_OK(sm.Close());
+}
+
+/// An unknown codec id on a CHUNK (as opposed to the array meta above) is
+/// invisible to Database::Open, which reads only the directory — the
+/// dbverify codec stage must surface it as a typed finding, not a crash and
+/// not a clean report.
+TEST(DbVerifyTest, UnknownChunkCodecIdIsAFinding) {
+  TempFile file("dbverify_chunk_codec_id");
+  gen::SyntheticDataset data;
+  BuildTinyDb(file.path(), &data);
+  // Byte 0 of the packed data object is the first chunk's tag byte.
+  MutateOlapChunkByte(file.path(), 0, [](char) { return char{0x7f}; });
+
+  ASSERT_OK(Database::Open(file.path(), SmallDbOptions()).status());
+
+  ASSERT_OK_AND_ASSIGN(VerifyReport report, VerifyDatabaseFile(file.path()));
+  EXPECT_FALSE(report.clean());
+  bool typed = false;
+  for (const std::string& issue : report.AllIssues()) {
+    if (issue.find("codec rejected") != std::string::npos &&
+        issue.find("unknown chunk format tag") != std::string::npos) {
+      typed = true;
+    }
+  }
+  EXPECT_TRUE(typed) << "no finding names the unknown chunk codec id";
+}
+
+/// A diff-sequence chunk whose stored cell count disagrees with its stream
+/// lengths (the shape a truncation or torn write produces) must become a
+/// size-mismatch finding, never an out-of-bounds decode.
+TEST(DbVerifyTest, TruncatedDiffSequenceChunkIsAFinding) {
+  if (std::optional<ChunkFormat> forced = ForcedChunkFormatFromEnv();
+      forced && *forced != ChunkFormat::kDiffSequence) {
+    GTEST_SKIP() << "corruption fixture requires diff-sequence encoding, but "
+                    "PARADISE_FORCE_CHUNK_FORMAT selects another codec";
+  }
+  TempFile file("dbverify_diffseq_trunc");
+  gen::SyntheticDataset data;
+  DatabaseOptions options = SmallDbOptions();
+  options.array.chunk_format = ChunkFormat::kDiffSequence;
+  BuildTinyDb(file.path(), &data, options);
+  // Bytes [5,9) of a packed chunk hold its valid count; bumping it claims
+  // one more cell than the gap/value streams actually carry.
+  MutateOlapChunkByte(file.path(), 5,
+                      [](char c) { return static_cast<char>(c + 1); });
+
+  ASSERT_OK_AND_ASSIGN(VerifyReport report, VerifyDatabaseFile(file.path()));
+  EXPECT_FALSE(report.clean());
+  bool typed = false;
+  for (const std::string& issue : report.AllIssues()) {
+    if (issue.find("diff-sequence chunk size mismatch") != std::string::npos) {
+      typed = true;
+    }
+  }
+  EXPECT_TRUE(typed) << "no finding flags the inconsistent diff-sequence size";
 }
 
 /// scrub_on_open turns a damaged file into a refused Open for applications

@@ -21,6 +21,8 @@
 #include "common/random.h"
 #include "query/engine.h"
 #include "query/result_cache.h"
+#include "server/client.h"
+#include "server/server.h"
 #include "storage/fault_injection.h"
 #include "test_util.h"
 
@@ -442,6 +444,150 @@ TEST_P(CancelFuzzTest, CancelledQueriesAreAllOrNothingAndRetryable) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CancelFuzzTest,
                          ::testing::Range(uint64_t{1}, uint64_t{9}));
+
+/// Codec sweep (storage format v5): the chunk codec must be invisible to
+/// every query path. Each random cube is materialized once per ChunkFormat
+/// (forced via PARADISE_FORCE_CHUNK_FORMAT, the same knob the CI codec
+/// matrix uses), and the identical workload — serial, 4-thread parallel,
+/// cached, and over-the-wire through OlapServer — must produce results
+/// bit-identical to the kOffsetCompressed baseline build.
+class CodecSweepFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CodecSweepFuzzTest, QueryResultsAreBitIdenticalAcrossChunkFormats) {
+  const uint64_t seed = EffectiveSeed(GetParam());
+  SCOPED_TRACE(SeedTrace(seed));
+  Random rng(seed * 2654435761ull + 41);
+  const gen::GenConfig config = RandomConfig(&rng);
+  ASSERT_OK_AND_ASSIGN(gen::SyntheticDataset data, gen::Generate(config));
+
+  // Frozen workload: every format executes exactly these queries.
+  std::vector<query::ConsolidationQuery> queries;
+  for (int i = 0; i < 3; ++i) queries.push_back(RandomQuery(config, &rng));
+  const std::vector<std::string> sql = {
+      "select sum(volume), dim0.h01 from cube group by dim0.h01",
+      "select min(volume), dim0.h02 from cube group by dim0.h02",
+      "select sum(volume), dim0.h02 from cube where dim0.h01 = '" +
+          gen::AttrValue(0, 1, 0) + "' group by dim0.h02",
+  };
+
+  struct FormatRun {
+    std::string name;
+    std::vector<query::GroupedResult> serial;
+    std::vector<query::GroupedResult> parallel;
+    std::vector<query::GroupedResult> cached;
+    std::vector<query::GroupedResult> wire;
+  };
+  struct EnvGuard {
+    ~EnvGuard() { ::unsetenv("PARADISE_FORCE_CHUNK_FORMAT"); }
+  } env_guard;
+
+  // name -> expected tag byte as seen through ReadChunkBlob (nullopt =
+  // format picks per chunk). LZW-wrapped chunks come back unwrapped to
+  // their dense form, so "lzw" reads as the dense tag.
+  const std::vector<std::pair<std::string, std::optional<uint8_t>>> formats = {
+      {"offset", uint8_t{1}},   {"dense", uint8_t{0}},
+      {"auto", std::nullopt},   {"lzw", uint8_t{0}},
+      {"diffseq", uint8_t{3}},  {"bitpacked", uint8_t{4}},
+  };
+  std::vector<FormatRun> runs;
+  for (const auto& [name, want_tag] : formats) {
+    SCOPED_TRACE("chunk format " + name);
+    ::setenv("PARADISE_FORCE_CHUNK_FORMAT", name.c_str(), 1);
+    TempFile file("codecsweep_" + name + "_" + std::to_string(GetParam()));
+    ASSERT_OK_AND_ASSIGN(
+        std::unique_ptr<Database> db,
+        BuildDatabaseFromDataset(file.path(), data, SmallDbOptions()));
+    ::unsetenv("PARADISE_FORCE_CHUNK_FORMAT");
+
+    // The sweep is only meaningful if the forced codec actually landed on
+    // disk: check the first non-empty chunk's tag byte.
+    if (want_tag.has_value()) {
+      const ChunkedArray& array = db->olap()->array(0);
+      for (uint64_t c = 0; c < db->olap()->layout().num_chunks(); ++c) {
+        if (array.ChunkIsEmpty(c)) continue;
+        ASSERT_OK_AND_ASSIGN(std::string blob, array.ReadChunkBlob(c));
+        ASSERT_FALSE(blob.empty());
+        EXPECT_EQ(static_cast<uint8_t>(blob[0]), *want_tag)
+            << "forced format " << name << " not stored in chunk " << c;
+        break;
+      }
+    }
+
+    FormatRun run;
+    run.name = name;
+    query::ConsolidationResultCache cache(
+        query::ConsolidationResultCache::Options{});
+    RunQueryOptions serial;
+    serial.cold = false;
+    RunQueryOptions parallel;
+    parallel.cold = false;
+    parallel.num_threads = 4;
+    RunQueryOptions cached;
+    cached.cold = false;
+    cached.cache = &cache;
+    for (const query::ConsolidationQuery& q : queries) {
+      ASSERT_OK_AND_ASSIGN(Execution s,
+                           RunQuery(db.get(), EngineKind::kArray, q, serial));
+      run.serial.push_back(s.result);
+      ASSERT_OK_AND_ASSIGN(Execution p,
+                           RunQuery(db.get(), EngineKind::kArray, q, parallel));
+      run.parallel.push_back(p.result);
+      ASSERT_OK_AND_ASSIGN(Execution miss,
+                           RunQuery(db.get(), EngineKind::kArray, q, cached));
+      ASSERT_OK_AND_ASSIGN(Execution hit,
+                           RunQuery(db.get(), EngineKind::kArray, q, cached));
+      EXPECT_EQ(hit.stats.cache_outcome, CacheOutcome::kHit);
+      ASSERT_TRUE(hit.result.SameAs(miss.result));
+      run.cached.push_back(hit.result);
+    }
+
+    // Over the wire: same storage served through the framed protocol.
+    server::OlapServer olapd(db.get(), server::ServerOptions{});
+    ASSERT_OK(olapd.Start());
+    {
+      ASSERT_OK_AND_ASSIGN(auto client,
+                           server::OlapClient::Connect("127.0.0.1",
+                                                       olapd.port()));
+      for (const std::string& s : sql) {
+        ASSERT_OK_AND_ASSIGN(auto reply, client->Query(s));
+        ASSERT_TRUE(reply.ok) << reply.error.message;
+        run.wire.push_back(reply.result.result);
+      }
+    }
+    olapd.Stop();
+    runs.push_back(std::move(run));
+
+    // Ground truth once: the baseline build must match brute force, so a
+    // codec bug shared by every format cannot hide in the cross-check.
+    if (runs.size() == 1) {
+      for (size_t i = 0; i < queries.size(); ++i) {
+        const query::GroupedResult expected = BruteForce(data, queries[i]);
+        ASSERT_TRUE(runs[0].serial[i].SameAs(expected))
+            << "baseline diverges from brute force, query " << i;
+      }
+    }
+  }
+
+  const FormatRun& base = runs.front();
+  for (size_t f = 1; f < runs.size(); ++f) {
+    SCOPED_TRACE("comparing " + runs[f].name + " against " + base.name);
+    for (size_t i = 0; i < queries.size(); ++i) {
+      EXPECT_TRUE(runs[f].serial[i].SameAs(base.serial[i]))
+          << "serial query " << i << " diverges";
+      EXPECT_TRUE(runs[f].parallel[i].SameAs(base.parallel[i]))
+          << "parallel query " << i << " diverges";
+      EXPECT_TRUE(runs[f].cached[i].SameAs(base.cached[i]))
+          << "cached query " << i << " diverges";
+    }
+    for (size_t i = 0; i < sql.size(); ++i) {
+      EXPECT_TRUE(runs[f].wire[i].SameAs(base.wire[i]))
+          << "over-the-wire query " << i << " diverges";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecSweepFuzzTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{7}));
 
 }  // namespace
 }  // namespace paradise

@@ -174,7 +174,10 @@ TEST_F(ServerConcurrencyTest, AdmissionOverflowRepliesBusyThenDrains) {
   ServerOptions options;
   options.max_inflight = 1;
   options.max_queued = 1;
-  options.artificial_query_delay_ms = 400;
+  // The hold must outlast both staggering sleeps plus scheduling noise on a
+  // loaded CI box (the codec-matrix job runs the full suite four extra
+  // times); 400 ms left only ~200 ms of slack and flaked under -j load.
+  options.artificial_query_delay_ms = 1200;
   StartServer(options);
 
   const std::string sql =
@@ -187,20 +190,28 @@ TEST_F(ServerConcurrencyTest, AdmissionOverflowRepliesBusyThenDrains) {
   ASSERT_NE(queued, nullptr);
   ASSERT_NE(rejected, nullptr);
 
-  // Holder occupies the single slot for ~400 ms; queued fills the one
-  // queue seat behind it.
+  // Holder occupies the single slot; queued fills the one queue seat behind
+  // it. Observe the server's own admission snapshot instead of sleeping a
+  // fixed interval — on a loaded CI box a client thread can be starved for
+  // hundreds of milliseconds, so wall-clock staggering alone flakes.
+  const auto wait_until = [&](auto&& pred) {
+    for (int i = 0; i < 500 && !pred(); ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    ASSERT_TRUE(pred()) << "admission state never reached";
+  };
   std::thread holder_thread([&] {
     Result<OlapClient::Reply> reply = holder->Query(sql);
     ASSERT_TRUE(reply.ok()) << reply.status().ToString();
     EXPECT_TRUE(reply->ok);
   });
-  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  wait_until([&] { return server_->admission().snapshot().inflight >= 1; });
   std::thread queued_thread([&] {
     Result<OlapClient::Reply> reply = queued->Query(sql);
     ASSERT_TRUE(reply.ok()) << reply.status().ToString();
     EXPECT_TRUE(reply->ok);
   });
-  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  wait_until([&] { return server_->admission().snapshot().queued >= 1; });
 
   // Slot taken, queue full: the third client must get a typed SERVER_BUSY
   // on a connection that stays open.
@@ -216,9 +227,13 @@ TEST_F(ServerConcurrencyTest, AdmissionOverflowRepliesBusyThenDrains) {
   ASSERT_OK_AND_ASSIGN(OlapClient::Reply retry, rejected->Query(sql));
   EXPECT_TRUE(retry.ok) << retry.error.message;
 
-  const AdmissionController::Snapshot snap = server_->admission().snapshot();
-  EXPECT_EQ(snap.inflight, 0u);
-  EXPECT_EQ(snap.queued, 0u);
+  // The worker decrements inflight after writing the reply bytes, so the
+  // client can observe its answer a beat before the counter drops — poll
+  // for the drained state instead of asserting an instantaneous zero.
+  wait_until([&] {
+    const AdmissionController::Snapshot s = server_->admission().snapshot();
+    return s.inflight == 0 && s.queued == 0;
+  });
   EXPECT_GE(server_->stats().busy_replies, 1u);
   EXPECT_EQ(server_->stats().queries_failed, 0u);
   server_->Stop();
